@@ -1,0 +1,189 @@
+// Ablations over the design choices DESIGN.md calls out, plus the paper's
+// section-8 extensions:
+//  1. subcarrier waveform: band-limited square vs hard square vs SSB,
+//  2. DCO quantization bits,
+//  3. symbol-rate limit (why the paper stops at 400 sym/s),
+//  4. program genre sensitivity of overlay data,
+//  5. Aloha MAC for multiple tags (section 8),
+//  6. harvesting-driven duty cycling (section 8).
+#include <cstdio>
+#include <iostream>
+
+#include "audio/tone.h"
+#include "core/aloha.h"
+#include "core/experiment.h"
+#include "core/harvesting.h"
+#include "dsp/spectrum.h"
+#include "rx/fsk_demod.h"
+#include "tag/baseband.h"
+
+using namespace fmbs;
+
+namespace {
+
+double tone_snr_for_mode(tag::SubcarrierMode mode, int max_harmonic) {
+  core::ExperimentPoint point;
+  point.tag_power_dbm = -30.0;
+  point.distance_feet = 4.0;
+  core::SystemConfig cfg = core::make_system(point);
+  cfg.station.program.genre = audio::ProgramGenre::kSilence;
+  cfg.station.program.stereo = false;
+  cfg.tag.subcarrier.mode = mode;
+  cfg.tag.subcarrier.max_harmonic = max_harmonic;
+  const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
+  const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
+  const auto sim = core::simulate(cfg, bb, 1.0);
+  const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
+  return dsp::tone_snr_db(
+      std::span<const float>(sim.backscatter_rx.mono.samples)
+          .subspan(skip, sim.backscatter_rx.mono.size() - skip),
+      fm::kAudioRate, 1000.0, 100.0, 15000.0);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation 1: subcarrier waveform model ===");
+  std::printf("%-28s %12s\n", "waveform", "SNR (dB)");
+  std::printf("%-28s %12.1f\n", "band-limited square",
+              tone_snr_for_mode(tag::SubcarrierMode::kBandlimitedSquare, 0));
+  std::printf("%-28s %12.1f\n", "hard square (aliasing)",
+              tone_snr_for_mode(tag::SubcarrierMode::kHardSquare, 0));
+  std::printf("%-28s %12.1f  (footnote 2: SSB removes the mirror copy)\n",
+              "single sideband",
+              tone_snr_for_mode(tag::SubcarrierMode::kSingleSideband, 0));
+
+  std::puts("\n=== Ablation 2: DCO frequency-quantization bits ===");
+  std::printf("%-12s %12s\n", "bits", "SNR (dB)");
+  for (const int bits : {2, 4, 6, 8, 0}) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -30.0;
+    point.distance_feet = 4.0;
+    core::SystemConfig cfg = core::make_system(point);
+    cfg.station.program.genre = audio::ProgramGenre::kSilence;
+    cfg.station.program.stereo = false;
+    cfg.tag.subcarrier.dco_bits = bits;
+    const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
+    const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
+    const auto sim = core::simulate(cfg, bb, 1.0);
+    const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
+    const double snr = dsp::tone_snr_db(
+        std::span<const float>(sim.backscatter_rx.mono.samples)
+            .subspan(skip, sim.backscatter_rx.mono.size() - skip),
+        fm::kAudioRate, 1000.0, 100.0, 15000.0);
+    std::printf("%-12s %12.1f\n", bits == 0 ? "ideal" : std::to_string(bits).c_str(),
+                snr);
+  }
+  std::puts("(the paper's 8-bit capacitor bank is effectively ideal)");
+
+  std::puts("\n=== Ablation 3: symbol-rate limit of FDM-4FSK ===");
+  std::puts("BER at -58 dBm / 16 ft vs symbol rate (paper: \"BER performance");
+  std::puts("degrades significantly when the symbol rates are above 400\"):");
+  std::printf("%-16s %10s %10s\n", "symbols/s", "kbps", "BER");
+  for (const auto& [rate, label] :
+       {std::pair{tag::DataRate::k1600bps, 200.0},
+        std::pair{tag::DataRate::k3200bps, 400.0}}) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -58.0;
+    point.distance_feet = 16.0;
+    point.genre = audio::ProgramGenre::kNews;
+    const auto r = core::run_overlay_ber(point, rate, 640);
+    std::printf("%-16.0f %10.1f %10.4f\n", label,
+                tag::bits_per_second(rate) / 1000.0, r.ber);
+  }
+  std::puts("(800 sym/s would need 60 Hz tone spacing discrimination within");
+  std::puts(" 1.25 ms symbols — below the Goertzel resolution at 48 kHz,");
+  std::puts(" matching the paper's observed cliff)");
+
+  std::puts("\n=== Ablation 4: program genre vs overlay data (1.6 kbps, -58 dBm, 16 ft) ===");
+  std::printf("%-12s %10s\n", "genre", "BER");
+  for (const auto genre :
+       {audio::ProgramGenre::kNews, audio::ProgramGenre::kMixed,
+        audio::ProgramGenre::kPop, audio::ProgramGenre::kRock}) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -58.0;
+    point.distance_feet = 16.0;
+    point.genre = genre;
+    const auto r = core::run_overlay_ber(point, tag::DataRate::k1600bps, 480);
+    std::printf("%-12s %10.4f\n", audio::to_string(genre).c_str(), r.ber);
+  }
+
+  std::puts("\n=== Ablation 5: broadcast emphasis mismatch ===");
+  std::puts("Real stations pre-emphasize (+13 dB @ 10 kHz) and receivers");
+  std::puts("de-emphasize; the tag cannot pre-emphasize its reflection, so");
+  std::puts("its high data tones arrive attenuated relative to the program —");
+  std::puts("one reason the paper's measured BERs exceed a clean channel's:");
+  std::printf("%-26s %10s\n", "chain", "BER @1.6k");
+  for (const bool emphasis : {false, true}) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -58.0;
+    point.distance_feet = 16.0;
+    point.genre = audio::ProgramGenre::kMixed;
+    core::SystemConfig cfg = core::make_system(point);
+    cfg.station.preemphasis = emphasis;
+    cfg.stereo_decoder.deemphasis = emphasis;
+    const auto bits = tag::random_bits(480, 5);
+    const auto wave = tag::modulate_fsk(bits, tag::DataRate::k1600bps,
+                                        fm::kAudioRate);
+    const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
+    const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.15);
+    const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
+                                          tag::DataRate::k1600bps, bits.size());
+    const auto ber = rx::compare_bits(bits, demod.bits);
+    std::printf("%-26s %10.4f\n",
+                emphasis ? "75us emphasis (realistic)" : "flat (default)",
+                ber.ber);
+  }
+
+  std::puts("\n=== Section 8: coding extends range ===");
+  std::puts("Payload BER at the 1.6 kbps cliff (-60 dBm / 14 ft); coded");
+  std::puts("schemes spend channel bits to push the usable range outward:");
+  std::printf("%-18s %8s %12s\n", "scheme", "rate", "payload BER");
+  for (const auto scheme :
+       {tag::FecScheme::kNone, tag::FecScheme::kHamming74,
+        tag::FecScheme::kConvolutionalK7}) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -60.0;
+    point.distance_feet = 14.0;
+    point.genre = audio::ProgramGenre::kNews;
+    const auto r = core::run_overlay_ber_coded(point, tag::DataRate::k1600bps,
+                                               512, scheme);
+    std::printf("%-18s %8.2f %12.4f\n", tag::to_string(scheme),
+                tag::fec_rate(scheme), r.ber);
+  }
+
+  std::puts("\n=== Section 8: Aloha MAC for multiple tags ===");
+  std::printf("%-10s %12s %12s %14s\n", "tags", "channels", "throughput",
+              "P(success)");
+  for (const auto& [tags, channels] :
+       {std::pair{5, 1}, std::pair{20, 1}, std::pair{20, 4}, std::pair{40, 8}}) {
+    core::AlohaConfig cfg;
+    cfg.num_tags = static_cast<std::size_t>(tags);
+    cfg.num_channels = static_cast<std::size_t>(channels);
+    cfg.per_tag_rate_hz = 0.05;
+    cfg.duration_seconds = 20000.0;
+    const auto r = core::simulate_aloha(cfg);
+    std::printf("%-10d %12d %12.3f %14.3f\n", tags, channels, r.throughput,
+                r.success_probability);
+  }
+
+  std::puts("\n=== Section 8: harvesting-driven duty cycle ===");
+  std::printf("%-34s %12s %12s\n", "source", "duty cycle", "eff. bps@3.2k");
+  {
+    core::HarvestConfig rf;
+    rf.rf_power_dbm = -20.0;
+    const auto r = core::sustainable_duty_cycle(rf);
+    std::printf("%-34s %12.3f %12.0f\n", "RF harvest @ -20 dBm", r.sustainable_duty_cycle,
+                r.effective_bps_3200);
+  }
+  {
+    core::HarvestConfig sun;
+    sun.rf_power_dbm = -40.0;
+    sun.solar_area_cm2 = 4.0;
+    sun.solar_irradiance_uw_per_cm2 = 10000.0;  // direct sun
+    const auto r = core::sustainable_duty_cycle(sun);
+    std::printf("%-34s %12.3f %12.0f\n", "4 cm^2 solar, outdoors",
+                r.sustainable_duty_cycle, r.effective_bps_3200);
+  }
+  return 0;
+}

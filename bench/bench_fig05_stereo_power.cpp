@@ -1,0 +1,58 @@
+// Fig. 5 — CDF of the power broadcast in the stereo (L-R) band of stations
+// of different genres, relative to the noise reference at 16-18 kHz.
+// Paper: news/information stations have very low stereo-band energy (the
+// same speech plays on both channels), music stations have much more —
+// the observation that motivates stereo backscatter.
+#include <cstdio>
+#include <iostream>
+
+#include "audio/program.h"
+#include "core/experiment.h"
+#include "dsp/math_util.h"
+#include "dsp/spectrum.h"
+#include "fm/constants.h"
+#include "fm/mpx.h"
+
+int main() {
+  using namespace fmbs;
+
+  std::puts("Fig. 5: P_stereo / P_noise(16-18 kHz) per program genre");
+  std::puts("(paper: news lowest, rock/pop highest; measured on the composite");
+  std::puts(" MPX over 2-second windows of a long synthetic broadcast)\n");
+
+  const std::vector<audio::ProgramGenre> genres{
+      audio::ProgramGenre::kNews, audio::ProgramGenre::kMixed,
+      audio::ProgramGenre::kPop, audio::ProgramGenre::kRock};
+
+  const double total_seconds = 48.0;  // paper used 24 h; shape needs far less
+  const double window_seconds = 2.0;
+  const std::vector<double> probs{0.1, 0.25, 0.5, 0.75, 0.9};
+
+  std::vector<core::Series> series;
+  for (const auto genre : genres) {
+    audio::ProgramConfig pcfg;
+    pcfg.genre = genre;
+    pcfg.stereo = true;
+    const auto program =
+        audio::render_program(pcfg, total_seconds, fm::kAudioRate, 505);
+    const auto mpx = fm::compose_mpx(program, fm::MpxConfig{});
+
+    const auto win = static_cast<std::size_t>(window_seconds * fm::kMpxRate);
+    std::vector<double> ratios_db;
+    for (std::size_t start = 0; start + win <= mpx.size(); start += win) {
+      const std::span<const float> block(mpx.data() + start, win);
+      const double p_stereo =
+          dsp::band_power(block, fm::kMpxRate, fm::kStereoBandLoHz,
+                          fm::kStereoBandHiHz);
+      const double p_noise =
+          dsp::band_power(block, fm::kMpxRate, 16000.0, 18000.0);
+      ratios_db.push_back(
+          dsp::db_from_power_ratio(p_stereo / std::max(p_noise, 1e-20)));
+    }
+    series.push_back({audio::to_string(genre), dsp::cdf_at(ratios_db, probs)});
+  }
+  core::print_table(std::cout, "Fig 5: P_stereo/P_noise (dB) CDF", "CDF",
+                    probs, series, 1);
+  std::puts("\n(ordering check: news << mixed < pop <= rock, as in the paper)");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the hot DSP paths: how fast the
+// pipeline runs relative to real time, per stage.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "audio/tone.h"
+#include "channel/awgn.h"
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "dsp/fft.h"
+#include "dsp/fir.h"
+#include "dsp/goertzel.h"
+#include "fm/demodulator.h"
+#include "fm/modulator.h"
+#include "rx/tuner.h"
+#include "tag/baseband.h"
+#include "tag/subcarrier.h"
+
+namespace {
+
+using namespace fmbs;
+
+void BM_FftForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::FftPlan plan(n);
+  dsp::cvec data(n, dsp::cfloat(1.0F, 0.5F));
+  for (auto _ : state) {
+    plan.forward(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftForward)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FirFilterFloat(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  dsp::FirFilter<float> filt(dsp::fir_design_lowpass(taps, 0.1));
+  std::vector<float> block(24000, 0.5F);
+  for (auto _ : state) {
+    auto out = filt.process(block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 24000);
+}
+BENCHMARK(BM_FirFilterFloat)->Arg(31)->Arg(127);
+
+void BM_PolyphaseDecimator(benchmark::State& state) {
+  dsp::FirDecimator<dsp::cfloat> dec(dsp::fir_design_lowpass(127, 0.04), 10);
+  dsp::cvec block(240000, dsp::cfloat(0.3F, -0.2F));
+  for (auto _ : state) {
+    auto out = dec.process(block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_PolyphaseDecimator);
+
+void BM_FmModulator(benchmark::State& state) {
+  fm::FmModulator mod(fm::kMaxDeviationHz, fm::kMpxRate);
+  const auto tone = audio::make_tone(1000.0, 0.8, 0.1, fm::kMpxRate);
+  for (auto _ : state) {
+    auto iq = mod.process(tone.samples);
+    benchmark::DoNotOptimize(iq.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tone.size()));
+}
+BENCHMARK(BM_FmModulator);
+
+void BM_QuadratureDemodulator(benchmark::State& state) {
+  fm::FmModulator mod(fm::kMaxDeviationHz, fm::kMpxRate);
+  fm::QuadratureDemodulator demod(fm::kMaxDeviationHz, fm::kMpxRate);
+  const auto tone = audio::make_tone(1000.0, 0.8, 0.1, fm::kMpxRate);
+  const auto iq = mod.process(tone.samples);
+  for (auto _ : state) {
+    auto mpx = demod.process(iq);
+    benchmark::DoNotOptimize(mpx.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(iq.size()));
+}
+BENCHMARK(BM_QuadratureDemodulator);
+
+void BM_SubcarrierGenerator(benchmark::State& state) {
+  tag::SubcarrierConfig cfg;
+  tag::SubcarrierGenerator gen(cfg);
+  std::vector<float> bb(24000, 0.2F);
+  for (auto _ : state) {
+    auto b = gen.process(bb);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_SubcarrierGenerator);
+
+void BM_Tuner(benchmark::State& state) {
+  rx::Tuner tuner{rx::TunerConfig{}};
+  dsp::cvec rf(240000, dsp::cfloat(0.1F, 0.1F));
+  for (auto _ : state) {
+    auto out = tuner.process(rf);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_Tuner);
+
+void BM_AwgnSource(benchmark::State& state) {
+  channel::AwgnSource src(-90.0, 200000.0, 2400000.0, 7);
+  dsp::cvec block(240000);
+  for (auto _ : state) {
+    src.add_to(block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_AwgnSource);
+
+void BM_GoertzelBank16(benchmark::State& state) {
+  std::vector<double> tones;
+  for (int i = 1; i <= 16; ++i) tones.push_back(800.0 * i);
+  dsp::GoertzelBank bank(tones, 48000.0);
+  const auto block = audio::make_tone(4800.0, 1.0, 0.0025, 48000.0);
+  for (auto _ : state) {
+    auto p = bank.powers(block.samples);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_GoertzelBank16);
+
+void BM_EndToEndSimulationSecond(benchmark::State& state) {
+  // Full physical pipeline for one second of signal.
+  core::ExperimentPoint point;
+  point.genre = audio::ProgramGenre::kNews;
+  core::SystemConfig cfg = core::make_system(point);
+  const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
+  const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
+  for (auto _ : state) {
+    auto sim = core::simulate(cfg, bb, 1.0);
+    benchmark::DoNotOptimize(sim.backscatter_rx.mono.samples.data());
+  }
+}
+BENCHMARK(BM_EndToEndSimulationSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

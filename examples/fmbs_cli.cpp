@@ -1,0 +1,180 @@
+// fmbs_cli — run any single experiment point from the command line, so the
+// library is usable without writing C++. Examples:
+//
+//   fmbs_cli tone  --power -30 --distance 8 --freq 1000
+//   fmbs_cli ber   --power -50 --distance 12 --rate 1600 --bits 640
+//   fmbs_cli ber   --power -60 --distance 14 --rate 1600 --fec conv
+//   fmbs_cli pesq  --power -40 --distance 8 --technique coop
+//   fmbs_cli plan  --city Seattle
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/fmbs.h"
+
+namespace {
+
+using namespace fmbs;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag value, got %s\n", argv[i]);
+      std::exit(2);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+double flag_or(const std::map<std::string, std::string>& flags,
+               const std::string& name, double fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& name, const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+core::ExperimentPoint make_point(const std::map<std::string, std::string>& flags) {
+  core::ExperimentPoint point;
+  point.tag_power_dbm = flag_or(flags, "power", -30.0);
+  point.distance_feet = flag_or(flags, "distance", 4.0);
+  point.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 1.0));
+  const std::string genre = flag_or(flags, "genre", std::string("news"));
+  if (genre == "news") point.genre = audio::ProgramGenre::kNews;
+  else if (genre == "mixed") point.genre = audio::ProgramGenre::kMixed;
+  else if (genre == "pop") point.genre = audio::ProgramGenre::kPop;
+  else if (genre == "rock") point.genre = audio::ProgramGenre::kRock;
+  else if (genre == "silence") point.genre = audio::ProgramGenre::kSilence;
+  if (flag_or(flags, "receiver", std::string("phone")) == "car") {
+    point.receiver = core::ReceiverKind::kCar;
+  }
+  return point;
+}
+
+tag::DataRate rate_from(double bps) {
+  if (bps <= 100.0) return tag::DataRate::k100bps;
+  if (bps <= 1600.0) return tag::DataRate::k1600bps;
+  return tag::DataRate::k3200bps;
+}
+
+int cmd_tone(const std::map<std::string, std::string>& flags) {
+  const core::ExperimentPoint point = make_point(flags);
+  const double freq = flag_or(flags, "freq", 1000.0);
+  const bool stereo = flag_or(flags, "band", std::string("mono")) == "stereo";
+  const double snr = core::run_tone_snr(point, freq, stereo, 1.0);
+  std::printf("tone %.0f Hz @ %.0f dBm, %.0f ft (%s band): SNR %.1f dB\n", freq,
+              point.tag_power_dbm, point.distance_feet,
+              stereo ? "stereo" : "mono", snr);
+  return 0;
+}
+
+int cmd_ber(const std::map<std::string, std::string>& flags) {
+  const core::ExperimentPoint point = make_point(flags);
+  const tag::DataRate rate = rate_from(flag_or(flags, "rate", 100.0));
+  const auto bits = static_cast<std::size_t>(flag_or(flags, "bits", 320.0));
+  const std::string fec = flag_or(flags, "fec", std::string("none"));
+  const std::string technique =
+      flag_or(flags, "technique", std::string("overlay"));
+  const auto mrc = static_cast<std::size_t>(flag_or(flags, "mrc", 1.0));
+
+  rx::BerResult r;
+  if (fec == "hamming") {
+    r = core::run_overlay_ber_coded(point, rate, bits, tag::FecScheme::kHamming74);
+  } else if (fec == "conv") {
+    r = core::run_overlay_ber_coded(point, rate, bits,
+                                    tag::FecScheme::kConvolutionalK7);
+  } else if (technique == "stereo") {
+    r = core::run_stereo_ber(point, rate, bits);
+  } else if (mrc > 1) {
+    r = core::run_overlay_ber_mrc(point, rate, bits, mrc);
+  } else {
+    r = core::run_overlay_ber(point, rate, bits);
+  }
+  std::printf("%s %s @ %.0f dBm, %.0f ft: BER %.4f (%zu/%zu errors)\n",
+              technique.c_str(), tag::to_string(rate), point.tag_power_dbm,
+              point.distance_feet, r.ber, r.bit_errors, r.bits_compared);
+  return 0;
+}
+
+int cmd_pesq(const std::map<std::string, std::string>& flags) {
+  const core::ExperimentPoint point = make_point(flags);
+  const std::string technique =
+      flag_or(flags, "technique", std::string("overlay"));
+  double score = 0.0;
+  if (technique == "coop") {
+    score = core::run_cooperative_pesq(point, 2.5);
+  } else if (technique == "stereo") {
+    score = core::run_stereo_pesq(point, 2.5);
+  } else {
+    score = core::run_overlay_pesq(point, 2.5);
+  }
+  std::printf("%s audio @ %.0f dBm, %.0f ft: PESQ-like %.2f\n",
+              technique.c_str(), point.tag_power_dbm, point.distance_feet, score);
+  return 0;
+}
+
+int cmd_plan(const std::map<std::string, std::string>& flags) {
+  const std::string city_name = flag_or(flags, "city", std::string("Seattle"));
+  for (const auto& city : survey::builtin_city_spectra()) {
+    if (city.name != city_name) continue;
+    int best_channel = city.detectable_channels.front();
+    double best_power = -1e9;
+    for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
+      if (city.detectable_power_dbm[i] > best_power) {
+        best_power = city.detectable_power_dbm[i];
+        best_channel = city.detectable_channels[i];
+      }
+    }
+    const auto choice = survey::choose_backscatter_shift(city, best_channel);
+    tag::PowerModelConfig pm;
+    pm.subcarrier_hz = std::abs(choice.shift_hz);
+    const auto power = tag::tag_power(pm);
+    std::printf("%s: ride %.1f MHz (%.1f dBm), backscatter to %.1f MHz "
+                "(f_back %+.0f kHz), tag draws %.2f uW\n",
+                city.name.c_str(),
+                survey::channel_frequency_hz(best_channel) / 1e6, best_power,
+                survey::channel_frequency_hz(choice.target_channel) / 1e6,
+                choice.shift_hz / 1e3, power.total_uw);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown city '%s' (try SFO/Seattle/Boston/Chicago/LA)\n",
+               city_name.c_str());
+  return 2;
+}
+
+void usage() {
+  std::puts(
+      "usage: fmbs_cli <tone|ber|pesq|plan> [--flag value ...]\n"
+      "  common:  --power dBm  --distance ft  --genre news|mixed|pop|rock\n"
+      "           --receiver phone|car  --seed N\n"
+      "  tone:    --freq Hz  --band mono|stereo\n"
+      "  ber:     --rate 100|1600|3200  --bits N  --technique overlay|stereo\n"
+      "           --mrc N  --fec none|hamming|conv\n"
+      "  pesq:    --technique overlay|stereo|coop\n"
+      "  plan:    --city Seattle");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "tone") return cmd_tone(flags);
+  if (cmd == "ber") return cmd_ber(flags);
+  if (cmd == "pesq") return cmd_pesq(flags);
+  if (cmd == "plan") return cmd_plan(flags);
+  usage();
+  return 2;
+}

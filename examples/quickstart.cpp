@@ -1,0 +1,54 @@
+// Quickstart: the smallest complete use of the library.
+//
+// A news station broadcasts on 94.9 MHz; a poster-mounted tag backscatters
+// the message "HELLO FM BACKSCATTER" as a CRC-framed packet at 100 bps into
+// the empty channel 600 kHz up; a phone tuned to 95.5 MHz decodes it from
+// its FM radio audio output. Everything — station, RF, tag switch, channel,
+// receiver — is the real pipeline.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "core/fmbs.h"
+
+int main() {
+  using namespace fmbs;
+
+  // 1. Describe the scene: program genre, power at the tag, tag->phone range.
+  core::ExperimentPoint point;
+  point.genre = audio::ProgramGenre::kNews;
+  point.tag_power_dbm = -35.0;  // typical urban ambient power (paper Fig. 2)
+  point.distance_feet = 6.0;
+  core::SystemConfig cfg = core::make_system(point);
+
+  // 2. Build the tag's transmission: frame the message, modulate 2-FSK.
+  const std::string message = "HELLO FM BACKSCATTER";
+  const std::vector<std::uint8_t> payload(message.begin(), message.end());
+  const auto bits = tag::encode_frame(payload);
+  const auto waveform = tag::modulate_fsk(bits, tag::DataRate::k100bps,
+                                          fm::kAudioRate);
+  const auto tag_baseband =
+      tag::compose_overlay_baseband(waveform, core::kOverlayLevel);
+
+  std::printf("tag: %zu payload bytes -> %zu bits -> %.2f s on air at 100 bps\n",
+              payload.size(), bits.size(), waveform.duration_seconds());
+
+  // 3. Run the physical simulation.
+  const double duration = waveform.duration_seconds() + 0.2;
+  const core::SimulationResult sim = core::simulate(cfg, tag_baseband, duration);
+  std::printf("scene: backscatter reaches the phone at %.1f dBm (budget %+.1f dB)\n",
+              sim.backscatter_rx_power_dbm, sim.budget.backscatter_gain_db);
+
+  // 4. Decode on the phone: FM audio out -> FSK demod -> frame decode.
+  const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
+                                        tag::DataRate::k100bps, bits.size());
+  const auto decoded = tag::decode_frame(demod.bits);
+  if (!decoded) {
+    std::puts("no intact frame decoded (try a stronger scene)");
+    return 1;
+  }
+  const std::string text(decoded->begin(), decoded->end());
+  std::printf("phone decoded: \"%s\" (CRC ok)\n", text.c_str());
+  return text == message ? 0 : 1;
+}

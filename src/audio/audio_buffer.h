@@ -1,0 +1,67 @@
+// Sample-rate-tagged audio containers used across the library boundary.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fmbs::audio {
+
+/// Mono audio: samples in [-1, 1] nominal full scale.
+struct MonoBuffer {
+  std::vector<float> samples;
+  double sample_rate = 48000.0;
+
+  MonoBuffer() = default;
+  MonoBuffer(std::vector<float> s, double rate)
+      : samples(std::move(s)), sample_rate(rate) {}
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+  double duration_seconds() const {
+    return sample_rate > 0.0 ? static_cast<double>(samples.size()) / sample_rate : 0.0;
+  }
+};
+
+/// Stereo audio with separate left/right channels of equal length.
+struct StereoBuffer {
+  std::vector<float> left;
+  std::vector<float> right;
+  double sample_rate = 48000.0;
+
+  StereoBuffer() = default;
+  StereoBuffer(std::vector<float> l, std::vector<float> r, double rate)
+      : left(std::move(l)), right(std::move(r)), sample_rate(rate) {
+    if (left.size() != right.size()) {
+      throw std::invalid_argument("StereoBuffer: channel length mismatch");
+    }
+  }
+
+  /// Builds a dual-mono stereo buffer (L == R), as a mono station would.
+  static StereoBuffer dual_mono(const MonoBuffer& mono) {
+    return StereoBuffer(mono.samples, mono.samples, mono.sample_rate);
+  }
+
+  std::size_t size() const { return left.size(); }
+  bool empty() const { return left.empty(); }
+  double duration_seconds() const {
+    return sample_rate > 0.0 ? static_cast<double>(left.size()) / sample_rate : 0.0;
+  }
+
+  /// Mono downmix (L+R)/2.
+  MonoBuffer mid() const {
+    std::vector<float> m(left.size());
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = 0.5F * (left[i] + right[i]);
+    return MonoBuffer(std::move(m), sample_rate);
+  }
+
+  /// Stereo difference (L-R)/2 — the content of the FM stereo subband.
+  MonoBuffer side() const {
+    std::vector<float> s(left.size());
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = 0.5F * (left[i] - right[i]);
+    return MonoBuffer(std::move(s), sample_rate);
+  }
+};
+
+}  // namespace fmbs::audio

@@ -1,0 +1,109 @@
+#include "audio/music_synth.h"
+
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "dsp/iir.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::audio {
+
+namespace {
+
+// I-V-vi-IV progression root frequencies (C major-ish), in Hz.
+constexpr std::array<double, 4> kChordRoots{261.63, 392.00, 440.00, 349.23};
+
+double chord_third(double root, std::size_t chord_index) {
+  // Minor third for the vi chord, major third elsewhere.
+  return chord_index == 2 ? root * std::pow(2.0, 3.0 / 12.0)
+                          : root * std::pow(2.0, 4.0 / 12.0);
+}
+
+}  // namespace
+
+MusicConfig pop_music_config() {
+  MusicConfig c;
+  c.tempo_bpm = 118.0;
+  c.brightness = 0.65;
+  c.distortion = 0.05;
+  c.percussion = 0.6;
+  return c;
+}
+
+MusicConfig rock_music_config() {
+  MusicConfig c;
+  c.tempo_bpm = 140.0;
+  c.brightness = 0.8;
+  c.distortion = 0.55;
+  c.percussion = 0.8;
+  return c;
+}
+
+MonoBuffer synthesize_music(const MusicConfig& config, double duration_seconds,
+                            double sample_rate, std::uint64_t seed) {
+  if (duration_seconds < 0.0 || sample_rate <= 0.0) {
+    throw std::invalid_argument("synthesize_music: bad duration or rate");
+  }
+  const auto n = static_cast<std::size_t>(duration_seconds * sample_rate + 0.5);
+  std::vector<float> out(n, 0.0F);
+  if (n == 0) return MonoBuffer(std::move(out), sample_rate);
+
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  const double beat_seconds = 60.0 / config.tempo_bpm;
+  const auto beat_len = static_cast<std::size_t>(beat_seconds * sample_rate);
+  const std::size_t num_harmonics =
+      2 + static_cast<std::size_t>(config.brightness * 6.0);
+
+  double energy_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    const std::size_t beat_index = beat_len > 0 ? i / beat_len : 0;
+    const std::size_t chord_index = (beat_index / 4) % kChordRoots.size();
+    const double root = kChordRoots[chord_index];
+    const double third = chord_third(root, chord_index);
+    const double fifth = root * std::pow(2.0, 7.0 / 12.0);
+
+    // Chord pad: harmonic stacks with 1/h rolloff.
+    double v = 0.0;
+    for (const double f0 : {root, third, fifth}) {
+      for (std::size_t h = 1; h <= num_harmonics; ++h) {
+        v += std::sin(dsp::kTwoPi * f0 * static_cast<double>(h) * t) /
+             (3.0 * static_cast<double>(h));
+      }
+    }
+    // Bass an octave below the root.
+    v += 0.8 * std::sin(dsp::kTwoPi * (root / 2.0) * t);
+
+    // Percussion: exponentially decaying noise burst at each beat start.
+    if (beat_len > 0) {
+      const std::size_t into_beat = i % beat_len;
+      const double decay =
+          std::exp(-static_cast<double>(into_beat) / (0.05 * sample_rate));
+      if (decay > 1e-3) {
+        v += config.percussion * decay * gauss(rng);
+      }
+    }
+
+    // Distortion drive (rock): soft clip.
+    if (config.distortion > 0.0) {
+      const double drive = 1.0 + 6.0 * config.distortion;
+      v = std::tanh(v * drive) / std::tanh(drive);
+    }
+
+    out[i] = static_cast<float>(v);
+    energy_acc += v * v;
+  }
+
+  const double rms = std::sqrt(energy_acc / static_cast<double>(n));
+  if (rms > 1e-9) {
+    const float g = static_cast<float>(config.level_rms / rms);
+    for (auto& v : out) v *= g;
+  }
+  return MonoBuffer(std::move(out), sample_rate);
+}
+
+}  // namespace fmbs::audio

@@ -1,0 +1,146 @@
+#include "audio/pesq_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "audio/metrics.h"
+#include "dsp/fft.h"
+#include "dsp/math_util.h"
+#include "dsp/window.h"
+
+namespace fmbs::audio {
+
+namespace {
+
+double bark_from_hz(double hz) {
+  return 13.0 * std::atan(0.00076 * hz) + 3.5 * std::atan((hz / 7500.0) * (hz / 7500.0));
+}
+
+struct BarkBank {
+  // band -> list of (bin, weight); triangular responses on the Bark scale.
+  std::vector<std::vector<std::pair<std::size_t, double>>> bands;
+};
+
+BarkBank make_bark_bank(std::size_t num_bands, std::size_t fft_size,
+                        double sample_rate) {
+  const double max_hz = std::min(sample_rate / 2.0, 15000.0);
+  const double max_bark = bark_from_hz(max_hz);
+  BarkBank bank;
+  bank.bands.resize(num_bands);
+  const double band_width = max_bark / static_cast<double>(num_bands);
+  for (std::size_t k = 0; k <= fft_size / 2; ++k) {
+    const double hz = static_cast<double>(k) * sample_rate / static_cast<double>(fft_size);
+    if (hz > max_hz || hz < 50.0) continue;
+    const double b = bark_from_hz(hz);
+    for (std::size_t band = 0; band < num_bands; ++band) {
+      const double center = (static_cast<double>(band) + 0.5) * band_width;
+      const double dist = std::abs(b - center) / band_width;
+      if (dist < 1.0) {
+        bank.bands[band].emplace_back(k, 1.0 - dist);
+      }
+    }
+  }
+  return bank;
+}
+
+}  // namespace
+
+double perceptual_snr_db(const MonoBuffer& reference, const MonoBuffer& degraded,
+                         const PesqLikeConfig& config) {
+  if (reference.empty() || degraded.empty()) {
+    throw std::invalid_argument("pesq_like: empty input");
+  }
+  if (reference.sample_rate != degraded.sample_rate) {
+    throw std::invalid_argument("pesq_like: sample rate mismatch");
+  }
+  const double rate = reference.sample_rate;
+  const auto max_lag =
+      static_cast<std::size_t>(config.max_align_seconds * rate);
+  const AlignedPair pair =
+      align_and_scale(reference.samples, degraded.samples, max_lag);
+
+  const auto frame = dsp::next_pow2(
+      static_cast<std::size_t>(config.frame_seconds * rate));
+  if (pair.reference.size() < frame) {
+    throw std::invalid_argument("pesq_like: signal shorter than one frame");
+  }
+  const std::vector<float> window = dsp::make_window(dsp::WindowType::kHann, frame);
+  const BarkBank bank = make_bark_bank(config.num_bark_bands, frame, rate);
+  dsp::FftPlan plan(frame);
+
+  // Loudness-weighted SNR accumulation across frames and bands.
+  double weighted_snr = 0.0;
+  double weight_total = 0.0;
+
+  // Frame activity gate: skip frames where the reference is silent.
+  double ref_power_total = 0.0;
+  for (const float v : pair.reference) ref_power_total += static_cast<double>(v) * v;
+  const double activity_gate =
+      0.005 * ref_power_total / static_cast<double>(pair.reference.size());
+
+  dsp::cvec fr(frame), fd(frame);
+  for (std::size_t start = 0; start + frame <= pair.reference.size();
+       start += frame / 2) {
+    double frame_power = 0.0;
+    for (std::size_t i = 0; i < frame; ++i) {
+      const float r = pair.reference[start + i] * window[i];
+      const float d = pair.test[start + i] * window[i];
+      fr[i] = dsp::cfloat(r, 0.0F);
+      fd[i] = dsp::cfloat(d, 0.0F);
+      frame_power += static_cast<double>(r) * r;
+    }
+    frame_power /= static_cast<double>(frame);
+    if (frame_power < activity_gate) continue;
+    plan.forward(fr);
+    plan.forward(fd);
+
+    for (const auto& band : bank.bands) {
+      if (band.empty()) continue;
+      double p_ref = 0.0, p_err = 0.0;
+      for (const auto& [bin, w] : band) {
+        const double rr = std::norm(fr[bin]);
+        const auto err = fd[bin] - fr[bin];
+        p_ref += w * rr;
+        p_err += w * std::norm(err);
+      }
+      if (p_ref <= 1e-20) continue;
+      // Zwicker-style compressive loudness as the weighting.
+      const double loud = std::pow(p_ref, 0.23);
+      const double snr = p_ref / std::max(p_err, 1e-20);
+      weighted_snr += loud * dsp::db_from_power_ratio(snr);
+      weight_total += loud;
+    }
+  }
+  if (weight_total <= 0.0) return -30.0;
+  return std::clamp(weighted_snr / weight_total, -30.0, 80.0);
+}
+
+double pesq_like(const MonoBuffer& reference, const MonoBuffer& degraded,
+                 const PesqLikeConfig& config) {
+  const double snr = perceptual_snr_db(reference, degraded, config);
+  double mos =
+      1.0 + config.mos_span /
+                (1.0 + std::exp(-(snr - config.mos_midpoint_db) / config.mos_slope_db));
+
+  // Signal-presence penalty: a degraded signal that simply does not contain
+  // the reference (e.g. pure noise, a dropped link) would otherwise score
+  // the same as reference-plus-equal-noise. After the least-squares gain
+  // fit, absence shows up as the fitted test having far less energy than
+  // the reference; scale the above-floor part of the score away with it.
+  const double rate = reference.sample_rate;
+  const auto max_lag = static_cast<std::size_t>(config.max_align_seconds * rate);
+  const AlignedPair pair =
+      align_and_scale(reference.samples, degraded.samples, max_lag);
+  double p_ref = 0.0, p_test = 0.0;
+  for (const float v : pair.reference) p_ref += static_cast<double>(v) * v;
+  for (const float v : pair.test) p_test += static_cast<double>(v) * v;
+  if (p_ref > 1e-20) {
+    const double presence = std::clamp(p_test / (0.25 * p_ref), 0.0, 1.0);
+    mos = 1.0 + (mos - 1.0) * presence;
+  }
+  return mos;
+}
+
+}  // namespace fmbs::audio

@@ -1,0 +1,112 @@
+#include "audio/speech_synth.h"
+
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "dsp/iir.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::audio {
+
+namespace {
+
+// Canonical vowel formant targets (F1, F2, F3) in Hz.
+constexpr std::array<std::array<double, 3>, 5> kVowelFormants{{
+    {730.0, 1090.0, 2440.0},  // /a/
+    {530.0, 1840.0, 2480.0},  // /e/
+    {390.0, 1990.0, 2550.0},  // /i/
+    {570.0, 840.0, 2410.0},   // /o/
+    {440.0, 1020.0, 2240.0},  // /u/
+}};
+
+}  // namespace
+
+MonoBuffer synthesize_speech(const SpeechConfig& config, double duration_seconds,
+                             double sample_rate, std::uint64_t seed) {
+  if (duration_seconds < 0.0 || sample_rate <= 0.0) {
+    throw std::invalid_argument("synthesize_speech: bad duration or rate");
+  }
+  const auto n = static_cast<std::size_t>(duration_seconds * sample_rate + 0.5);
+  std::vector<float> out(n, 0.0F);
+  if (n == 0) return MonoBuffer(std::move(out), sample_rate);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  const auto syllable_len =
+      static_cast<std::size_t>(sample_rate / config.syllable_rate_hz);
+  if (syllable_len == 0) {
+    throw std::invalid_argument("synthesize_speech: syllable rate too high");
+  }
+
+  // Per-syllable state machine; formant filters persist across syllables so
+  // transitions glide rather than click.
+  std::array<dsp::Biquad, 3> formants{
+      dsp::Biquad(dsp::biquad_bandpass(730.0 / sample_rate, 6.0)),
+      dsp::Biquad(dsp::biquad_bandpass(1090.0 / sample_rate, 8.0)),
+      dsp::Biquad(dsp::biquad_bandpass(2440.0 / sample_rate, 10.0)),
+  };
+  // Gentle low-pass to mimic the transmission/mic chain rolloff.
+  dsp::Biquad lip_radiation(dsp::biquad_highpass(80.0 / sample_rate, 0.7));
+
+  double pitch_phase = 0.0;
+  double energy_acc = 0.0;
+  std::size_t pos = 0;
+  while (pos < n) {
+    const std::size_t len = std::min(syllable_len, n - pos);
+    const double r = uni(rng);
+    if (r < config.pause_probability) {
+      pos += len;  // silent gap between words/sentences
+      continue;
+    }
+    const bool fricative = uni(rng) < config.fricative_probability;
+    const auto& vowel = kVowelFormants[static_cast<std::size_t>(uni(rng) * 4.999)];
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double q = 6.0 + 2.0 * static_cast<double>(k);
+      formants[k] = dsp::Biquad(dsp::biquad_bandpass(vowel[k] / sample_rate, q));
+    }
+    const double pitch =
+        config.pitch_hz * (1.0 + config.pitch_jitter * gauss(rng) * 0.5);
+
+    for (std::size_t i = 0; i < len; ++i) {
+      // Raised-cosine syllable envelope.
+      const double env =
+          0.5 - 0.5 * std::cos(dsp::kTwoPi * static_cast<double>(i) /
+                               static_cast<double>(len));
+      float excitation;
+      if (fricative) {
+        excitation = static_cast<float>(0.4 * gauss(rng));
+      } else {
+        // Impulse-ish glottal pulse train: narrow raised-cosine pulses.
+        pitch_phase += pitch / sample_rate;
+        if (pitch_phase >= 1.0) pitch_phase -= 1.0;
+        const double duty = 0.15;
+        excitation = pitch_phase < duty
+                         ? static_cast<float>(
+                               0.5 - 0.5 * std::cos(dsp::kTwoPi * pitch_phase / duty))
+                         : 0.0F;
+      }
+      float v = 0.0F;
+      float x = excitation;
+      for (auto& f : formants) v += f.process_sample(x);
+      v = lip_radiation.process_sample(v);
+      const float sample = static_cast<float>(env) * v;
+      out[pos + i] = sample;
+      energy_acc += static_cast<double>(sample) * sample;
+    }
+    pos += len;
+  }
+
+  // Normalize speech-active RMS to the configured level.
+  const double rms = std::sqrt(energy_acc / static_cast<double>(n));
+  if (rms > 1e-9) {
+    const float g = static_cast<float>(config.level_rms / rms);
+    for (auto& v : out) v *= g;
+  }
+  return MonoBuffer(std::move(out), sample_rate);
+}
+
+}  // namespace fmbs::audio

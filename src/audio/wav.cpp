@@ -1,0 +1,142 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fmbs::audio {
+
+namespace {
+
+struct WavHeader {
+  char riff[4];
+  std::uint32_t chunk_size;
+  char wave[4];
+};
+
+void write_u16(std::ofstream& os, std::uint16_t v) {
+  os.write(reinterpret_cast<const char*>(&v), 2);
+}
+void write_u32(std::ofstream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), 4);
+}
+
+std::int16_t to_pcm16(float v) {
+  const float c = std::clamp(v, -1.0F, 1.0F);
+  return static_cast<std::int16_t>(std::lround(c * 32767.0F));
+}
+
+void write_pcm16(const std::string& path, const std::vector<float>& interleaved,
+                 std::uint16_t channels, double sample_rate) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("write_wav: cannot open " + path);
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(interleaved.size() * 2);
+  const auto rate = static_cast<std::uint32_t>(sample_rate);
+  os.write("RIFF", 4);
+  write_u32(os, 36 + data_bytes);
+  os.write("WAVE", 4);
+  os.write("fmt ", 4);
+  write_u32(os, 16);
+  write_u16(os, 1);  // PCM
+  write_u16(os, channels);
+  write_u32(os, rate);
+  write_u32(os, rate * channels * 2);
+  write_u16(os, static_cast<std::uint16_t>(channels * 2));
+  write_u16(os, 16);
+  os.write("data", 4);
+  write_u32(os, data_bytes);
+  for (const float v : interleaved) {
+    const std::int16_t s = to_pcm16(v);
+    os.write(reinterpret_cast<const char*>(&s), 2);
+  }
+  if (!os) throw std::runtime_error("write_wav: write failed for " + path);
+}
+
+}  // namespace
+
+void write_wav(const std::string& path, const MonoBuffer& audio) {
+  write_pcm16(path, audio.samples, 1, audio.sample_rate);
+}
+
+void write_wav(const std::string& path, const StereoBuffer& audio) {
+  std::vector<float> inter(audio.size() * 2);
+  for (std::size_t i = 0; i < audio.size(); ++i) {
+    inter[2 * i] = audio.left[i];
+    inter[2 * i + 1] = audio.right[i];
+  }
+  write_pcm16(path, inter, 2, audio.sample_rate);
+}
+
+MonoBuffer read_wav(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("read_wav: cannot open " + path);
+  char riff[4], wave[4];
+  std::uint32_t chunk_size = 0;
+  is.read(riff, 4);
+  is.read(reinterpret_cast<char*>(&chunk_size), 4);
+  is.read(wave, 4);
+  if (!is || std::memcmp(riff, "RIFF", 4) != 0 || std::memcmp(wave, "WAVE", 4) != 0) {
+    throw std::runtime_error("read_wav: not a RIFF/WAVE file: " + path);
+  }
+  std::uint16_t format = 0, channels = 0, bits = 0;
+  std::uint32_t rate = 0;
+  std::vector<char> data;
+  while (is) {
+    char id[4];
+    std::uint32_t size = 0;
+    is.read(id, 4);
+    is.read(reinterpret_cast<char*>(&size), 4);
+    if (!is) break;
+    if (std::memcmp(id, "fmt ", 4) == 0) {
+      std::vector<char> fmt(size);
+      is.read(fmt.data(), size);
+      if (size < 16) throw std::runtime_error("read_wav: bad fmt chunk");
+      std::memcpy(&format, fmt.data() + 0, 2);
+      std::memcpy(&channels, fmt.data() + 2, 2);
+      std::memcpy(&rate, fmt.data() + 4, 4);
+      std::memcpy(&bits, fmt.data() + 14, 2);
+    } else if (std::memcmp(id, "data", 4) == 0) {
+      data.resize(size);
+      is.read(data.data(), size);
+      break;
+    } else {
+      is.seekg(size + (size & 1), std::ios::cur);
+    }
+  }
+  if (channels == 0 || rate == 0 || data.empty()) {
+    throw std::runtime_error("read_wav: missing fmt or data chunk: " + path);
+  }
+
+  std::vector<float> mono;
+  if (format == 1 && bits == 16) {
+    const std::size_t frames = data.size() / 2 / channels;
+    mono.resize(frames);
+    const auto* s = reinterpret_cast<const std::int16_t*>(data.data());
+    for (std::size_t f = 0; f < frames; ++f) {
+      float acc = 0.0F;
+      for (std::uint16_t c = 0; c < channels; ++c) {
+        acc += static_cast<float>(s[f * channels + c]) / 32768.0F;
+      }
+      mono[f] = acc / static_cast<float>(channels);
+    }
+  } else if (format == 3 && bits == 32) {
+    const std::size_t frames = data.size() / 4 / channels;
+    mono.resize(frames);
+    const auto* s = reinterpret_cast<const float*>(data.data());
+    for (std::size_t f = 0; f < frames; ++f) {
+      float acc = 0.0F;
+      for (std::uint16_t c = 0; c < channels; ++c) acc += s[f * channels + c];
+      mono[f] = acc / static_cast<float>(channels);
+    }
+  } else {
+    throw std::runtime_error("read_wav: unsupported format (want PCM16/float32)");
+  }
+  return MonoBuffer(std::move(mono), static_cast<double>(rate));
+}
+
+}  // namespace fmbs::audio

@@ -1,0 +1,22 @@
+// Minimal RIFF/WAVE reader-writer (PCM16 and float32), enough for the
+// example programs to emit listenable artifacts.
+#pragma once
+
+#include <string>
+
+#include "audio/audio_buffer.h"
+
+namespace fmbs::audio {
+
+/// Writes a mono buffer as 16-bit PCM. Samples are clipped to [-1, 1].
+/// Throws std::runtime_error on I/O failure.
+void write_wav(const std::string& path, const MonoBuffer& audio);
+
+/// Writes a stereo buffer as interleaved 16-bit PCM.
+void write_wav(const std::string& path, const StereoBuffer& audio);
+
+/// Reads a PCM16 or float32 WAV file. Multichannel input is downmixed to
+/// mono. Throws std::runtime_error on malformed files.
+MonoBuffer read_wav(const std::string& path);
+
+}  // namespace fmbs::audio

@@ -1,0 +1,28 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::channel {
+
+AwgnSource::AwgnSource(double noise_dbm_in_ref_bw, double reference_bandwidth_hz,
+                       double sample_rate, std::uint64_t seed)
+    : rng_(seed), dist_(0.0F, 1.0F) {
+  if (reference_bandwidth_hz <= 0.0 || sample_rate <= 0.0) {
+    throw std::invalid_argument("AwgnSource: bad bandwidth or rate");
+  }
+  const double ref_power = dsp::watts_from_dbm(noise_dbm_in_ref_bw);
+  variance_ = ref_power * sample_rate / reference_bandwidth_hz;
+  sigma_per_component_ = static_cast<float>(std::sqrt(variance_ / 2.0));
+}
+
+void AwgnSource::add_to(std::span<dsp::cfloat> block) {
+  for (auto& v : block) {
+    v += dsp::cfloat(sigma_per_component_ * dist_(rng_),
+                     sigma_per_component_ * dist_(rng_));
+  }
+}
+
+}  // namespace fmbs::channel

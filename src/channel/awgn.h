@@ -1,0 +1,35 @@
+// Complex additive white Gaussian noise, specified the way receiver noise is
+// quoted: dBm within a reference bandwidth (the 200 kHz FM channel).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "dsp/types.h"
+
+namespace fmbs::channel {
+
+/// Streaming complex AWGN source.
+class AwgnSource {
+ public:
+  /// noise_dbm_in_ref_bw: noise power within reference_bandwidth_hz.
+  /// sample_rate: simulation rate; the generated noise is white across the
+  /// whole rate, so total noise power is scaled by sample_rate / ref_bw.
+  AwgnSource(double noise_dbm_in_ref_bw, double reference_bandwidth_hz,
+             double sample_rate, std::uint64_t seed);
+
+  /// Adds noise in place.
+  void add_to(std::span<dsp::cfloat> block);
+
+  /// Per-sample complex noise variance (I^2 + Q^2 expectation).
+  double variance() const { return variance_; }
+
+ private:
+  double variance_;
+  float sigma_per_component_;
+  std::mt19937_64 rng_;
+  std::normal_distribution<float> dist_;
+};
+
+}  // namespace fmbs::channel

@@ -1,0 +1,121 @@
+#include "channel/fading.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/units.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::channel {
+
+FadingConfig fading_for_mobility(Mobility mobility, double carrier_hz) {
+  FadingConfig cfg;
+  cfg.carrier_hz = carrier_hz;
+  switch (mobility) {
+    case Mobility::kStanding:
+      cfg.speed_mps = 0.05;  // breathing / small sway
+      cfg.rician_k_db = 18.0;
+      cfg.shadow_sigma_db = 0.5;
+      cfg.shadow_rate_hz = 0.3;
+      break;
+    case Mobility::kWalking:
+      cfg.speed_mps = 1.0;  // paper: 1 m/s
+      cfg.rician_k_db = 5.0;
+      cfg.shadow_sigma_db = 5.5;  // arm-swing blockage of the worn antenna
+      cfg.shadow_rate_hz = 1.6;   // stride rate
+      break;
+    case Mobility::kRunning:
+      cfg.speed_mps = 2.2;  // paper: 2.2 m/s
+      cfg.rician_k_db = 2.0;
+      cfg.shadow_sigma_db = 7.5;
+      cfg.shadow_rate_hz = 2.8;
+      break;
+  }
+  return cfg;
+}
+
+FadingProcess::FadingProcess(const FadingConfig& config, double sample_rate,
+                             std::uint64_t seed)
+    : sample_rate_(sample_rate), rng_(seed) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("FadingProcess: bad rate");
+  if (config.speed_mps <= 0.0 && config.shadow_sigma_db <= 0.0) {
+    static_ = true;
+    return;
+  }
+  static_ = false;
+
+  const double k_linear = dsp::power_ratio_from_db(config.rician_k_db);
+  los_amplitude_ = std::sqrt(k_linear / (k_linear + 1.0));
+  scatter_amplitude_ = std::sqrt(1.0 / (k_linear + 1.0));
+
+  const double doppler_hz =
+      config.speed_mps / wavelength_m(config.carrier_hz);
+  constexpr std::size_t kNumPaths = 12;
+  std::uniform_real_distribution<double> uni(0.0, dsp::kTwoPi);
+  phase_.resize(kNumPaths);
+  step_.resize(kNumPaths);
+  gain_cos_.resize(kNumPaths);
+  for (std::size_t i = 0; i < kNumPaths; ++i) {
+    const double angle = uni(rng_);
+    phase_[i] = uni(rng_);
+    step_[i] = dsp::kTwoPi * doppler_hz * std::cos(angle) / sample_rate;
+    gain_cos_[i] = uni(rng_);
+  }
+
+  shadow_sigma_db_ = config.shadow_sigma_db;
+  // Update shadowing at ~100 Hz rather than per sample; exponential
+  // autocorrelation with the configured rate.
+  shadow_interval_ = static_cast<std::size_t>(std::max(1.0, sample_rate / 100.0));
+  const double update_rate = sample_rate / static_cast<double>(shadow_interval_);
+  shadow_alpha_ = std::exp(-config.shadow_rate_hz / update_rate);
+}
+
+dsp::cfloat FadingProcess::next(std::size_t stride) {
+  if (static_) return dsp::cfloat(1.0F, 0.0F);
+
+  if (shadow_sigma_db_ > 0.0) {
+    // Advance the Gauss-Markov shadowing once per crossed update interval.
+    const std::size_t before = counter_ / shadow_interval_;
+    counter_ += stride;
+    const std::size_t after = counter_ / shadow_interval_;
+    for (std::size_t k = before; k < after; ++k) {
+      shadow_db_ = shadow_alpha_ * shadow_db_ +
+                   std::sqrt(1.0 - shadow_alpha_ * shadow_alpha_) *
+                       shadow_sigma_db_ * gauss_(rng_);
+    }
+    if (after > before) {
+      current_shadow_gain_ = dsp::amplitude_ratio_from_db(shadow_db_);
+    }
+  } else {
+    counter_ += stride;
+  }
+
+  double re = 0.0, im = 0.0;
+  const double norm = 1.0 / std::sqrt(static_cast<double>(phase_.size()));
+  const double s = static_cast<double>(stride);
+  for (std::size_t i = 0; i < phase_.size(); ++i) {
+    phase_[i] += step_[i] * s;
+    re += std::cos(phase_[i] + gain_cos_[i]);
+    im += std::sin(phase_[i] + gain_cos_[i]);
+  }
+  re *= norm * scatter_amplitude_;
+  im *= norm * scatter_amplitude_;
+  re += los_amplitude_;
+
+  return dsp::cfloat(static_cast<float>(re * current_shadow_gain_),
+                     static_cast<float>(im * current_shadow_gain_));
+}
+
+void FadingProcess::apply(std::span<dsp::cfloat> block) {
+  if (static_) return;
+  // Fading is slow relative to the RF rate; evaluate the gain once per
+  // 64-sample chunk to keep the cost negligible.
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t start = 0; start < block.size(); start += kChunk) {
+    const std::size_t end = std::min(start + kChunk, block.size());
+    const dsp::cfloat g = next(end - start);
+    for (std::size_t i = start; i < end; ++i) block[i] *= g;
+  }
+}
+
+}  // namespace fmbs::channel

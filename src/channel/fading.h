@@ -1,0 +1,69 @@
+// Motion-induced fading for the smart-fabric experiments (paper Fig. 17b):
+// a Rician process whose scattered component Doppler-spreads with body
+// speed, plus slow log-normal body shadowing. Standing is nearly static
+// (high K factor); walking and running lower K and raise the Doppler rate,
+// producing exactly the BER inflation the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+
+namespace fmbs::channel {
+
+/// Mobility presets from the paper (section 6.2).
+enum class Mobility { kStanding, kWalking, kRunning };
+
+/// Fading process parameters.
+struct FadingConfig {
+  double carrier_hz = 94.9e6;
+  double speed_mps = 0.0;          // body speed; 0 = static
+  double rician_k_db = 25.0;       // LOS-to-scatter ratio
+  double shadow_sigma_db = 0.0;    // slow body-shadowing std-dev
+  double shadow_rate_hz = 0.6;     // shadowing innovation rate
+};
+
+/// Preset for a mobility class: standing (static), walking (1 m/s, paper),
+/// running (2.2 m/s, paper).
+FadingConfig fading_for_mobility(Mobility mobility, double carrier_hz = 94.9e6);
+
+/// Sum-of-sinusoids (Jakes-style) Rician fading generator producing a
+/// complex gain per sample. Deterministic per seed.
+class FadingProcess {
+ public:
+  FadingProcess(const FadingConfig& config, double sample_rate, std::uint64_t seed);
+
+  /// Next complex channel gain (unit mean power), advancing the process by
+  /// `stride` samples of simulated time.
+  dsp::cfloat next(std::size_t stride = 1);
+
+  /// Applies the fading to a block in place (gain evaluated per sample).
+  void apply(std::span<dsp::cfloat> block);
+
+  /// True when the configuration is static (gain == 1 always).
+  bool is_static() const { return static_; }
+
+ private:
+  bool static_ = true;
+  double sample_rate_ = 1.0;
+  double los_amplitude_ = 1.0;
+  double scatter_amplitude_ = 0.0;
+  // Jakes sum-of-sinusoids state.
+  std::vector<double> phase_;
+  std::vector<double> step_;
+  std::vector<double> gain_cos_;  // random arrival angles
+  // Slow shadowing (first-order Gauss-Markov in dB).
+  double shadow_db_ = 0.0;
+  double shadow_alpha_ = 0.0;
+  double shadow_sigma_db_ = 0.0;
+  std::mt19937_64 rng_;
+  std::normal_distribution<double> gauss_{0.0, 1.0};
+  std::size_t shadow_interval_ = 1;
+  std::size_t counter_ = 0;
+  double current_shadow_gain_ = 1.0;
+};
+
+}  // namespace fmbs::channel

@@ -1,0 +1,71 @@
+#include "channel/link_budget.h"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "channel/units.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::channel {
+
+double friis_path_loss_db(double distance_m, double frequency_hz) {
+  if (distance_m <= 0.0 || frequency_hz <= 0.0) {
+    throw std::invalid_argument("friis_path_loss_db: bad distance or frequency");
+  }
+  const double lambda = wavelength_m(frequency_hz);
+  // Clamp inside the near field: FSPL below lambda/(2 pi) is not physical;
+  // treat very small ranges as the near-field boundary.
+  const double d = std::max(distance_m, lambda / (2.0 * dsp::kPi));
+  return 20.0 * std::log10(4.0 * dsp::kPi * d / lambda);
+}
+
+double two_ray_path_loss_db(double distance_m, double frequency_hz,
+                            double tx_height_m, double rx_height_m) {
+  if (distance_m <= 0.0 || frequency_hz <= 0.0 || tx_height_m <= 0.0 ||
+      rx_height_m <= 0.0) {
+    throw std::invalid_argument("two_ray_path_loss_db: bad parameters");
+  }
+  const double lambda = wavelength_m(frequency_hz);
+  const double d = std::max(distance_m, lambda / (2.0 * dsp::kPi));
+  // Exact two-ray field sum with a -1 ground reflection coefficient.
+  const double d_los = std::hypot(d, tx_height_m - rx_height_m);
+  const double d_gnd = std::hypot(d, tx_height_m + rx_height_m);
+  const double k = dsp::kTwoPi / lambda;
+  const std::complex<double> e_los =
+      std::polar(1.0 / d_los, -k * d_los);
+  const std::complex<double> e_gnd =
+      std::polar(-1.0 / d_gnd, -k * d_gnd);
+  const double field = std::abs(e_los + e_gnd);
+  // Normalize against the free-space field 1/d at the same range.
+  const double rel = field * d_los;
+  const double fspl = friis_path_loss_db(d_los, frequency_hz);
+  return fspl - dsp::db_from_amplitude_ratio(std::max(rel, 1e-6));
+}
+
+LinkBudget compute_link_budget(double tag_power_dbm, double direct_power_dbm,
+                               double tag_rx_distance_m,
+                               const LinkBudgetConfig& config) {
+  if (std::isnan(direct_power_dbm)) direct_power_dbm = tag_power_dbm;
+  LinkBudget out;
+
+  const double fspl_db =
+      config.use_two_ray
+          ? two_ray_path_loss_db(tag_rx_distance_m, config.carrier_hz,
+                                 config.tag_height_m, config.rx_height_m)
+          : friis_path_loss_db(tag_rx_distance_m, config.carrier_hz);
+  const double refl_db = dsp::db_from_amplitude_ratio(config.reflection_amplitude);
+  // P_rx(backscatter channel, excluding the 4/pi modulation factor carried
+  // by the subcarrier waveform itself):
+  const double p_back_dbm = tag_power_dbm + refl_db + config.tag_antenna_gain_db +
+                            config.rx_antenna_gain_db -
+                            config.implementation_loss_db - fspl_db;
+  out.backscatter_gain_db = p_back_dbm - tag_power_dbm;
+  // The simulated station waveform has unit mean-square amplitude, so a
+  // component of power P watts is represented with amplitude sqrt(P).
+  out.backscatter_amplitude = std::sqrt(dsp::watts_from_dbm(p_back_dbm));
+  out.direct_amplitude = std::sqrt(dsp::watts_from_dbm(direct_power_dbm));
+  return out;
+}
+
+}  // namespace fmbs::channel

@@ -1,0 +1,21 @@
+// Unit conversions. The paper reports distances in feet and powers in dBm;
+// the physics uses meters and watts.
+#pragma once
+
+namespace fmbs::channel {
+
+inline constexpr double kMetersPerFoot = 0.3048;
+inline constexpr double kSpeedOfLight = 299792458.0;  // m/s
+
+/// Feet -> meters.
+constexpr double meters_from_feet(double feet) { return feet * kMetersPerFoot; }
+
+/// Meters -> feet.
+constexpr double feet_from_meters(double meters) { return meters / kMetersPerFoot; }
+
+/// Wavelength (m) at a carrier frequency (Hz).
+constexpr double wavelength_m(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+}  // namespace fmbs::channel

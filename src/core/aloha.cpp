@@ -1,0 +1,82 @@
+#include "core/aloha.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace fmbs::core {
+
+AlohaResult simulate_aloha(const AlohaConfig& config) {
+  if (config.num_tags == 0 || config.frame_seconds <= 0.0 ||
+      config.duration_seconds <= 0.0 || config.num_channels == 0) {
+    throw std::invalid_argument("simulate_aloha: bad parameters");
+  }
+  std::mt19937_64 rng(config.seed);
+  std::exponential_distribution<double> next_gap(config.per_tag_rate_hz);
+
+  struct Tx {
+    double start;
+    std::size_t channel;
+  };
+  std::vector<Tx> transmissions;
+  for (std::size_t tag = 0; tag < config.num_tags; ++tag) {
+    const std::size_t channel = tag % config.num_channels;
+    double t = next_gap(rng);
+    while (t < config.duration_seconds) {
+      double start = t;
+      if (config.slotted) {
+        start = std::ceil(start / config.frame_seconds) * config.frame_seconds;
+      }
+      transmissions.push_back({start, channel});
+      t += next_gap(rng);
+    }
+  }
+  std::sort(transmissions.begin(), transmissions.end(),
+            [](const Tx& a, const Tx& b) { return a.start < b.start; });
+
+  AlohaResult result;
+  result.attempts = transmissions.size();
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    bool collided = false;
+    // Conflicts only within the same channel and within +-frame time.
+    for (std::size_t j = i; j-- > 0;) {
+      if (transmissions[i].start - transmissions[j].start >= config.frame_seconds)
+        break;
+      if (transmissions[j].channel == transmissions[i].channel) {
+        collided = true;
+        break;
+      }
+    }
+    if (!collided) {
+      for (std::size_t j = i + 1; j < transmissions.size(); ++j) {
+        if (transmissions[j].start - transmissions[i].start >= config.frame_seconds)
+          break;
+        if (transmissions[j].channel == transmissions[i].channel) {
+          collided = true;
+          break;
+        }
+      }
+    }
+    if (!collided) ++result.successes;
+  }
+
+  const double frames = config.duration_seconds / config.frame_seconds;
+  result.throughput = static_cast<double>(result.successes) /
+                      (frames * static_cast<double>(config.num_channels));
+  result.success_probability =
+      result.attempts > 0
+          ? static_cast<double>(result.successes) /
+                static_cast<double>(result.attempts)
+          : 0.0;
+  result.offered_load = static_cast<double>(result.attempts) /
+                        (frames * static_cast<double>(config.num_channels));
+  return result;
+}
+
+double aloha_theoretical_throughput(double offered_load, bool slotted) {
+  return slotted ? offered_load * std::exp(-offered_load)
+                 : offered_load * std::exp(-2.0 * offered_load);
+}
+
+}  // namespace fmbs::core

@@ -1,0 +1,40 @@
+// Multi-tag medium access — paper section 8: "We can also use MAC protocols
+// similar to the Aloha protocol to enable multiple devices to share the same
+// FM band." Monte-Carlo simulation of unslotted/slotted Aloha for tags
+// sharing one backscatter channel, plus the paper's other option of
+// spreading tags across distinct unused channels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fmbs::core {
+
+/// Aloha simulation parameters.
+struct AlohaConfig {
+  std::size_t num_tags = 10;
+  double frame_seconds = 0.5;       // one backscatter packet
+  double per_tag_rate_hz = 0.2;     // Poisson transmission attempts per tag
+  double duration_seconds = 3600.0; // simulated time
+  bool slotted = false;
+  std::size_t num_channels = 1;     // tags hash onto distinct f_back values
+  std::uint64_t seed = 7;
+};
+
+/// Simulation outcome.
+struct AlohaResult {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;
+  double throughput = 0.0;          // successful frames per frame-time
+  double success_probability = 0.0; // successes / attempts
+  double offered_load = 0.0;        // G, attempts per frame-time per channel
+};
+
+/// Runs the Monte-Carlo MAC simulation.
+AlohaResult simulate_aloha(const AlohaConfig& config);
+
+/// Closed-form expectations for validation: pure Aloha S = G e^{-2G},
+/// slotted S = G e^{-G}.
+double aloha_theoretical_throughput(double offered_load, bool slotted);
+
+}  // namespace fmbs::core

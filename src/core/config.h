@@ -1,0 +1,63 @@
+// End-to-end system configuration: one struct per physical element of the
+// paper's deployment — the ambient station, the backscatter tag, the radio
+// scene between them, and the receiving device.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "channel/fading.h"
+#include "channel/link_budget.h"
+#include "fm/constants.h"
+#include "fm/stereo_decoder.h"
+#include "fm/transmitter.h"
+#include "rx/car.h"
+#include "rx/phone_chain.h"
+#include "tag/antenna.h"
+#include "tag/baseband.h"
+#include "tag/subcarrier.h"
+
+namespace fmbs::core {
+
+/// Which device decodes the backscatter channel.
+enum class ReceiverKind { kPhone, kCar };
+
+/// Backscatter tag configuration.
+struct TagConfig {
+  tag::SubcarrierConfig subcarrier;
+  tag::AntennaModel antenna = tag::poster_dipole_antenna();
+  tag::CoopPilotConfig coop_pilot;
+};
+
+/// Radio scene: the paper's two sweep knobs plus noise/fading.
+struct SceneConfig {
+  /// Ambient FM power measured at the tag (dBm) — the paper's power knob.
+  double tag_power_dbm = -30.0;
+  /// Power of the unshifted station at the receiver; NaN = same as at the
+  /// tag (the paper keeps both devices equidistant from the transmitter).
+  double direct_power_dbm = NAN;
+  /// Tag-to-receiver distance (feet) — the paper's distance knob.
+  double tag_rx_distance_feet = 4.0;
+  /// Receiver noise floor, dBm in the 200 kHz channel.
+  double rx_noise_dbm_200khz = channel::ReceiverNoise::kPhoneDbmPer200kHz;
+  channel::LinkBudgetConfig link;
+  std::optional<channel::FadingConfig> fading;
+  std::uint64_t noise_seed = 42;
+};
+
+/// The complete simulated system.
+struct SystemConfig {
+  fm::StationConfig station;
+  TagConfig tag;
+  SceneConfig scene;
+  ReceiverKind receiver = ReceiverKind::kPhone;
+  rx::PhoneChainConfig phone;
+  rx::CabinConfig cabin;
+  fm::StereoDecoderConfig stereo_decoder;
+  /// Also capture a second receiver tuned to the ambient station (phone 1 of
+  /// cooperative backscatter).
+  bool capture_ambient_receiver = false;
+};
+
+}  // namespace fmbs::core

@@ -1,0 +1,104 @@
+// Experiment harness: the measurement procedures of the paper's evaluation
+// (section 5), packaged so each bench binary is a thin parameter sweep.
+// Every function builds a SystemConfig, runs the physical simulation and
+// applies the paper's measurement methodology for that figure.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audio/pesq_like.h"
+#include "audio/program.h"
+#include "channel/fading.h"
+#include "core/config.h"
+#include "core/simulator.h"
+#include "rx/fsk_demod.h"
+#include "tag/coding.h"
+#include "tag/fsk.h"
+
+namespace fmbs::core {
+
+/// Tag content level relative to full deviation for overlay content.
+inline constexpr double kOverlayLevel = 0.95;
+
+/// Common experiment knobs (one struct so benches read like the paper).
+struct ExperimentPoint {
+  double tag_power_dbm = -30.0;
+  double distance_feet = 4.0;
+  audio::ProgramGenre genre = audio::ProgramGenre::kNews;
+  bool stereo_station = true;
+  ReceiverKind receiver = ReceiverKind::kPhone;
+  std::uint64_t seed = 1;
+};
+
+/// Builds a fully-populated SystemConfig for a measurement point.
+SystemConfig make_system(const ExperimentPoint& point);
+
+// ---- Micro-benchmarks (Fig. 6 / Fig. 7 / Fig. 14a) ------------------------
+
+/// Backscatters a single tone over an unmodulated carrier and returns the
+/// received audio SNR (dB) — the paper's Fig. 6 ratio P_tone / (P_band -
+/// P_tone). stereo_band places the tone in the L-R stream (with pilot).
+double run_tone_snr(const ExperimentPoint& point, double tone_hz,
+                    bool stereo_band = false, double duration_seconds = 1.5);
+
+// ---- Data (Fig. 8 / Fig. 9 / Fig. 10 / Fig. 17b) ---------------------------
+
+/// Overlay-backscatter BER at a rate over a program-playing station.
+rx::BerResult run_overlay_ber(const ExperimentPoint& point, tag::DataRate rate,
+                              std::size_t num_bits);
+
+/// Overlay BER with N-fold repetition + maximal-ratio combining.
+rx::BerResult run_overlay_ber_mrc(const ExperimentPoint& point, tag::DataRate rate,
+                                  std::size_t num_bits, std::size_t repetitions);
+
+/// Stereo-backscatter BER: data rides the L-R stream. When
+/// `point.stereo_station` is false the tag also injects the 19 kHz pilot
+/// (mono-to-stereo conversion).
+rx::BerResult run_stereo_ber(const ExperimentPoint& point, tag::DataRate rate,
+                             std::size_t num_bits);
+
+/// Overlay BER with forward error correction (the paper's section-8 range
+/// extension). The payload is FEC-encoded + interleaved before modulation;
+/// the returned BER is measured on the decoded payload.
+rx::BerResult run_overlay_ber_coded(const ExperimentPoint& point,
+                                    tag::DataRate rate, std::size_t payload_bits,
+                                    tag::FecScheme scheme);
+
+// ---- Audio quality (Fig. 11 / Fig. 12 / Fig. 13 / Fig. 14b) ---------------
+
+/// Overlay audio: tag speech over the station program; returns the
+/// PESQ-like score of the received mono audio against the tag's speech.
+double run_overlay_pesq(const ExperimentPoint& point, double duration_seconds = 3.0);
+
+/// Stereo audio backscatter PESQ (Fig. 13a/b depending on stereo_station).
+double run_stereo_pesq(const ExperimentPoint& point, double duration_seconds = 3.0);
+
+/// Cooperative backscatter PESQ: two phones, MIMO cancellation (Fig. 12).
+double run_cooperative_pesq(const ExperimentPoint& point,
+                            double duration_seconds = 3.0);
+
+// ---- Smart fabric (Fig. 17b) ----------------------------------------------
+
+/// BER with the t-shirt antenna under a mobility pattern; `mrc_repetitions`
+/// of 1 disables combining (the paper's 1.6 kbps bar uses 2x MRC).
+rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
+                             std::size_t num_bits, std::size_t mrc_repetitions,
+                             std::uint64_t seed = 1);
+
+// ---- Output formatting ------------------------------------------------------
+
+/// One plotted series: label + y values (parallel to the x axis).
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Prints a paper-style table: header, x column, one column per series.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::string& x_label, const std::vector<double>& xs,
+                 const std::vector<Series>& series, int precision = 3);
+
+}  // namespace fmbs::core

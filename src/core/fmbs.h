@@ -1,0 +1,45 @@
+// Umbrella header: the full public API of the FM-backscatter library.
+//
+// Quick start:
+//
+//   #include "core/fmbs.h"
+//   using namespace fmbs;
+//
+//   core::ExperimentPoint point;                 // -30 dBm, 4 ft, news
+//   auto ber = core::run_overlay_ber(point, tag::DataRate::k100bps, 400);
+//
+// or drive the pieces directly: render a station (fm::render_station),
+// compose a tag baseband (tag::compose_overlay_baseband), run the physical
+// simulation (core::simulate) and decode (rx::demodulate_fsk /
+// audio::pesq_like).
+#pragma once
+
+#include "audio/metrics.h"
+#include "audio/music_synth.h"
+#include "audio/pesq_like.h"
+#include "audio/program.h"
+#include "audio/speech_synth.h"
+#include "audio/tone.h"
+#include "audio/wav.h"
+#include "channel/fading.h"
+#include "channel/link_budget.h"
+#include "core/aloha.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/harvesting.h"
+#include "core/simulator.h"
+#include "fm/constants.h"
+#include "fm/rds.h"
+#include "fm/receiver.h"
+#include "fm/transmitter.h"
+#include "rx/cooperative.h"
+#include "rx/fsk_demod.h"
+#include "rx/mrc.h"
+#include "survey/city_survey.h"
+#include "survey/spectrum_db.h"
+#include "tag/antenna.h"
+#include "tag/baseband.h"
+#include "tag/framing.h"
+#include "tag/fsk.h"
+#include "tag/power_model.h"
+#include "tag/subcarrier.h"

@@ -1,0 +1,36 @@
+#include "core/harvesting.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::core {
+
+DutyCycleResult sustainable_duty_cycle(const HarvestConfig& config,
+                                       double tag_power_uw,
+                                       double sleep_power_uw) {
+  if (tag_power_uw <= 0.0) {
+    throw std::invalid_argument("sustainable_duty_cycle: bad tag power");
+  }
+  DutyCycleResult out;
+  const double rf_in_uw = dsp::watts_from_dbm(config.rf_power_dbm) * 1e6;
+  out.harvested_uw = rf_in_uw * config.rf_efficiency +
+                     config.solar_area_cm2 * config.solar_irradiance_uw_per_cm2 *
+                         config.solar_efficiency;
+
+  // harvested = d * tag + (1-d) * sleep  ->  d = (h - sleep) / (tag - sleep)
+  if (out.harvested_uw <= sleep_power_uw) {
+    out.sustainable_duty_cycle = 0.0;
+  } else if (tag_power_uw <= sleep_power_uw) {
+    out.sustainable_duty_cycle = 1.0;
+  } else {
+    out.sustainable_duty_cycle = std::min(
+        1.0, (out.harvested_uw - sleep_power_uw) / (tag_power_uw - sleep_power_uw));
+  }
+  out.effective_bps_100 = 100.0 * out.sustainable_duty_cycle;
+  out.effective_bps_3200 = 3200.0 * out.sustainable_duty_cycle;
+  return out;
+}
+
+}  // namespace fmbs::core

@@ -1,0 +1,48 @@
+// The end-to-end physical simulation:
+//
+//   station MPX/IQ (240 kHz) --x10--> RF scene (2.4 MHz complex baseband)
+//        |                               |
+//        |        tag baseband --> subcarrier B(t) --> reflected = B x RF
+//        |                               |
+//        +--> direct path ---------------+--> + AWGN --> tuner(s) --> FM rx
+//
+// The backscatter multiplication happens sample-by-sample on the RF signal,
+// exactly as the tag's switch does it; no audio-domain shortcut is taken.
+// Processing is block-streamed (0.1 s blocks) so long captures never hold
+// the 2.4 MHz stream in memory.
+#pragma once
+
+#include <optional>
+
+#include "audio/audio_buffer.h"
+#include "channel/link_budget.h"
+#include "core/config.h"
+#include "dsp/types.h"
+#include "fm/receiver.h"
+#include "fm/transmitter.h"
+
+namespace fmbs::core {
+
+/// Everything captured at one receiver.
+struct ReceiverCapture {
+  fm::ReceiverOutput fm;        // raw FM receiver output
+  audio::MonoBuffer mono;       // mono audio after the device chain
+  audio::StereoBuffer stereo;   // stereo audio after the device chain
+};
+
+/// Full simulation result.
+struct SimulationResult {
+  ReceiverCapture backscatter_rx;               // tuned to fc + f_back
+  std::optional<ReceiverCapture> ambient_rx;    // tuned to fc (cooperative)
+  fm::StationSignal station;                    // ground truth
+  channel::LinkBudget budget;
+  double backscatter_rx_power_dbm = 0.0;        // in-channel backscatter power
+};
+
+/// Runs the physical simulation. `tag_baseband` is FM_back at the MPX rate
+/// (see tag/baseband.h composers); it is zero-padded or truncated to the
+/// station duration. Throws std::invalid_argument on inconsistent rates.
+SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseband,
+                          double duration_seconds);
+
+}  // namespace fmbs::core

@@ -1,0 +1,194 @@
+// FIR design (windowed-sinc, Kaiser-sized) and streaming FIR filters,
+// including polyphase decimators and interpolators used by the RF <-> MPX
+// <-> audio rate-conversion chain.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace fmbs::dsp {
+
+/// Designs a linear-phase low-pass FIR with unity DC gain.
+/// cutoff is normalized to the sample rate (0 < cutoff < 0.5).
+std::vector<float> fir_design_lowpass(std::size_t num_taps, double cutoff,
+                                      WindowType window = WindowType::kHamming);
+
+/// Designs a high-pass FIR (spectral inversion of the low-pass);
+/// num_taps is forced odd internally for a well-defined Nyquist response.
+std::vector<float> fir_design_highpass(std::size_t num_taps, double cutoff,
+                                       WindowType window = WindowType::kHamming);
+
+/// Designs a band-pass FIR passing [low, high] (normalized, 0 < low < high < 0.5).
+std::vector<float> fir_design_bandpass(std::size_t num_taps, double low,
+                                       double high,
+                                       WindowType window = WindowType::kHamming);
+
+/// Designs a Kaiser-windowed low-pass with the given stopband attenuation
+/// (dB) and normalized transition width; tap count chosen automatically.
+std::vector<float> fir_design_kaiser_lowpass(double cutoff, double transition_width,
+                                             double attenuation_db);
+
+/// Streaming FIR filter over float or complex samples. Maintains history
+/// across process() calls so block boundaries are seamless.
+template <typename Sample>
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<float> taps) : taps_(std::move(taps)) {
+    if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+    history_.assign(taps_.size() - 1, Sample{});
+  }
+
+  std::size_t num_taps() const { return taps_.size(); }
+
+  /// Group delay in samples ((N-1)/2 for these linear-phase designs).
+  double group_delay() const { return (static_cast<double>(taps_.size()) - 1.0) / 2.0; }
+
+  /// Filters a block; output has the same length as the input.
+  std::vector<Sample> process(std::span<const Sample> in) {
+    std::vector<Sample> out(in.size());
+    process_into(in, out);
+    return out;
+  }
+
+  /// Filters a block into a caller-provided buffer of equal length.
+  void process_into(std::span<const Sample> in, std::span<Sample> out) {
+    if (out.size() != in.size()) throw std::invalid_argument("FirFilter: size mismatch");
+    const std::size_t h = history_.size();
+    work_.resize(h + in.size());
+    std::copy(history_.begin(), history_.end(), work_.begin());
+    std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
+    const std::size_t nt = taps_.size();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      Sample acc{};
+      const Sample* x = work_.data() + i;
+      for (std::size_t t = 0; t < nt; ++t) acc += x[t] * taps_[nt - 1 - t];
+      out[i] = acc;
+    }
+    if (h > 0) {
+      std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
+                history_.begin());
+    }
+  }
+
+  /// Clears the filter history.
+  void reset() { std::fill(history_.begin(), history_.end(), Sample{}); }
+
+ private:
+  std::vector<float> taps_;
+  std::vector<Sample> history_;
+  std::vector<Sample> work_;
+};
+
+/// Polyphase decimator: low-pass filter + keep-every-Mth-sample, computing
+/// only the retained outputs. Input block lengths must be multiples of the
+/// decimation factor.
+template <typename Sample>
+class FirDecimator {
+ public:
+  FirDecimator(std::vector<float> taps, std::size_t factor)
+      : taps_(std::move(taps)), factor_(factor) {
+    if (taps_.empty()) throw std::invalid_argument("FirDecimator: empty taps");
+    if (factor_ == 0) throw std::invalid_argument("FirDecimator: factor must be >= 1");
+    history_.assign(taps_.size() - 1, Sample{});
+  }
+
+  std::size_t factor() const { return factor_; }
+
+  std::vector<Sample> process(std::span<const Sample> in) {
+    if (in.size() % factor_ != 0) {
+      throw std::invalid_argument("FirDecimator: block not a multiple of factor");
+    }
+    const std::size_t h = history_.size();
+    work_.resize(h + in.size());
+    std::copy(history_.begin(), history_.end(), work_.begin());
+    std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
+    const std::size_t nt = taps_.size();
+    std::vector<Sample> out(in.size() / factor_);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      Sample acc{};
+      const Sample* x = work_.data() + o * factor_;
+      for (std::size_t t = 0; t < nt; ++t) acc += x[t] * taps_[nt - 1 - t];
+      out[o] = acc;
+    }
+    if (h > 0) {
+      std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
+                history_.begin());
+    }
+    return out;
+  }
+
+  void reset() { std::fill(history_.begin(), history_.end(), Sample{}); }
+
+ private:
+  std::vector<float> taps_;
+  std::size_t factor_;
+  std::vector<Sample> history_;
+  std::vector<Sample> work_;
+};
+
+/// Polyphase interpolator: insert L-1 zeros + low-pass, computed as L
+/// subfilters so the zero multiplies are skipped. The prototype filter is
+/// scaled by L internally to preserve signal amplitude.
+template <typename Sample>
+class FirInterpolator {
+ public:
+  FirInterpolator(std::vector<float> prototype_taps, std::size_t factor)
+      : factor_(factor) {
+    if (prototype_taps.empty()) {
+      throw std::invalid_argument("FirInterpolator: empty taps");
+    }
+    if (factor_ == 0) throw std::invalid_argument("FirInterpolator: factor must be >= 1");
+    // Pad the prototype to a multiple of L, scale by L (zero stuffing divides
+    // the spectrum amplitude by L), then split into L polyphase branches.
+    const std::size_t padded =
+        (prototype_taps.size() + factor_ - 1) / factor_ * factor_;
+    prototype_taps.resize(padded, 0.0F);
+    const std::size_t branch_len = padded / factor_;
+    branches_.assign(factor_, std::vector<float>(branch_len, 0.0F));
+    for (std::size_t i = 0; i < padded; ++i) {
+      branches_[i % factor_][i / factor_] =
+          prototype_taps[i] * static_cast<float>(factor_);
+    }
+    history_.assign(branch_len - 1, Sample{});
+  }
+
+  std::size_t factor() const { return factor_; }
+
+  std::vector<Sample> process(std::span<const Sample> in) {
+    const std::size_t h = history_.size();
+    work_.resize(h + in.size());
+    std::copy(history_.begin(), history_.end(), work_.begin());
+    std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
+    std::vector<Sample> out(in.size() * factor_);
+    const std::size_t bl = branches_.empty() ? 0 : branches_[0].size();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const Sample* x = work_.data() + i;
+      for (std::size_t p = 0; p < factor_; ++p) {
+        Sample acc{};
+        const std::vector<float>& b = branches_[p];
+        for (std::size_t t = 0; t < bl; ++t) acc += x[t] * b[bl - 1 - t];
+        out[i * factor_ + p] = acc;
+      }
+    }
+    if (h > 0) {
+      std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
+                history_.begin());
+    }
+    return out;
+  }
+
+  void reset() { std::fill(history_.begin(), history_.end(), Sample{}); }
+
+ private:
+  std::size_t factor_;
+  std::vector<std::vector<float>> branches_;
+  std::vector<Sample> history_;
+  std::vector<Sample> work_;
+};
+
+}  // namespace fmbs::dsp

@@ -1,0 +1,41 @@
+// Goertzel single-bin DFT: the power detector behind the paper's
+// non-coherent FSK receiver ("compares the received power on the two
+// frequencies and outputs the frequency that has the higher power").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fmbs::dsp {
+
+/// Power of a real signal at one frequency (Hz) via the Goertzel recurrence.
+/// Returns |X(f)|^2 normalized by N^2 so a unit-amplitude sinusoid at f
+/// measures ~0.25 regardless of block length.
+double goertzel_power(std::span<const float> block, double frequency_hz,
+                      double sample_rate);
+
+/// Precomputed Goertzel detector bank for a fixed tone set — evaluates all
+/// tones over the same block in one pass per tone.
+class GoertzelBank {
+ public:
+  /// tones are in Hz; sample_rate in Hz. Throws if a tone is outside
+  /// (0, sample_rate/2).
+  GoertzelBank(std::vector<double> tones_hz, double sample_rate);
+
+  std::size_t num_tones() const { return coeffs_.size(); }
+  const std::vector<double>& tones_hz() const { return tones_hz_; }
+
+  /// Powers of each tone over the block (normalized as goertzel_power).
+  std::vector<double> powers(std::span<const float> block) const;
+
+  /// Index of the strongest tone over the block.
+  std::size_t detect(std::span<const float> block) const;
+
+ private:
+  std::vector<double> tones_hz_;
+  std::vector<double> coeffs_;  // 2 cos(2 pi f / fs)
+  double sample_rate_;
+};
+
+}  // namespace fmbs::dsp

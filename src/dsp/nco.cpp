@@ -1,0 +1,47 @@
+#include "dsp/nco.h"
+
+#include <stdexcept>
+
+namespace fmbs::dsp {
+
+Oscillator::Oscillator(double frequency_hz, double sample_rate,
+                       double initial_phase)
+    : frequency_hz_(frequency_hz),
+      step_(kTwoPi * frequency_hz / sample_rate),
+      acc_(initial_phase) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("Oscillator: bad sample rate");
+}
+
+cvec Oscillator::block_complex(std::size_t n) {
+  cvec out(n);
+  for (auto& v : out) v = next_complex();
+  return out;
+}
+
+rvec Oscillator::block_real(std::size_t n) {
+  rvec out(n);
+  for (auto& v : out) v = next_real();
+  return out;
+}
+
+Mixer::Mixer(double frequency_hz, double sample_rate, double initial_phase)
+    : step_(kTwoPi * frequency_hz / sample_rate), acc_(initial_phase) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("Mixer: bad sample rate");
+}
+
+void Mixer::process_inplace(std::span<cfloat> data) {
+  for (auto& v : data) {
+    const double ph = acc_.advance(step_);
+    const cfloat rot(static_cast<float>(std::cos(ph)),
+                     static_cast<float>(std::sin(ph)));
+    v *= rot;
+  }
+}
+
+cvec Mixer::process(std::span<const cfloat> data) {
+  cvec out(data.begin(), data.end());
+  process_inplace(out);
+  return out;
+}
+
+}  // namespace fmbs::dsp

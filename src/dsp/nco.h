@@ -1,0 +1,87 @@
+// Numerically controlled oscillators and complex frequency mixing. The tag's
+// FM subcarrier and the receiver's tuner are both built on PhaseAccumulator.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "dsp/math_util.h"
+#include "dsp/types.h"
+
+namespace fmbs::dsp {
+
+/// Double-precision phase accumulator wrapping to [0, 2 pi). Double phase is
+/// required: at 2.4 MHz sample rate a float accumulator drifts audibly within
+/// a fraction of a second.
+class PhaseAccumulator {
+ public:
+  explicit PhaseAccumulator(double initial_phase = 0.0) : phase_(initial_phase) {}
+
+  /// Current phase in radians.
+  double phase() const { return phase_; }
+
+  /// Advances by `delta` radians and returns the phase *before* the advance.
+  double advance(double delta) {
+    const double current = phase_;
+    phase_ += delta;
+    if (phase_ >= kTwoPi) phase_ -= kTwoPi * std::floor(phase_ / kTwoPi);
+    if (phase_ < 0.0) phase_ += kTwoPi * std::ceil(-phase_ / kTwoPi);
+    return current;
+  }
+
+  void reset(double phase = 0.0) { phase_ = phase; }
+
+ private:
+  double phase_;
+};
+
+/// Fixed-frequency oscillator producing real or complex samples.
+class Oscillator {
+ public:
+  /// frequency may be negative (complex conjugate rotation).
+  Oscillator(double frequency_hz, double sample_rate, double initial_phase = 0.0);
+
+  double frequency_hz() const { return frequency_hz_; }
+
+  /// Next complex sample e^{j phase}.
+  cfloat next_complex() {
+    const double ph = acc_.advance(step_);
+    return cfloat(static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph)));
+  }
+
+  /// Next real sample cos(phase).
+  float next_real() {
+    return static_cast<float>(std::cos(acc_.advance(step_)));
+  }
+
+  /// Generates n complex samples.
+  cvec block_complex(std::size_t n);
+
+  /// Generates n real cosine samples.
+  rvec block_real(std::size_t n);
+
+ private:
+  double frequency_hz_;
+  double step_;
+  PhaseAccumulator acc_;
+};
+
+/// Streaming complex mixer: multiplies a block by e^{j 2 pi f t}, keeping
+/// phase continuity across blocks. Negative f shifts the spectrum down.
+class Mixer {
+ public:
+  Mixer(double frequency_hz, double sample_rate, double initial_phase = 0.0);
+
+  /// Mixes in-place.
+  void process_inplace(std::span<cfloat> data);
+
+  /// Mixes out-of-place.
+  cvec process(std::span<const cfloat> data);
+
+ private:
+  double step_;
+  PhaseAccumulator acc_;
+};
+
+}  // namespace fmbs::dsp

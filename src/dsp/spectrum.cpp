@@ -1,0 +1,101 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::dsp {
+
+double Psd::band_power(double lo_hz, double hi_hz) const {
+  if (bin_hz <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    const double f = frequency(i);
+    if (f >= lo_hz && f <= hi_hz) acc += power[i];
+  }
+  return acc;
+}
+
+double Psd::total_power() const {
+  double acc = 0.0;
+  for (const double p : power) acc += p;
+  return acc;
+}
+
+Psd welch_psd(std::span<const float> x, double sample_rate,
+              std::size_t segment_size, WindowType window) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("welch_psd: bad sample rate");
+  if (x.empty()) throw std::invalid_argument("welch_psd: empty signal");
+  std::size_t seg = next_pow2(segment_size);
+  seg = std::min(seg, next_pow2(x.size()));
+  if (seg > x.size()) seg /= 2;
+  if (seg < 2) seg = 2;
+
+  const std::vector<float> w = make_window(window, seg);
+  const double wss = window_sum_squares(w);
+  const std::size_t hop = seg / 2;
+  FftPlan plan(seg);
+
+  Psd psd;
+  psd.sample_rate = sample_rate;
+  psd.bin_hz = sample_rate / static_cast<double>(seg);
+  psd.power.assign(seg / 2 + 1, 0.0);
+
+  std::size_t count = 0;
+  cvec buf(seg);
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < seg; ++i) {
+      buf[i] = cfloat(x[start + i] * w[i], 0.0F);
+    }
+    plan.forward(buf);
+    for (std::size_t k = 0; k <= seg / 2; ++k) {
+      // One-sided PSD: double the interior bins.
+      const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      psd.power[k] += scale * static_cast<double>(std::norm(buf[k]));
+    }
+    ++count;
+  }
+  if (count == 0) {
+    // Signal shorter than one segment: single zero-padded segment.
+    for (std::size_t i = 0; i < seg; ++i) {
+      buf[i] = i < x.size() ? cfloat(x[i] * w[std::min(i, seg - 1)], 0.0F)
+                            : cfloat{};
+    }
+    plan.forward(buf);
+    for (std::size_t k = 0; k <= seg / 2; ++k) {
+      const double scale = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+      psd.power[k] += scale * static_cast<double>(std::norm(buf[k]));
+    }
+    count = 1;
+  }
+  const double norm = 1.0 / (static_cast<double>(count) * wss * static_cast<double>(seg));
+  for (auto& p : psd.power) p *= norm;
+  return psd;
+}
+
+double tone_snr_db(std::span<const float> x, double sample_rate, double tone_hz,
+                   double band_lo_hz, double band_hi_hz, double tone_width_hz) {
+  const Psd psd = welch_psd(x, sample_rate, 8192);
+  const double p_tone =
+      psd.band_power(tone_hz - tone_width_hz, tone_hz + tone_width_hz);
+  const double p_band = psd.band_power(band_lo_hz, band_hi_hz);
+  // Subtract only the part of the tone window that lies inside the band, so
+  // a tone at the band edge cannot drive the remainder negative.
+  const double overlap_lo = std::max(band_lo_hz, tone_hz - tone_width_hz);
+  const double overlap_hi = std::min(band_hi_hz, tone_hz + tone_width_hz);
+  const double p_tone_in_band =
+      overlap_hi > overlap_lo ? psd.band_power(overlap_lo, overlap_hi) : 0.0;
+  const double p_rest = std::max(p_band - p_tone_in_band, 1e-30);
+  return db_from_power_ratio(p_tone / p_rest);
+}
+
+double band_power(std::span<const float> x, double sample_rate, double lo_hz,
+                  double hi_hz) {
+  const Psd psd = welch_psd(x, sample_rate, 8192);
+  return psd.band_power(lo_hz, hi_hz);
+}
+
+}  // namespace fmbs::dsp

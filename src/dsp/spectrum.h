@@ -1,0 +1,49 @@
+// Spectral measurement: Welch PSD and band-power/tone-SNR extraction.
+// These implement the paper's measurement methodology — e.g. Fig. 6 computes
+// "the ratio P_5kHz / (sum_f P_f - P_5kHz)" — directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/types.h"
+#include "dsp/window.h"
+
+namespace fmbs::dsp {
+
+/// Power spectral density estimate with frequency axis metadata.
+struct Psd {
+  std::vector<double> power;  // linear power per bin
+  double bin_hz = 0.0;        // frequency resolution
+  double sample_rate = 0.0;
+
+  /// Frequency of bin i in Hz.
+  double frequency(std::size_t i) const { return static_cast<double>(i) * bin_hz; }
+
+  /// Total power over [lo_hz, hi_hz].
+  double band_power(double lo_hz, double hi_hz) const;
+
+  /// Total power over all bins.
+  double total_power() const;
+};
+
+/// Welch-averaged PSD of a real signal with 50% overlap Hann segments.
+/// segment_size is rounded up to a power of two.
+Psd welch_psd(std::span<const float> x, double sample_rate,
+              std::size_t segment_size = 4096,
+              WindowType window = WindowType::kHann);
+
+/// Measures the SNR of a single tone against everything else in
+/// [band_lo_hz, band_hi_hz]: P_tone / (P_band - P_tone). The tone power is
+/// integrated over +-tone_width_hz around the nominal frequency.
+/// Returns the ratio in dB.
+double tone_snr_db(std::span<const float> x, double sample_rate, double tone_hz,
+                   double band_lo_hz, double band_hi_hz,
+                   double tone_width_hz = 50.0);
+
+/// Average power of a real signal in [lo_hz, hi_hz].
+double band_power(std::span<const float> x, double sample_rate, double lo_hz,
+                  double hi_hz);
+
+}  // namespace fmbs::dsp

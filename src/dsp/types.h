@@ -1,0 +1,21 @@
+// Basic numeric types shared across the fmbs DSP stack.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fmbs::dsp {
+
+/// Complex baseband sample. Single precision: the whole RF pipeline runs in
+/// float for throughput; double is used only where accumulation error matters.
+using cfloat = std::complex<float>;
+
+/// A block of complex baseband samples.
+using cvec = std::vector<cfloat>;
+
+/// A block of real (audio or MPX) samples.
+using rvec = std::vector<float>;
+
+}  // namespace fmbs::dsp

@@ -1,0 +1,72 @@
+// FM broadcast constants (FCC Part 73 / ITU-R BS.450 values used throughout
+// the paper) and the simulation's canonical sample rates.
+#pragma once
+
+namespace fmbs::fm {
+
+/// 19 kHz stereo pilot tone (paper Fig. 3).
+inline constexpr double kPilotHz = 19000.0;
+
+/// 38 kHz DSB-SC stereo (L-R) subcarrier = 2x pilot.
+inline constexpr double kStereoCarrierHz = 38000.0;
+
+/// Stereo subband occupies 23-53 kHz of the composite baseband.
+inline constexpr double kStereoBandLoHz = 23000.0;
+inline constexpr double kStereoBandHiHz = 53000.0;
+
+/// 57 kHz RDS subcarrier = 3x pilot; RDS occupies roughly 56-58 kHz.
+inline constexpr double kRdsCarrierHz = 57000.0;
+
+/// RDS bit rate: 57 kHz / 48.
+inline constexpr double kRdsBitRateHz = 1187.5;
+
+/// Audio program band of the mono (L+R) stream: 30 Hz - 15 kHz.
+inline constexpr double kMonoAudioLoHz = 30.0;
+inline constexpr double kMonoAudioHiHz = 15000.0;
+
+/// Maximum FM frequency deviation for broadcast (100% modulation).
+inline constexpr double kMaxDeviationHz = 75000.0;
+
+/// US FM channel spacing; stations sit at 88.1 + 0.2 k MHz.
+inline constexpr double kChannelSpacingHz = 200000.0;
+
+/// First and last US FM channel center frequencies.
+inline constexpr double kBandLoHz = 88.1e6;
+inline constexpr double kBandHiHz = 107.9e6;
+
+/// Number of US FM channels.
+inline constexpr int kNumChannels = 100;
+
+/// Carson-rule bandwidth for deviation 75 kHz + baseband to 58 kHz:
+/// 2 (75 + 58) kHz = 266 kHz (paper section 3.2).
+inline constexpr double kCarsonBandwidthHz = 266000.0;
+
+/// Nominal mono + pilot modulation split: program gets 90% of the deviation
+/// budget, the pilot gets ~10% (8-10% is standard; the paper's stereo
+/// backscatter equation uses 0.9/0.1).
+inline constexpr double kProgramLevel = 0.9;
+inline constexpr double kPilotLevel = 0.1;
+
+/// North-American de-emphasis time constant.
+inline constexpr double kDeemphasisSeconds = 75e-6;
+
+// ---- Simulation rates (integer chain 48 kHz x5 = 240 kHz, x10 = 2.4 MHz). --
+
+/// Audio rate for program material and receiver output.
+inline constexpr double kAudioRate = 48000.0;
+
+/// Composite (MPX) baseband rate; must exceed 2x58 kHz comfortably.
+inline constexpr double kMpxRate = 240000.0;
+
+/// Complex-baseband RF simulation rate; wide enough for a station at 0 and a
+/// backscatter channel at +-600 kHz plus Carson bandwidth.
+inline constexpr double kRfRate = 2400000.0;
+
+/// Audio -> MPX and MPX -> RF integer rate factors.
+inline constexpr int kAudioToMpxFactor = 5;
+inline constexpr int kMpxToRfFactor = 10;
+
+/// The paper's canonical backscatter shift: 600 kHz (91.5 -> 92.1 MHz).
+inline constexpr double kDefaultBackscatterShiftHz = 600000.0;
+
+}  // namespace fmbs::fm

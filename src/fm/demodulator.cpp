@@ -1,0 +1,35 @@
+#include "fm/demodulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::fm {
+
+QuadratureDemodulator::QuadratureDemodulator(double deviation_hz,
+                                             double sample_rate) {
+  if (deviation_hz <= 0.0 || sample_rate <= 0.0) {
+    throw std::invalid_argument("QuadratureDemodulator: bad parameters");
+  }
+  gain_ = sample_rate / (dsp::kTwoPi * deviation_hz);
+}
+
+dsp::rvec QuadratureDemodulator::process(std::span<const dsp::cfloat> iq) {
+  dsp::rvec out(iq.size());
+  dsp::cfloat prev = prev_;
+  const auto g = static_cast<float>(gain_);
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    const dsp::cfloat cur = iq[i];
+    // arg(cur * conj(prev)) = instantaneous phase increment.
+    const dsp::cfloat d = cur * std::conj(prev);
+    out[i] = g * std::atan2(d.imag(), d.real());
+    prev = cur;
+  }
+  prev_ = prev;
+  return out;
+}
+
+void QuadratureDemodulator::reset() { prev_ = dsp::cfloat(1.0F, 0.0F); }
+
+}  // namespace fmbs::fm

@@ -1,0 +1,33 @@
+#include "fm/modulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::fm {
+
+FmModulator::FmModulator(double deviation_hz, double sample_rate)
+    : deviation_hz_(deviation_hz), sample_rate_(sample_rate) {
+  if (deviation_hz <= 0.0 || sample_rate <= 0.0) {
+    throw std::invalid_argument("FmModulator: deviation and rate must be > 0");
+  }
+  if (deviation_hz >= sample_rate / 2.0) {
+    throw std::invalid_argument("FmModulator: deviation exceeds Nyquist");
+  }
+}
+
+dsp::cvec FmModulator::process(std::span<const float> mpx) {
+  dsp::cvec out(mpx.size());
+  const double k = dsp::kTwoPi * deviation_hz_ / sample_rate_;
+  for (std::size_t i = 0; i < mpx.size(); ++i) {
+    const double ph = phase_.advance(k * static_cast<double>(mpx[i]));
+    out[i] = dsp::cfloat(static_cast<float>(std::cos(ph)),
+                         static_cast<float>(std::sin(ph)));
+  }
+  return out;
+}
+
+void FmModulator::reset() { phase_.reset(); }
+
+}  // namespace fmbs::fm

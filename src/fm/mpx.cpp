@@ -1,0 +1,95 @@
+#include "fm/mpx.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.h"
+#include "dsp/math_util.h"
+#include "dsp/nco.h"
+#include "fm/emphasis.h"
+#include "fm/rds.h"
+
+namespace fmbs::fm {
+
+namespace {
+
+dsp::rvec upsample_audio(std::span<const float> in, std::size_t factor) {
+  if (factor == 1) return dsp::rvec(in.begin(), in.end());
+  // 15 kHz program content in a 240 kHz stream: cutoff at the audio rate's
+  // Nyquist, scaled for the interpolated rate.
+  const double cutoff = 0.5 / static_cast<double>(factor) * 0.9;
+  dsp::FirInterpolator<float> interp(
+      dsp::fir_design_lowpass(static_cast<std::size_t>(16 * factor) | 1U, cutoff),
+      factor);
+  return interp.process(in);
+}
+
+}  // namespace
+
+dsp::rvec compose_mpx(const audio::StereoBuffer& program, const MpxConfig& config,
+                      std::span<const unsigned char> rds_bitstream) {
+  if (program.sample_rate <= 0.0 || config.mpx_rate <= 0.0) {
+    throw std::invalid_argument("compose_mpx: bad sample rate");
+  }
+  const double ratio = config.mpx_rate / program.sample_rate;
+  const auto factor = static_cast<std::size_t>(ratio + 0.5);
+  if (std::abs(ratio - static_cast<double>(factor)) > 1e-9 || factor == 0) {
+    throw std::invalid_argument("compose_mpx: mpx_rate must be an integer multiple of the audio rate");
+  }
+
+  std::vector<float> left = program.left;
+  std::vector<float> right = program.right;
+  if (config.preemphasis) {
+    PreEmphasis pe_l(kDeemphasisSeconds, program.sample_rate);
+    PreEmphasis pe_r(kDeemphasisSeconds, program.sample_rate);
+    left = pe_l.process(left);
+    right = pe_r.process(right);
+  }
+
+  const dsp::rvec l_up = upsample_audio(left, factor);
+  const dsp::rvec r_up = upsample_audio(right, factor);
+  const std::size_t n = l_up.size();
+
+  dsp::rvec rds_wave;
+  if (config.rds_level > 0.0 && !rds_bitstream.empty()) {
+    rds_wave = modulate_rds_subcarrier(rds_bitstream, n, config.mpx_rate);
+  }
+
+  dsp::Oscillator pilot(kPilotHz, config.mpx_rate);
+  dsp::Oscillator stereo_carrier(kStereoCarrierHz, config.mpx_rate);
+
+  dsp::rvec mpx(n);
+  const auto prog = static_cast<float>(config.program_level);
+  const auto pil = static_cast<float>(config.pilot_level);
+  const auto rds_g = static_cast<float>(config.rds_level);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float mid = 0.5F * (l_up[i] + r_up[i]);
+    float v = 0.0F;
+    if (config.stereo) {
+      const float side = 0.5F * (l_up[i] - r_up[i]);
+      v = prog * (mid + side * stereo_carrier.next_real()) + pil * pilot.next_real();
+    } else {
+      // Mono transmissions still advance the oscillators to keep the code
+      // path uniform but emit neither pilot nor subcarrier.
+      (void)stereo_carrier.next_real();
+      (void)pilot.next_real();
+      v = prog * mid;
+    }
+    if (!rds_wave.empty()) v += rds_g * rds_wave[i];
+    mpx[i] = v;
+  }
+  return mpx;
+}
+
+dsp::rvec extract_mono(std::span<const float> mpx, const MpxConfig& config) {
+  const double cutoff = kMonoAudioHiHz / config.mpx_rate;
+  dsp::FirFilter<float> lp(dsp::fir_design_lowpass(127, cutoff));
+  dsp::rvec mono = lp.process(mpx);
+  const float inv = config.program_level > 0.0
+                        ? static_cast<float>(1.0 / config.program_level)
+                        : 1.0F;
+  for (auto& v : mono) v *= inv;
+  return mono;
+}
+
+}  // namespace fmbs::fm

@@ -1,0 +1,25 @@
+#include "fm/receiver.h"
+
+#include <stdexcept>
+
+#include "fm/demodulator.h"
+
+namespace fmbs::fm {
+
+ReceiverOutput receive_fm(std::span<const dsp::cfloat> iq,
+                          const ReceiverConfig& config) {
+  if (iq.empty()) throw std::invalid_argument("receive_fm: empty input");
+  QuadratureDemodulator demod(config.deviation_hz, config.sample_rate);
+  ReceiverOutput out;
+  out.mpx = demod.process(iq);
+
+  StereoDecoderConfig sd = config.stereo;
+  sd.mpx_rate = config.sample_rate;
+  const StereoDecodeResult decoded = decode_stereo(out.mpx, sd);
+  out.audio = decoded.audio;
+  out.stereo_mode = decoded.pilot_detected;
+  out.pilot_snr_db = decoded.pilot_snr_db;
+  return out;
+}
+
+}  // namespace fmbs::fm

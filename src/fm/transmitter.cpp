@@ -1,0 +1,35 @@
+#include "fm/transmitter.h"
+
+#include <stdexcept>
+
+#include "fm/modulator.h"
+#include "fm/rds.h"
+
+namespace fmbs::fm {
+
+StationSignal render_station(const StationConfig& config, double duration_seconds) {
+  if (duration_seconds <= 0.0) {
+    throw std::invalid_argument("render_station: duration must be > 0");
+  }
+  StationSignal out;
+  out.sample_rate = kMpxRate;
+  out.program = audio::render_program(config.program, duration_seconds,
+                                      kAudioRate, config.seed);
+
+  MpxConfig mpx_cfg;
+  mpx_cfg.stereo = config.program.stereo;
+  mpx_cfg.rds_level = config.rds_level;
+  mpx_cfg.preemphasis = config.preemphasis;
+
+  std::vector<unsigned char> rds_bits;
+  if (config.rds_level > 0.0) {
+    rds_bits = serialize_groups(make_ps_groups(config.rds_ps_name));
+  }
+  out.mpx = compose_mpx(out.program, mpx_cfg, rds_bits);
+
+  FmModulator mod(config.deviation_hz, kMpxRate);
+  out.iq = mod.process(out.mpx);
+  return out;
+}
+
+}  // namespace fmbs::fm

@@ -1,0 +1,43 @@
+// FM station: program synthesis -> MPX composition -> Eq.-1 modulation.
+// Produces the ambient signal every experiment backscatters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "audio/audio_buffer.h"
+#include "audio/program.h"
+#include "dsp/types.h"
+#include "fm/constants.h"
+#include "fm/mpx.h"
+
+namespace fmbs::fm {
+
+/// Everything that defines an FM station in the simulation.
+struct StationConfig {
+  audio::ProgramConfig program;
+  /// Frequency deviation; the paper uses the maximum allowed 75 kHz.
+  double deviation_hz = kMaxDeviationHz;
+  /// RDS injection (0 disables). PS name is broadcast as group 0A.
+  double rds_level = 0.0;
+  std::string rds_ps_name = "FMBSCTTR";
+  /// Apply broadcast pre-emphasis to the program audio.
+  bool preemphasis = false;
+  /// Deterministic content seed.
+  std::uint64_t seed = 1;
+};
+
+/// A rendered station transmission.
+struct StationSignal {
+  dsp::cvec iq;                 // unit-amplitude complex baseband at mpx rate
+  dsp::rvec mpx;                // the composite baseband that was modulated
+  audio::StereoBuffer program;  // the program audio (ground truth)
+  double sample_rate = kMpxRate;
+};
+
+/// Renders `duration_seconds` of a station's transmission at the MPX rate.
+/// The IQ is unit amplitude; the RF scene applies transmit power.
+StationSignal render_station(const StationConfig& config, double duration_seconds);
+
+}  // namespace fmbs::fm

@@ -1,0 +1,44 @@
+// Cooperative backscatter cancellation — paper section 3.3. Two phones near
+// the tag tune to different channels:
+//   phone 1 @ fc        hears  FM_audio(t)
+//   phone 2 @ fc+f_back hears  FM_audio(t) + FM_back(t)
+// "Here we have two equations in two unknowns" — subtracting the aligned,
+// gain-calibrated streams recovers FM_back(t). The two receiver-side issues
+// the paper handles are reproduced faithfully:
+//   1. no time synchronization  -> resample both streams x10 in software and
+//      cross-correlate to align,
+//   2. hardware gain control    -> a 13 kHz tag pilot, sent alone during a
+//      preamble and at low level under the payload, calibrates the AGC's
+//      gain change; the received signal is rescaled by the amplitude ratio.
+#pragma once
+
+#include "audio/audio_buffer.h"
+#include "tag/baseband.h"
+
+namespace fmbs::rx {
+
+/// Canceller options (must match the tag's CoopPilotConfig).
+struct CooperativeConfig {
+  tag::CoopPilotConfig pilot;
+  std::size_t resample_factor = 10;  // paper: "by a factor of ten"
+  double max_align_seconds = 0.05;
+  /// Remove the residual 13 kHz pilot from the recovered audio.
+  bool notch_pilot = true;
+};
+
+/// Cancellation result.
+struct CooperativeResult {
+  audio::MonoBuffer backscatter_audio;  // recovered FM_back(t), payload region
+  double delay_samples = 0.0;           // phone2 vs phone1 (at the x10 rate)
+  double agc_ratio = 1.0;               // preamble/payload pilot amplitude
+  double ambient_gain = 1.0;            // least-squares fit of phone1 onto phone2
+};
+
+/// Cancels the ambient program from phone2's audio using phone1's.
+/// Both buffers must share a sample rate. phone2 must contain the tag's
+/// 13 kHz preamble followed by the payload.
+CooperativeResult cancel_ambient(const audio::MonoBuffer& phone1,
+                                 const audio::MonoBuffer& phone2,
+                                 const CooperativeConfig& config = {});
+
+}  // namespace fmbs::rx

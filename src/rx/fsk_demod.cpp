@@ -1,0 +1,142 @@
+#include "rx/fsk_demod.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/goertzel.h"
+
+namespace fmbs::rx {
+
+namespace {
+
+struct SymbolDecision {
+  std::vector<std::size_t> winners;  // per group
+  double confidence = 0.0;
+};
+
+SymbolDecision decide_symbol(std::span<const float> block,
+                             const dsp::GoertzelBank& bank,
+                             const tag::FskParams& params) {
+  const std::vector<double> powers = bank.powers(block);
+  SymbolDecision d;
+  d.winners.resize(params.groups);
+  double conf_acc = 0.0;
+  for (std::size_t g = 0; g < params.groups; ++g) {
+    const std::size_t base = g * params.tones_per_group;
+    std::size_t best = 0;
+    double p_best = -1.0, p_second = 0.0;
+    for (std::size_t t = 0; t < params.tones_per_group; ++t) {
+      const double p = powers[base + t];
+      if (p > p_best) {
+        p_second = p_best;
+        p_best = p;
+        best = t;
+      } else if (p > p_second) {
+        p_second = p;
+      }
+    }
+    d.winners[g] = best;
+    // Margin normalized by total group power: saturation-free, so symbol
+    // boundaries (where power splits between two tones) score distinctly
+    // lower than true alignment.
+    double p_total = 0.0;
+    for (std::size_t t = 0; t < params.tones_per_group; ++t) {
+      p_total += powers[base + t];
+    }
+    conf_acc += p_total > 0.0 ? (p_best - p_second) / p_total : 0.0;
+  }
+  d.confidence = conf_acc / static_cast<double>(params.groups);
+  return d;
+}
+
+}  // namespace
+
+FskDemodResult demodulate_fsk(const audio::MonoBuffer& audio, tag::DataRate rate,
+                              std::size_t num_bits, const FskDemodConfig& config) {
+  if (audio.empty()) throw std::invalid_argument("demodulate_fsk: empty audio");
+  const tag::FskParams params = tag::FskParams::for_rate(rate);
+  const double fs = audio.sample_rate;
+  const auto sps = static_cast<std::size_t>(fs / params.symbol_rate + 0.5);
+  const std::size_t num_symbols =
+      (num_bits + params.bits_per_symbol - 1) / params.bits_per_symbol;
+
+  dsp::GoertzelBank bank(params.tones_hz, fs);
+
+  // Timing search: maximize mean decision confidence over a subset of
+  // symbols, then demodulate everything at the winning offset.
+  const std::size_t max_offset = sps > 0 ? sps - 1 : 0;
+  const std::size_t step =
+      std::max<std::size_t>(1, sps / static_cast<std::size_t>(
+                                         config.search_steps_per_symbol));
+  const std::size_t probe_symbols = std::min<std::size_t>(num_symbols, 24);
+
+  double best_metric = -1.0;
+  std::size_t best_offset = 0;
+  for (std::size_t offset = 0; offset <= max_offset; offset += step) {
+    double metric = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t s = 0; s < probe_symbols; ++s) {
+      const std::size_t start = offset + s * sps;
+      if (start + sps > audio.size()) break;
+      const SymbolDecision d = decide_symbol(
+          std::span<const float>(audio.samples).subspan(start, sps), bank, params);
+      metric += d.confidence;
+      ++counted;
+    }
+    if (counted == 0) continue;
+    metric /= static_cast<double>(counted);
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_offset = offset;
+    }
+  }
+
+  FskDemodResult result;
+  result.timing_offset_samples = static_cast<double>(best_offset);
+  result.bits.reserve(num_symbols * params.bits_per_symbol);
+  double conf_acc = 0.0;
+  std::size_t decoded_symbols = 0;
+  const std::size_t bits_per_group = params.bits_per_symbol / params.groups;
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    const std::size_t start = best_offset + s * sps;
+    if (start + sps > audio.size()) break;
+    const SymbolDecision d = decide_symbol(
+        std::span<const float>(audio.samples).subspan(start, sps), bank, params);
+    conf_acc += d.confidence;
+    ++decoded_symbols;
+    for (std::size_t g = 0; g < params.groups; ++g) {
+      for (std::size_t b = 0; b < bits_per_group; ++b) {
+        const std::size_t shift = bits_per_group - 1 - b;
+        result.bits.push_back(
+            static_cast<std::uint8_t>((d.winners[g] >> shift) & 1U));
+      }
+    }
+  }
+  result.mean_confidence =
+      decoded_symbols > 0 ? conf_acc / static_cast<double>(decoded_symbols) : 0.0;
+  if (result.bits.size() > num_bits) result.bits.resize(num_bits);
+  return result;
+}
+
+BerResult compare_bits(std::span<const std::uint8_t> reference,
+                       std::span<const std::uint8_t> received) {
+  BerResult r;
+  r.bits_compared = std::min(reference.size(), received.size());
+  for (std::size_t i = 0; i < r.bits_compared; ++i) {
+    if (reference[i] != received[i]) ++r.bit_errors;
+  }
+  // Bits the receiver failed to produce count as errors (half on average
+  // would be optimistic; the paper's BER includes lost symbols).
+  if (received.size() < reference.size()) {
+    r.bit_errors += reference.size() - received.size();
+    r.bits_compared = reference.size();
+  }
+  r.ber = r.bits_compared > 0
+              ? static_cast<double>(r.bit_errors) /
+                    static_cast<double>(r.bits_compared)
+              : 0.0;
+  return r;
+}
+
+}  // namespace fmbs::rx

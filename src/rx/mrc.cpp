@@ -1,0 +1,44 @@
+#include "rx/mrc.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dsp/correlate.h"
+
+namespace fmbs::rx {
+
+audio::MonoBuffer mrc_combine(const audio::MonoBuffer& audio,
+                              std::size_t repetitions,
+                              std::size_t max_align_lag) {
+  if (repetitions == 0) throw std::invalid_argument("mrc_combine: zero repetitions");
+  if (audio.empty()) throw std::invalid_argument("mrc_combine: empty audio");
+  const std::size_t seg_len = audio.size() / repetitions;
+  if (seg_len == 0) throw std::invalid_argument("mrc_combine: too few samples");
+
+  std::vector<double> acc(seg_len, 0.0);
+  const std::span<const float> all(audio.samples);
+  const auto first = all.subspan(0, seg_len);
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto seg = all.subspan(r * seg_len, seg_len);
+    long shift = 0;
+    if (r > 0 && max_align_lag > 0) {
+      const dsp::DelayEstimate est = dsp::estimate_delay(first, seg, max_align_lag);
+      shift = std::lround(est.delay_samples);
+    }
+    for (std::size_t i = 0; i < seg_len; ++i) {
+      const long j = static_cast<long>(i) + shift;
+      if (j >= 0 && j < static_cast<long>(seg_len)) {
+        acc[i] += seg[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  std::vector<float> out(seg_len);
+  const double inv = 1.0 / static_cast<double>(repetitions);
+  for (std::size_t i = 0; i < seg_len; ++i) {
+    out[i] = static_cast<float>(acc[i] * inv);
+  }
+  return audio::MonoBuffer(std::move(out), audio.sample_rate);
+}
+
+}  // namespace fmbs::rx

@@ -1,0 +1,23 @@
+// Maximal-ratio combining over repeated transmissions — paper section 3.4:
+// "we backscatter our data N times and record the raw signals for each
+// transmission. Our receiver then uses the sum of these raw signals in order
+// to decode the data. Because the noise (i.e., the original audio signal) of
+// each transmission are not correlated, the SNR of the sum is therefore up
+// to N times that of a single transmission."
+#pragma once
+
+#include <cstddef>
+
+#include "audio/audio_buffer.h"
+
+namespace fmbs::rx {
+
+/// Splits `audio` into `repetitions` equal back-to-back segments, aligns
+/// segments 2..N to the first by cross-correlation (transmitter repeats are
+/// synchronous, but receiver-side drift is tolerated), and returns their
+/// sample mean.
+audio::MonoBuffer mrc_combine(const audio::MonoBuffer& audio,
+                              std::size_t repetitions,
+                              std::size_t max_align_lag = 256);
+
+}  // namespace fmbs::rx

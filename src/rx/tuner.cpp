@@ -1,0 +1,59 @@
+#include "rx/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmbs::rx {
+
+namespace {
+
+std::size_t compute_factor(const TunerConfig& cfg) {
+  const double ratio = cfg.rf_rate / cfg.output_rate;
+  const auto factor = static_cast<std::size_t>(ratio + 0.5);
+  if (factor == 0 || std::abs(ratio - static_cast<double>(factor)) > 1e-9) {
+    throw std::invalid_argument("Tuner: rf_rate must be an integer multiple of output_rate");
+  }
+  return factor;
+}
+
+std::vector<float> design_channel_filter(const TunerConfig& cfg) {
+  // Place the -6 dB design cutoff beyond the passband edge so the channel
+  // itself sees a flat response; the transition then runs to the adjacent
+  // channel (offset - passband), where full selectivity is required.
+  const double cutoff = cfg.passband_hz * 1.18 / cfg.rf_rate;
+  const double stop_edge =
+      (std::abs(cfg.offset_hz) > 2.0 * cfg.passband_hz
+           ? std::abs(cfg.offset_hz) - cfg.passband_hz
+           : 2.4 * cfg.passband_hz) /
+      cfg.rf_rate;
+  // Cap the transition width: a wide allowed transition would produce a
+  // filter so short that the passband itself droops by a dB or more.
+  const double transition = std::clamp(stop_edge - cutoff, 0.02, 0.05);
+  return dsp::fir_design_kaiser_lowpass(cutoff, transition,
+                                        cfg.stopband_attenuation_db);
+}
+
+}  // namespace
+
+Tuner::Tuner(const TunerConfig& config)
+    : cfg_(config),
+      factor_(compute_factor(config)),
+      mixer_(-config.offset_hz, config.rf_rate),
+      decimator_(design_channel_filter(config), factor_) {}
+
+dsp::cvec Tuner::process(std::span<const dsp::cfloat> rf) {
+  if (rf.size() % factor_ != 0) {
+    throw std::invalid_argument("Tuner: block not a multiple of the decimation");
+  }
+  work_.assign(rf.begin(), rf.end());
+  mixer_.process_inplace(work_);
+  return decimator_.process(work_);
+}
+
+void Tuner::reset() {
+  decimator_.reset();
+  // Mixer phase continuity is intentional; recreate the Tuner for a fresh start.
+}
+
+}  // namespace fmbs::rx

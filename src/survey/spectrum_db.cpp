@@ -1,0 +1,138 @@
+#include "survey/spectrum_db.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+#include "fm/constants.h"
+
+namespace fmbs::survey {
+
+double channel_frequency_hz(int channel_index) {
+  if (channel_index < 0 || channel_index >= fm::kNumChannels) {
+    throw std::invalid_argument("channel_frequency_hz: index out of range");
+  }
+  return fm::kBandLoHz + channel_index * fm::kChannelSpacingHz;
+}
+
+CitySpectrum synthesize_city_spectrum(const std::string& name, int licensed,
+                                      int detectable, std::uint64_t seed) {
+  if (licensed < 0 || licensed > fm::kNumChannels || detectable < 0 ||
+      detectable > fm::kNumChannels) {
+    throw std::invalid_argument("synthesize_city_spectrum: bad counts");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> chan(0, fm::kNumChannels - 1);
+  std::uniform_real_distribution<double> strong(-45.0, -15.0);
+  std::uniform_real_distribution<double> weak(-75.0, -50.0);
+  std::bernoulli_distribution allow_adjacent(0.25);
+
+  // Licensed stations: FCC avoids first-adjacent co-location, but
+  // neighboring-market licenses make some adjacency appear in practice.
+  std::set<int> lic;
+  int guard = 0;
+  while (static_cast<int>(lic.size()) < licensed && guard++ < 20000) {
+    const int c = chan(rng);
+    if (lic.count(c)) continue;
+    const bool has_neighbor = lic.count(c - 1) || lic.count(c + 1);
+    if (has_neighbor && !allow_adjacent(rng)) continue;
+    lic.insert(c);
+  }
+
+  CitySpectrum city;
+  city.name = name;
+  city.licensed_channels.assign(lic.begin(), lic.end());
+
+  // Detectable: most licensed stations are receivable (some silent), plus
+  // out-of-market stations when detectable > licensed.
+  std::set<int> det;
+  std::vector<int> lic_vec(lic.begin(), lic.end());
+  std::shuffle(lic_vec.begin(), lic_vec.end(), rng);
+  const int receivable =
+      std::min<int>(detectable, static_cast<int>(lic_vec.size()) * 9 / 10);
+  for (int i = 0; i < receivable; ++i) det.insert(lic_vec[static_cast<std::size_t>(i)]);
+  guard = 0;
+  while (static_cast<int>(det.size()) < detectable && guard++ < 20000) {
+    det.insert(chan(rng));
+  }
+
+  for (const int c : det) {
+    city.detectable_channels.push_back(c);
+    const bool local = lic.count(c) > 0;
+    city.detectable_power_dbm.push_back(local ? strong(rng) : weak(rng));
+  }
+  return city;
+}
+
+std::vector<CitySpectrum> builtin_city_spectra() {
+  // Counts read off the paper's Fig. 4a (licensed vs detectable): Seattle is
+  // the city where detectable exceeds licensed (neighboring-city signals).
+  return {
+      synthesize_city_spectrum("SFO", 45, 37, 101),
+      synthesize_city_spectrum("Seattle", 39, 55, 202),
+      synthesize_city_spectrum("Boston", 36, 31, 303),
+      synthesize_city_spectrum("Chicago", 55, 46, 404),
+      synthesize_city_spectrum("LA", 66, 52, 505),
+  };
+}
+
+std::vector<double> minimum_shift_frequencies(const CitySpectrum& city) {
+  std::set<int> occupied(city.licensed_channels.begin(),
+                         city.licensed_channels.end());
+  std::vector<double> shifts;
+  shifts.reserve(city.licensed_channels.size());
+  for (const int c : city.licensed_channels) {
+    int best = fm::kNumChannels;  // in channel units
+    for (int other = 0; other < fm::kNumChannels; ++other) {
+      if (occupied.count(other)) continue;
+      best = std::min(best, std::abs(other - c));
+    }
+    if (best == fm::kNumChannels) continue;  // fully occupied band
+    shifts.push_back(best * fm::kChannelSpacingHz);
+  }
+  return shifts;
+}
+
+ShiftChoice choose_backscatter_shift(const CitySpectrum& city, int station_channel,
+                                     double max_shift_hz) {
+  if (station_channel < 0 || station_channel >= fm::kNumChannels) {
+    throw std::invalid_argument("choose_backscatter_shift: bad channel");
+  }
+  std::set<int> occupied(city.licensed_channels.begin(),
+                         city.licensed_channels.end());
+  // Ambient power per channel: detectable power where known, floor elsewhere.
+  std::vector<double> ambient(fm::kNumChannels, -110.0);
+  for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
+    ambient[static_cast<std::size_t>(city.detectable_channels[i])] =
+        city.detectable_power_dbm[i];
+  }
+
+  const int max_steps =
+      static_cast<int>(max_shift_hz / fm::kChannelSpacingHz + 0.5);
+  ShiftChoice choice;
+  double best_power = 1e9;
+  for (int delta = -max_steps; delta <= max_steps; ++delta) {
+    if (delta == 0) continue;
+    const int target = station_channel + delta;
+    if (target < 0 || target >= fm::kNumChannels) continue;
+    if (occupied.count(target)) continue;
+    const double p = ambient[static_cast<std::size_t>(target)];
+    // Prefer lower ambient power; ties break toward the smaller shift
+    // (cheaper subcarrier, lower tag power).
+    const bool better =
+        p < best_power - 1e-9 ||
+        (std::abs(p - best_power) <= 1e-9 &&
+         std::abs(delta) * fm::kChannelSpacingHz < std::abs(choice.shift_hz));
+    if (better) {
+      best_power = p;
+      choice.target_channel = target;
+      choice.shift_hz = delta * fm::kChannelSpacingHz;
+      choice.ambient_dbm = p;
+    }
+  }
+  return choice;
+}
+
+}  // namespace fmbs::survey

@@ -1,0 +1,60 @@
+// FM spectrum occupancy database (paper section 3.3 / Fig. 4). The paper
+// pulled licensed-station lists from radio-locator.com and detectable
+// stations from fmfool.com for five cities; those services are live web
+// resources, so this module embeds representative per-city channel sets,
+// statistically matched to Fig. 4a (licensed/detectable counts), and
+// implements the real algorithms on top:
+//  * occupancy counting,
+//  * minimum shift frequency: for each active station, the distance to the
+//    nearest unoccupied FM channel (Fig. 4b: median 200 kHz, worst < 800 kHz),
+//  * backscatter channel selection (pick f_back so fc + f_back lands on the
+//    emptiest channel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmbs::survey {
+
+/// Channel occupancy of one city. Channels are indexed 0..99
+/// (88.1 + 0.2 k MHz).
+struct CitySpectrum {
+  std::string name;
+  std::vector<int> licensed_channels;    // channel indices with a license
+  std::vector<int> detectable_channels;  // channels with receivable signal
+  /// Ambient power of each detectable channel at a street location (dBm),
+  /// parallel to detectable_channels.
+  std::vector<double> detectable_power_dbm;
+};
+
+/// Center frequency (Hz) of FM channel index 0..99.
+double channel_frequency_hz(int channel_index);
+
+/// The five surveyed cities with representative occupancy data.
+std::vector<CitySpectrum> builtin_city_spectra();
+
+/// Generates a synthetic city spectrum with the requested counts (for
+/// parameter sweeps beyond the built-in five).
+CitySpectrum synthesize_city_spectrum(const std::string& name, int licensed,
+                                      int detectable, std::uint64_t seed);
+
+/// Minimum shift frequencies (Hz): for every *licensed* station, the
+/// distance to the nearest channel with no licensed station (the paper's
+/// Fig. 4b definition, computed from licensing data).
+std::vector<double> minimum_shift_frequencies(const CitySpectrum& city);
+
+/// Chosen backscatter shift for a tag listening to `station_channel`:
+/// prefers the unoccupied channel with the lowest ambient power within
+/// `max_shift_hz` (paper: "the optimal value of f_back ... should be chosen
+/// such that the backscatter transmission is sent at the frequency with the
+/// lowest power ambient FM signal").
+struct ShiftChoice {
+  int target_channel = -1;
+  double shift_hz = 0.0;       // may be negative (shift down-band)
+  double ambient_dbm = -120.0; // estimated ambient power on the target
+};
+ShiftChoice choose_backscatter_shift(const CitySpectrum& city, int station_channel,
+                                     double max_shift_hz = 800e3);
+
+}  // namespace fmbs::survey

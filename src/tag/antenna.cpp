@@ -1,0 +1,34 @@
+#include "tag/antenna.h"
+
+namespace fmbs::tag {
+
+AntennaModel poster_dipole_antenna() {
+  // Half-wave dipole: 2.15 dBi; copper tape on paper is a good conductor at
+  // 100 MHz, small ohmic loss.
+  return {"poster-dipole-40x60", 2.15, -0.5, 0.0};
+}
+
+AntennaModel poster_bowtie_antenna() {
+  // Bowtie trades a little gain for bandwidth; the 24"x36" aperture is
+  // electrically shorter than a half wave at 95 MHz.
+  return {"poster-bowtie-24x36", 1.5, -1.5, 0.0};
+}
+
+AntennaModel tshirt_meander_antenna(bool worn) {
+  // Meandering shortens the dipole (lower radiation resistance) and the
+  // stainless thread is lossier than copper; the body absorbs several dB
+  // more when the shirt is worn.
+  return {"tshirt-meander", 0.0, -3.0, worn ? 4.0 : 0.0};
+}
+
+AntennaModel car_whip_antenna() {
+  // Quarter-wave whip over the car-body ground plane; well matched.
+  return {"car-whip", 2.0, -0.5, 0.0};
+}
+
+AntennaModel headphone_antenna() {
+  // Loose headphone wire: poorly controlled orientation and match.
+  return {"headphone-wire", -3.0, -2.0, 0.0};
+}
+
+}  // namespace fmbs::tag

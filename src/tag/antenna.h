@@ -1,0 +1,45 @@
+// Behavioral antenna models for the paper's prototypes (section 6):
+//  * 40"x60" half-wave copper-tape dipole on a bus-stop poster,
+//  * 24"x36" bowtie on a Super A1 poster,
+//  * meander dipole machine-sewn in conductive thread on a cotton t-shirt
+//    (with body-proximity loss, per the paper's observation that "wearable
+//    systems suffer from losses such as poor antenna performance in close
+//    proximity to the human body").
+// These are gain/efficiency abstractions, not EM solves (see DESIGN.md).
+#pragma once
+
+#include <string>
+
+namespace fmbs::tag {
+
+/// Antenna behavioral parameters.
+struct AntennaModel {
+  std::string name;
+  double gain_dbi = 0.0;        // peak gain
+  double efficiency_db = 0.0;   // ohmic/mismatch loss (negative)
+  double body_loss_db = 0.0;    // proximity loss when worn (negative-ish, stored positive)
+
+  /// Effective gain used in the link budget.
+  double effective_gain_db() const {
+    return gain_dbi + efficiency_db - body_loss_db;
+  }
+};
+
+/// 40"x60" half-wave dipole poster antenna (copper tape).
+AntennaModel poster_dipole_antenna();
+
+/// 24"x36" bowtie poster antenna (copper tape, wider bandwidth, slightly
+/// lower gain).
+AntennaModel poster_bowtie_antenna();
+
+/// Meander dipole sewn on a t-shirt in stainless conductive thread; the
+/// `worn` flag applies body-proximity loss.
+AntennaModel tshirt_meander_antenna(bool worn = true);
+
+/// Quarter-wave whip on a car body (receiver side, for Fig. 14).
+AntennaModel car_whip_antenna();
+
+/// Headphone-cable antenna of a smartphone (receiver side).
+AntennaModel headphone_antenna();
+
+}  // namespace fmbs::tag

@@ -1,0 +1,61 @@
+// Tag baseband composition: what FM_back(t) should be for each of the
+// paper's three techniques (section 3.3).
+//
+//  * Overlay:   FM_back = the tag's audio or FSK data, placed in the mono
+//               (0-15 kHz) band; the receiver hears program + tag audio.
+//  * Stereo:    FM_back = 0.9 * side_content * cos(2 pi 38k t)
+//                         [+ 0.1 * cos(2 pi 19k t) when converting a mono
+//                         station to stereo]  — the paper's stereo equation.
+//  * Cooperative: overlay content prefixed by a 13 kHz calibration pilot
+//               preamble, with the pilot kept at low level during payload
+//               for the receiver's amplitude-calibration step.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "audio/audio_buffer.h"
+#include "dsp/types.h"
+#include "fm/constants.h"
+
+namespace fmbs::tag {
+
+/// Parameters of the cooperative calibration pilot (paper: "we transmit a
+/// low power pilot tone at 13 kHz as a preamble").
+struct CoopPilotConfig {
+  double pilot_hz = 13000.0;
+  double preamble_seconds = 0.25;
+  double preamble_level = 0.25;  // pilot alone during the preamble
+  double payload_level = 0.05;   // pilot underneath the payload
+};
+
+/// Composes an overlay baseband at the MPX rate from audio-rate content.
+/// `level` scales the content relative to full deviation.
+dsp::rvec compose_overlay_baseband(const audio::MonoBuffer& content, double level,
+                                   double mpx_rate = fm::kMpxRate);
+
+/// Composes a stereo-backscatter baseband: content is amplitude-modulated
+/// onto the 38 kHz subcarrier at program level 0.9; when `insert_pilot` is
+/// true a 19 kHz pilot at level 0.1 is added (mono-to-stereo conversion).
+dsp::rvec compose_stereo_baseband(const audio::MonoBuffer& side_content,
+                                  bool insert_pilot,
+                                  double mpx_rate = fm::kMpxRate);
+
+/// Composes a cooperative-backscatter baseband: 13 kHz pilot preamble, then
+/// the overlay content mixed with a low-level pilot.
+dsp::rvec compose_cooperative_baseband(const audio::MonoBuffer& content,
+                                       double level,
+                                       const CoopPilotConfig& pilot = {},
+                                       double mpx_rate = fm::kMpxRate);
+
+/// Composes an RDS-backscatter baseband: the tag places an RDS bitstream on
+/// the 57 kHz subcarrier of its *own* backscatter channel (which is empty —
+/// the shifted copy of the station carries no RDS of its own). Any RDS-aware
+/// receiver on the backscatter channel then shows the tag's text. `level`
+/// is the subcarrier injection level (broadcast RDS uses ~0.05-0.1 of
+/// deviation; higher is fine here since the stereo band is unused).
+dsp::rvec compose_rds_baseband(std::span<const unsigned char> rds_bits,
+                               std::size_t num_samples, double level = 0.3,
+                               double mpx_rate = fm::kMpxRate);
+
+}  // namespace fmbs::tag

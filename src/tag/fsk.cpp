@@ -1,0 +1,114 @@
+#include "tag/fsk.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::tag {
+
+const char* to_string(DataRate rate) {
+  switch (rate) {
+    case DataRate::k100bps: return "100bps";
+    case DataRate::k1600bps: return "1.6kbps";
+    case DataRate::k3200bps: return "3.2kbps";
+  }
+  return "unknown";
+}
+
+double bits_per_second(DataRate rate) {
+  switch (rate) {
+    case DataRate::k100bps: return 100.0;
+    case DataRate::k1600bps: return 1600.0;
+    case DataRate::k3200bps: return 3200.0;
+  }
+  return 0.0;
+}
+
+FskParams FskParams::for_rate(DataRate rate) {
+  FskParams p;
+  switch (rate) {
+    case DataRate::k100bps:
+      p.tones_hz = {8000.0, 12000.0};
+      p.groups = 1;
+      p.tones_per_group = 2;
+      p.symbol_rate = 100.0;
+      p.bits_per_symbol = 1;
+      break;
+    case DataRate::k1600bps:
+    case DataRate::k3200bps: {
+      // Sixteen tones, 800 Hz ... 12.8 kHz in 800 Hz steps, grouped 4x4.
+      for (int i = 1; i <= 16; ++i) p.tones_hz.push_back(800.0 * i);
+      p.groups = 4;
+      p.tones_per_group = 4;
+      p.symbol_rate = rate == DataRate::k1600bps ? 200.0 : 400.0;
+      p.bits_per_symbol = 8;
+      break;
+    }
+  }
+  return p;
+}
+
+audio::MonoBuffer modulate_fsk(std::span<const std::uint8_t> bits, DataRate rate,
+                               double sample_rate, double amplitude) {
+  if (sample_rate <= 0.0) throw std::invalid_argument("modulate_fsk: bad rate");
+  if (bits.empty()) throw std::invalid_argument("modulate_fsk: no bits");
+  const FskParams p = FskParams::for_rate(rate);
+
+  const auto samples_per_symbol =
+      static_cast<std::size_t>(sample_rate / p.symbol_rate + 0.5);
+  const std::size_t num_symbols =
+      (bits.size() + p.bits_per_symbol - 1) / p.bits_per_symbol;
+
+  // Continuous-phase oscillators, one per tone.
+  std::vector<double> phase(p.tones_hz.size(), 0.0);
+  std::vector<double> step(p.tones_hz.size());
+  for (std::size_t t = 0; t < p.tones_hz.size(); ++t) {
+    step[t] = dsp::kTwoPi * p.tones_hz[t] / sample_rate;
+  }
+
+  const double tone_amp = amplitude / static_cast<double>(p.groups);
+  std::vector<float> out(num_symbols * samples_per_symbol, 0.0F);
+
+  for (std::size_t s = 0; s < num_symbols; ++s) {
+    // Which tone is active in each group this symbol?
+    std::vector<std::size_t> active(p.groups);
+    for (std::size_t g = 0; g < p.groups; ++g) {
+      std::size_t index = 0;
+      const std::size_t bits_per_group = p.bits_per_symbol / p.groups;
+      for (std::size_t b = 0; b < bits_per_group; ++b) {
+        const std::size_t bit_pos = s * p.bits_per_symbol + g * bits_per_group + b;
+        const std::uint8_t bit = bit_pos < bits.size() ? bits[bit_pos] : 0;
+        index = (index << 1) | bit;
+      }
+      active[g] = g * p.tones_per_group + index;
+    }
+    for (std::size_t i = 0; i < samples_per_symbol; ++i) {
+      float v = 0.0F;
+      for (std::size_t t = 0; t < phase.size(); ++t) {
+        // All oscillators advance; only active ones are summed, keeping the
+        // phase continuous when a tone is re-keyed later.
+        phase[t] += step[t];
+        if (phase[t] >= dsp::kTwoPi) phase[t] -= dsp::kTwoPi;
+        for (std::size_t g = 0; g < p.groups; ++g) {
+          if (active[g] == t) {
+            v += static_cast<float>(tone_amp * std::sin(phase[t]));
+          }
+        }
+      }
+      out[s * samples_per_symbol + i] = v;
+    }
+  }
+  return audio::MonoBuffer(std::move(out), sample_rate);
+}
+
+std::vector<std::uint8_t> random_bits(std::size_t count, std::uint64_t seed) {
+  std::vector<std::uint8_t> bits(count);
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(0.5);
+  for (auto& b : bits) b = coin(rng) ? 1 : 0;
+  return bits;
+}
+
+}  // namespace fmbs::tag

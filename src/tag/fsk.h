@@ -1,0 +1,55 @@
+// Audio-band data modulators — paper section 3.4.
+//
+//  * 100 bps: binary FSK with tones at 8 and 12 kHz ("above most human
+//    speech frequencies"), 100 symbols/s.
+//  * 1.6 / 3.2 kbps: FDM-4FSK — sixteen tones from 800 Hz to 12.8 kHz in
+//    four consecutive groups; each group signals 2 bits by activating one of
+//    its four tones (so 8 bits/symbol, only 4 tones live at a time, keeping
+//    transmitter complexity and peak-to-average ratio low); 200 or 400
+//    symbols/s.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "audio/audio_buffer.h"
+
+namespace fmbs::tag {
+
+/// The paper's three data rates.
+enum class DataRate {
+  k100bps,
+  k1600bps,
+  k3200bps,
+};
+
+/// Human-readable rate name.
+const char* to_string(DataRate rate);
+
+/// Bits per second for a rate.
+double bits_per_second(DataRate rate);
+
+/// Modulation parameters shared by modulator and demodulator.
+struct FskParams {
+  std::vector<double> tones_hz;  // all candidate tones
+  std::size_t groups = 1;        // frequency-division groups
+  std::size_t tones_per_group = 2;
+  double symbol_rate = 100.0;
+  std::size_t bits_per_symbol = 1;
+
+  static FskParams for_rate(DataRate rate);
+};
+
+/// Modulates a bit sequence into audio-band baseband at `sample_rate`.
+/// Tones maintain phase continuity across symbols (per-tone oscillators) to
+/// avoid keying splatter. Amplitude is normalized so the waveform peaks near
+/// `amplitude`.
+audio::MonoBuffer modulate_fsk(std::span<const std::uint8_t> bits, DataRate rate,
+                               double sample_rate, double amplitude = 1.0);
+
+/// Deterministic pseudo-random payload helper for BER runs.
+std::vector<std::uint8_t> random_bits(std::size_t count, std::uint64_t seed);
+
+}  // namespace fmbs::tag

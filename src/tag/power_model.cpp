@@ -1,0 +1,45 @@
+#include "tag/power_model.h"
+
+#include <stdexcept>
+
+namespace fmbs::tag {
+
+PowerBreakdown tag_power(const PowerModelConfig& config) {
+  if (config.subcarrier_hz <= 0.0) {
+    throw std::invalid_argument("tag_power: bad subcarrier frequency");
+  }
+  PowerBreakdown out;
+  out.baseband_uw = config.baseband_uw;
+  // Dynamic power ~ C V^2 f: linear in the switching frequency.
+  const double f_scale = config.subcarrier_hz / 600e3;
+  out.modulator_uw = config.modulator_uw_at_600k * f_scale;
+  out.switch_uw = config.switch_uw_at_600k * f_scale;
+  out.total_uw = out.baseband_uw + out.modulator_uw + out.switch_uw;
+  return out;
+}
+
+BatteryLife battery_life(double power_uw, double capacity_mah,
+                         double supply_voltage, double efficiency) {
+  if (power_uw <= 0.0 || capacity_mah <= 0.0 || supply_voltage <= 0.0 ||
+      efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument("battery_life: bad parameters");
+  }
+  BatteryLife out;
+  out.current_ua = power_uw / (supply_voltage * efficiency);
+  out.hours = capacity_mah * 1000.0 / out.current_ua;
+  out.years = out.hours / (24.0 * 365.0);
+  return out;
+}
+
+BatteryLife battery_life_from_current(double current_ma, double capacity_mah) {
+  if (current_ma <= 0.0 || capacity_mah <= 0.0) {
+    throw std::invalid_argument("battery_life_from_current: bad parameters");
+  }
+  BatteryLife out;
+  out.current_ua = current_ma * 1000.0;
+  out.hours = capacity_mah / current_ma;
+  out.years = out.hours / (24.0 * 365.0);
+  return out;
+}
+
+}  // namespace fmbs::tag

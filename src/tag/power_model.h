@@ -1,0 +1,63 @@
+// Analytic power/cost model of the backscatter tag IC (paper section 4) and
+// the battery-life comparison of section 2.
+//
+// Paper reference points (TSMC 65 nm LP, simulated in Cadence Spectre):
+//   baseband state machine:            1.00 uW
+//   LC-tank DCO FM modulator @600 kHz: 9.94 uW (frequency deviation 75 kHz)
+//   NMOS backscatter switch  @600 kHz: 0.13 uW
+//   total:                            11.07 uW
+// Dynamic blocks scale ~linearly with switching frequency (C V^2 f), which
+// this model uses to extrapolate to other subcarrier shifts.
+#pragma once
+
+namespace fmbs::tag {
+
+/// Power model inputs.
+struct PowerModelConfig {
+  double subcarrier_hz = 600e3;   // f_back
+  double deviation_hz = 75e3;
+  double baseband_uw = 1.00;      // state machine (rate independent here)
+  double modulator_uw_at_600k = 9.94;
+  double switch_uw_at_600k = 0.13;
+};
+
+/// Per-block and total power in microwatts.
+struct PowerBreakdown {
+  double baseband_uw = 0.0;
+  double modulator_uw = 0.0;
+  double switch_uw = 0.0;
+  double total_uw = 0.0;
+};
+
+/// Evaluates the model at the configured operating point. At the defaults
+/// this returns the paper's 11.07 uW total.
+PowerBreakdown tag_power(const PowerModelConfig& config = {});
+
+/// Battery life estimate.
+struct BatteryLife {
+  double current_ua = 0.0;
+  double hours = 0.0;
+  double years = 0.0;
+};
+
+/// Battery life of a load drawing `power_uw` from a cell of
+/// `capacity_mah`, with the effective supply voltage and converter
+/// efficiency. The paper's "almost 3 years" for the 11.07 uW tag on a
+/// 225 mAh coin cell corresponds to ~8.6 uA average draw (i.e. supply +
+/// regulator overheads lumped into `efficiency`).
+BatteryLife battery_life(double power_uw, double capacity_mah,
+                         double supply_voltage = 3.0, double efficiency = 0.43);
+
+/// Battery life of a radio quoted by its current draw (the paper's SI4713
+/// FM transmitter: 18.8 mA; 225 mAh -> under 12 hours).
+BatteryLife battery_life_from_current(double current_ma, double capacity_mah);
+
+/// Unit-cost comparison (section 2 / related work): FM transmitter chip at
+/// volume vs a backscatter tag.
+struct CostComparison {
+  double fm_chip_usd = 4.0;     // SI4713-B30-GMR at volume
+  double ble_chip_usd = 2.3;    // CC2541-class
+  double backscatter_usd = 0.1; // "as little as a few cents" (RFID-tag class)
+};
+
+}  // namespace fmbs::tag

@@ -1,0 +1,105 @@
+#include "tag/subcarrier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::tag {
+
+namespace {
+
+std::size_t compute_up_factor(const SubcarrierConfig& cfg) {
+  const double ratio = cfg.rf_rate / cfg.baseband_rate;
+  const auto factor = static_cast<std::size_t>(ratio + 0.5);
+  if (factor == 0 || std::abs(ratio - static_cast<double>(factor)) > 1e-9) {
+    throw std::invalid_argument(
+        "SubcarrierGenerator: rf_rate must be an integer multiple of baseband_rate");
+  }
+  return factor;
+}
+
+dsp::FirInterpolator<float> make_interpolator(std::size_t factor) {
+  if (factor == 1) {
+    return dsp::FirInterpolator<float>({1.0F}, 1);
+  }
+  const double cutoff = 0.45 / static_cast<double>(factor);
+  return dsp::FirInterpolator<float>(
+      dsp::fir_design_lowpass((16 * factor) | 1U, cutoff), factor);
+}
+
+}  // namespace
+
+SubcarrierGenerator::SubcarrierGenerator(const SubcarrierConfig& config)
+    : cfg_(config),
+      up_factor_(compute_up_factor(config)),
+      interpolator_(make_interpolator(up_factor_)) {
+  if (cfg_.shift_hz == 0.0 || cfg_.deviation_hz <= 0.0) {
+    throw std::invalid_argument("SubcarrierGenerator: bad shift or deviation");
+  }
+  if (std::abs(cfg_.shift_hz) + cfg_.deviation_hz >= cfg_.rf_rate / 2.0) {
+    throw std::invalid_argument("SubcarrierGenerator: subcarrier exceeds Nyquist");
+  }
+  // Highest instantaneous frequency of harmonic k is roughly
+  // k (|shift| + deviation + baseband bandwidth); keep it below 0.48 fs.
+  const double top = std::abs(cfg_.shift_hz) + cfg_.deviation_hz + 58000.0;
+  int k_max = 1;
+  while ((k_max + 2) * top < 0.48 * cfg_.rf_rate) k_max += 2;
+  if (cfg_.mode == SubcarrierMode::kBandlimitedSquare) {
+    harmonics_ = cfg_.max_harmonic > 0 ? std::min(cfg_.max_harmonic, k_max) : k_max;
+    if (harmonics_ % 2 == 0) --harmonics_;
+  } else {
+    harmonics_ = 1;
+  }
+}
+
+dsp::cvec SubcarrierGenerator::process(std::span<const float> baseband) {
+  const dsp::rvec up = interpolator_.process(baseband);
+  dsp::cvec out(up.size());
+
+  // The accumulated phase follows the signed shift: for real square waves
+  // cos() makes the sign irrelevant (both +-|f_back| copies exist), while
+  // the SSB exponential rotates toward the requested side.
+  const double base_step = dsp::kTwoPi * cfg_.shift_hz / cfg_.rf_rate;
+  const double dev_step = dsp::kTwoPi * cfg_.deviation_hz / cfg_.rf_rate;
+
+  // Optional DCO quantization: the IC's capacitor bank realizes 2^bits
+  // discrete frequencies across [shift - dev, shift + dev].
+  const double levels = cfg_.dco_bits > 0 ? std::pow(2.0, cfg_.dco_bits) - 1.0 : 0.0;
+
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    double m = static_cast<double>(up[i]);
+    if (levels > 0.0) {
+      const double clamped = std::clamp(m, -1.0, 1.0);
+      m = std::round((clamped + 1.0) / 2.0 * levels) / levels * 2.0 - 1.0;
+    }
+    const double ph = phase_.advance(base_step + dev_step * m);
+    switch (cfg_.mode) {
+      case SubcarrierMode::kBandlimitedSquare: {
+        double acc = 0.0;
+        for (int k = 1; k <= harmonics_; k += 2) {
+          acc += 4.0 / (dsp::kPi * k) * std::cos(static_cast<double>(k) * ph);
+        }
+        out[i] = dsp::cfloat(static_cast<float>(acc), 0.0F);
+        break;
+      }
+      case SubcarrierMode::kHardSquare:
+        out[i] = dsp::cfloat(std::cos(ph) >= 0.0 ? 1.0F : -1.0F, 0.0F);
+        break;
+      case SubcarrierMode::kSingleSideband:
+        // Same in-channel amplitude as one sideband of the square wave.
+        out[i] = dsp::cfloat(static_cast<float>(2.0 / dsp::kPi * std::cos(ph)),
+                             static_cast<float>(2.0 / dsp::kPi * std::sin(ph)));
+        break;
+    }
+  }
+  return out;
+}
+
+void SubcarrierGenerator::reset() {
+  phase_.reset();
+  interpolator_.reset();
+}
+
+}  // namespace fmbs::tag

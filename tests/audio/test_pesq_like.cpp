@@ -1,0 +1,92 @@
+#include "audio/pesq_like.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/speech_synth.h"
+#include "audio/tone.h"
+#include "dsp/correlate.h"
+
+namespace fmbs::audio {
+namespace {
+
+MonoBuffer speech(double seconds, std::uint64_t seed) {
+  return synthesize_speech({}, seconds, 48000.0, seed);
+}
+
+// Calibration anchor 1: a clean signal scores near the top of the scale.
+TEST(PesqLike, CleanSpeechScoresHigh) {
+  const MonoBuffer ref = speech(2.0, 21);
+  EXPECT_GT(pesq_like(ref, ref), 4.3);
+}
+
+// Calibration anchor 2 (DESIGN.md): speech-on-speech interference at 0 dB
+// audio SNR — the overlay backscatter situation — scores ~2.
+TEST(PesqLike, ZeroDbSpeechInterferenceScoresNearTwo) {
+  const MonoBuffer ref = speech(3.0, 22);
+  MonoBuffer interferer = speech(3.0, 23);
+  // Scale interferer to equal power.
+  double pr = 0.0, pi = 0.0;
+  for (const float v : ref.samples) pr += static_cast<double>(v) * v;
+  for (const float v : interferer.samples) pi += static_cast<double>(v) * v;
+  const float g = static_cast<float>(std::sqrt(pr / pi));
+  MonoBuffer degraded = ref;
+  for (std::size_t i = 0; i < degraded.size(); ++i) {
+    degraded.samples[i] += g * interferer.samples[i];
+  }
+  const double score = pesq_like(ref, degraded);
+  EXPECT_GT(score, 1.5);
+  EXPECT_LT(score, 2.6);
+}
+
+TEST(PesqLike, MonotoneInNoiseLevel) {
+  const MonoBuffer ref = speech(2.0, 24);
+  double last = 5.0;
+  for (const double rms : {0.002, 0.01, 0.05, 0.25}) {
+    const MonoBuffer noise = make_noise(rms, 2.0, 48000.0, 25);
+    const MonoBuffer degraded = mix(ref, noise);
+    const double score = pesq_like(ref, degraded);
+    EXPECT_LT(score, last + 0.05) << "not monotone at rms " << rms;
+    last = score;
+  }
+  EXPECT_LT(last, 2.0);
+}
+
+TEST(PesqLike, InsensitiveToDelayAndGain) {
+  const MonoBuffer ref = speech(2.0, 26);
+  MonoBuffer shifted = ref;
+  shifted.samples = dsp::shift_signal(ref.samples, 960);  // 20 ms
+  for (auto& v : shifted.samples) v *= 0.5F;
+  const double plain = pesq_like(ref, ref);
+  const double moved = pesq_like(ref, shifted);
+  EXPECT_NEAR(moved, plain, 0.35);
+}
+
+TEST(PesqLike, ScoreBoundsRespected) {
+  const MonoBuffer ref = speech(2.0, 27);
+  const MonoBuffer junk = make_noise(0.5, 2.0, 48000.0, 28);
+  const double bad = pesq_like(ref, junk);
+  EXPECT_GE(bad, 0.9);
+  EXPECT_LE(bad, 1.6);
+}
+
+TEST(PesqLike, PerceptualSnrTracksTrueSnr) {
+  const MonoBuffer ref = speech(2.0, 29);
+  const MonoBuffer quiet_noise = make_noise(0.01, 2.0, 48000.0, 30);
+  const MonoBuffer loud_noise = make_noise(0.1, 2.0, 48000.0, 31);
+  const double hi = perceptual_snr_db(ref, mix(ref, quiet_noise));
+  const double lo = perceptual_snr_db(ref, mix(ref, loud_noise));
+  EXPECT_GT(hi, lo + 10.0);
+}
+
+TEST(PesqLike, ValidatesInput) {
+  const MonoBuffer ref = speech(0.5, 32);
+  MonoBuffer other = ref;
+  other.sample_rate = 44100.0;
+  EXPECT_THROW(pesq_like(ref, other), std::invalid_argument);
+  EXPECT_THROW(pesq_like(MonoBuffer{}, ref), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::audio

@@ -1,0 +1,71 @@
+#include "channel/awgn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::channel {
+namespace {
+
+TEST(Awgn, VarianceMatchesSpec) {
+  // -90 dBm in 200 kHz at a 2.4 MHz rate -> total power -90 + 10log10(12).
+  AwgnSource src(-90.0, 200000.0, 2400000.0, 1);
+  const double expected = dsp::watts_from_dbm(-90.0) * 12.0;
+  EXPECT_NEAR(src.variance(), expected, expected * 1e-9);
+
+  dsp::cvec block(200000);
+  src.add_to(block);
+  double measured = 0.0;
+  for (const auto& v : block) measured += std::norm(v);
+  measured /= static_cast<double>(block.size());
+  EXPECT_NEAR(measured, expected, expected * 0.05);
+}
+
+TEST(Awgn, AddsToExistingSignal) {
+  AwgnSource src(-60.0, 200000.0, 2400000.0, 2);
+  dsp::cvec block(1000, dsp::cfloat(1.0F, 0.0F));
+  src.add_to(block);
+  double mean_re = 0.0;
+  for (const auto& v : block) mean_re += v.real();
+  EXPECT_NEAR(mean_re / 1000.0, 1.0, 0.01);
+}
+
+TEST(Awgn, DeterministicPerSeed) {
+  AwgnSource a(-80.0, 200000.0, 2400000.0, 7);
+  AwgnSource b(-80.0, 200000.0, 2400000.0, 7);
+  AwgnSource c(-80.0, 200000.0, 2400000.0, 8);
+  dsp::cvec x(64), y(64), z(64);
+  a.add_to(x);
+  b.add_to(y);
+  c.add_to(z);
+  EXPECT_EQ(x, y);
+  EXPECT_NE(x, z);
+}
+
+TEST(Awgn, ZeroMeanComplexAndBalanced) {
+  AwgnSource src(-70.0, 200000.0, 2400000.0, 3);
+  dsp::cvec block(100000);
+  src.add_to(block);
+  double re = 0.0, im = 0.0, re2 = 0.0, im2 = 0.0;
+  for (const auto& v : block) {
+    re += v.real();
+    im += v.imag();
+    re2 += static_cast<double>(v.real()) * v.real();
+    im2 += static_cast<double>(v.imag()) * v.imag();
+  }
+  const double n = static_cast<double>(block.size());
+  EXPECT_NEAR(re / n, 0.0, 3.0 * std::sqrt(src.variance() / 2.0 / n));
+  EXPECT_NEAR(im / n, 0.0, 3.0 * std::sqrt(src.variance() / 2.0 / n));
+  // I/Q power split evenly.
+  EXPECT_NEAR(re2 / im2, 1.0, 0.05);
+}
+
+TEST(Awgn, Validation) {
+  EXPECT_THROW(AwgnSource(-90.0, 0.0, 2.4e6, 1), std::invalid_argument);
+  EXPECT_THROW(AwgnSource(-90.0, 2e5, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::channel

@@ -1,0 +1,106 @@
+#include "channel/fading.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::channel {
+namespace {
+
+TEST(Fading, StaticConfigIsIdentity) {
+  FadingConfig cfg;
+  cfg.speed_mps = 0.0;
+  cfg.shadow_sigma_db = 0.0;
+  FadingProcess p(cfg, 48000.0, 1);
+  EXPECT_TRUE(p.is_static());
+  dsp::cvec block(100, dsp::cfloat(0.5F, -0.5F));
+  const dsp::cvec before = block;
+  p.apply(block);
+  EXPECT_EQ(block, before);
+}
+
+TEST(Fading, UnitMeanPower) {
+  FadingConfig cfg = fading_for_mobility(Mobility::kWalking);
+  cfg.shadow_sigma_db = 0.0;  // isolate the Rician part
+  FadingProcess p(cfg, 10000.0, 2);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += std::norm(p.next());
+  EXPECT_NEAR(acc / n, 1.0, 0.15);
+}
+
+TEST(Fading, RunningFadesDeeperThanStanding) {
+  const double rate = 10000.0;
+  auto depth = [&](Mobility m) {
+    FadingProcess p(fading_for_mobility(m), rate, 3);
+    double min_mag = 1e9;
+    for (int i = 0; i < 200000; ++i) {
+      min_mag = std::min(min_mag, static_cast<double>(std::abs(p.next())));
+    }
+    return min_mag;
+  };
+  EXPECT_LT(depth(Mobility::kRunning), depth(Mobility::kStanding));
+}
+
+TEST(Fading, DopplerRateScalesWithSpeed) {
+  // Track the channel phase rotation rate: faster motion -> faster change.
+  const double rate = 10000.0;
+  auto variation = [&](double speed) {
+    FadingConfig cfg;
+    cfg.speed_mps = speed;
+    cfg.rician_k_db = -20.0;  // nearly pure scatter to expose Doppler
+    cfg.shadow_sigma_db = 0.0;
+    FadingProcess p(cfg, rate, 4);
+    dsp::cfloat prev = p.next();
+    double acc = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+      const dsp::cfloat cur = p.next();
+      acc += std::abs(cur - prev);
+      prev = cur;
+    }
+    return acc;
+  };
+  EXPECT_GT(variation(2.2), 1.8 * variation(1.0));
+}
+
+TEST(Fading, StrideAdvancesTime) {
+  FadingConfig cfg = fading_for_mobility(Mobility::kRunning);
+  cfg.shadow_sigma_db = 0.0;
+  FadingProcess a(cfg, 10000.0, 5);
+  FadingProcess b(cfg, 10000.0, 5);
+  // a: 100 unit steps; b: one stride-100 step — same point of the process.
+  dsp::cfloat ga;
+  for (int i = 0; i < 100; ++i) ga = a.next();
+  const dsp::cfloat gb = b.next(100);
+  EXPECT_NEAR(std::abs(ga), std::abs(gb), 0.05);
+}
+
+TEST(Fading, MobilityPresetsOrdered) {
+  const auto standing = fading_for_mobility(Mobility::kStanding);
+  const auto walking = fading_for_mobility(Mobility::kWalking);
+  const auto running = fading_for_mobility(Mobility::kRunning);
+  EXPECT_LT(standing.speed_mps, walking.speed_mps);
+  EXPECT_LT(walking.speed_mps, running.speed_mps);
+  EXPECT_NEAR(walking.speed_mps, 1.0, 1e-9);   // paper: 1 m/s
+  EXPECT_NEAR(running.speed_mps, 2.2, 1e-9);   // paper: 2.2 m/s
+  EXPECT_GT(standing.rician_k_db, running.rician_k_db);
+}
+
+TEST(Fading, DeterministicPerSeed) {
+  const FadingConfig cfg = fading_for_mobility(Mobility::kWalking);
+  FadingProcess a(cfg, 10000.0, 9);
+  FadingProcess b(cfg, 10000.0, 9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Fading, Validation) {
+  FadingConfig cfg;
+  EXPECT_THROW(FadingProcess(cfg, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::channel

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/aloha.h"
+#include "core/harvesting.h"
+
+namespace fmbs::core {
+namespace {
+
+TEST(Aloha, LowLoadNearlyAlwaysSucceeds) {
+  AlohaConfig cfg;
+  cfg.num_tags = 2;
+  cfg.per_tag_rate_hz = 0.01;
+  cfg.frame_seconds = 0.5;
+  cfg.duration_seconds = 20000.0;
+  const AlohaResult r = simulate_aloha(cfg);
+  EXPECT_GT(r.success_probability, 0.97);
+}
+
+TEST(Aloha, MatchesPureAlohaTheory) {
+  AlohaConfig cfg;
+  cfg.num_tags = 20;
+  cfg.frame_seconds = 0.5;
+  cfg.per_tag_rate_hz = 0.05;  // G = 20*0.05*0.5 = 0.5
+  cfg.duration_seconds = 40000.0;
+  const AlohaResult r = simulate_aloha(cfg);
+  const double expected = aloha_theoretical_throughput(r.offered_load, false);
+  EXPECT_NEAR(r.throughput, expected, 0.05);
+}
+
+TEST(Aloha, SlottedDoublesPeakThroughput) {
+  AlohaConfig cfg;
+  cfg.num_tags = 40;
+  cfg.frame_seconds = 0.5;
+  cfg.per_tag_rate_hz = 0.05;  // G = 1.0
+  cfg.duration_seconds = 20000.0;
+  cfg.slotted = false;
+  const AlohaResult pure = simulate_aloha(cfg);
+  cfg.slotted = true;
+  const AlohaResult slotted = simulate_aloha(cfg);
+  EXPECT_GT(slotted.throughput, 1.5 * pure.throughput);
+}
+
+TEST(Aloha, MultipleChannelsReduceCollisions) {
+  // The paper's alternative: "set f_back to different values so the
+  // backscattered signals lie in different unused FM bands".
+  AlohaConfig cfg;
+  cfg.num_tags = 40;
+  cfg.frame_seconds = 0.5;
+  cfg.per_tag_rate_hz = 0.1;
+  cfg.duration_seconds = 10000.0;
+  cfg.num_channels = 1;
+  const AlohaResult one = simulate_aloha(cfg);
+  cfg.num_channels = 8;
+  const AlohaResult eight = simulate_aloha(cfg);
+  EXPECT_GT(eight.success_probability, one.success_probability + 0.2);
+}
+
+TEST(Aloha, TheoryPeaks) {
+  // Pure Aloha peaks at G=0.5 with S=1/(2e); slotted at G=1 with 1/e.
+  EXPECT_NEAR(aloha_theoretical_throughput(0.5, false), 0.1839, 1e-3);
+  EXPECT_NEAR(aloha_theoretical_throughput(1.0, true), 0.3679, 1e-3);
+}
+
+TEST(Aloha, Validation) {
+  AlohaConfig bad;
+  bad.num_tags = 0;
+  EXPECT_THROW(simulate_aloha(bad), std::invalid_argument);
+}
+
+TEST(Harvest, StrongRfSustainsContinuousOperation) {
+  HarvestConfig cfg;
+  cfg.rf_power_dbm = -10.0;  // 100 uW at the antenna
+  cfg.rf_efficiency = 0.3;   // 30 uW harvested > 11.07 uW load
+  const DutyCycleResult r = sustainable_duty_cycle(cfg);
+  EXPECT_NEAR(r.sustainable_duty_cycle, 1.0, 1e-9);
+  EXPECT_NEAR(r.effective_bps_3200, 3200.0, 1e-6);
+}
+
+TEST(Harvest, WeakRfForcesDutyCycling) {
+  HarvestConfig cfg;
+  cfg.rf_power_dbm = -20.0;  // 10 uW in
+  cfg.rf_efficiency = 0.2;   // 2 uW harvested
+  const DutyCycleResult r = sustainable_duty_cycle(cfg);
+  EXPECT_GT(r.sustainable_duty_cycle, 0.1);
+  EXPECT_LT(r.sustainable_duty_cycle, 0.3);
+  EXPECT_NEAR(r.effective_bps_100, 100.0 * r.sustainable_duty_cycle, 1e-9);
+}
+
+TEST(Harvest, SolarDominatesOutdoors) {
+  HarvestConfig rf_only;
+  rf_only.rf_power_dbm = -30.0;
+  HarvestConfig with_solar = rf_only;
+  with_solar.solar_area_cm2 = 4.0;
+  with_solar.solar_irradiance_uw_per_cm2 = 100.0;  // indoor light
+  const DutyCycleResult a = sustainable_duty_cycle(rf_only);
+  const DutyCycleResult b = sustainable_duty_cycle(with_solar);
+  EXPECT_GT(b.harvested_uw, 10.0 * a.harvested_uw);
+  EXPECT_GT(b.sustainable_duty_cycle, a.sustainable_duty_cycle);
+}
+
+TEST(Harvest, NoHarvestMeansNoDuty) {
+  HarvestConfig cfg;
+  cfg.rf_power_dbm = -60.0;
+  cfg.rf_efficiency = 0.05;
+  const DutyCycleResult r = sustainable_duty_cycle(cfg);
+  EXPECT_NEAR(r.sustainable_duty_cycle, 0.0, 1e-6);
+}
+
+TEST(Harvest, Validation) {
+  HarvestConfig cfg;
+  EXPECT_THROW(sustainable_duty_cycle(cfg, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::core

@@ -1,0 +1,103 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fmbs::core {
+namespace {
+
+TEST(MakeSystem, PhoneDefaults) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -42.0;
+  point.distance_feet = 7.0;
+  const SystemConfig cfg = make_system(point);
+  EXPECT_EQ(cfg.scene.tag_power_dbm, -42.0);
+  EXPECT_EQ(cfg.scene.tag_rx_distance_feet, 7.0);
+  EXPECT_EQ(cfg.receiver, ReceiverKind::kPhone);
+  EXPECT_EQ(cfg.scene.rx_noise_dbm_200khz,
+            channel::ReceiverNoise::kPhoneDbmPer200kHz);
+}
+
+TEST(MakeSystem, CarOverrides) {
+  ExperimentPoint point;
+  point.receiver = ReceiverKind::kCar;
+  const SystemConfig cfg = make_system(point);
+  EXPECT_EQ(cfg.scene.rx_noise_dbm_200khz,
+            channel::ReceiverNoise::kCarDbmPer200kHz);
+  EXPECT_TRUE(cfg.stereo_decoder.force_mono);
+  EXPECT_GT(cfg.scene.link.rx_antenna_gain_db, 0.0);
+}
+
+TEST(ToneSnr, StrongCloseToneIsClean) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -20.0;
+  point.distance_feet = 4.0;
+  const double snr = run_tone_snr(point, 1000.0, false, 0.8);
+  EXPECT_GT(snr, 25.0);
+}
+
+TEST(ToneSnr, StereoBandToneDecodes) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -20.0;
+  point.distance_feet = 4.0;
+  const double snr = run_tone_snr(point, 2000.0, true, 0.8);
+  EXPECT_GT(snr, 15.0);
+}
+
+TEST(OverlayBer, CleanAtStrongPower) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -30.0;
+  point.distance_feet = 4.0;
+  const auto ber = run_overlay_ber(point, tag::DataRate::k1600bps, 320);
+  EXPECT_LT(ber.ber, 0.01);
+}
+
+TEST(OverlayBerMrc, CombiningHelpsAtWeakPower) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -55.0;
+  point.distance_feet = 10.0;
+  point.genre = audio::ProgramGenre::kRock;  // hostile interference
+  const auto plain = run_overlay_ber(point, tag::DataRate::k1600bps, 240);
+  const auto mrc = run_overlay_ber_mrc(point, tag::DataRate::k1600bps, 240, 3);
+  EXPECT_LE(mrc.ber, plain.ber + 0.01);
+}
+
+TEST(OverlayBerMrc, Validation) {
+  ExperimentPoint point;
+  EXPECT_THROW(run_overlay_ber_mrc(point, tag::DataRate::k1600bps, 100, 0),
+               std::invalid_argument);
+}
+
+TEST(StereoBer, NewsStationStereoStreamWorks) {
+  ExperimentPoint point;
+  point.tag_power_dbm = -25.0;
+  point.distance_feet = 2.0;
+  point.genre = audio::ProgramGenre::kNews;
+  point.stereo_station = true;
+  const auto ber = run_stereo_ber(point, tag::DataRate::k1600bps, 240);
+  EXPECT_LT(ber.ber, 0.05);
+}
+
+TEST(FabricBer, StandingBeatsRunning) {
+  const auto standing =
+      run_fabric_ber(channel::Mobility::kStanding, tag::DataRate::k100bps, 40, 1);
+  const auto running =
+      run_fabric_ber(channel::Mobility::kRunning, tag::DataRate::k100bps, 40, 1);
+  EXPECT_LE(standing.ber, running.ber + 0.05);
+}
+
+TEST(PrintTable, FormatsColumns) {
+  std::ostringstream os;
+  print_table(os, "Fig X", "distance", {1.0, 2.0},
+              {{"a", {0.1, 0.2}}, {"b", {0.3}}});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Fig X"), std::string::npos);
+  EXPECT_NE(s.find("distance"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  // Missing value printed as '-'.
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmbs::core

@@ -1,0 +1,122 @@
+#include "dsp/nco.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/goertzel.h"
+#include "dsp/math_util.h"
+
+namespace fmbs::dsp {
+namespace {
+
+TEST(PhaseAccumulator, WrapsForward) {
+  PhaseAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.advance(1.0);
+  EXPECT_GE(acc.phase(), 0.0);
+  EXPECT_LT(acc.phase(), kTwoPi);
+}
+
+TEST(PhaseAccumulator, WrapsBackward) {
+  PhaseAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.advance(-1.0);
+  EXPECT_GE(acc.phase(), 0.0);
+  EXPECT_LT(acc.phase(), kTwoPi);
+}
+
+TEST(PhaseAccumulator, ReturnsPreAdvancePhase) {
+  PhaseAccumulator acc(0.5);
+  EXPECT_NEAR(acc.advance(0.25), 0.5, 1e-12);
+  EXPECT_NEAR(acc.phase(), 0.75, 1e-12);
+}
+
+TEST(PhaseAccumulator, LongRunStaysAccurate) {
+  // The double accumulator at RF rates must not drift measurably over a
+  // second of samples.
+  PhaseAccumulator acc;
+  const double step = kTwoPi * 600000.0 / 2400000.0;  // 600 kHz at 2.4 MHz
+  for (int i = 0; i < 2400000; ++i) acc.advance(step);
+  // After 2.4e6 steps the phase should be (2.4e6 * step) mod 2pi = 0.
+  const double p = acc.phase();
+  const double dist = std::min(p, kTwoPi - p);
+  EXPECT_LT(dist, 1e-5);
+}
+
+TEST(Oscillator, GeneratesRequestedFrequency) {
+  Oscillator osc(1000.0, 48000.0);
+  const auto block = osc.block_real(4800);
+  EXPECT_NEAR(goertzel_power(block, 1000.0, 48000.0), 0.25, 0.01);
+}
+
+TEST(Oscillator, ComplexHasUnitMagnitude) {
+  Oscillator osc(19000.0, 240000.0);
+  const auto block = osc.block_complex(1000);
+  for (const auto& v : block) {
+    EXPECT_NEAR(std::abs(v), 1.0F, 1e-5F);
+  }
+}
+
+TEST(Oscillator, NegativeFrequencyConjugates) {
+  Oscillator pos(5000.0, 48000.0);
+  Oscillator neg(-5000.0, 48000.0);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = pos.next_complex();
+    const auto b = neg.next_complex();
+    EXPECT_NEAR(a.real(), b.real(), 1e-5F);
+    EXPECT_NEAR(a.imag(), -b.imag(), 1e-5F);
+  }
+}
+
+TEST(Oscillator, Validation) {
+  EXPECT_THROW(Oscillator(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(Mixer, ShiftsSpectrum) {
+  // A 2 kHz complex tone mixed by +3 kHz lands at 5 kHz.
+  const double fs = 48000.0;
+  Oscillator osc(2000.0, fs);
+  cvec x = osc.block_complex(4800);
+  Mixer mixer(3000.0, fs);
+  mixer.process_inplace(x);
+  // Real part now contains a 5 kHz tone.
+  std::vector<float> re(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) re[i] = x[i].real();
+  EXPECT_GT(goertzel_power(re, 5000.0, fs), 0.2);
+  EXPECT_LT(goertzel_power(re, 2000.0, fs), 1e-3);
+}
+
+TEST(Mixer, DownShiftToDc) {
+  const double fs = 240000.0;
+  Oscillator osc(19000.0, fs);
+  cvec x = osc.block_complex(24000);
+  Mixer mixer(-19000.0, fs);
+  mixer.process_inplace(x);
+  // After the shift the signal is DC: nearly constant.
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), x[0].real(), 1e-3F);
+    EXPECT_NEAR(x[i].imag(), x[0].imag(), 1e-3F);
+  }
+}
+
+TEST(Mixer, PhaseContinuousAcrossBlocks) {
+  const double fs = 48000.0;
+  Mixer whole(1234.0, fs);
+  Mixer chunked(1234.0, fs);
+  cvec ones(300, cfloat(1.0F, 0.0F));
+  const cvec ref = whole.process(ones);
+  cvec got;
+  for (std::size_t start = 0; start < ones.size(); start += 41) {
+    const std::size_t len = std::min<std::size_t>(41, ones.size() - start);
+    const cvec part = chunked.process(
+        std::span<const cfloat>(ones.data() + start, len));
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), ref[i].real(), 1e-6F);
+    EXPECT_NEAR(got[i].imag(), ref[i].imag(), 1e-6F);
+  }
+}
+
+}  // namespace
+}  // namespace fmbs::dsp

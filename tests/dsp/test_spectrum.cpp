@@ -1,0 +1,95 @@
+#include "dsp/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dsp/math_util.h"
+
+namespace fmbs::dsp {
+namespace {
+
+std::vector<float> tone(double f, double fs, std::size_t n, double amp = 1.0) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(amp * std::sin(kTwoPi * f * static_cast<double>(i) / fs));
+  }
+  return x;
+}
+
+TEST(WelchPsd, TotalPowerMatchesVariance) {
+  std::mt19937 rng(31);
+  std::normal_distribution<float> d(0.0F, 0.3F);
+  std::vector<float> x(48000);
+  for (auto& v : x) v = d(rng);
+  const Psd psd = welch_psd(x, 48000.0, 4096);
+  EXPECT_NEAR(psd.total_power(), 0.09, 0.01);
+}
+
+TEST(WelchPsd, TonePowerConcentratesAtFrequency) {
+  const auto x = tone(5000.0, 48000.0, 48000, 0.8);
+  const Psd psd = welch_psd(x, 48000.0, 4096);
+  const double in_band = psd.band_power(4900.0, 5100.0);
+  const double total = psd.total_power();
+  EXPECT_GT(in_band / total, 0.98);
+  // Sine power = A^2/2.
+  EXPECT_NEAR(total, 0.32, 0.02);
+}
+
+TEST(WelchPsd, FrequencyAxis) {
+  const auto x = tone(1000.0, 8000.0, 8192);
+  const Psd psd = welch_psd(x, 8000.0, 1024);
+  EXPECT_NEAR(psd.bin_hz, 8000.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(psd.frequency(128), 1000.0, psd.bin_hz);
+}
+
+TEST(WelchPsd, ShortSignalStillWorks) {
+  const auto x = tone(100.0, 1000.0, 300);
+  const Psd psd = welch_psd(x, 1000.0, 4096);
+  EXPECT_GT(psd.total_power(), 0.0);
+}
+
+TEST(WelchPsd, Validation) {
+  EXPECT_THROW(welch_psd({}, 48000.0), std::invalid_argument);
+  const auto x = tone(100.0, 1000.0, 100);
+  EXPECT_THROW(welch_psd(x, 0.0), std::invalid_argument);
+}
+
+TEST(ToneSnr, CleanToneScoresHigh) {
+  const auto x = tone(5000.0, 48000.0, 48000);
+  EXPECT_GT(tone_snr_db(x, 48000.0, 5000.0, 100.0, 15000.0), 30.0);
+}
+
+TEST(ToneSnr, NoisyToneScoresNearTrueSnr) {
+  std::mt19937 rng(32);
+  std::normal_distribution<float> d(0.0F, 0.5F);
+  auto x = tone(5000.0, 48000.0, 96000);
+  for (auto& v : x) v += d(rng);
+  // True SNR within measured band (noise in 100-15000 of 24k Nyquist):
+  // tone power 0.5; noise total 0.25 spread evenly -> in-band fraction
+  // (15000-100)/24000 = 0.62; SNR = 0.5 / 0.155 = 5.08 dB.
+  const double snr = tone_snr_db(x, 48000.0, 5000.0, 100.0, 15000.0);
+  EXPECT_NEAR(snr, 5.1, 1.5);
+}
+
+TEST(ToneSnr, MissingToneScoresLow) {
+  std::mt19937 rng(33);
+  std::normal_distribution<float> d(0.0F, 0.5F);
+  std::vector<float> x(48000);
+  for (auto& v : x) v = d(rng);
+  EXPECT_LT(tone_snr_db(x, 48000.0, 5000.0, 100.0, 15000.0), 0.0);
+}
+
+TEST(BandPower, SplitsBands) {
+  auto x = tone(2000.0, 48000.0, 48000, 1.0);
+  const auto hi = tone(10000.0, 48000.0, 48000, 0.5);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += hi[i];
+  const double p_lo = band_power(x, 48000.0, 1000.0, 3000.0);
+  const double p_hi = band_power(x, 48000.0, 9000.0, 11000.0);
+  EXPECT_NEAR(p_lo, 0.5, 0.05);
+  EXPECT_NEAR(p_hi, 0.125, 0.02);
+}
+
+}  // namespace
+}  // namespace fmbs::dsp

@@ -1,0 +1,161 @@
+#include "fm/rds.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "audio/tone.h"
+#include "fm/mpx.h"
+
+namespace fmbs::fm {
+namespace {
+
+TEST(RdsCheckword, MatchesPolynomialDivision) {
+  // Hand-checked property: checkword of 0 is 0; linearity over GF(2).
+  EXPECT_EQ(rds_checkword(0x0000), 0x0000);
+  const std::uint16_t a = 0x1234, b = 0x0F0F;
+  EXPECT_EQ(rds_checkword(a ^ b),
+            static_cast<std::uint16_t>(rds_checkword(a) ^ rds_checkword(b)));
+}
+
+TEST(RdsCheckword, DetectsSingleBitErrors) {
+  const std::uint16_t info = 0xBEEF;
+  const std::uint16_t check = rds_checkword(info);
+  for (int bit = 0; bit < 16; ++bit) {
+    const auto corrupted = static_cast<std::uint16_t>(info ^ (1U << bit));
+    EXPECT_NE(rds_checkword(corrupted), check) << "bit " << bit;
+  }
+}
+
+TEST(RdsGroups, PsNameEncodedAcrossFourGroups) {
+  const auto groups = make_ps_groups("KUOW FM ");
+  ASSERT_EQ(groups.size(), 4U);
+  EXPECT_EQ(groups[0].blocks[3], static_cast<std::uint16_t>(('K' << 8) | 'U'));
+  EXPECT_EQ(groups[3].blocks[3], static_cast<std::uint16_t>(('M' << 8) | ' '));
+  // Segment addresses 0..3 in block B.
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(groups[i].blocks[1] & 0x3, i);
+  }
+}
+
+TEST(RdsGroups, SerializeLength) {
+  const auto groups = make_ps_groups("TESTING!");
+  const auto bits = serialize_groups(groups);
+  EXPECT_EQ(bits.size(), 4U * 4U * 26U);
+}
+
+TEST(RdsModulate, EnergyAt57k) {
+  const auto bits = serialize_groups(make_ps_groups("ABCDEFGH"));
+  const auto wave = modulate_rds_subcarrier(bits, 240000, kMpxRate);
+  ASSERT_EQ(wave.size(), 240000U);
+  double p57 = 0.0, p30 = 0.0;
+  // Rough band powers via Goertzel-free accumulation: use correlation with
+  // the carrier bands through simple energy windows — delegated to decode
+  // tests; here just check the waveform is bounded and nonzero.
+  for (const float v : wave) {
+    EXPECT_LE(std::abs(v), 1.001F);
+    p57 += std::abs(v);
+  }
+  EXPECT_GT(p57, 0.0);
+  (void)p30;
+}
+
+TEST(RdsEndToEnd, DecodesPsNameFromCleanMpx) {
+  audio::StereoBuffer prog(std::vector<float>(96000, 0.0F),
+                           std::vector<float>(96000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits = serialize_groups(make_ps_groups("FMBSCTTR"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_GT(result.bits_decoded, 100U);
+  ASSERT_FALSE(result.groups.empty()) << "no block-synced groups";
+  EXPECT_EQ(result.ps_name, "FMBSCTTR");
+}
+
+TEST(RdsEndToEnd, DecodesThroughProgramAudio) {
+  // RDS must coexist with program content in the same MPX.
+  const auto l = audio::make_tone(1000.0, 0.5, 2.0, kAudioRate);
+  const auto r = audio::make_tone(2000.0, 0.5, 2.0, kAudioRate);
+  audio::StereoBuffer prog(l.samples, r.samples, kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.08;
+  const auto bits = serialize_groups(make_ps_groups("SEATTLE!"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_EQ(result.ps_name, "SEATTLE!");
+}
+
+TEST(RdsEndToEnd, SurvivesModerateNoise) {
+  audio::StereoBuffer prog(std::vector<float>(120000, 0.0F),
+                           std::vector<float>(120000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits = serialize_groups(make_ps_groups("NOISYRDS"));
+  auto mpx = compose_mpx(prog, cfg, bits);
+  std::mt19937 rng(50);
+  std::normal_distribution<float> n(0.0F, 0.01F);
+  for (auto& v : mpx) v += n(rng);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_EQ(result.ps_name, "NOISYRDS");
+}
+
+TEST(RdsRadiotext, GroupLayout) {
+  const auto groups = make_radiotext_groups("HELLO");
+  // "HELLO" + CR -> 6 chars -> padded to 8 -> 2 groups of 4 characters.
+  ASSERT_EQ(groups.size(), 2U);
+  EXPECT_EQ(groups[0].blocks[1] >> 12, 0x2);  // group type 2
+  EXPECT_EQ(groups[0].blocks[1] & 0xF, 0);    // segment 0
+  EXPECT_EQ(groups[1].blocks[1] & 0xF, 1);    // segment 1
+  EXPECT_EQ(groups[0].blocks[2], static_cast<std::uint16_t>(('H' << 8) | 'E'));
+  EXPECT_EQ(groups[0].blocks[3], static_cast<std::uint16_t>(('L' << 8) | 'L'));
+}
+
+TEST(RdsRadiotext, TruncatesAtSixtyFour) {
+  const auto groups = make_radiotext_groups(std::string(80, 'X'));
+  EXPECT_LE(groups.size(), 16U);
+}
+
+TEST(RdsRadiotext, EndToEndDecode) {
+  audio::StereoBuffer prog(std::vector<float>(144000, 0.0F),
+                           std::vector<float>(144000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits =
+      serialize_groups(make_radiotext_groups("TICKETS 50% OFF TONIGHT"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_EQ(result.radiotext, "TICKETS 50% OFF TONIGHT");
+}
+
+TEST(RdsRadiotext, CoexistsWithPsGroups) {
+  audio::StereoBuffer prog(std::vector<float>(192000, 0.0F),
+                           std::vector<float>(192000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  auto groups = make_ps_groups("FMBSCTTR");
+  const auto rt = make_radiotext_groups("HELLO CITY");
+  groups.insert(groups.end(), rt.begin(), rt.end());
+  const auto bits = serialize_groups(groups);
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_EQ(result.ps_name, "FMBSCTTR");
+  EXPECT_EQ(result.radiotext, "HELLO CITY");
+}
+
+TEST(RdsDecode, EmptyAndShortInputsReturnNothing) {
+  const auto r1 = decode_rds({}, kMpxRate);
+  EXPECT_TRUE(r1.groups.empty());
+  std::vector<float> tiny(100, 0.0F);
+  const auto r2 = decode_rds(tiny, kMpxRate);
+  EXPECT_TRUE(r2.groups.empty());
+}
+
+TEST(RdsModulate, Validation) {
+  EXPECT_THROW(modulate_rds_subcarrier({}, 100, kMpxRate), std::invalid_argument);
+  const std::vector<unsigned char> bits{1, 0};
+  EXPECT_THROW(modulate_rds_subcarrier(bits, 100, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::fm

@@ -1,0 +1,126 @@
+#include "fm/stereo_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "audio/tone.h"
+#include "dsp/spectrum.h"
+#include "fm/mpx.h"
+
+namespace fmbs::fm {
+namespace {
+
+using audio::make_noise;
+using audio::make_tone;
+using audio::MonoBuffer;
+using audio::StereoBuffer;
+
+StereoBuffer tone_pair(double fl, double fr, double seconds = 1.0) {
+  const MonoBuffer l = make_tone(fl, 0.6, seconds, kAudioRate);
+  const MonoBuffer r = make_tone(fr, 0.6, seconds, kAudioRate);
+  return StereoBuffer(l.samples, r.samples, kAudioRate);
+}
+
+TEST(StereoDecoder, SeparatesLeftAndRight) {
+  const StereoBuffer prog = tone_pair(1000.0, 3000.0);
+  const auto mpx = compose_mpx(prog, MpxConfig{});
+  const auto out = decode_stereo(mpx, StereoDecoderConfig{});
+  ASSERT_TRUE(out.pilot_detected);
+  // Left should carry 1 kHz, right 3 kHz, with strong separation.
+  const double l1 = dsp::band_power(out.audio.left, kAudioRate, 900.0, 1100.0);
+  const double l3 = dsp::band_power(out.audio.left, kAudioRate, 2900.0, 3100.0);
+  const double r3 = dsp::band_power(out.audio.right, kAudioRate, 2900.0, 3100.0);
+  const double r1 = dsp::band_power(out.audio.right, kAudioRate, 900.0, 1100.0);
+  EXPECT_GT(l1, 30.0 * l3);
+  EXPECT_GT(r3, 30.0 * r1);
+}
+
+TEST(StereoDecoder, NoPilotMeansMonoMode) {
+  MpxConfig mono_cfg;
+  mono_cfg.stereo = false;
+  const StereoBuffer prog = tone_pair(1000.0, 3000.0);
+  const auto mpx = compose_mpx(prog, mono_cfg);
+  const auto out = decode_stereo(mpx, StereoDecoderConfig{});
+  EXPECT_FALSE(out.pilot_detected);
+  // Mono mode: both channels identical.
+  for (std::size_t i = 0; i < out.audio.size(); i += 53) {
+    EXPECT_EQ(out.audio.left[i], out.audio.right[i]);
+  }
+}
+
+TEST(StereoDecoder, BuriedPilotFallsBackToMono) {
+  // Paper: "at lower power numbers FM receivers cannot decode the pilot
+  // signal and default back to mono mode." Bury the pilot in noise.
+  const StereoBuffer prog = tone_pair(1000.0, 3000.0);
+  auto mpx = compose_mpx(prog, MpxConfig{});
+  const MonoBuffer noise = make_noise(0.8, 1.0, kMpxRate, 44);
+  for (std::size_t i = 0; i < mpx.size() && i < noise.size(); ++i) {
+    mpx[i] += noise.samples[i];
+  }
+  const auto out = decode_stereo(mpx, StereoDecoderConfig{});
+  EXPECT_FALSE(out.pilot_detected);
+}
+
+TEST(StereoDecoder, ForceMonoIgnoresPilot) {
+  const StereoBuffer prog = tone_pair(1000.0, 3000.0);
+  const auto mpx = compose_mpx(prog, MpxConfig{});
+  StereoDecoderConfig cfg;
+  cfg.force_mono = true;
+  const auto out = decode_stereo(mpx, cfg);
+  EXPECT_FALSE(out.pilot_detected);
+}
+
+TEST(StereoDecoder, PilotSnrReported) {
+  const StereoBuffer prog = tone_pair(500.0, 500.0);
+  const auto mpx = compose_mpx(prog, MpxConfig{});
+  const auto out = decode_stereo(mpx, StereoDecoderConfig{});
+  EXPECT_GT(out.pilot_snr_db, 20.0);
+}
+
+TEST(StereoDecoder, SideRecoversLMinusR) {
+  // The stereo backscatter receive path: side() must carry the (L-R)/2
+  // content. L = tone, R = -tone -> mid = 0, side = tone.
+  const MonoBuffer t = make_tone(2000.0, 0.5, 1.0, kAudioRate);
+  std::vector<float> right(t.samples.size());
+  for (std::size_t i = 0; i < right.size(); ++i) right[i] = -t.samples[i];
+  const StereoBuffer prog(t.samples, right, kAudioRate);
+  const auto mpx = compose_mpx(prog, MpxConfig{});
+  const auto out = decode_stereo(mpx, StereoDecoderConfig{});
+  ASSERT_TRUE(out.pilot_detected);
+  std::vector<float> side(out.audio.size());
+  for (std::size_t i = 0; i < side.size(); ++i) {
+    side[i] = 0.5F * (out.audio.left[i] - out.audio.right[i]);
+  }
+  const double p_side = dsp::band_power(side, kAudioRate, 1900.0, 2100.0);
+  // Expected power of 0.5-amplitude tone: 0.125.
+  EXPECT_NEAR(p_side, 0.125, 0.03);
+  // And the mono output should be nearly empty.
+  const double p_mid =
+      dsp::band_power(out.audio.mid().samples, kAudioRate, 1900.0, 2100.0);
+  EXPECT_LT(p_mid, 0.05 * p_side);
+}
+
+TEST(StereoDecoder, DeemphasisCutsHighs) {
+  const StereoBuffer prog = tone_pair(12000.0, 12000.0);
+  const auto mpx = compose_mpx(prog, MpxConfig{});
+  StereoDecoderConfig plain;
+  StereoDecoderConfig with_de;
+  with_de.deemphasis = true;
+  const auto out_plain = decode_stereo(mpx, plain);
+  const auto out_de = decode_stereo(mpx, with_de);
+  const double p_plain =
+      dsp::band_power(out_plain.audio.left, kAudioRate, 11500.0, 12500.0);
+  const double p_de =
+      dsp::band_power(out_de.audio.left, kAudioRate, 11500.0, 12500.0);
+  EXPECT_LT(p_de, 0.15 * p_plain);
+}
+
+TEST(StereoDecoder, Validation) {
+  EXPECT_THROW(decode_stereo({}, StereoDecoderConfig{}), std::invalid_argument);
+  StereoDecoderConfig bad;
+  bad.audio_rate = 47000.0;  // not a divisor of 240 kHz
+  const auto mpx = compose_mpx(tone_pair(440.0, 440.0, 0.05), MpxConfig{});
+  EXPECT_THROW(decode_stereo(mpx, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::fm

@@ -1,0 +1,121 @@
+#include "rx/cooperative.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/metrics.h"
+#include "audio/pesq_like.h"
+#include "audio/speech_synth.h"
+#include "audio/tone.h"
+#include "dsp/correlate.h"
+#include "dsp/nco.h"
+
+namespace fmbs::rx {
+namespace {
+
+// Builds phone1/phone2 signals directly in the audio domain (unit test —
+// the RF version lives in the integration suite): phone1 = ambient,
+// phone2 = gain * (ambient + pilot/back per the coop baseband layout).
+struct CoopFixture {
+  audio::MonoBuffer phone1;
+  audio::MonoBuffer phone2;
+  audio::MonoBuffer content;
+  tag::CoopPilotConfig pilot;
+};
+
+CoopFixture make_fixture(double phone2_gain, long delay_samples,
+                         double payload_gain_change = 1.0) {
+  CoopFixture f;
+  const double rate = 48000.0;
+  const double payload_seconds = 1.5;
+  f.content = audio::synthesize_speech({}, payload_seconds, rate, 81);
+  const audio::MonoBuffer ambient =
+      audio::synthesize_speech({}, payload_seconds + 0.25 + 0.05, rate, 82);
+
+  const auto pre_len = static_cast<std::size_t>(f.pilot.preamble_seconds * rate);
+  dsp::Oscillator pilot_osc(f.pilot.pilot_hz, rate);
+  std::vector<float> p2(ambient.size(), 0.0F);
+  for (std::size_t i = 0; i < p2.size(); ++i) {
+    float v = ambient.samples[i];
+    if (i < pre_len) {
+      v += static_cast<float>(f.pilot.preamble_level) * pilot_osc.next_real();
+    } else {
+      const std::size_t j = i - pre_len;
+      float tagv = static_cast<float>(f.pilot.payload_level) * pilot_osc.next_real();
+      if (j < f.content.size()) tagv += f.content.samples[j];
+      v += tagv;
+      v *= static_cast<float>(payload_gain_change);  // AGC-style gain step
+    }
+    p2[i] = static_cast<float>(phone2_gain) * v;
+  }
+  f.phone2 = audio::MonoBuffer(std::move(p2), rate);
+  f.phone1 = audio::MonoBuffer(dsp::shift_signal(ambient.samples, delay_samples),
+                               rate);
+  return f;
+}
+
+TEST(Cooperative, CancelsAmbientCleanCase) {
+  const CoopFixture f = make_fixture(1.0, 0);
+  const CooperativeResult r = cancel_ambient(f.phone1, f.phone2);
+  const double score = audio::pesq_like(f.content, r.backscatter_audio);
+  EXPECT_GT(score, 3.5) << "residual ambient after cancellation";
+}
+
+TEST(Cooperative, HandlesUnsynchronizedReceivers) {
+  // Phone1 delayed by 23 samples: the x10 resample + correlation must find
+  // that phone1 needs advancing by +230 upsampled samples.
+  const CoopFixture f = make_fixture(1.0, 23);
+  const CooperativeResult r = cancel_ambient(f.phone1, f.phone2);
+  EXPECT_NEAR(r.delay_samples, 230.0, 15.0);  // at the x10 rate
+  const double score = audio::pesq_like(f.content, r.backscatter_audio);
+  EXPECT_GT(score, 3.0);
+}
+
+TEST(Cooperative, LsqGainAbsorbsReceiverScale) {
+  const CoopFixture f = make_fixture(2.5, 0);
+  const CooperativeResult r = cancel_ambient(f.phone1, f.phone2);
+  EXPECT_NEAR(r.ambient_gain, 2.5, 0.2);
+  const double score = audio::pesq_like(f.content, r.backscatter_audio);
+  EXPECT_GT(score, 3.0);
+}
+
+TEST(Cooperative, PilotCalibratesAgcStep) {
+  // The payload plays 0.6x quieter than the preamble (gain control kicked
+  // in); the 13 kHz pilot ratio must correct it.
+  const CoopFixture f = make_fixture(1.0, 0, 0.6);
+  const CooperativeResult r = cancel_ambient(f.phone1, f.phone2);
+  EXPECT_NEAR(r.agc_ratio, 1.0 / 0.6, 0.15);
+  const double score = audio::pesq_like(f.content, r.backscatter_audio);
+  EXPECT_GT(score, 3.0);
+}
+
+TEST(Cooperative, NotchRemovesResidualPilot) {
+  const CoopFixture f = make_fixture(1.0, 0);
+  CooperativeConfig cfg;
+  cfg.notch_pilot = true;
+  const CooperativeResult with_notch = cancel_ambient(f.phone1, f.phone2, cfg);
+  cfg.notch_pilot = false;
+  const CooperativeResult without = cancel_ambient(f.phone1, f.phone2, cfg);
+  auto pilot_power = [&](const audio::MonoBuffer& x) {
+    double acc = 0.0;
+    dsp::Oscillator osc(13000.0, 48000.0);
+    for (const float v : x.samples) acc += v * osc.next_real();
+    return std::abs(acc);
+  };
+  EXPECT_LT(pilot_power(with_notch.backscatter_audio),
+            0.5 * pilot_power(without.backscatter_audio));
+}
+
+TEST(Cooperative, Validation) {
+  const audio::MonoBuffer a(std::vector<float>(100, 0.0F), 48000.0);
+  audio::MonoBuffer b = a;
+  b.sample_rate = 44100.0;
+  EXPECT_THROW(cancel_ambient(a, b), std::invalid_argument);
+  EXPECT_THROW(cancel_ambient(audio::MonoBuffer{}, a), std::invalid_argument);
+  // Too short for the preamble.
+  EXPECT_THROW(cancel_ambient(a, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::rx

@@ -1,0 +1,109 @@
+#include "rx/fsk_demod.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "audio/tone.h"
+#include "dsp/correlate.h"
+#include "fm/constants.h"
+#include "tag/fsk.h"
+
+namespace fmbs::rx {
+namespace {
+
+using tag::DataRate;
+
+class AllRates : public ::testing::TestWithParam<DataRate> {};
+
+TEST_P(AllRates, CleanLoopbackIsErrorFree) {
+  const auto bits = tag::random_bits(240, 61);
+  const auto wave = tag::modulate_fsk(bits, GetParam(), fm::kAudioRate);
+  const auto out = demodulate_fsk(wave, GetParam(), bits.size());
+  const auto ber = compare_bits(bits, out.bits);
+  EXPECT_EQ(ber.bit_errors, 0U);
+  EXPECT_GT(out.mean_confidence, 0.3);
+}
+
+TEST_P(AllRates, SurvivesUnknownDelay) {
+  // The demodulator must find symbol timing for any sub-symbol delay.
+  const auto bits = tag::random_bits(160, 62);
+  const auto wave = tag::modulate_fsk(bits, GetParam(), fm::kAudioRate);
+  const auto p = tag::FskParams::for_rate(GetParam());
+  const auto sps = static_cast<long>(fm::kAudioRate / p.symbol_rate);
+  for (const long delay : {sps / 7, sps / 3, sps / 2, 3 * sps / 4}) {
+    audio::MonoBuffer delayed(dsp::shift_signal(wave.samples, delay),
+                              fm::kAudioRate);
+    const auto out = demodulate_fsk(delayed, GetParam(), bits.size());
+    const auto ber = compare_bits(bits, out.bits);
+    EXPECT_LE(ber.bit_errors, 8U) << "delay " << delay;  // edge symbols only
+  }
+}
+
+TEST_P(AllRates, SurvivesModerateNoise) {
+  const auto bits = tag::random_bits(240, 63);
+  auto wave = tag::modulate_fsk(bits, GetParam(), fm::kAudioRate);
+  std::mt19937 rng(64);
+  std::normal_distribution<float> n(0.0F, 0.1F);
+  for (auto& v : wave.samples) v += n(rng);
+  const auto out = demodulate_fsk(wave, GetParam(), bits.size());
+  const auto ber = compare_bits(bits, out.bits);
+  EXPECT_LT(ber.ber, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AllRates,
+                         ::testing::Values(DataRate::k100bps, DataRate::k1600bps,
+                                           DataRate::k3200bps));
+
+TEST(FskDemod, NonCoherentAmplitudeInvariance) {
+  // "eliminates the need for phase and amplitude estimation": scaling the
+  // waveform must not change decisions.
+  const auto bits = tag::random_bits(120, 65);
+  auto wave = tag::modulate_fsk(bits, DataRate::k1600bps, fm::kAudioRate);
+  for (auto& v : wave.samples) v *= 0.003F;
+  const auto out = demodulate_fsk(wave, DataRate::k1600bps, bits.size());
+  EXPECT_EQ(compare_bits(bits, out.bits).bit_errors, 0U);
+}
+
+TEST(FskDemod, StrongInterferenceBreaksIt) {
+  // Sanity: the demodulator is not magic — overwhelming in-band noise must
+  // produce high BER (protects against metrics that always "pass").
+  const auto bits = tag::random_bits(240, 66);
+  auto wave = tag::modulate_fsk(bits, DataRate::k3200bps, fm::kAudioRate);
+  std::mt19937 rng(67);
+  std::normal_distribution<float> n(0.0F, 2.0F);
+  for (auto& v : wave.samples) v += n(rng);
+  const auto out = demodulate_fsk(wave, DataRate::k3200bps, bits.size());
+  EXPECT_GT(compare_bits(bits, out.bits).ber, 0.1);
+}
+
+TEST(FskDemod, ShortCaptureCountsMissingBitsAsErrors) {
+  const auto bits = tag::random_bits(100, 68);
+  const auto wave = tag::modulate_fsk(bits, DataRate::k100bps, fm::kAudioRate);
+  // Truncate to half the bits.
+  audio::MonoBuffer half(
+      std::vector<float>(wave.samples.begin(),
+                         wave.samples.begin() + wave.samples.size() / 2),
+      fm::kAudioRate);
+  const auto out = demodulate_fsk(half, DataRate::k100bps, bits.size());
+  const auto ber = compare_bits(bits, out.bits);
+  EXPECT_EQ(ber.bits_compared, bits.size());
+  EXPECT_GE(ber.bit_errors, 45U);
+}
+
+TEST(FskDemod, Validation) {
+  EXPECT_THROW(demodulate_fsk(audio::MonoBuffer{}, DataRate::k100bps, 10),
+               std::invalid_argument);
+}
+
+TEST(CompareBits, CountsCorrectly) {
+  const std::vector<std::uint8_t> a{1, 0, 1, 1};
+  const std::vector<std::uint8_t> b{1, 1, 1, 0};
+  const auto r = compare_bits(a, b);
+  EXPECT_EQ(r.bit_errors, 2U);
+  EXPECT_EQ(r.bits_compared, 4U);
+  EXPECT_NEAR(r.ber, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace fmbs::rx

@@ -1,0 +1,96 @@
+#include "rx/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/math_util.h"
+#include "dsp/nco.h"
+
+namespace fmbs::rx {
+namespace {
+
+TEST(Tuner, DecimationFactor) {
+  Tuner t{TunerConfig{}};
+  EXPECT_EQ(t.decimation(), 10U);
+}
+
+TEST(Tuner, ShiftsWantedChannelToDc) {
+  TunerConfig cfg;  // offset 600 kHz
+  Tuner tuner(cfg);
+  // A tone exactly at the offset becomes DC after tuning.
+  dsp::Oscillator osc(600000.0, cfg.rf_rate);
+  const dsp::cvec rf = osc.block_complex(240000);
+  const dsp::cvec out = tuner.process(rf);
+  ASSERT_EQ(out.size(), 24000U);
+  // After settle, the output should be constant (DC) with near-unity power.
+  double p = 0.0;
+  for (std::size_t i = out.size() / 2; i < out.size(); ++i) p += std::norm(out[i]);
+  p /= static_cast<double>(out.size() / 2);
+  EXPECT_NEAR(p, 1.0, 0.05);
+  for (std::size_t i = out.size() / 2 + 1; i < out.size(); ++i) {
+    EXPECT_NEAR(std::abs(out[i] - out[i - 1]), 0.0F, 1e-2F);
+  }
+}
+
+TEST(Tuner, RejectsAdjacentChannel) {
+  // A strong signal at DC (the ambient station, 600 kHz away from the
+  // backscatter channel) must be suppressed by the tuner's selectivity.
+  TunerConfig cfg;
+  Tuner tuner(cfg);
+  dsp::cvec rf(240000, dsp::cfloat(1.0F, 0.0F));  // carrier at 0 Hz
+  const dsp::cvec out = tuner.process(rf);
+  double p = 0.0;
+  for (std::size_t i = out.size() / 2; i < out.size(); ++i) p += std::norm(out[i]);
+  p /= static_cast<double>(out.size() / 2);
+  EXPECT_LT(dsp::db_from_power_ratio(p), -60.0)
+      << "adjacent-channel suppression too weak";
+}
+
+TEST(Tuner, PassbandIsFlatEnough) {
+  // A tone at offset + 80 kHz (inside the channel) keeps its power.
+  TunerConfig cfg;
+  Tuner tuner(cfg);
+  dsp::Oscillator osc(680000.0, cfg.rf_rate);
+  const dsp::cvec rf = osc.block_complex(240000);
+  const dsp::cvec out = tuner.process(rf);
+  double p = 0.0;
+  for (std::size_t i = out.size() / 2; i < out.size(); ++i) p += std::norm(out[i]);
+  p /= static_cast<double>(out.size() / 2);
+  EXPECT_NEAR(p, 1.0, 0.1);
+}
+
+TEST(Tuner, BlockSizeValidation) {
+  Tuner tuner{TunerConfig{}};
+  dsp::cvec bad(1001);
+  EXPECT_THROW(tuner.process(bad), std::invalid_argument);
+}
+
+TEST(Tuner, RateValidation) {
+  TunerConfig cfg;
+  cfg.output_rate = 210000.0;  // not an integer divisor
+  EXPECT_THROW(Tuner{cfg}, std::invalid_argument);
+}
+
+TEST(Tuner, StreamingContinuity) {
+  TunerConfig cfg;
+  Tuner whole(cfg);
+  Tuner chunked(cfg);
+  dsp::Oscillator osc1(612000.0, cfg.rf_rate);
+  const dsp::cvec rf = osc1.block_complex(120000);
+  const dsp::cvec ref = whole.process(rf);
+  dsp::cvec got;
+  for (std::size_t start = 0; start < rf.size(); start += 24000) {
+    const auto part = chunked.process(
+        std::span<const dsp::cfloat>(rf.data() + start, 24000));
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), ref[i].real(), 1e-4F);
+    EXPECT_NEAR(got[i].imag(), ref[i].imag(), 1e-4F);
+  }
+}
+
+}  // namespace
+}  // namespace fmbs::rx

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dsp/math_util.h"
+#include "fm/constants.h"
+#include "survey/city_survey.h"
+#include "survey/spectrum_db.h"
+
+namespace fmbs::survey {
+namespace {
+
+TEST(CitySurvey, SampleCountNearPaper) {
+  const auto samples = run_city_survey(CitySurveyConfig{});
+  // Paper: 69 grid squares. The synthetic drive should land close.
+  EXPECT_GT(samples.size(), 55U);
+  EXPECT_LT(samples.size(), 85U);
+}
+
+TEST(CitySurvey, PowerRangeMatchesFig2a) {
+  const auto samples = run_city_survey(CitySurveyConfig{});
+  std::vector<double> dbm;
+  for (const auto& s : samples) dbm.push_back(s.best_station_dbm);
+  const double median = dsp::quantile(dbm, 0.5);
+  // Paper: median -35.15 dBm, range about -10 to -55 dBm.
+  EXPECT_GT(median, -45.0);
+  EXPECT_LT(median, -25.0);
+  EXPECT_GT(dsp::quantile(dbm, 1.0), -30.0);
+  EXPECT_LT(dsp::quantile(dbm, 0.0), -35.0);
+}
+
+TEST(CitySurvey, DeterministicPerSeed) {
+  const auto a = run_city_survey(CitySurveyConfig{});
+  const auto b = run_city_survey(CitySurveyConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].best_station_dbm, b[i].best_station_dbm);
+  }
+}
+
+TEST(CitySurvey, Validation) {
+  CitySurveyConfig bad;
+  bad.grid_cell_miles = 0.0;
+  EXPECT_THROW(run_city_survey(bad), std::invalid_argument);
+}
+
+TEST(TemporalSurvey, SigmaMatchesFig2b) {
+  const auto series = run_temporal_survey(-33.0, 0.7, 24, 9);
+  ASSERT_EQ(series.size(), 24U * 60U);
+  EXPECT_NEAR(dsp::mean(std::span<const double>(series)), -33.0, 0.5);
+  EXPECT_NEAR(dsp::stddev(std::span<const double>(series)), 0.7, 0.3);
+}
+
+TEST(TemporalSurvey, Validation) {
+  EXPECT_THROW(run_temporal_survey(-30.0, 0.7, 0, 1), std::invalid_argument);
+}
+
+TEST(SpectrumDb, ChannelFrequencies) {
+  EXPECT_NEAR(channel_frequency_hz(0), 88.1e6, 1.0);
+  EXPECT_NEAR(channel_frequency_hz(17), 91.5e6, 1.0);  // the paper's test band
+  EXPECT_NEAR(channel_frequency_hz(99), 107.9e6, 1.0);
+  EXPECT_THROW(channel_frequency_hz(-1), std::invalid_argument);
+  EXPECT_THROW(channel_frequency_hz(100), std::invalid_argument);
+}
+
+TEST(SpectrumDb, BuiltinCitiesMatchFig4aCounts) {
+  const auto cities = builtin_city_spectra();
+  ASSERT_EQ(cities.size(), 5U);
+  std::set<std::string> names;
+  for (const auto& c : cities) names.insert(c.name);
+  EXPECT_TRUE(names.count("Seattle"));
+  EXPECT_TRUE(names.count("LA"));
+  for (const auto& c : cities) {
+    EXPECT_GT(c.licensed_channels.size(), 20U) << c.name;
+    EXPECT_LT(c.licensed_channels.size(), 70U) << c.name;
+    // A large fraction of the 100 channels stays unoccupied (the paper's
+    // key observation enabling backscatter).
+    EXPECT_LT(c.licensed_channels.size(), 70U);
+  }
+  // Seattle: more detectable than licensed (neighboring cities).
+  const auto seattle = std::find_if(cities.begin(), cities.end(),
+                                    [](const auto& c) { return c.name == "Seattle"; });
+  EXPECT_GT(seattle->detectable_channels.size(),
+            seattle->licensed_channels.size());
+}
+
+TEST(SpectrumDb, MinShiftMedianIs200kHz) {
+  // Paper Fig. 4b: "the median frequency shift required is 200 kHz".
+  for (const auto& city : builtin_city_spectra()) {
+    const auto shifts = minimum_shift_frequencies(city);
+    ASSERT_FALSE(shifts.empty()) << city.name;
+    const double median = dsp::quantile(shifts, 0.5);
+    EXPECT_NEAR(median, 200e3, 1.0) << city.name;
+  }
+}
+
+TEST(SpectrumDb, MinShiftWorstCaseBounded) {
+  // Paper: "less than 800 kHz in the worst case".
+  for (const auto& city : builtin_city_spectra()) {
+    const auto shifts = minimum_shift_frequencies(city);
+    const double worst = *std::max_element(shifts.begin(), shifts.end());
+    EXPECT_LE(worst, 800e3 + 1.0) << city.name;
+  }
+}
+
+TEST(SpectrumDb, ChooseShiftLandsOnEmptyChannel) {
+  const auto cities = builtin_city_spectra();
+  const auto& city = cities.front();
+  const int station = city.licensed_channels.front();
+  const ShiftChoice choice = choose_backscatter_shift(city, station);
+  ASSERT_GE(choice.target_channel, 0);
+  EXPECT_NE(choice.shift_hz, 0.0);
+  EXPECT_LE(std::abs(choice.shift_hz), 800e3);
+  const std::set<int> occupied(city.licensed_channels.begin(),
+                               city.licensed_channels.end());
+  EXPECT_FALSE(occupied.count(choice.target_channel))
+      << "chose an occupied channel";
+}
+
+TEST(SpectrumDb, ChooseShiftPrefersQuietChannel) {
+  CitySpectrum city;
+  city.name = "synthetic";
+  city.licensed_channels = {50};
+  city.detectable_channels = {50, 51, 49};
+  city.detectable_power_dbm = {-30.0, -60.0, -90.0};
+  const ShiftChoice choice = choose_backscatter_shift(city, 50);
+  // Channel 49 has lower ambient power than 51 -> shift down.
+  EXPECT_EQ(choice.target_channel, 48);  // 49 is detectable; 48 is quietest empty
+}
+
+TEST(SpectrumDb, SynthesizeRespectsCounts) {
+  const auto city = synthesize_city_spectrum("test", 40, 35, 1);
+  EXPECT_EQ(city.licensed_channels.size(), 40U);
+  EXPECT_EQ(city.detectable_channels.size(), 35U);
+  EXPECT_EQ(city.detectable_power_dbm.size(), 35U);
+  EXPECT_THROW(synthesize_city_spectrum("bad", -1, 10, 1), std::invalid_argument);
+  EXPECT_THROW(synthesize_city_spectrum("bad", 10, 200, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fmbs::survey

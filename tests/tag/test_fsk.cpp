@@ -1,0 +1,115 @@
+#include "tag/fsk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/goertzel.h"
+#include "dsp/spectrum.h"
+#include "fm/constants.h"
+
+namespace fmbs::tag {
+namespace {
+
+TEST(FskParams, PaperRates) {
+  const auto p100 = FskParams::for_rate(DataRate::k100bps);
+  EXPECT_EQ(p100.tones_hz.size(), 2U);
+  EXPECT_EQ(p100.tones_hz[0], 8000.0);   // paper: 8 kHz for 0
+  EXPECT_EQ(p100.tones_hz[1], 12000.0);  // paper: 12 kHz for 1
+  EXPECT_EQ(p100.symbol_rate, 100.0);
+  EXPECT_EQ(p100.bits_per_symbol, 1U);
+
+  const auto p16 = FskParams::for_rate(DataRate::k1600bps);
+  EXPECT_EQ(p16.tones_hz.size(), 16U);
+  EXPECT_EQ(p16.tones_hz.front(), 800.0);
+  EXPECT_EQ(p16.tones_hz.back(), 12800.0);
+  EXPECT_EQ(p16.groups, 4U);
+  EXPECT_EQ(p16.symbol_rate, 200.0);
+  EXPECT_EQ(p16.bits_per_symbol, 8U);
+
+  const auto p32 = FskParams::for_rate(DataRate::k3200bps);
+  EXPECT_EQ(p32.symbol_rate, 400.0);
+}
+
+TEST(FskParams, RateHelpers) {
+  EXPECT_EQ(bits_per_second(DataRate::k100bps), 100.0);
+  EXPECT_EQ(bits_per_second(DataRate::k1600bps), 1600.0);
+  EXPECT_EQ(bits_per_second(DataRate::k3200bps), 3200.0);
+  EXPECT_STREQ(to_string(DataRate::k100bps), "100bps");
+  EXPECT_STREQ(to_string(DataRate::k3200bps), "3.2kbps");
+}
+
+TEST(Fsk2, ZeroAndOneMapToTones) {
+  const std::vector<std::uint8_t> zero{0};
+  const std::vector<std::uint8_t> one{1};
+  const auto w0 = modulate_fsk(zero, DataRate::k100bps, fm::kAudioRate);
+  const auto w1 = modulate_fsk(one, DataRate::k100bps, fm::kAudioRate);
+  EXPECT_GT(dsp::goertzel_power(w0.samples, 8000.0, fm::kAudioRate),
+            10.0 * dsp::goertzel_power(w0.samples, 12000.0, fm::kAudioRate));
+  EXPECT_GT(dsp::goertzel_power(w1.samples, 12000.0, fm::kAudioRate),
+            10.0 * dsp::goertzel_power(w1.samples, 8000.0, fm::kAudioRate));
+}
+
+TEST(Fsk2, SymbolDurationCorrect) {
+  const auto bits = random_bits(25, 1);
+  const auto w = modulate_fsk(bits, DataRate::k100bps, fm::kAudioRate);
+  EXPECT_EQ(w.size(), 25U * 480U);  // 100 sps at 48 kHz
+  EXPECT_NEAR(w.duration_seconds(), 0.25, 1e-9);
+}
+
+TEST(Fdm4Fsk, FourTonesActivePerSymbol) {
+  // One symbol of 8 bits = one tone per group; exactly 4 spectral lines.
+  const std::vector<std::uint8_t> bits{0, 0, 0, 1, 1, 0, 1, 1};  // 00 01 10 11
+  const auto w = modulate_fsk(bits, DataRate::k1600bps, fm::kAudioRate);
+  // Expected tones: group 0 index 0 -> 800; group 1 index 1 -> 4*800+2*... :
+  // group g index i -> tone (g*4 + i + 1) * 800.
+  const std::vector<double> expected{800.0, 4800.0, 8800.0, 12800.0};
+  for (const double f : expected) {
+    EXPECT_GT(dsp::goertzel_power(w.samples, f, fm::kAudioRate), 1e-3)
+        << "expected tone " << f;
+  }
+  // A tone that should NOT be present.
+  EXPECT_LT(dsp::goertzel_power(w.samples, 1600.0, fm::kAudioRate), 1e-4);
+}
+
+TEST(Fdm4Fsk, PeakBounded) {
+  // Four simultaneous tones at 1/4 amplitude: peak can't exceed ~1.
+  const auto bits = random_bits(800, 2);
+  const auto w = modulate_fsk(bits, DataRate::k3200bps, fm::kAudioRate, 1.0);
+  for (const float v : w.samples) EXPECT_LE(std::abs(v), 1.05F);
+}
+
+TEST(Fdm4Fsk, PhaseContinuityNoSplatter) {
+  // With continuous-phase tones, energy between tone bins stays low.
+  const auto bits = random_bits(1600, 3);
+  const auto w = modulate_fsk(bits, DataRate::k1600bps, fm::kAudioRate);
+  const double on_grid = dsp::band_power(w.samples, fm::kAudioRate, 700.0, 13000.0);
+  const double above = dsp::band_power(w.samples, fm::kAudioRate, 14000.0, 20000.0);
+  EXPECT_GT(on_grid, 200.0 * above);
+}
+
+TEST(Fsk, PadsPartialFinalSymbol) {
+  // 9 bits at 8 bits/symbol -> 2 symbols.
+  const auto bits = random_bits(9, 4);
+  const auto w = modulate_fsk(bits, DataRate::k1600bps, fm::kAudioRate);
+  EXPECT_EQ(w.size(), 2U * 240U);
+}
+
+TEST(Fsk, Validation) {
+  EXPECT_THROW(modulate_fsk({}, DataRate::k100bps, fm::kAudioRate),
+               std::invalid_argument);
+  const auto bits = random_bits(8, 5);
+  EXPECT_THROW(modulate_fsk(bits, DataRate::k100bps, 0.0), std::invalid_argument);
+}
+
+TEST(RandomBits, DeterministicAndBalanced) {
+  const auto a = random_bits(10000, 6);
+  const auto b = random_bits(10000, 6);
+  EXPECT_EQ(a, b);
+  std::size_t ones = 0;
+  for (const auto bit : a) ones += bit;
+  EXPECT_NEAR(static_cast<double>(ones), 5000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace fmbs::tag

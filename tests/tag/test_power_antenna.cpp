@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tag/antenna.h"
+#include "tag/power_model.h"
+
+namespace fmbs::tag {
+namespace {
+
+TEST(PowerModel, PaperTotalAt600k) {
+  // Paper section 4: 1 + 9.94 + 0.13 = 11.07 uW.
+  const PowerBreakdown p = tag_power();
+  EXPECT_NEAR(p.baseband_uw, 1.00, 1e-9);
+  EXPECT_NEAR(p.modulator_uw, 9.94, 1e-9);
+  EXPECT_NEAR(p.switch_uw, 0.13, 1e-9);
+  EXPECT_NEAR(p.total_uw, 11.07, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerScalesWithFrequency) {
+  PowerModelConfig cfg;
+  cfg.subcarrier_hz = 300e3;
+  const PowerBreakdown p = tag_power(cfg);
+  EXPECT_NEAR(p.modulator_uw, 9.94 / 2.0, 1e-9);
+  EXPECT_NEAR(p.switch_uw, 0.13 / 2.0, 1e-9);
+  EXPECT_NEAR(p.baseband_uw, 1.0, 1e-9);  // static block unchanged
+}
+
+TEST(PowerModel, LargerShiftCostsMore) {
+  PowerModelConfig near_cfg;
+  near_cfg.subcarrier_hz = 200e3;
+  PowerModelConfig far_cfg;
+  far_cfg.subcarrier_hz = 800e3;
+  EXPECT_LT(tag_power(near_cfg).total_uw, tag_power(far_cfg).total_uw);
+}
+
+TEST(PowerModel, Validation) {
+  PowerModelConfig bad;
+  bad.subcarrier_hz = 0.0;
+  EXPECT_THROW(tag_power(bad), std::invalid_argument);
+}
+
+TEST(BatteryLife, PaperFmChipUnderTwelveHours) {
+  // Paper section 2: 18.8 mA FM chip on a 225 mAh coin cell -> < 12 h.
+  const BatteryLife b = battery_life_from_current(18.8, 225.0);
+  EXPECT_LT(b.hours, 12.0);
+  EXPECT_GT(b.hours, 11.0);
+}
+
+TEST(BatteryLife, BackscatterNearlyThreeYears) {
+  // Paper section 2: "our backscatter system could continuously transmit for
+  // almost 3 years" on the same cell.
+  const BatteryLife b = battery_life(11.07, 225.0);
+  EXPECT_GT(b.years, 2.5);
+  EXPECT_LT(b.years, 3.5);
+}
+
+TEST(BatteryLife, ScalesInverselyWithPower) {
+  const BatteryLife a = battery_life(11.07, 225.0);
+  const BatteryLife b = battery_life(22.14, 225.0);
+  EXPECT_NEAR(a.hours / b.hours, 2.0, 1e-6);
+}
+
+TEST(BatteryLife, Validation) {
+  EXPECT_THROW(battery_life(0.0, 225.0), std::invalid_argument);
+  EXPECT_THROW(battery_life(11.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(battery_life(11.0, 225.0, 3.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(battery_life_from_current(0.0, 225.0), std::invalid_argument);
+}
+
+TEST(Antenna, PosterDipoleIsBestTagAntenna) {
+  const double dipole = poster_dipole_antenna().effective_gain_db();
+  const double bowtie = poster_bowtie_antenna().effective_gain_db();
+  const double shirt = tshirt_meander_antenna(true).effective_gain_db();
+  EXPECT_GT(dipole, bowtie);
+  EXPECT_GT(bowtie, shirt);
+}
+
+TEST(Antenna, BodyProximityCostsGain) {
+  const double worn = tshirt_meander_antenna(true).effective_gain_db();
+  const double off_body = tshirt_meander_antenna(false).effective_gain_db();
+  EXPECT_LT(worn, off_body);
+  EXPECT_NEAR(off_body - worn, 4.0, 1e-9);
+}
+
+TEST(Antenna, CarBeatsHeadphones) {
+  EXPECT_GT(car_whip_antenna().effective_gain_db(),
+            headphone_antenna().effective_gain_db() + 5.0);
+}
+
+TEST(Antenna, NamesAreDescriptive) {
+  EXPECT_FALSE(poster_dipole_antenna().name.empty());
+  EXPECT_NE(poster_dipole_antenna().name, poster_bowtie_antenna().name);
+}
+
+}  // namespace
+}  // namespace fmbs::tag
