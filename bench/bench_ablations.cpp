@@ -6,13 +6,15 @@
 //  4. program genre sensitivity of overlay data,
 //  5. Aloha MAC for multiple tags (section 8),
 //  6. harvesting-driven duty cycling (section 8).
+// Every ablation axis is one SweepRunner task list; independent points run
+// across the worker pool.
 #include <cstdio>
 #include <iostream>
 
 #include "audio/tone.h"
 #include "core/aloha.h"
-#include "core/experiment.h"
 #include "core/harvesting.h"
+#include "core/sweep_runner.h"
 #include "dsp/spectrum.h"
 #include "rx/fsk_demod.h"
 #include "tag/baseband.h"
@@ -21,15 +23,14 @@ using namespace fmbs;
 
 namespace {
 
-double tone_snr_for_mode(tag::SubcarrierMode mode, int max_harmonic) {
+double tone_snr_for_subcarrier(const tag::SubcarrierConfig& subcarrier) {
   core::ExperimentPoint point;
   point.tag_power_dbm = -30.0;
   point.distance_feet = 4.0;
   core::SystemConfig cfg = core::make_system(point);
   cfg.station.program.genre = audio::ProgramGenre::kSilence;
   cfg.station.program.stereo = false;
-  cfg.tag.subcarrier.mode = mode;
-  cfg.tag.subcarrier.max_harmonic = max_harmonic;
+  cfg.tag.subcarrier = subcarrier;
   const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
   const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
   const auto sim = core::simulate(cfg, bb, 1.0);
@@ -43,69 +44,88 @@ double tone_snr_for_mode(tag::SubcarrierMode mode, int max_harmonic) {
 }  // namespace
 
 int main() {
+  core::SweepRunner runner;
+
   std::puts("=== Ablation 1: subcarrier waveform model ===");
-  std::printf("%-28s %12s\n", "waveform", "SNR (dB)");
-  std::printf("%-28s %12.1f\n", "band-limited square",
-              tone_snr_for_mode(tag::SubcarrierMode::kBandlimitedSquare, 0));
-  std::printf("%-28s %12.1f\n", "hard square (aliasing)",
-              tone_snr_for_mode(tag::SubcarrierMode::kHardSquare, 0));
-  std::printf("%-28s %12.1f  (footnote 2: SSB removes the mirror copy)\n",
-              "single sideband",
-              tone_snr_for_mode(tag::SubcarrierMode::kSingleSideband, 0));
+  {
+    struct Mode {
+      const char* label;
+      tag::SubcarrierMode mode;
+    };
+    const std::vector<Mode> modes{
+        {"band-limited square", tag::SubcarrierMode::kBandlimitedSquare},
+        {"hard square (aliasing)", tag::SubcarrierMode::kHardSquare},
+        {"single sideband", tag::SubcarrierMode::kSingleSideband},
+    };
+    const auto snrs = runner.map(modes, [](const Mode& m) {
+      tag::SubcarrierConfig sc;
+      sc.mode = m.mode;
+      return tone_snr_for_subcarrier(sc);
+    });
+    std::printf("%-28s %12s\n", "waveform", "SNR (dB)");
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      std::printf("%-28s %12.1f%s\n", modes[i].label, snrs[i],
+                  i == 2 ? "  (footnote 2: SSB removes the mirror copy)" : "");
+    }
+  }
 
   std::puts("\n=== Ablation 2: DCO frequency-quantization bits ===");
-  std::printf("%-12s %12s\n", "bits", "SNR (dB)");
-  for (const int bits : {2, 4, 6, 8, 0}) {
-    core::ExperimentPoint point;
-    point.tag_power_dbm = -30.0;
-    point.distance_feet = 4.0;
-    core::SystemConfig cfg = core::make_system(point);
-    cfg.station.program.genre = audio::ProgramGenre::kSilence;
-    cfg.station.program.stereo = false;
-    cfg.tag.subcarrier.dco_bits = bits;
-    const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
-    const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
-    const auto sim = core::simulate(cfg, bb, 1.0);
-    const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
-    const double snr = dsp::tone_snr_db(
-        std::span<const float>(sim.backscatter_rx.mono.samples)
-            .subspan(skip, sim.backscatter_rx.mono.size() - skip),
-        fm::kAudioRate, 1000.0, 100.0, 15000.0);
-    std::printf("%-12s %12.1f\n", bits == 0 ? "ideal" : std::to_string(bits).c_str(),
-                snr);
+  {
+    const std::vector<int> dco_bits{2, 4, 6, 8, 0};
+    const auto snrs = runner.map(dco_bits, [](const int& bits) {
+      tag::SubcarrierConfig sc;
+      sc.dco_bits = bits;
+      return tone_snr_for_subcarrier(sc);
+    });
+    std::printf("%-12s %12s\n", "bits", "SNR (dB)");
+    for (std::size_t i = 0; i < dco_bits.size(); ++i) {
+      std::printf("%-12s %12.1f\n",
+                  dco_bits[i] == 0 ? "ideal" : std::to_string(dco_bits[i]).c_str(),
+                  snrs[i]);
+    }
+    std::puts("(the paper's 8-bit capacitor bank is effectively ideal)");
   }
-  std::puts("(the paper's 8-bit capacitor bank is effectively ideal)");
 
   std::puts("\n=== Ablation 3: symbol-rate limit of FDM-4FSK ===");
   std::puts("BER at -58 dBm / 16 ft vs symbol rate (paper: \"BER performance");
   std::puts("degrades significantly when the symbol rates are above 400\"):");
-  std::printf("%-16s %10s %10s\n", "symbols/s", "kbps", "BER");
-  for (const auto& [rate, label] :
-       {std::pair{tag::DataRate::k1600bps, 200.0},
-        std::pair{tag::DataRate::k3200bps, 400.0}}) {
-    core::ExperimentPoint point;
-    point.tag_power_dbm = -58.0;
-    point.distance_feet = 16.0;
-    point.genre = audio::ProgramGenre::kNews;
-    const auto r = core::run_overlay_ber(point, rate, 640);
-    std::printf("%-16.0f %10.1f %10.4f\n", label,
-                tag::bits_per_second(rate) / 1000.0, r.ber);
+  {
+    const std::vector<std::pair<tag::DataRate, double>> plans{
+        {tag::DataRate::k1600bps, 200.0}, {tag::DataRate::k3200bps, 400.0}};
+    const auto bers =
+        runner.map(plans, [](const std::pair<tag::DataRate, double>& plan) {
+          core::ExperimentPoint point;
+          point.tag_power_dbm = -58.0;
+          point.distance_feet = 16.0;
+          point.genre = audio::ProgramGenre::kNews;
+          return core::run_overlay_ber(point, plan.first, 640).ber;
+        });
+    std::printf("%-16s %10s %10s\n", "symbols/s", "kbps", "BER");
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      std::printf("%-16.0f %10.1f %10.4f\n", plans[i].second,
+                  tag::bits_per_second(plans[i].first) / 1000.0, bers[i]);
+    }
+    std::puts("(800 sym/s would need 60 Hz tone spacing discrimination within");
+    std::puts(" 1.25 ms symbols — below the Goertzel resolution at 48 kHz,");
+    std::puts(" matching the paper's observed cliff)");
   }
-  std::puts("(800 sym/s would need 60 Hz tone spacing discrimination within");
-  std::puts(" 1.25 ms symbols — below the Goertzel resolution at 48 kHz,");
-  std::puts(" matching the paper's observed cliff)");
 
   std::puts("\n=== Ablation 4: program genre vs overlay data (1.6 kbps, -58 dBm, 16 ft) ===");
-  std::printf("%-12s %10s\n", "genre", "BER");
-  for (const auto genre :
-       {audio::ProgramGenre::kNews, audio::ProgramGenre::kMixed,
-        audio::ProgramGenre::kPop, audio::ProgramGenre::kRock}) {
-    core::ExperimentPoint point;
-    point.tag_power_dbm = -58.0;
-    point.distance_feet = 16.0;
-    point.genre = genre;
-    const auto r = core::run_overlay_ber(point, tag::DataRate::k1600bps, 480);
-    std::printf("%-12s %10.4f\n", audio::to_string(genre).c_str(), r.ber);
+  {
+    const std::vector<audio::ProgramGenre> genres{
+        audio::ProgramGenre::kNews, audio::ProgramGenre::kMixed,
+        audio::ProgramGenre::kPop, audio::ProgramGenre::kRock};
+    const auto bers = runner.map(genres, [](const audio::ProgramGenre& genre) {
+      core::ExperimentPoint point;
+      point.tag_power_dbm = -58.0;
+      point.distance_feet = 16.0;
+      point.genre = genre;
+      return core::run_overlay_ber(point, tag::DataRate::k1600bps, 480).ber;
+    });
+    std::printf("%-12s %10s\n", "genre", "BER");
+    for (std::size_t i = 0; i < genres.size(); ++i) {
+      std::printf("%-12s %10.4f\n", audio::to_string(genres[i]).c_str(), bers[i]);
+    }
   }
 
   std::puts("\n=== Ablation 5: broadcast emphasis mismatch ===");
@@ -113,58 +133,76 @@ int main() {
   std::puts("de-emphasize; the tag cannot pre-emphasize its reflection, so");
   std::puts("its high data tones arrive attenuated relative to the program —");
   std::puts("one reason the paper's measured BERs exceed a clean channel's:");
-  std::printf("%-26s %10s\n", "chain", "BER @1.6k");
-  for (const bool emphasis : {false, true}) {
-    core::ExperimentPoint point;
-    point.tag_power_dbm = -58.0;
-    point.distance_feet = 16.0;
-    point.genre = audio::ProgramGenre::kMixed;
-    core::SystemConfig cfg = core::make_system(point);
-    cfg.station.preemphasis = emphasis;
-    cfg.stereo_decoder.deemphasis = emphasis;
-    const auto bits = tag::random_bits(480, 5);
-    const auto wave = tag::modulate_fsk(bits, tag::DataRate::k1600bps,
-                                        fm::kAudioRate);
-    const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
-    const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.15);
-    const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
-                                          tag::DataRate::k1600bps, bits.size());
-    const auto ber = rx::compare_bits(bits, demod.bits);
-    std::printf("%-26s %10.4f\n",
-                emphasis ? "75us emphasis (realistic)" : "flat (default)",
-                ber.ber);
+  {
+    const std::vector<bool> emphasis_options{false, true};
+    const auto bers = runner.map(emphasis_options, [](const bool& emphasis) {
+      core::ExperimentPoint point;
+      point.tag_power_dbm = -58.0;
+      point.distance_feet = 16.0;
+      point.genre = audio::ProgramGenre::kMixed;
+      core::SystemConfig cfg = core::make_system(point);
+      cfg.station.preemphasis = emphasis;
+      cfg.stereo_decoder.deemphasis = emphasis;
+      const auto bits = tag::random_bits(480, 5);
+      const auto wave = tag::modulate_fsk(bits, tag::DataRate::k1600bps,
+                                          fm::kAudioRate);
+      const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
+      const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.15);
+      const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
+                                            tag::DataRate::k1600bps, bits.size());
+      return rx::compare_bits(bits, demod.bits).ber;
+    });
+    std::printf("%-26s %10s\n", "chain", "BER @1.6k");
+    for (std::size_t i = 0; i < emphasis_options.size(); ++i) {
+      std::printf("%-26s %10.4f\n",
+                  emphasis_options[i] ? "75us emphasis (realistic)"
+                                      : "flat (default)",
+                  bers[i]);
+    }
   }
 
   std::puts("\n=== Section 8: coding extends range ===");
   std::puts("Payload BER at the 1.6 kbps cliff (-60 dBm / 14 ft); coded");
   std::puts("schemes spend channel bits to push the usable range outward:");
-  std::printf("%-18s %8s %12s\n", "scheme", "rate", "payload BER");
-  for (const auto scheme :
-       {tag::FecScheme::kNone, tag::FecScheme::kHamming74,
-        tag::FecScheme::kConvolutionalK7}) {
-    core::ExperimentPoint point;
-    point.tag_power_dbm = -60.0;
-    point.distance_feet = 14.0;
-    point.genre = audio::ProgramGenre::kNews;
-    const auto r = core::run_overlay_ber_coded(point, tag::DataRate::k1600bps,
-                                               512, scheme);
-    std::printf("%-18s %8.2f %12.4f\n", tag::to_string(scheme),
-                tag::fec_rate(scheme), r.ber);
+  {
+    const std::vector<tag::FecScheme> schemes{
+        tag::FecScheme::kNone, tag::FecScheme::kHamming74,
+        tag::FecScheme::kConvolutionalK7};
+    const auto bers = runner.map(schemes, [](const tag::FecScheme& scheme) {
+      core::ExperimentPoint point;
+      point.tag_power_dbm = -60.0;
+      point.distance_feet = 14.0;
+      point.genre = audio::ProgramGenre::kNews;
+      return core::run_overlay_ber_coded(point, tag::DataRate::k1600bps, 512,
+                                         scheme).ber;
+    });
+    std::printf("%-18s %8s %12s\n", "scheme", "rate", "payload BER");
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      std::printf("%-18s %8.2f %12.4f\n", tag::to_string(schemes[i]),
+                  tag::fec_rate(schemes[i]), bers[i]);
+    }
   }
 
   std::puts("\n=== Section 8: Aloha MAC for multiple tags ===");
-  std::printf("%-10s %12s %12s %14s\n", "tags", "channels", "throughput",
-              "P(success)");
-  for (const auto& [tags, channels] :
-       {std::pair{5, 1}, std::pair{20, 1}, std::pair{20, 4}, std::pair{40, 8}}) {
-    core::AlohaConfig cfg;
-    cfg.num_tags = static_cast<std::size_t>(tags);
-    cfg.num_channels = static_cast<std::size_t>(channels);
-    cfg.per_tag_rate_hz = 0.05;
-    cfg.duration_seconds = 20000.0;
-    const auto r = core::simulate_aloha(cfg);
-    std::printf("%-10d %12d %12.3f %14.3f\n", tags, channels, r.throughput,
-                r.success_probability);
+  {
+    const std::vector<std::pair<int, int>> populations{
+        {5, 1}, {20, 1}, {20, 4}, {40, 8}};
+    const auto results =
+        runner.map(populations, [](const std::pair<int, int>& pop) {
+          core::AlohaConfig cfg;
+          cfg.num_tags = static_cast<std::size_t>(pop.first);
+          cfg.num_channels = static_cast<std::size_t>(pop.second);
+          cfg.per_tag_rate_hz = 0.05;
+          cfg.duration_seconds = 20000.0;
+          return core::simulate_aloha(cfg);
+        });
+    std::printf("%-10s %12s %12s %14s\n", "tags", "channels", "throughput",
+                "P(success)");
+    for (std::size_t i = 0; i < populations.size(); ++i) {
+      std::printf("%-10d %12d %12.3f %14.3f\n", populations[i].first,
+                  populations[i].second, results[i].throughput,
+                  results[i].success_probability);
+    }
   }
 
   std::puts("\n=== Section 8: harvesting-driven duty cycle ===");
@@ -172,18 +210,19 @@ int main() {
   {
     core::HarvestConfig rf;
     rf.rf_power_dbm = -20.0;
-    const auto r = core::sustainable_duty_cycle(rf);
-    std::printf("%-34s %12.3f %12.0f\n", "RF harvest @ -20 dBm", r.sustainable_duty_cycle,
-                r.effective_bps_3200);
-  }
-  {
     core::HarvestConfig sun;
     sun.rf_power_dbm = -40.0;
     sun.solar_area_cm2 = 4.0;
     sun.solar_irradiance_uw_per_cm2 = 10000.0;  // direct sun
-    const auto r = core::sustainable_duty_cycle(sun);
+    const auto results = runner.map(
+        std::vector<core::HarvestConfig>{rf, sun},
+        [](const core::HarvestConfig& cfg) {
+          return core::sustainable_duty_cycle(cfg);
+        });
+    std::printf("%-34s %12.3f %12.0f\n", "RF harvest @ -20 dBm",
+                results[0].sustainable_duty_cycle, results[0].effective_bps_3200);
     std::printf("%-34s %12.3f %12.0f\n", "4 cm^2 solar, outdoors",
-                r.sustainable_duty_cycle, r.effective_bps_3200);
+                results[1].sustainable_duty_cycle, results[1].effective_bps_3200);
   }
   return 0;
 }

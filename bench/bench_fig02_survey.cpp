@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 #include "dsp/math_util.h"
 #include "survey/city_survey.h"
 
@@ -16,21 +16,34 @@ int main() {
   std::puts("Fig. 2a: CDF of FM power across a city (paper: median -35.15 dBm,");
   std::puts("         range about -10..-55 dBm over 69 grid cells)\n");
 
-  survey::CitySurveyConfig cfg;
-  const auto samples = survey::run_city_survey(cfg);
-  std::vector<double> dbm;
-  for (const auto& s : samples) dbm.push_back(s.best_station_dbm);
+  // The two surveys are independent measurement campaigns; run them as two
+  // tasks on the sweep engine (each is internally sequential — its RNG walks
+  // the city grid / the 24 hours in order).
+  core::SweepRunner runner;
+  enum Campaign { kCityGrid, kTemporal };
+  const auto campaigns = runner.map(
+      std::vector<Campaign>{kCityGrid, kTemporal},
+      [](const Campaign& which) -> std::vector<double> {
+        if (which == kCityGrid) {
+          const auto samples = survey::run_city_survey(survey::CitySurveyConfig{});
+          std::vector<double> dbm;
+          for (const auto& s : samples) dbm.push_back(s.best_station_dbm);
+          return dbm;
+        }
+        return survey::run_temporal_survey(-33.0, 0.7, 24, 2017);
+      });
+  const std::vector<double>& dbm = campaigns[0];
+  const std::vector<double>& series = campaigns[1];
 
   const std::vector<double> probs{0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0};
   const auto values = dsp::cdf_at(dbm, probs);
   core::print_table(std::cout, "Fig 2a: strongest-station power CDF",
                     "CDF", probs, {{"power_dBm", values}}, 2);
   std::printf("\ncells measured: %zu   median: %.2f dBm   (seed %llu)\n\n",
-              samples.size(), dsp::quantile(dbm, 0.5),
-              static_cast<unsigned long long>(cfg.seed));
+              dbm.size(), dsp::quantile(dbm, 0.5),
+              static_cast<unsigned long long>(survey::CitySurveyConfig{}.seed));
 
   std::puts("Fig. 2b: power at a fixed location over 24 h (paper: sigma 0.7 dB)\n");
-  const auto series = survey::run_temporal_survey(-33.0, 0.7, 24, 2017);
   std::vector<double> probs_b{0.05, 0.25, 0.5, 0.75, 0.95};
   const auto values_b = dsp::cdf_at(series, probs_b);
   core::print_table(std::cout, "Fig 2b: 24-hour power CDF", "CDF", probs_b,

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 #include "dsp/math_util.h"
 #include "survey/spectrum_db.h"
 
@@ -25,20 +25,26 @@ int main() {
   std::puts("\nFig. 4b: CDF of minimum shift frequency to the nearest empty channel");
   std::puts("(paper: median 200 kHz, max < 800 kHz)\n");
   const std::vector<double> probs{0.25, 0.5, 0.75, 0.9, 1.0};
-  std::vector<core::Series> series;
-  for (const auto& c : cities) {
+  core::SweepRunner runner;
+  // One task per city: the shift search scans every licensed channel.
+  const auto series = runner.map(cities, [&](const survey::CitySpectrum& c) {
     const auto shifts = survey::minimum_shift_frequencies(c);
     std::vector<double> khz;
     for (const double s : shifts) khz.push_back(s / 1000.0);
-    series.push_back({c.name, dsp::cdf_at(khz, probs)});
-  }
+    return core::Series{c.name, dsp::cdf_at(khz, probs)};
+  });
   core::print_table(std::cout, "Fig 4b: min shift frequency (kHz)", "CDF",
                     probs, series, 2);
 
   std::puts("\nBackscatter channel selection (section 3.3 'How do we pick f_back?'):");
-  for (const auto& c : cities) {
+  const auto choices = runner.map(cities, [](const survey::CitySpectrum& c) {
     const int station = c.licensed_channels[c.licensed_channels.size() / 2];
-    const auto choice = survey::choose_backscatter_shift(c, station);
+    return survey::choose_backscatter_shift(c, station);
+  });
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    const auto& c = cities[i];
+    const auto& choice = choices[i];
+    const int station = c.licensed_channels[c.licensed_channels.size() / 2];
     std::printf(
         "  %-8s listen %6.1f MHz -> backscatter to %6.1f MHz (shift %+5.0f kHz, "
         "ambient %6.1f dBm)\n",

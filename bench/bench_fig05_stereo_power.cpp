@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "audio/program.h"
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 #include "dsp/math_util.h"
 #include "dsp/spectrum.h"
 #include "fm/constants.h"
@@ -28,8 +28,10 @@ int main() {
   const double window_seconds = 2.0;
   const std::vector<double> probs{0.1, 0.25, 0.5, 0.75, 0.9};
 
-  std::vector<core::Series> series;
-  for (const auto genre : genres) {
+  // One long broadcast per genre; the four renders are independent and heavy
+  // (48 s of audio + MPX each), so each genre is one sweep task.
+  core::SweepRunner runner;
+  const auto series = runner.map(genres, [&](const audio::ProgramGenre& genre) {
     audio::ProgramConfig pcfg;
     pcfg.genre = genre;
     pcfg.stereo = true;
@@ -49,8 +51,8 @@ int main() {
       ratios_db.push_back(
           dsp::db_from_power_ratio(p_stereo / std::max(p_noise, 1e-20)));
     }
-    series.push_back({audio::to_string(genre), dsp::cdf_at(ratios_db, probs)});
-  }
+    return core::Series{audio::to_string(genre), dsp::cdf_at(ratios_db, probs)};
+  });
   core::print_table(std::cout, "Fig 5: P_stereo/P_noise (dB) CDF", "CDF",
                     probs, series, 1);
   std::puts("\n(ordering check: news << mixed < pop <= rock, as in the paper)");

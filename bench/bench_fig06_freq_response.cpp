@@ -4,31 +4,40 @@
 // program audio).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
 
-  core::ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 4.0;
-
   const std::vector<double> tones_hz{500,  1000, 2000,  4000,  6000, 8000,
                                      10000, 12000, 13000, 14000, 15000};
 
-  std::vector<double> mono_snr, stereo_snr;
-  for (const double f : tones_hz) {
-    mono_snr.push_back(core::run_tone_snr(point, f, /*stereo_band=*/false, 1.0));
-    // The stereo (L-R) path only carries audio content up to 15 kHz; the
-    // tone itself must stay in band after DSB modulation at 38 kHz.
-    stereo_snr.push_back(core::run_tone_snr(point, f, /*stereo_band=*/true, 1.0));
-  }
+  const auto make_point = [](double) {
+    core::ExperimentPoint point;
+    point.tag_power_dbm = -20.0;
+    point.distance_feet = 4.0;
+    return point;
+  };
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(
+      {
+          {"mono_band", make_point,
+           [](const core::ExperimentPoint& pt, double tone_hz) {
+             return core::run_tone_snr(pt, tone_hz, /*stereo_band=*/false, 1.0);
+           }},
+          // The stereo (L-R) path only carries audio content up to 15 kHz;
+          // the tone itself must stay in band after DSB modulation at 38 kHz.
+          {"stereo_band", make_point,
+           [](const core::ExperimentPoint& pt, double tone_hz) {
+             return core::run_tone_snr(pt, tone_hz, /*stereo_band=*/true, 1.0);
+           }},
+      },
+      tones_hz);
 
   std::cout << "Fig. 6: received SNR vs backscattered audio frequency\n"
                "(paper: flat and high below ~13 kHz, sharp drop after; the\n"
                " stereo band behaves like the mono band)\n\n";
   core::print_table(std::cout, "Fig 6: SNR (dB) vs tone frequency", "tone_Hz",
-                    tones_hz, {{"mono_band", mono_snr}, {"stereo_band", stereo_snr}},
-                    1);
+                    tones_hz, series, 1);
   return 0;
 }

@@ -3,7 +3,7 @@
 // -30 dBm, close range still fine at -50 dBm).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -11,18 +11,21 @@ int main() {
   const std::vector<double> distances_ft{1, 2, 4, 6, 8, 12, 16, 20};
   const std::vector<double> powers_dbm{-20, -30, -40, -50, -60};
 
-  std::vector<core::Series> series;
+  std::vector<core::GridRow> rows;
   for (const double p : powers_dbm) {
-    core::Series s;
-    s.label = std::to_string(static_cast<int>(p)) + "dBm";
-    for (const double d : distances_ft) {
-      core::ExperimentPoint point;
-      point.tag_power_dbm = p;
-      point.distance_feet = d;
-      s.values.push_back(core::run_tone_snr(point, 1000.0, false, 1.0));
-    }
-    series.push_back(std::move(s));
+    rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                    [p](double d) {
+                      core::ExperimentPoint point;
+                      point.tag_power_dbm = p;
+                      point.distance_feet = d;
+                      return point;
+                    },
+                    [](const core::ExperimentPoint& pt, double) {
+                      return core::run_tone_snr(pt, 1000.0, false, 1.0);
+                    }});
   }
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(rows, distances_ft);
 
   std::cout << "Fig. 7: received SNR of a 1 kHz backscattered tone\n"
                "(paper: ~50 dB at -20 dBm close in; ~20 ft usable at -30 dBm;\n"

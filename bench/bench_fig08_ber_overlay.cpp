@@ -5,7 +5,7 @@
 // news content; see bench_ablations for the genre sweep).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -23,21 +23,23 @@ int main() {
       {tag::DataRate::k3200bps, 960, "Fig 8c: FDM-4FSK @ 3.2 kbps"},
   };
 
+  core::SweepRunner runner;
   for (const auto& plan : plans) {
-    std::vector<core::Series> series;
+    std::vector<core::GridRow> rows;
     for (const double p : powers_dbm) {
-      core::Series s;
-      s.label = std::to_string(static_cast<int>(p)) + "dBm";
-      for (const double d : distances_ft) {
-        core::ExperimentPoint point;
-        point.tag_power_dbm = p;
-        point.distance_feet = d;
-        point.genre = audio::ProgramGenre::kNews;
-        point.seed = static_cast<std::uint64_t>(d * 10 + -p);
-        s.values.push_back(core::run_overlay_ber(point, plan.rate, plan.bits).ber);
-      }
-      series.push_back(std::move(s));
+      rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                      [p](double d) {
+                        core::ExperimentPoint point;
+                        point.tag_power_dbm = p;
+                        point.distance_feet = d;
+                        point.genre = audio::ProgramGenre::kNews;
+                        return point;
+                      },
+                      [&plan](const core::ExperimentPoint& pt, double) {
+                        return core::run_overlay_ber(pt, plan.rate, plan.bits).ber;
+                      }});
     }
+    const auto series = runner.run_grid(rows, distances_ft);
     core::print_table(std::cout, plan.figure, "dist_ft", distances_ft, series, 4);
     std::cout << "\n";
   }

@@ -3,7 +3,7 @@
 // ambient program acts as uncorrelated noise across repetitions).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -12,24 +12,26 @@ int main() {
   const std::vector<std::size_t> repetitions{1, 2, 3, 4};
   const std::size_t bits = 480;
 
-  std::vector<core::Series> series;
+  std::vector<core::GridRow> rows;
   for (const std::size_t reps : repetitions) {
-    core::Series s;
-    s.label = reps == 1 ? "No MRC" : std::to_string(reps) + "x MRC";
-    for (const double d : distances_ft) {
-      core::ExperimentPoint point;
-      point.tag_power_dbm = -40.0;
-      point.distance_feet = d;
-      point.genre = audio::ProgramGenre::kNews;
-      point.seed = static_cast<std::uint64_t>(d * 13 + reps);
-      const auto r =
-          reps == 1
-              ? core::run_overlay_ber(point, tag::DataRate::k1600bps, bits)
-              : core::run_overlay_ber_mrc(point, tag::DataRate::k1600bps, bits, reps);
-      s.values.push_back(r.ber);
-    }
-    series.push_back(std::move(s));
+    rows.push_back({reps == 1 ? "No MRC" : std::to_string(reps) + "x MRC",
+                    [](double d) {
+                      core::ExperimentPoint point;
+                      point.tag_power_dbm = -40.0;
+                      point.distance_feet = d;
+                      point.genre = audio::ProgramGenre::kNews;
+                      return point;
+                    },
+                    [reps, bits](const core::ExperimentPoint& pt, double) {
+                      return reps == 1
+                                 ? core::run_overlay_ber(
+                                       pt, tag::DataRate::k1600bps, bits).ber
+                                 : core::run_overlay_ber_mrc(
+                                       pt, tag::DataRate::k1600bps, bits, reps).ber;
+                    }});
   }
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(rows, distances_ft);
 
   std::cout << "Fig. 9: BER with MRC, 1.6 kbps @ -40 dBm\n"
                "(paper: 2x combining already gives most of the gain)\n\n";

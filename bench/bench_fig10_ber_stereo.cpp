@@ -3,7 +3,7 @@
 // stereo backscatter clearly beats overlay at both 1.6 and 3.2 kbps).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -22,24 +22,25 @@ int main() {
   };
   const std::size_t bits = 640;
 
-  std::vector<core::Series> series;
+  std::vector<core::GridRow> rows;
   for (const auto& plan : plans) {
-    core::Series s;
-    s.label = plan.label;
-    for (const double d : distances_ft) {
-      core::ExperimentPoint point;
-      point.tag_power_dbm = -30.0;
-      point.distance_feet = d;
-      point.genre = audio::ProgramGenre::kNews;
-      point.stereo_station = true;  // news station broadcasting in stereo
-      point.seed = static_cast<std::uint64_t>(d * 17 + plan.stereo);
-      const auto r = plan.stereo
-                         ? core::run_stereo_ber(point, plan.rate, bits)
-                         : core::run_overlay_ber(point, plan.rate, bits);
-      s.values.push_back(r.ber);
-    }
-    series.push_back(std::move(s));
+    rows.push_back({plan.label,
+                    [](double d) {
+                      core::ExperimentPoint point;
+                      point.tag_power_dbm = -30.0;
+                      point.distance_feet = d;
+                      point.genre = audio::ProgramGenre::kNews;
+                      point.stereo_station = true;  // news broadcasting in stereo
+                      return point;
+                    },
+                    [plan, bits](const core::ExperimentPoint& pt, double) {
+                      return plan.stereo
+                                 ? core::run_stereo_ber(pt, plan.rate, bits).ber
+                                 : core::run_overlay_ber(pt, plan.rate, bits).ber;
+                    }});
   }
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(rows, distances_ft);
 
   std::cout << "Fig. 10: overlay vs stereo backscatter BER @ -30 dBm\n"
                "(paper: stereo backscatter significantly lower BER; it needs\n"

@@ -6,7 +6,7 @@
 // at PESQ ~= 2.
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -14,20 +14,22 @@ int main() {
   const std::vector<double> distances_ft{2, 4, 8, 12, 16, 20};
   const std::vector<double> powers_dbm{-20, -30, -40, -50, -60};
 
-  std::vector<core::Series> series;
+  std::vector<core::GridRow> rows;
   for (const double p : powers_dbm) {
-    core::Series s;
-    s.label = std::to_string(static_cast<int>(p)) + "dBm";
-    for (const double d : distances_ft) {
-      core::ExperimentPoint point;
-      point.tag_power_dbm = p;
-      point.distance_feet = d;
-      point.genre = audio::ProgramGenre::kNews;
-      point.seed = static_cast<std::uint64_t>(d * 7 - p);
-      s.values.push_back(core::run_overlay_pesq(point, 2.5));
-    }
-    series.push_back(std::move(s));
+    rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                    [p](double d) {
+                      core::ExperimentPoint point;
+                      point.tag_power_dbm = p;
+                      point.distance_feet = d;
+                      point.genre = audio::ProgramGenre::kNews;
+                      return point;
+                    },
+                    [](const core::ExperimentPoint& pt, double) {
+                      return core::run_overlay_pesq(pt, 2.5);
+                    }});
   }
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(rows, distances_ft);
 
   std::cout << "Fig. 11: PESQ-like score of overlay backscatter audio\n"
                "(paper: ~2 for -20..-40 dBm up to 20 ft; drops at -50/-60)\n\n";

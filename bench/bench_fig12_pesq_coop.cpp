@@ -4,7 +4,7 @@
 // hold the receiver in stereo mode).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -12,20 +12,22 @@ int main() {
   const std::vector<double> distances_ft{2, 4, 8, 12, 16, 20};
   const std::vector<double> powers_dbm{-20, -30, -40, -50};
 
-  std::vector<core::Series> series;
+  std::vector<core::GridRow> rows;
   for (const double p : powers_dbm) {
-    core::Series s;
-    s.label = std::to_string(static_cast<int>(p)) + "dBm";
-    for (const double d : distances_ft) {
-      core::ExperimentPoint point;
-      point.tag_power_dbm = p;
-      point.distance_feet = d;
-      point.genre = audio::ProgramGenre::kNews;
-      point.seed = static_cast<std::uint64_t>(d * 11 - p);
-      s.values.push_back(core::run_cooperative_pesq(point, 2.5));
-    }
-    series.push_back(std::move(s));
+    rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                    [p](double d) {
+                      core::ExperimentPoint point;
+                      point.tag_power_dbm = p;
+                      point.distance_feet = d;
+                      point.genre = audio::ProgramGenre::kNews;
+                      return point;
+                    },
+                    [](const core::ExperimentPoint& pt, double) {
+                      return core::run_cooperative_pesq(pt, 2.5);
+                    }});
   }
+  core::SweepRunner runner;
+  const auto series = runner.run_grid(rows, distances_ft);
 
   std::cout << "Fig. 12: PESQ-like score with cooperative cancellation\n"
                "(paper: ~4 for -20..-50 dBm; receiver gain control is active\n"

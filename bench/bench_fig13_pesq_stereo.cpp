@@ -7,7 +7,7 @@
 //      and works down to -40 dBm).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -24,22 +24,24 @@ int main() {
       {"Fig 13b: mono station converted to stereo (tag injects pilot)", false},
   };
 
+  core::SweepRunner runner;
   for (const auto& sub : subs) {
-    std::vector<core::Series> series;
+    std::vector<core::GridRow> rows;
     for (const double p : powers_dbm) {
-      core::Series s;
-      s.label = std::to_string(static_cast<int>(p)) + "dBm";
-      for (const double d : distances_ft) {
-        core::ExperimentPoint point;
-        point.tag_power_dbm = p;
-        point.distance_feet = d;
-        point.genre = audio::ProgramGenre::kNews;
-        point.stereo_station = sub.stereo_station;
-        point.seed = static_cast<std::uint64_t>(d * 19 - p);
-        s.values.push_back(core::run_stereo_pesq(point, 2.5));
-      }
-      series.push_back(std::move(s));
+      rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                      [p, &sub](double d) {
+                        core::ExperimentPoint point;
+                        point.tag_power_dbm = p;
+                        point.distance_feet = d;
+                        point.genre = audio::ProgramGenre::kNews;
+                        point.stereo_station = sub.stereo_station;
+                        return point;
+                      },
+                      [](const core::ExperimentPoint& pt, double) {
+                        return core::run_stereo_pesq(pt, 2.5);
+                      }});
     }
+    const auto series = runner.run_grid(rows, distances_ft);
     core::print_table(std::cout, sub.title, "dist_ft", distances_ft, series, 2);
     std::cout << "\n";
   }

@@ -3,7 +3,7 @@
 // to 60 ft; audio re-recorded by a microphone in the running cabin).
 #include <iostream>
 
-#include "core/experiment.h"
+#include "core/sweep_runner.h"
 
 int main() {
   using namespace fmbs;
@@ -11,24 +11,32 @@ int main() {
   const std::vector<double> distances_ft{20, 30, 40, 50, 60, 70, 80};
   const std::vector<double> powers_dbm{-20, -30};
 
-  std::vector<core::Series> snr_series, pesq_series;
-  for (const double p : powers_dbm) {
-    core::Series snr_s, pesq_s;
-    snr_s.label = std::to_string(static_cast<int>(p)) + "dBm";
-    pesq_s.label = snr_s.label;
-    for (const double d : distances_ft) {
+  const auto car_point = [](double p) {
+    return [p](double d) {
       core::ExperimentPoint point;
       point.tag_power_dbm = p;
       point.distance_feet = d;
       point.receiver = core::ReceiverKind::kCar;
       point.genre = audio::ProgramGenre::kNews;
-      point.seed = static_cast<std::uint64_t>(d - p);
-      snr_s.values.push_back(core::run_tone_snr(point, 1000.0, false, 1.0));
-      pesq_s.values.push_back(core::run_overlay_pesq(point, 2.5));
-    }
-    snr_series.push_back(std::move(snr_s));
-    pesq_series.push_back(std::move(pesq_s));
+      return point;
+    };
+  };
+
+  std::vector<core::GridRow> snr_rows, pesq_rows;
+  for (const double p : powers_dbm) {
+    const std::string label = std::to_string(static_cast<int>(p)) + "dBm";
+    snr_rows.push_back({label, car_point(p),
+                        [](const core::ExperimentPoint& pt, double) {
+                          return core::run_tone_snr(pt, 1000.0, false, 1.0);
+                        }});
+    pesq_rows.push_back({label, car_point(p),
+                         [](const core::ExperimentPoint& pt, double) {
+                           return core::run_overlay_pesq(pt, 2.5);
+                         }});
   }
+  core::SweepRunner runner;
+  const auto snr_series = runner.run_grid(snr_rows, distances_ft);
+  const auto pesq_series = runner.run_grid(pesq_rows, distances_ft);
 
   std::cout << "Fig. 14: overlay backscatter into a car receiver\n"
                "(paper: works well to 60 ft; SNR 15-45 dB over 20-80 ft)\n\n";

@@ -8,6 +8,8 @@
 #include "channel/awgn.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
+#include "core/thread_pool.h"
+#include "fm/station_cache.h"
 #include "dsp/fft.h"
 #include "dsp/fir.h"
 #include "dsp/goertzel.h"
@@ -129,8 +131,36 @@ void BM_GoertzelBank16(benchmark::State& state) {
 }
 BENCHMARK(BM_GoertzelBank16);
 
+void BM_ThreadPoolParallelForOverhead(benchmark::State& state) {
+  // Dispatch cost of the sweep engine's work distribution (empty tasks).
+  core::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pool.parallel_for(256, [](std::size_t i) { benchmark::DoNotOptimize(i); });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_ThreadPoolParallelForOverhead)->Arg(1)->Arg(4);
+
+void BM_StationCacheHit(benchmark::State& state) {
+  // Cost of serving a cached station render vs re-synthesizing it: the
+  // shared-render fast path every sweep point takes after the first.
+  auto& cache = fm::StationCache::instance();
+  cache.clear();
+  fm::StationConfig cfg;
+  cfg.seed = 424242;
+  (void)cache.render(cfg, 0.5);  // warm
+  for (auto _ : state) {
+    auto signal = cache.render(cfg, 0.5);
+    benchmark::DoNotOptimize(signal.get());
+  }
+  cache.clear();
+}
+BENCHMARK(BM_StationCacheHit);
+
 void BM_EndToEndSimulationSecond(benchmark::State& state) {
-  // Full physical pipeline for one second of signal.
+  // Full physical pipeline for one second of signal, station render
+  // included — the cache would otherwise serve it after iteration 1.
+  fm::StationCache::instance().set_enabled(false);
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
   core::SystemConfig cfg = core::make_system(point);
@@ -140,6 +170,7 @@ void BM_EndToEndSimulationSecond(benchmark::State& state) {
     auto sim = core::simulate(cfg, bb, 1.0);
     benchmark::DoNotOptimize(sim.backscatter_rx.mono.samples.data());
   }
+  fm::StationCache::instance().set_enabled(true);
 }
 BENCHMARK(BM_EndToEndSimulationSecond)->Unit(benchmark::kMillisecond);
 

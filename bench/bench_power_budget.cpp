@@ -7,11 +7,11 @@
 //  * unit-cost comparison.
 #include <cstdio>
 
-#include <initializer_list>
-
+#include "core/sweep_runner.h"
 #include "tag/power_model.h"
 
 int main() {
+  using namespace fmbs;
   using namespace fmbs::tag;
 
   std::puts("Section 4: tag IC power budget (TSMC 65 nm LP, paper values)\n");
@@ -23,11 +23,16 @@ int main() {
   std::printf("%-28s %12.2f   (paper: 11.07 uW)\n", "TOTAL", p.total_uw);
 
   std::puts("\nPower vs subcarrier shift (dynamic blocks scale with f_back):\n");
-  std::printf("%-14s %12s\n", "f_back (kHz)", "total (uW)");
-  for (const double f : {200e3, 400e3, 600e3, 800e3}) {
+  const std::vector<double> shifts_hz{200e3, 400e3, 600e3, 800e3};
+  core::SweepRunner runner;
+  const auto totals = runner.map(shifts_hz, [](const double& f) {
     PowerModelConfig cfg;
     cfg.subcarrier_hz = f;
-    std::printf("%-14.0f %12.2f\n", f / 1000.0, tag_power(cfg).total_uw);
+    return tag_power(cfg).total_uw;
+  });
+  std::printf("%-14s %12s\n", "f_back (kHz)", "total (uW)");
+  for (std::size_t i = 0; i < shifts_hz.size(); ++i) {
+    std::printf("%-14.0f %12.2f\n", shifts_hz[i] / 1000.0, totals[i]);
   }
 
   std::puts("\nSection 2: battery life on a 225 mAh coin cell\n");

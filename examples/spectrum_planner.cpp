@@ -2,7 +2,8 @@
 // For each of the five surveyed cities it picks the ambient station to ride,
 // chooses f_back per the paper's rule (nearest quiet empty channel), sizes
 // the tag's power draw at that shift, and estimates battery life — then
-// verifies the chosen shift end-to-end with a quick BER run.
+// verifies the chosen shift end-to-end with a quick BER run. The per-city
+// planning runs on the SweepRunner pool.
 //
 //   $ ./spectrum_planner
 #include <cstdio>
@@ -16,31 +17,50 @@ int main() {
   std::printf("%-9s %9s %10s %9s %11s %10s\n", "city", "listen", "backscatter",
               "shift", "tag power", "battery");
 
+  struct Plan {
+    bool usable = false;
+    int listen_channel = 0;
+    survey::ShiftChoice choice;
+    tag::PowerBreakdown power;
+    tag::BatteryLife life;
+  };
+
+  core::SweepRunner runner;
   const auto cities = survey::builtin_city_spectra();
-  for (const auto& city : cities) {
+  const auto plans = runner.map(cities, [](const survey::CitySpectrum& city) {
+    Plan plan;
     // Ride the strongest detectable local station.
-    int best_channel = city.detectable_channels.front();
+    plan.listen_channel = city.detectable_channels.front();
     double best_power = -1e9;
     for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
       if (city.detectable_power_dbm[i] > best_power) {
         best_power = city.detectable_power_dbm[i];
-        best_channel = city.detectable_channels[i];
+        plan.listen_channel = city.detectable_channels[i];
       }
     }
-    const auto choice = survey::choose_backscatter_shift(city, best_channel);
-    if (choice.target_channel < 0) {
+    plan.choice = survey::choose_backscatter_shift(city, plan.listen_channel);
+    if (plan.choice.target_channel < 0) return plan;
+    plan.usable = true;
+    tag::PowerModelConfig pm;
+    pm.subcarrier_hz = std::abs(plan.choice.shift_hz);
+    plan.power = tag::tag_power(pm);
+    plan.life = tag::battery_life(plan.power.total_uw, 225.0);
+    return plan;
+  });
+
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    const auto& city = cities[i];
+    const Plan& plan = plans[i];
+    if (!plan.usable) {
       std::printf("%-9s no usable shift found\n", city.name.c_str());
       continue;
     }
-    tag::PowerModelConfig pm;
-    pm.subcarrier_hz = std::abs(choice.shift_hz);
-    const auto power = tag::tag_power(pm);
-    const auto life = tag::battery_life(power.total_uw, 225.0);
     std::printf("%-9s %6.1fMHz %7.1fMHz %+6.0fkHz %8.2fuW %7.1f yr\n",
                 city.name.c_str(),
-                survey::channel_frequency_hz(best_channel) / 1e6,
-                survey::channel_frequency_hz(choice.target_channel) / 1e6,
-                choice.shift_hz / 1e3, power.total_uw, life.years);
+                survey::channel_frequency_hz(plan.listen_channel) / 1e6,
+                survey::channel_frequency_hz(plan.choice.target_channel) / 1e6,
+                plan.choice.shift_hz / 1e3, plan.power.total_uw,
+                plan.life.years);
   }
 
   // End-to-end sanity check of a representative plan: Seattle-like shift.

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   audio::write_wav(out_dir + "/talking_poster_received.wav",
                    sim.backscatter_rx.mono);
   audio::write_wav(out_dir + "/talking_poster_station_only.wav",
-                   sim.station.program.mid());
+                   sim.station->program.mid());
   std::printf("wrote %s/talking_poster_received.wav (what the user hears)\n",
               out_dir.c_str());
 

@@ -59,7 +59,7 @@ SystemConfig make_system(const ExperimentPoint& point) {
   SystemConfig cfg;
   cfg.station.program.genre = point.genre;
   cfg.station.program.stereo = point.stereo_station;
-  cfg.station.seed = point.seed;
+  cfg.station.seed = point.station_seed != 0 ? point.station_seed : point.seed;
   cfg.scene.tag_power_dbm = point.tag_power_dbm;
   cfg.scene.tag_rx_distance_feet = point.distance_feet;
   cfg.scene.noise_seed = point.seed + kNoiseSeedOffset;
@@ -263,7 +263,7 @@ double run_cooperative_pesq(const ExperimentPoint& point,
 
 rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
                              std::size_t num_bits, std::size_t mrc_repetitions,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, std::uint64_t station_seed) {
   ExperimentPoint point;
   // Paper section 6.2: outdoor ambient level of -35 to -40 dBm, phone worn
   // close to the shirt.
@@ -271,6 +271,7 @@ rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
   point.distance_feet = 3.0;
   point.genre = audio::ProgramGenre::kNews;
   point.seed = seed;
+  point.station_seed = station_seed;
   SystemConfig cfg = make_system(point);
   cfg.tag.antenna = tag::tshirt_meander_antenna(/*worn=*/true);
   // On-body operation adds absorption and detuning beyond the antenna's own

@@ -31,6 +31,10 @@ struct ExperimentPoint {
   bool stereo_station = true;
   ReceiverKind receiver = ReceiverKind::kPhone;
   std::uint64_t seed = 1;
+  /// Station content seed; 0 follows `seed`. SweepRunner pins this to the
+  /// sweep's base seed so every point shares one cached station render while
+  /// tag content and channel noise (derived from `seed`) stay independent.
+  std::uint64_t station_seed = 0;
 };
 
 /// Builds a fully-populated SystemConfig for a measurement point.
@@ -84,9 +88,11 @@ double run_cooperative_pesq(const ExperimentPoint& point,
 
 /// BER with the t-shirt antenna under a mobility pattern; `mrc_repetitions`
 /// of 1 disables combining (the paper's 1.6 kbps bar uses 2x MRC).
+/// `station_seed` of 0 follows `seed` (see ExperimentPoint::station_seed).
 rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
                              std::size_t num_bits, std::size_t mrc_repetitions,
-                             std::uint64_t seed = 1);
+                             std::uint64_t seed = 1,
+                             std::uint64_t station_seed = 0);
 
 // ---- Output formatting ------------------------------------------------------
 

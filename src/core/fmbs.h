@@ -27,10 +27,14 @@
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/harvesting.h"
+#include "core/rng.h"
 #include "core/simulator.h"
+#include "core/sweep_runner.h"
+#include "core/thread_pool.h"
 #include "fm/constants.h"
 #include "fm/rds.h"
 #include "fm/receiver.h"
+#include "fm/station_cache.h"
 #include "fm/transmitter.h"
 #include "rx/cooperative.h"
 #include "rx/fsk_demod.h"

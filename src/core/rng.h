@@ -1,0 +1,21 @@
+// Deterministic seed derivation for parallel sweeps. Every ExperimentPoint
+// in a grid gets its own statistically independent seed computed from the
+// sweep's base seed and the point's grid index — never from execution order
+// or thread identity — so results are bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+
+namespace fmbs::core {
+
+/// SplitMix64 finalizer over (base, index). Adjacent indices decorrelate
+/// fully, and index 0 does not collapse onto the base seed itself.
+constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                    std::uint64_t index) {
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace fmbs::core

@@ -7,6 +7,7 @@
 #include "channel/units.h"
 #include "dsp/fir.h"
 #include "dsp/math_util.h"
+#include "fm/station_cache.h"
 #include "rx/tuner.h"
 #include "tag/subcarrier.h"
 
@@ -39,15 +40,16 @@ SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseb
     throw std::invalid_argument("simulate: duration must be > 0");
   }
   SimulationResult result;
-  result.station = fm::render_station(config.station, duration_seconds);
+  result.station =
+      fm::StationCache::instance().render(config.station, duration_seconds);
 
   // Pad/trim the tag baseband to the station length.
   dsp::rvec tag_bb = tag_baseband;
-  tag_bb.resize(result.station.iq.size(), 0.0F);
+  tag_bb.resize(result.station->iq.size(), 0.0F);
   // Pad the station to a whole number of blocks (both streams together).
   const std::size_t padded =
-      (result.station.iq.size() + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
-  dsp::cvec station_iq = result.station.iq;
+      (result.station->iq.size() + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
+  dsp::cvec station_iq = result.station->iq;
   station_iq.resize(padded, dsp::cfloat(1.0F, 0.0F));
   tag_bb.resize(padded, 0.0F);
 

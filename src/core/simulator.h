@@ -12,6 +12,7 @@
 // the 2.4 MHz stream in memory.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "audio/audio_buffer.h"
@@ -30,11 +31,13 @@ struct ReceiverCapture {
   audio::StereoBuffer stereo;   // stereo audio after the device chain
 };
 
-/// Full simulation result.
+/// Full simulation result. The station render is shared and read-only: when
+/// the fm::StationCache is enabled (the default), concurrent sweep points
+/// listening to the same station all point at one render.
 struct SimulationResult {
   ReceiverCapture backscatter_rx;               // tuned to fc + f_back
   std::optional<ReceiverCapture> ambient_rx;    // tuned to fc (cooperative)
-  fm::StationSignal station;                    // ground truth
+  std::shared_ptr<const fm::StationSignal> station;  // ground truth
   channel::LinkBudget budget;
   double backscatter_rx_power_dbm = 0.0;        // in-channel backscatter power
 };

@@ -1,0 +1,156 @@
+// Fixed-size worker pool backing core::SweepRunner. Two primitives:
+//
+//   * submit(job)        — fire-and-forget enqueue of a void() closure,
+//   * parallel_for(n,fn) — run fn(i) for i in [0, n); the calling thread
+//                          participates, indices are handed out dynamically,
+//                          and the first exception is rethrown to the caller.
+//
+// Determinism contract: parallel_for only decides *when* an index runs,
+// never what it computes — callers must key all randomness off the index
+// (see core/rng.h), at which point any thread count yields identical bits.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fmbs::core {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks one worker per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  static std::size_t default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+  }
+
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->fn = &fn;
+
+    // One helper per worker (capped at n-1: the caller takes a share too).
+    const std::size_t helpers = std::min(size(), n > 0 ? n - 1 : 0);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      submit([state] {
+        state->active.fetch_add(1, std::memory_order_acq_rel);
+        drain(*state);
+        if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          state->cv.notify_all();
+        }
+      });
+    }
+    drain(*state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->n ||
+             (state->stop.load(std::memory_order_acquire) &&
+              state->active.load(std::memory_order_acquire) == 0);
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+ private:
+  struct ForState {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> active{0};
+    std::atomic<bool> stop{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mutex
+  };
+
+  // Pulls indices until the range is exhausted or a sibling failed. A helper
+  // that starts after completion sees next >= n and exits without touching
+  // fn, so the state outliving parallel_for is safe (fn never dangles).
+  static void drain(ForState& state) {
+    while (!state.stop.load(std::memory_order_acquire)) {
+      const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state.n) break;
+      try {
+        (*state.fn)(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (!state.error) state.error = std::current_exception();
+        }
+        state.stop.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.cv.notify_all();
+        }
+        return;
+      }
+      if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 == state.n) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.cv.notify_all();
+        return;
+      }
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stopping_ with an empty queue
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fmbs::core

@@ -1,0 +1,122 @@
+#include "fm/station_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fmbs::fm {
+
+StationCache& StationCache::instance() {
+  static StationCache cache;
+  return cache;
+}
+
+StationCache::Key StationCache::make_key(const StationConfig& config,
+                                         double duration_seconds) {
+  Key key;
+  key.genre = static_cast<int>(config.program.genre);
+  key.stereo = config.program.stereo;
+  key.stereo_width = config.program.stereo_width;
+  key.ambience_level = config.program.ambience_level;
+  key.deviation_hz = config.deviation_hz;
+  key.rds_level = config.rds_level;
+  key.rds_ps_name = config.rds_ps_name;
+  key.preemphasis = config.preemphasis;
+  key.seed = config.seed;
+  key.duration_seconds = duration_seconds;
+  return key;
+}
+
+std::shared_ptr<const StationSignal> StationCache::render(
+    const StationConfig& config, double duration_seconds) {
+  Key key;
+  std::shared_future<std::shared_ptr<const StationSignal>> future;
+  std::promise<std::shared_ptr<const StationSignal>> promise;
+  bool renderer = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!enabled_) {
+      lock.unlock();
+      return std::make_shared<const StationSignal>(
+          render_station(config, duration_seconds));
+    }
+    key = make_key(config, duration_seconds);
+    ++tick_;
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        ++stats_.hits;
+        entry.last_used = tick_;
+        future = entry.signal;
+        break;
+      }
+    }
+    if (!future.valid()) {
+      ++stats_.misses;
+      if (entries_.size() >= capacity_) {
+        auto oldest = std::min_element(entries_.begin(), entries_.end(),
+                                       [](const Entry& a, const Entry& b) {
+                                         return a.last_used < b.last_used;
+                                       });
+        entries_.erase(oldest);
+      }
+      future = promise.get_future().share();
+      entries_.push_back(Entry{key, future, tick_});
+      renderer = true;
+    }
+  }
+  if (renderer) {
+    // Render with the lock released: distinct keys proceed in parallel and
+    // same-key callers block on the shared future instead of re-rendering.
+    try {
+      promise.set_value(std::make_shared<const StationSignal>(
+          render_station(config, duration_seconds)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      // Drop the poisoned entry so later calls retry rather than rethrowing
+      // a stale error forever; waiters holding the future still see it.
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(
+          std::remove_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.key == key; }),
+          entries_.end());
+    }
+  }
+  return future.get();
+}
+
+void StationCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool StationCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void StationCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  while (entries_.size() > capacity_) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(oldest);
+  }
+}
+
+void StationCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+StationCache::Stats StationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void StationCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
+}
+
+}  // namespace fmbs::fm

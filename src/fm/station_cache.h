@@ -1,0 +1,89 @@
+// Keyed, thread-safe cache of rendered stations. A station's MPX/IQ signal
+// depends only on its StationConfig and the render duration — never on tag
+// parameters — so every experiment point in a sweep that listens to the same
+// station can share one read-only render instead of re-synthesizing it.
+//
+// Concurrency: the first caller of a key renders outside the lock while
+// later callers of the same key block on a shared_future, so concurrent
+// sweeps never render the same station twice, and distinct keys render in
+// parallel. Entries are immutable once published (shared_ptr<const>).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fm/transmitter.h"
+
+namespace fmbs::fm {
+
+class StationCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Process-wide instance used by core::simulate.
+  static StationCache& instance();
+
+  /// Returns the rendered station for (config, duration), rendering it on
+  /// this thread exactly once per key while the entry stays resident. When
+  /// the cache is disabled every call renders fresh.
+  std::shared_ptr<const StationSignal> render(const StationConfig& config,
+                                              double duration_seconds);
+
+  /// Enables/disables caching globally (enabled by default). Disabling does
+  /// not drop resident entries; call clear() for that.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Maximum resident renders; least-recently-used entries are evicted.
+  /// Renders are large (roughly 4-5 MB per second of station signal), so
+  /// the default of 4 bounds the steady-state footprint to a few tens of
+  /// MB; long-lived processes can clear() after a sweep or shrink this.
+  void set_capacity(std::size_t capacity);
+
+  void clear();
+  Stats stats() const;
+  void reset_stats();
+
+ private:
+  struct Key {
+    // audio::ProgramConfig, flattened.
+    int genre = 0;
+    bool stereo = false;
+    double stereo_width = 0.0;
+    double ambience_level = 0.0;
+    // Remaining StationConfig fields.
+    double deviation_hz = 0.0;
+    double rds_level = 0.0;
+    std::string rds_ps_name;
+    bool preemphasis = false;
+    std::uint64_t seed = 0;
+    // Render argument.
+    double duration_seconds = 0.0;
+
+    bool operator==(const Key& other) const = default;
+  };
+
+  struct Entry {
+    Key key;
+    std::shared_future<std::shared_ptr<const StationSignal>> signal;
+    std::uint64_t last_used = 0;
+  };
+
+  static Key make_key(const StationConfig& config, double duration_seconds);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // small (capacity ~4): linear scan is fine
+  std::size_t capacity_ = 4;
+  std::uint64_t tick_ = 0;
+  bool enabled_ = true;
+  Stats stats_;
+};
+
+}  // namespace fmbs::fm

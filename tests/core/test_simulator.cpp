@@ -30,7 +30,7 @@ TEST(Simulator, OutputLengthsConsistent) {
   EXPECT_NEAR(sim.backscatter_rx.mono.duration_seconds(), 0.5, 0.05);
   EXPECT_EQ(sim.backscatter_rx.mono.sample_rate, fm::kAudioRate);
   EXPECT_FALSE(sim.ambient_rx.has_value());
-  EXPECT_EQ(sim.station.program.sample_rate, fm::kAudioRate);
+  EXPECT_EQ(sim.station->program.sample_rate, fm::kAudioRate);
 }
 
 TEST(Simulator, AmbientCaptureOptional) {
