@@ -1,0 +1,23 @@
+#include "channel/superpose.h"
+
+#include <stdexcept>
+
+namespace fmbs::channel {
+
+void scale_into(std::span<dsp::cfloat> dst, std::span<const dsp::cfloat> src,
+                float gain) {
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("scale_into: length mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = gain * src[i];
+}
+
+void accumulate_scaled(std::span<dsp::cfloat> dst,
+                       std::span<const dsp::cfloat> src, float gain) {
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("accumulate_scaled: length mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += gain * src[i];
+}
+
+}  // namespace fmbs::channel

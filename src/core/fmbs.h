@@ -28,6 +28,7 @@
 #include "core/experiment.h"
 #include "core/harvesting.h"
 #include "core/rng.h"
+#include "core/scenario.h"
 #include "core/simulator.h"
 #include "core/sweep_runner.h"
 #include "core/thread_pool.h"
@@ -39,10 +40,12 @@
 #include "rx/cooperative.h"
 #include "rx/fsk_demod.h"
 #include "rx/mrc.h"
+#include "rx/multitag.h"
 #include "survey/city_survey.h"
 #include "survey/spectrum_db.h"
 #include "tag/antenna.h"
 #include "tag/baseband.h"
+#include "tag/channel_plan.h"
 #include "tag/framing.h"
 #include "tag/fsk.h"
 #include "tag/power_model.h"

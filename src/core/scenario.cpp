@@ -1,0 +1,376 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "audio/tone.h"
+#include "channel/awgn.h"
+#include "channel/superpose.h"
+#include "channel/units.h"
+#include "dsp/fir.h"
+#include "dsp/math_util.h"
+#include "fm/station_cache.h"
+#include "rx/tuner.h"
+#include "tag/baseband.h"
+
+namespace fmbs::core {
+
+namespace {
+
+constexpr std::size_t kBlockMpx = 24000;  // 0.1 s at 240 kHz, as in simulate()
+
+/// derive_seed index streams so tag content, tag fading and receiver noise
+/// are mutually independent processes per entity.
+constexpr std::uint64_t kTagContentStream = 0x1000;
+constexpr std::uint64_t kTagFadingStream = 0x2000;
+constexpr std::uint64_t kReceiverNoiseStream = 0x3000;
+
+double pair_distance_m(const ScenarioTag& tag, const ScenarioReceiver& rx) {
+  if (!std::isnan(tag.distance_override_feet)) {
+    return channel::meters_from_feet(tag.distance_override_feet);
+  }
+  // Coincident positions (both entities left at the origin) degrade to the
+  // near-field bound inside friis_path_loss_db; just keep the value positive.
+  return std::max(1e-3, std::hypot(tag.position.x_m - rx.position.x_m,
+                                   tag.position.y_m - rx.position.y_m));
+}
+
+double receiver_noise_dbm(const ScenarioReceiver& rx) {
+  if (!std::isnan(rx.noise_dbm_200khz)) return rx.noise_dbm_200khz;
+  return rx.kind == ReceiverKind::kCar
+             ? channel::ReceiverNoise::kCarDbmPer200kHz
+             : channel::ReceiverNoise::kPhoneDbmPer200kHz;
+}
+
+double receiver_antenna_gain_db(const ScenarioReceiver& rx) {
+  if (!std::isnan(rx.link.rx_antenna_gain_db)) return rx.link.rx_antenna_gain_db;
+  return rx.kind == ReceiverKind::kCar
+             ? tag::car_whip_antenna().effective_gain_db()
+             : tag::headphone_antenna().effective_gain_db();
+}
+
+/// Per-tag rendering state for one engine run.
+struct TagState {
+  dsp::rvec baseband;           // FM_back at the MPX rate, padded
+  std::size_t active_begin = 0;  // switch-on window, MPX samples
+  std::size_t active_end = 0;
+  std::vector<std::uint8_t> bits;  // empty for custom-baseband tags
+  double burst_start_seconds = 0.0;
+  std::unique_ptr<tag::SubcarrierGenerator> subcarrier;
+  std::unique_ptr<channel::FadingProcess> fading;
+};
+
+}  // namespace
+
+bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz) {
+  constexpr double kTol = 1.0;  // Hz; assignments come from shared constants
+  if (tag.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
+    return std::abs(tag.subcarrier.shift_hz - tune_offset_hz) < kTol;
+  }
+  // Real square switches serve both signed copies of |f_back|.
+  return std::abs(std::abs(tag.subcarrier.shift_hz) - std::abs(tune_offset_hz)) <
+             kTol &&
+         tune_offset_hz != 0.0;
+}
+
+ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier) {
+  ScenarioReceiver rx;
+  rx.kind = ReceiverKind::kPhone;
+  rx.tune_offset_hz = subcarrier.shift_hz;
+  return rx;
+}
+
+ScenarioReceiver car_listening_to(const tag::SubcarrierConfig& subcarrier) {
+  ScenarioReceiver rx;
+  rx.kind = ReceiverKind::kCar;
+  rx.tune_offset_hz = subcarrier.shift_hz;
+  rx.stereo_decoder.force_mono = true;  // car stereo used as plain mono
+  // Car ranges run near the ground where the two-ray d^4 falloff dominates
+  // (see make_system's car branch).
+  rx.link.use_two_ray = true;
+  rx.link.tag_height_m = 1.52;
+  rx.link.rx_height_m = 1.5;
+  return rx;
+}
+
+Scenario scenario_from_system(const SystemConfig& config,
+                              const dsp::rvec& tag_baseband,
+                              double duration_seconds) {
+  Scenario sc;
+  sc.name = "legacy-bridge";
+  sc.station = config.station;
+  sc.settle_seconds = 0.0;
+  sc.duration_seconds = duration_seconds;
+  sc.seed = config.scene.noise_seed;
+
+  ScenarioTag t;
+  t.name = "tag";
+  t.subcarrier = config.tag.subcarrier;
+  t.antenna = config.tag.antenna;
+  t.custom_baseband = tag_baseband;
+  t.tag_power_dbm = config.scene.tag_power_dbm;
+  t.distance_override_feet = config.scene.tag_rx_distance_feet;
+  t.fading = config.scene.fading;
+  t.fading_seed = config.scene.noise_seed + 1;  // simulate()'s fading stream
+  sc.tags.push_back(std::move(t));
+
+  ScenarioReceiver rx;
+  rx.name = "backscatter-rx";
+  rx.kind = config.receiver;
+  rx.tune_offset_hz = config.tag.subcarrier.shift_hz;
+  rx.direct_power_dbm = config.scene.direct_power_dbm;
+  rx.noise_dbm_200khz = config.scene.rx_noise_dbm_200khz;
+  rx.link = config.scene.link;
+  rx.noise_seed = config.scene.noise_seed;
+  rx.phone = config.phone;
+  rx.cabin = config.cabin;
+  rx.stereo_decoder = config.stereo_decoder;
+  sc.receivers.push_back(rx);
+
+  if (config.capture_ambient_receiver) {
+    ScenarioReceiver amb = rx;
+    amb.name = "ambient-rx";
+    amb.tune_offset_hz = 0.0;
+    amb.noise_seed = config.scene.noise_seed + 0x9e3779b9ULL;  // simulate()'s
+    sc.receivers.push_back(std::move(amb));
+  }
+  return sc;
+}
+
+ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
+  if (sc.duration_seconds <= 0.0) {
+    throw std::invalid_argument("ScenarioEngine: duration must be > 0");
+  }
+  if (sc.receivers.empty()) {
+    throw std::invalid_argument("ScenarioEngine: scenario needs a receiver");
+  }
+  const double total_seconds = sc.settle_seconds + sc.duration_seconds;
+
+  ScenarioResult result;
+  result.station = fm::StationCache::instance().render(sc.station, total_seconds);
+  const std::size_t station_len = result.station->iq.size();
+  const std::size_t padded =
+      (station_len + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
+  dsp::cvec station_iq = result.station->iq;
+  station_iq.resize(padded, dsp::cfloat(1.0F, 0.0F));
+
+  // ---- Per-tag state: baseband, burst window, generators. ------------------
+  std::vector<TagState> tags(sc.tags.size());
+  for (std::size_t i = 0; i < sc.tags.size(); ++i) {
+    const ScenarioTag& t = sc.tags[i];
+    TagState& st = tags[i];
+    st.subcarrier = std::make_unique<tag::SubcarrierGenerator>(t.subcarrier);
+    if (t.fading) {
+      const std::uint64_t fseed =
+          t.fading_seed ? *t.fading_seed : derive_seed(sc.seed, kTagFadingStream + i);
+      st.fading =
+          std::make_unique<channel::FadingProcess>(*t.fading, fm::kRfRate, fseed);
+    }
+    if (!t.custom_baseband.empty()) {
+      st.baseband = t.custom_baseband;
+      st.baseband.resize(padded, 0.0F);
+      st.active_begin = 0;
+      st.active_end = padded;
+      continue;
+    }
+    if (t.num_bits == 0) {
+      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
+                                  "\" has no payload");
+    }
+    const std::uint64_t cseed =
+        t.seed ? *t.seed : derive_seed(sc.seed, kTagContentStream + i);
+    st.bits = tag::random_bits(t.num_bits, cseed);
+    const audio::MonoBuffer wave =
+        tag::modulate_fsk(st.bits, t.rate, fm::kAudioRate);
+    st.burst_start_seconds = sc.settle_seconds + t.start_seconds;
+    if (t.start_seconds < 0.0 ||
+        st.burst_start_seconds + wave.duration_seconds() >
+            total_seconds + 1e-9) {
+      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
+                                  "\" burst does not fit the scenario");
+    }
+    const audio::MonoBuffer lead_in =
+        audio::make_silence(st.burst_start_seconds, fm::kAudioRate);
+    st.baseband = tag::compose_overlay_baseband(audio::concat(lead_in, wave),
+                                                t.level, fm::kMpxRate);
+    st.baseband.resize(padded, 0.0F);
+    st.active_begin = static_cast<std::size_t>(
+        std::max(0.0, st.burst_start_seconds - kBurstGuardSeconds) * fm::kMpxRate);
+    st.active_end = std::min(
+        padded, static_cast<std::size_t>(
+                    (st.burst_start_seconds + wave.duration_seconds() +
+                     kBurstGuardSeconds) *
+                    fm::kMpxRate));
+  }
+
+  // ---- Per-pair link budgets. ----------------------------------------------
+  // g_back[r][t]: reflected-wave amplitude of tag t at receiver r;
+  // g_direct[r]: unshifted station amplitude at receiver r.
+  std::vector<double> direct_dbm(sc.receivers.size());
+  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+    double p = sc.receivers[r].direct_power_dbm;
+    if (std::isnan(p)) {
+      p = -1e9;
+      for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
+      if (sc.tags.empty()) p = -30.0;
+    }
+    direct_dbm[r] = p;
+  }
+  std::vector<float> g_direct(sc.receivers.size(), 0.0F);
+  std::vector<std::vector<float>> g_back(
+      sc.receivers.size(), std::vector<float>(sc.tags.size(), 0.0F));
+  std::vector<std::vector<double>> rx_power_dbm(
+      sc.receivers.size(), std::vector<double>(sc.tags.size(), 0.0));
+  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+    const ScenarioReceiver& rx = sc.receivers[r];
+    channel::LinkBudgetConfig link = rx.link;
+    link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
+    if (sc.tags.empty()) {
+      g_direct[r] =
+          static_cast<float>(std::sqrt(dsp::watts_from_dbm(direct_dbm[r])));
+      continue;
+    }
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+      const channel::LinkBudget budget = channel::compute_link_budget(
+          sc.tags[t].tag_power_dbm, direct_dbm[r],
+          pair_distance_m(sc.tags[t], rx), link);
+      g_back[r][t] = static_cast<float>(budget.backscatter_amplitude);
+      if (t == 0) g_direct[r] = static_cast<float>(budget.direct_amplitude);
+      // One sideband of the square wave carries (2/pi)^2 of the reflection.
+      rx_power_dbm[r][t] = dsp::dbm_from_watts(
+          budget.backscatter_amplitude * budget.backscatter_amplitude *
+          (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
+    }
+  }
+
+  // ---- Per-receiver front ends. --------------------------------------------
+  const auto up_factor = static_cast<std::size_t>(fm::kMpxToRfFactor);
+  dsp::FirInterpolator<dsp::cfloat> upsampler(
+      dsp::fir_design_lowpass((16 * up_factor) | 1U,
+                              0.45 / static_cast<double>(up_factor)),
+      up_factor);
+  std::vector<channel::AwgnSource> noise;
+  std::vector<rx::Tuner> tuners;
+  noise.reserve(sc.receivers.size());
+  tuners.reserve(sc.receivers.size());
+  std::vector<dsp::cvec> iq(sc.receivers.size());
+  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+    const ScenarioReceiver& rx = sc.receivers[r];
+    const std::uint64_t nseed = rx.noise_seed
+                                    ? *rx.noise_seed
+                                    : derive_seed(sc.seed, kReceiverNoiseStream + r);
+    noise.emplace_back(receiver_noise_dbm(rx), fm::kChannelSpacingHz, fm::kRfRate,
+                       nseed);
+    rx::TunerConfig tuner_cfg;
+    tuner_cfg.offset_hz = rx.tune_offset_hz;
+    tuners.emplace_back(tuner_cfg);
+    iq[r].reserve(padded);
+  }
+
+  // ---- The shared RF scene, block by block. --------------------------------
+  std::vector<dsp::cvec> reflected(sc.tags.size());
+  std::vector<char> tag_active(sc.tags.size(), 0);
+  dsp::cvec rf;
+  for (std::size_t start = 0; start < padded; start += kBlockMpx) {
+    const std::span<const dsp::cfloat> st_block(station_iq.data() + start,
+                                                kBlockMpx);
+    const dsp::cvec st_rf = upsampler.process(st_block);
+
+    for (std::size_t t = 0; t < tags.size(); ++t) {
+      TagState& st = tags[t];
+      tag_active[t] =
+          start < st.active_end && start + kBlockMpx > st.active_begin;
+      if (!tag_active[t]) continue;
+      const std::span<const float> bb_block(st.baseband.data() + start, kBlockMpx);
+      dsp::cvec& b = reflected[t];
+      b = st.subcarrier->process(bb_block);
+      // reflected = B(t) x incident, with motion fading on the tag path.
+      for (std::size_t i = 0; i < st_rf.size(); ++i) b[i] *= st_rf[i];
+      if (st.fading) st.fading->apply(b);
+      // The switch is off outside the burst window: no reflection at all.
+      const std::size_t lo =
+          st.active_begin > start ? (st.active_begin - start) * up_factor : 0;
+      const std::size_t hi = st.active_end < start + kBlockMpx
+                                 ? (st.active_end - start) * up_factor
+                                 : b.size();
+      std::fill(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(lo),
+                dsp::cfloat(0.0F, 0.0F));
+      std::fill(b.begin() + static_cast<std::ptrdiff_t>(hi), b.end(),
+                dsp::cfloat(0.0F, 0.0F));
+    }
+
+    rf.resize(st_rf.size());
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      channel::scale_into(rf, st_rf, g_direct[r]);
+      for (std::size_t t = 0; t < tags.size(); ++t) {
+        if (!tag_active[t]) continue;
+        channel::accumulate_scaled(rf, reflected[t], g_back[r][t]);
+      }
+      noise[r].add_to(rf);
+      const dsp::cvec tuned = tuners[r].process(rf);
+      iq[r].insert(iq[r].end(), tuned.begin(), tuned.end());
+    }
+  }
+
+  // ---- Demodulation and per-tag routing. -----------------------------------
+  result.receivers.resize(sc.receivers.size());
+  std::vector<TagLinkReport> best(sc.tags.size());
+  std::vector<char> heard(sc.tags.size(), 0);
+  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+    const ScenarioReceiver& rx = sc.receivers[r];
+    fm::ReceiverConfig rx_cfg;
+    rx_cfg.stereo = rx.stereo_decoder;
+    ReceiverCapture capture = finish_receiver_capture(
+        fm::receive_fm(iq[r], rx_cfg), rx.kind, rx.phone, rx.cabin);
+
+    ScenarioReceiverResult& rr = result.receivers[r];
+    std::vector<std::size_t> routed;  // tag index per burst, demod order
+    std::vector<rx::BurstSpec> bursts;
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      const ScenarioTag& tcfg = sc.tags[t];
+      if (tags[t].bits.empty()) continue;  // custom baseband: no BER to score
+      if (!tag_audible_at(tcfg, rx.tune_offset_hz)) continue;
+      rx::BurstSpec burst;
+      burst.rate = tcfg.rate;
+      burst.bits = tags[t].bits;
+      burst.start_seconds = tags[t].burst_start_seconds;
+      burst.packet_bits = tcfg.packet_bits;
+      routed.push_back(t);
+      bursts.push_back(std::move(burst));
+    }
+    const std::vector<rx::BurstReport> reports =
+        rx::demodulate_bursts(capture.mono, bursts);
+    for (std::size_t b = 0; b < reports.size(); ++b) {
+      const std::size_t t = routed[b];
+      TagLinkReport link;
+      link.tag_index = t;
+      link.receiver_index = r;
+      link.burst = reports[b];
+      link.backscatter_rx_power_dbm = rx_power_dbm[r][t];
+      link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
+                         sc.duration_seconds;
+      if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {
+        best[t] = link;
+        heard[t] = 1;
+      }
+      rr.links.push_back(std::move(link));
+    }
+    if (config_.keep_captures) rr.capture = std::move(capture);
+  }
+  for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+    if (!heard[t]) continue;
+    result.aggregate_goodput_bps += best[t].goodput_bps;
+    result.best_per_tag.push_back(best[t]);
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> ScenarioEngine::run_many(
+    SweepRunner& runner, const std::vector<Scenario>& scenarios) const {
+  return runner.map(scenarios,
+                    [this](const Scenario& sc) { return run(sc); });
+}
+
+}  // namespace fmbs::core

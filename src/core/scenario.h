@@ -1,0 +1,216 @@
+// Signal-level multi-tag scenarios — paper section 8 ("Multiple backscatter
+// devices"), simulated physically instead of analytically: one cached
+// ambient FM station, N backscatter tags (each with its own subcarrier
+// channel, FSK payload, link-budget geometry and burst schedule) and M
+// receivers (phone or car, each tuned to one channel), rendered through a
+// single shared RF scene. Overlapping transmissions on one channel *collide
+// in the MPX spectrum* — the engine is what validates the core::aloha
+// analytic MAC model against the PHY — and tags on disjoint channels
+// coexist exactly as the spectrum says they should.
+//
+// Typical use:
+//
+//   core::Scenario sc;
+//   sc.duration_seconds = 0.5;
+//   const auto plan = tag::plan_subcarrier_channels(4);
+//   for (int i = 0; i < 4; ++i) {
+//     core::ScenarioTag t;
+//     t.name = "poster" + std::to_string(i);
+//     t.subcarrier = plan[i].subcarrier;
+//     sc.tags.push_back(t);
+//   }
+//   sc.receivers.push_back(core::phone_listening_to(plan[0].subcarrier));
+//   const core::ScenarioResult r = core::ScenarioEngine().run(sc);
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "channel/fading.h"
+#include "channel/link_budget.h"
+#include "core/config.h"
+#include "core/simulator.h"
+#include "core/sweep_runner.h"
+#include "dsp/types.h"
+#include "fm/transmitter.h"
+#include "rx/multitag.h"
+#include "tag/antenna.h"
+#include "tag/fsk.h"
+#include "tag/subcarrier.h"
+
+namespace fmbs::core {
+
+/// Switch-on guard the engine keeps around every burst: the tag's switch
+/// runs this long before/after the payload (composition-filter spread, as a
+/// real tag frames packets with guard time). Part of the public contract —
+/// the ALOHA vulnerability window is the payload extended by this guard.
+inline constexpr double kBurstGuardSeconds = 0.01;
+
+/// Planar position of a tag or receiver in the scene (meters). Distances are
+/// Euclidean; the ambient station is far-field so only tag-to-receiver
+/// geometry matters.
+struct ScenePosition {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// One backscatter tag in the scenario.
+struct ScenarioTag {
+  std::string name;
+  tag::SubcarrierConfig subcarrier;  // per-tag f_back and waveform mode
+  tag::AntennaModel antenna = tag::poster_dipole_antenna();
+
+  // Payload: FSK data composed as overlay baseband by the engine...
+  tag::DataRate rate = tag::DataRate::k1600bps;
+  std::size_t num_bits = 64;
+  std::size_t packet_bits = 0;  // PER granularity; 0 = one packet
+  double level = kOverlayLevel;  // content level relative to full deviation
+  /// Burst start relative to the end of the scenario settle window. The tag
+  /// switch runs only while its burst is on the air (an idle tag reflects
+  /// nothing), which is what makes ALOHA collisions physical.
+  double start_seconds = 0.0;
+  /// ...or an explicit FM_back baseband at the MPX rate (non-empty overrides
+  /// the FSK payload; the tag is then on-air for the whole scenario and
+  /// reports no BER — used for audio tags and the legacy-simulator bridge).
+  dsp::rvec custom_baseband;
+
+  // Link budget inputs.
+  double tag_power_dbm = -30.0;  // ambient FM power at this tag
+  ScenePosition position;
+  /// When set, overrides the geometric tag-to-receiver distance for every
+  /// receiver (the paper's single-knob experiments; also the bit-identity
+  /// bridge from SceneConfig::tag_rx_distance_feet).
+  double distance_override_feet = std::numeric_limits<double>::quiet_NaN();
+  std::optional<channel::FadingConfig> fading;
+
+  /// Content / fading seeds; unset = derived from Scenario::seed and the
+  /// tag index (scheduling-independent, like SweepRunner's policy).
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint64_t> fading_seed;
+};
+
+/// One receiving device in the scenario.
+struct ScenarioReceiver {
+  std::string name;
+  ReceiverKind kind = ReceiverKind::kPhone;
+  /// Channel the receiver tunes to, as an offset from the ambient station
+  /// (a tag's subcarrier shift, or 0 to listen to the station itself).
+  double tune_offset_hz = fm::kDefaultBackscatterShiftHz;
+  ScenePosition position;
+  /// Power of the unshifted station at the receiver; NaN = the strongest
+  /// tag's ambient power (the paper keeps devices equidistant from the
+  /// transmitter).
+  double direct_power_dbm = std::numeric_limits<double>::quiet_NaN();
+  /// Receiver noise floor (dBm / 200 kHz); NaN = the kind's default.
+  double noise_dbm_200khz = std::numeric_limits<double>::quiet_NaN();
+  /// Propagation/link template for tag paths into this receiver; the engine
+  /// fills the per-tag antenna gain. rx_antenna_gain_db of NaN = the kind's
+  /// default antenna.
+  channel::LinkBudgetConfig link = default_link_config();
+  std::optional<std::uint64_t> noise_seed;  // unset = derived
+  rx::PhoneChainConfig phone;
+  rx::CabinConfig cabin;
+  fm::StereoDecoderConfig stereo_decoder;
+
+  static channel::LinkBudgetConfig default_link_config() {
+    channel::LinkBudgetConfig link;
+    link.rx_antenna_gain_db = std::numeric_limits<double>::quiet_NaN();
+    return link;
+  }
+};
+
+/// A complete multi-entity deployment around one ambient station.
+struct Scenario {
+  std::string name;
+  fm::StationConfig station;
+  std::vector<ScenarioTag> tags;
+  std::vector<ScenarioReceiver> receivers;
+  /// Scenario length after the settle window; tag bursts must fit inside.
+  double duration_seconds = 0.5;
+  /// Receiver warm-up before any burst starts (filters, AGC, pilot
+  /// tracking), matching the experiment harness's lead-in convention.
+  double settle_seconds = 0.08;
+  /// Root for every derived per-entity seed.
+  std::uint64_t seed = 1;
+};
+
+/// Decode statistics of one (tag, receiver) link.
+struct TagLinkReport {
+  std::size_t tag_index = 0;
+  std::size_t receiver_index = 0;
+  rx::BurstReport burst;                  // BER / PER / confidence
+  double backscatter_rx_power_dbm = 0.0;  // in-channel power at this receiver
+  double goodput_bps = 0.0;  // correct payload bits per scenario second
+};
+
+/// Everything captured and decoded at one receiver.
+struct ScenarioReceiverResult {
+  ReceiverCapture capture;           // empty when keep_captures is off
+  std::vector<TagLinkReport> links;  // one per tag audible on this channel
+};
+
+/// Full scenario outcome.
+struct ScenarioResult {
+  std::shared_ptr<const fm::StationSignal> station;
+  std::vector<ScenarioReceiverResult> receivers;
+  /// Best (lowest-BER) link per data tag, across every receiver that hears
+  /// it; tags heard by no receiver are absent.
+  std::vector<TagLinkReport> best_per_tag;
+  /// Sum of best-per-tag goodput: the deployment's delivered bit rate.
+  double aggregate_goodput_bps = 0.0;
+};
+
+/// Engine options.
+struct ScenarioEngineConfig {
+  /// Keep per-receiver audio captures in the result (turn off for sweeps —
+  /// captures dominate the result's memory).
+  bool keep_captures = true;
+};
+
+/// Renders and decodes scenarios. Stateless between runs; one shared station
+/// render per (StationConfig, duration) via fm::StationCache.
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioEngineConfig config = {}) : config_(config) {}
+
+  const ScenarioEngineConfig& config() const { return config_; }
+
+  /// Runs one scenario. Throws std::invalid_argument on an inconsistent
+  /// scenario (no receivers, burst past the end, bad rates).
+  ScenarioResult run(const Scenario& scenario) const;
+
+  /// Runs many scenarios across a SweepRunner pool. Ordered and
+  /// bit-identical at any thread count: each scenario carries its own seeds
+  /// and the engine shares nothing mutable across runs.
+  std::vector<ScenarioResult> run_many(SweepRunner& runner,
+                                       const std::vector<Scenario>& scenarios) const;
+
+ private:
+  ScenarioEngineConfig config_;
+};
+
+/// True when a receiver tuned at `tune_offset_hz` hears the tag's channel: a
+/// real square-wave switch serves +-|f_back| (mirror copies), SSB only its
+/// signed channel.
+bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz);
+
+/// A phone receiver tuned to a planned subcarrier channel.
+ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier);
+
+/// A car receiver tuned to a planned subcarrier channel: whip antenna, car
+/// noise floor, two-ray ground propagation and mono decode, as in
+/// make_system's car branch.
+ScenarioReceiver car_listening_to(const tag::SubcarrierConfig& subcarrier);
+
+/// Bridges a legacy single-tag SystemConfig + explicit baseband into a
+/// one-tag, one-or-two-receiver Scenario whose rendered receiver capture is
+/// bit-identical to core::simulate(config, baseband, duration).
+Scenario scenario_from_system(const SystemConfig& config,
+                              const dsp::rvec& tag_baseband,
+                              double duration_seconds);
+
+}  // namespace fmbs::core

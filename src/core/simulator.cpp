@@ -19,20 +19,27 @@ constexpr std::size_t kBlockMpx = 24000;  // 0.1 s at 240 kHz
 
 ReceiverCapture finish_receiver(const fm::ReceiverOutput& out,
                                 const SystemConfig& cfg) {
-  ReceiverCapture cap;
-  cap.fm = out;
-  if (cfg.receiver == ReceiverKind::kCar) {
-    // Car: audio is re-recorded with a microphone in the running cabin.
-    cap.mono = rx::apply_cabin_acoustics(out.mono(), cfg.cabin);
-    cap.stereo = audio::StereoBuffer::dual_mono(cap.mono);
-  } else {
-    cap.mono = rx::apply_phone_chain(out.mono(), cfg.phone);
-    cap.stereo = rx::apply_phone_chain(out.audio, cfg.phone);
-  }
-  return cap;
+  return finish_receiver_capture(out, cfg.receiver, cfg.phone, cfg.cabin);
 }
 
 }  // namespace
+
+ReceiverCapture finish_receiver_capture(const fm::ReceiverOutput& out,
+                                        ReceiverKind kind,
+                                        const rx::PhoneChainConfig& phone,
+                                        const rx::CabinConfig& cabin) {
+  ReceiverCapture cap;
+  cap.fm = out;
+  if (kind == ReceiverKind::kCar) {
+    // Car: audio is re-recorded with a microphone in the running cabin.
+    cap.mono = rx::apply_cabin_acoustics(out.mono(), cabin);
+    cap.stereo = audio::StereoBuffer::dual_mono(cap.mono);
+  } else {
+    cap.mono = rx::apply_phone_chain(out.mono(), phone);
+    cap.stereo = rx::apply_phone_chain(out.audio, phone);
+  }
+  return cap;
+}
 
 SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseband,
                           double duration_seconds) {

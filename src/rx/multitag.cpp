@@ -1,0 +1,81 @@
+#include "rx/multitag.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fmbs::rx {
+
+namespace {
+
+/// Audio kept past the nominal payload end: covers the pipeline group delay
+/// plus the timing search window of the demodulator.
+constexpr double kTailSlackSeconds = 0.05;
+
+}  // namespace
+
+BurstReport demodulate_burst(const audio::MonoBuffer& capture,
+                             const BurstSpec& burst) {
+  BurstReport report;
+  const std::size_t num_bits = burst.bits.size();
+  const std::size_t packet_bits =
+      burst.packet_bits > 0 ? std::min(burst.packet_bits, num_bits) : num_bits;
+
+  const double fs = capture.sample_rate;
+  const auto start = static_cast<std::size_t>(
+      std::llround(std::max(burst.start_seconds, 0.0) * fs));
+  const double payload_seconds =
+      static_cast<double>(num_bits) / tag::bits_per_second(burst.rate);
+  const auto want = static_cast<std::size_t>(
+      (payload_seconds + kTailSlackSeconds) * fs);
+
+  if (start >= capture.size() || num_bits == 0) {
+    // Nothing demodulable: every expected bit counts as lost.
+    report.ber = compare_bits(burst.bits, {});
+  } else {
+    const std::size_t len = std::min(want, capture.size() - start);
+    const audio::MonoBuffer window(
+        std::vector<float>(
+            capture.samples.begin() + static_cast<std::ptrdiff_t>(start),
+            capture.samples.begin() + static_cast<std::ptrdiff_t>(start + len)),
+        fs);
+    const FskDemodResult demod = demodulate_fsk(window, burst.rate, num_bits);
+    report.mean_confidence = demod.mean_confidence;
+    report.ber = compare_bits(burst.bits, demod.bits);
+
+    // Packet accounting on the same demodulated stream. A ragged final
+    // packet counts only its own bits toward bits_delivered.
+    for (std::size_t p = 0; p * packet_bits < num_bits; ++p) {
+      const std::size_t lo = p * packet_bits;
+      const std::size_t hi = std::min(lo + packet_bits, num_bits);
+      ++report.packets;
+      bool ok = demod.bits.size() >= hi;
+      for (std::size_t i = lo; ok && i < hi; ++i) {
+        ok = demod.bits[i] == burst.bits[i];
+      }
+      if (ok) {
+        ++report.packets_ok;
+        report.bits_delivered += hi - lo;
+      }
+    }
+  }
+  if (report.packets == 0 && num_bits > 0) {
+    report.packets = (num_bits + packet_bits - 1) / packet_bits;
+  }
+  report.per = report.packets > 0
+                   ? 1.0 - static_cast<double>(report.packets_ok) /
+                               static_cast<double>(report.packets)
+                   : 0.0;
+  return report;
+}
+
+std::vector<BurstReport> demodulate_bursts(const audio::MonoBuffer& capture,
+                                           std::span<const BurstSpec> bursts) {
+  std::vector<BurstReport> reports;
+  reports.reserve(bursts.size());
+  for (const BurstSpec& burst : bursts) {
+    reports.push_back(demodulate_burst(capture, burst));
+  }
+  return reports;
+}
+
+}  // namespace fmbs::rx

@@ -1,0 +1,50 @@
+// Multi-tag demodulation routing: one FM receiver capture may carry several
+// tag transmissions (bursts) — concurrent tags on the same backscatter
+// channel (ALOHA), or one tag's scheduled packets. Each burst is an expected
+// transmission with a known start offset inside the continuous capture; the
+// router extracts its audio window, runs the non-coherent FSK demodulator
+// and scores BER plus packet-level statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "audio/audio_buffer.h"
+#include "rx/fsk_demod.h"
+#include "tag/fsk.h"
+
+namespace fmbs::rx {
+
+/// One expected tag transmission within a receiver's continuous capture.
+struct BurstSpec {
+  tag::DataRate rate = tag::DataRate::k1600bps;
+  std::vector<std::uint8_t> bits;  // transmitted reference payload
+  double start_seconds = 0.0;      // payload start within the capture
+  /// Packet size for PER accounting; 0 = the whole payload is one packet.
+  std::size_t packet_bits = 0;
+};
+
+/// Demodulation + scoring of one burst.
+struct BurstReport {
+  BerResult ber;
+  std::size_t packets = 0;
+  std::size_t packets_ok = 0;   // packets decoded with zero bit errors
+  std::size_t bits_delivered = 0;  // total payload bits of the ok packets
+  double per = 0.0;             // 1 - packets_ok / packets
+  double mean_confidence = 0.0; // demodulator decision margin
+};
+
+/// Demodulates one burst from the capture. The window starts exactly at
+/// `start_seconds` (the transmitter-side lead-in convention) and extends a
+/// slack past the payload to cover the pipeline group delay. Bursts that
+/// fall (partly) outside the capture are scored against whatever bits could
+/// be demodulated; fully out-of-range bursts report all bits as errors.
+BurstReport demodulate_burst(const audio::MonoBuffer& capture,
+                             const BurstSpec& burst);
+
+/// Routes every burst through demodulate_burst (reports parallel to input).
+std::vector<BurstReport> demodulate_bursts(const audio::MonoBuffer& capture,
+                                           std::span<const BurstSpec> bursts);
+
+}  // namespace fmbs::rx

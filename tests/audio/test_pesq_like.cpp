@@ -17,7 +17,7 @@ MonoBuffer speech(double seconds, std::uint64_t seed) {
 
 // Calibration anchor 1: a clean signal scores near the top of the scale.
 TEST(PesqLike, CleanSpeechScoresHigh) {
-  const MonoBuffer ref = speech(2.0, 21);
+  const MonoBuffer ref = speech(1.2, 21);
   EXPECT_GT(pesq_like(ref, ref), 4.3);
 }
 
@@ -41,10 +41,10 @@ TEST(PesqLike, ZeroDbSpeechInterferenceScoresNearTwo) {
 }
 
 TEST(PesqLike, MonotoneInNoiseLevel) {
-  const MonoBuffer ref = speech(2.0, 24);
+  const MonoBuffer ref = speech(1.2, 24);
   double last = 5.0;
   for (const double rms : {0.002, 0.01, 0.05, 0.25}) {
-    const MonoBuffer noise = make_noise(rms, 2.0, 48000.0, 25);
+    const MonoBuffer noise = make_noise(rms, 1.2, 48000.0, 25);
     const MonoBuffer degraded = mix(ref, noise);
     const double score = pesq_like(ref, degraded);
     EXPECT_LT(score, last + 0.05) << "not monotone at rms " << rms;
@@ -54,7 +54,7 @@ TEST(PesqLike, MonotoneInNoiseLevel) {
 }
 
 TEST(PesqLike, InsensitiveToDelayAndGain) {
-  const MonoBuffer ref = speech(2.0, 26);
+  const MonoBuffer ref = speech(1.2, 26);
   MonoBuffer shifted = ref;
   shifted.samples = dsp::shift_signal(ref.samples, 960);  // 20 ms
   for (auto& v : shifted.samples) v *= 0.5F;
@@ -64,17 +64,17 @@ TEST(PesqLike, InsensitiveToDelayAndGain) {
 }
 
 TEST(PesqLike, ScoreBoundsRespected) {
-  const MonoBuffer ref = speech(2.0, 27);
-  const MonoBuffer junk = make_noise(0.5, 2.0, 48000.0, 28);
+  const MonoBuffer ref = speech(1.2, 27);
+  const MonoBuffer junk = make_noise(0.5, 1.2, 48000.0, 28);
   const double bad = pesq_like(ref, junk);
   EXPECT_GE(bad, 0.9);
   EXPECT_LE(bad, 1.6);
 }
 
 TEST(PesqLike, PerceptualSnrTracksTrueSnr) {
-  const MonoBuffer ref = speech(2.0, 29);
-  const MonoBuffer quiet_noise = make_noise(0.01, 2.0, 48000.0, 30);
-  const MonoBuffer loud_noise = make_noise(0.1, 2.0, 48000.0, 31);
+  const MonoBuffer ref = speech(1.2, 29);
+  const MonoBuffer quiet_noise = make_noise(0.01, 1.2, 48000.0, 30);
+  const MonoBuffer loud_noise = make_noise(0.1, 1.2, 48000.0, 31);
   const double hi = perceptual_snr_db(ref, mix(ref, quiet_noise));
   const double lo = perceptual_snr_db(ref, mix(ref, loud_noise));
   EXPECT_GT(hi, lo + 10.0);

@@ -1,0 +1,183 @@
+// PHY-vs-analytic ALOHA cross-check: the paper's section-8 MAC claim has so
+// far been modeled only analytically (core/aloha.h Monte-Carlo). Here the
+// same offered load is run through the signal-level ScenarioEngine — every
+// attempt is a real burst, and collisions happen in the MPX spectrum — and
+// the two models must agree:
+//  * per attempt, the PHY outcome matches the ALOHA vulnerability rule
+//    (overlap => lost, clear => delivered) except for sub-symbol grazes,
+//  * aggregate success probability sits within Monte-Carlo tolerance of the
+//    closed forms S = G e^{-2G} (pure) / G e^{-G} (slotted) and of
+//    core::simulate_aloha at the same load.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/aloha.h"
+#include "core/scenario.h"
+
+namespace fmbs::core {
+namespace {
+
+// One attempt = 96 bits at 1.6 kbps = 60 ms on the air.
+constexpr std::size_t kBitsPerFrame = 96;
+constexpr double kFrameSeconds = 0.06;
+/// The engine keeps the switch on kBurstGuardSeconds around the burst;
+/// that carrier time interferes like payload time does.
+constexpr double kGuardSeconds = kBurstGuardSeconds;
+/// One FDM-4FSK symbol at 1.6 kbps; overlaps shorter than this may or may
+/// not flip a bit, so such grazes are excluded from the exact comparison.
+constexpr double kSymbolSeconds = 1.0 / 200.0;
+
+struct PhyAloha {
+  std::size_t attempts = 0;
+  std::size_t successes = 0;
+  std::size_t marginal = 0;   // grazing overlaps excluded from exact check
+  double offered_load = 0.0;  // G: attempts per frame-time
+  double success_probability = 0.0;
+};
+
+PhyAloha run_phy_aloha(bool slotted, double window_seconds,
+                       std::size_t num_attempts, std::uint64_t seed) {
+  // Attempt schedule. Poisson arrivals conditioned on their count are
+  // uniform, so uniform starts reproduce the analytic model's statistics.
+  std::mt19937_64 rng(seed);
+  std::vector<double> starts(num_attempts);
+  if (slotted) {
+    const double pitch = kFrameSeconds + 2.0 * kGuardSeconds + 0.005;
+    const auto slots =
+        static_cast<std::size_t>((window_seconds - kFrameSeconds) / pitch);
+    std::uniform_int_distribution<std::size_t> slot(0, slots - 1);
+    for (auto& s : starts) s = static_cast<double>(slot(rng)) * pitch;
+  } else {
+    std::uniform_real_distribution<double> at(0.0,
+                                              window_seconds - kFrameSeconds);
+    for (auto& s : starts) s = at(rng);
+  }
+
+  // The shared-channel scenario: silence program isolates tag-vs-tag
+  // interference (the paper's Fig. 6 methodology), one phone listening.
+  Scenario sc;
+  sc.name = slotted ? "aloha-slotted" : "aloha-pure";
+  sc.station.program.genre = audio::ProgramGenre::kSilence;
+  sc.station.program.stereo = false;
+  sc.station.seed = seed;
+  sc.seed = seed;
+  sc.duration_seconds = window_seconds;
+  for (std::size_t i = 0; i < num_attempts; ++i) {
+    ScenarioTag t;
+    t.name = "attempt" + std::to_string(i);
+    t.rate = tag::DataRate::k1600bps;
+    t.num_bits = kBitsPerFrame;
+    t.tag_power_dbm = -25.0;
+    t.distance_override_feet = 3.0;
+    t.start_seconds = starts[i];
+    sc.tags.push_back(std::move(t));
+  }
+  sc.receivers.push_back(
+      phone_listening_to(sc.tags.empty() ? tag::SubcarrierConfig{}
+                                         : sc.tags[0].subcarrier));
+
+  const ScenarioResult result = ScenarioEngine({.keep_captures = false}).run(sc);
+  EXPECT_EQ(result.best_per_tag.size(), num_attempts);
+
+  // The analytic vulnerability rule, split by what actually touches the
+  // payload: another tag's payload overlapping mine by a symbol or more is
+  // a certain collision; no contact at all (not even the other switch's
+  // carrier guard) is a certain delivery; anything between is a graze whose
+  // outcome the analytic model cannot call.
+  auto contact_of = [&](std::size_t i) {
+    double payload_vs_payload = 0.0;
+    double payload_vs_onair = 0.0;
+    const double lo_i = starts[i];
+    const double hi_i = starts[i] + kFrameSeconds;
+    for (std::size_t j = 0; j < starts.size(); ++j) {
+      if (j == i) continue;
+      const double pp = std::min(hi_i, starts[j] + kFrameSeconds) -
+                        std::max(lo_i, starts[j]);
+      const double po =
+          std::min(hi_i, starts[j] + kFrameSeconds + kGuardSeconds) -
+          std::max(lo_i, starts[j] - kGuardSeconds);
+      payload_vs_payload = std::max(payload_vs_payload, pp);
+      payload_vs_onair = std::max(payload_vs_onair, po);
+    }
+    return std::pair<double, double>(payload_vs_payload, payload_vs_onair);
+  };
+
+  PhyAloha out;
+  out.attempts = num_attempts;
+  for (const TagLinkReport& link : result.best_per_tag) {
+    const bool delivered = link.burst.packets_ok == link.burst.packets;
+    if (delivered) ++out.successes;
+    const auto [pp, po] = contact_of(link.tag_index);
+    if (po > 0.0 && pp < kSymbolSeconds) {
+      ++out.marginal;  // grazing: either outcome is physical
+      continue;
+    }
+    EXPECT_EQ(delivered, po <= 0.0)
+        << "attempt " << link.tag_index << " start "
+        << sc.tags[link.tag_index].start_seconds << " payload overlap " << pp
+        << ": PHY disagrees with the ALOHA vulnerability rule";
+  }
+  const double frames = window_seconds / kFrameSeconds;
+  out.offered_load = static_cast<double>(num_attempts) / frames;
+  out.success_probability =
+      static_cast<double>(out.successes) / static_cast<double>(num_attempts);
+  return out;
+}
+
+/// 3-sigma binomial Monte-Carlo band around p for n samples, plus the
+/// marginal attempts whose outcome is legitimately either way.
+double tolerance(double p, std::size_t n, std::size_t marginal) {
+  return 3.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(n)) +
+         static_cast<double>(marginal) / static_cast<double>(n);
+}
+
+TEST(ScenarioAloha, PureAlohaLowLoadMatchesAnalytic) {
+  const PhyAloha phy = run_phy_aloha(false, 1.8, 6, 2024);
+  // G = 0.2: success prob e^{-2G} = 0.67.
+  const double p = std::exp(-2.0 * phy.offered_load);
+  EXPECT_NEAR(phy.success_probability, p,
+              tolerance(p, phy.attempts, phy.marginal));
+}
+
+TEST(ScenarioAloha, PureAlohaMediumLoadMatchesAnalyticAndMonteCarlo) {
+  const PhyAloha phy = run_phy_aloha(false, 1.8, 15, 77);
+  const double p = std::exp(-2.0 * phy.offered_load);
+  EXPECT_NEAR(phy.success_probability, p,
+              tolerance(p, phy.attempts, phy.marginal));
+
+  // Converged core::aloha Monte-Carlo at the same offered load: the two
+  // simulations of one MAC must tell the same story.
+  AlohaConfig mc;
+  mc.num_tags = 15;
+  mc.frame_seconds = kFrameSeconds;
+  mc.duration_seconds = 3600.0;
+  mc.per_tag_rate_hz = phy.offered_load / (mc.frame_seconds *
+                                           static_cast<double>(mc.num_tags));
+  const AlohaResult ref = simulate_aloha(mc);
+  EXPECT_NEAR(phy.success_probability, ref.success_probability,
+              tolerance(ref.success_probability, phy.attempts, phy.marginal));
+}
+
+TEST(ScenarioAloha, SlottedAlohaMatchesAnalytic) {
+  const PhyAloha phy = run_phy_aloha(true, 1.7, 10, 9);
+  // Slotted collisions are total overlaps: no marginal attempts at all.
+  EXPECT_EQ(phy.marginal, 0U);
+  const double p = std::exp(-phy.offered_load);
+  // Slot pitch exceeds the frame time, so the effective per-slot load is
+  // G_slot = attempts / num_slots; compare in slot units.
+  const double pitch = kFrameSeconds + 2.0 * kGuardSeconds + 0.005;
+  const auto slots = static_cast<std::size_t>((1.7 - kFrameSeconds) / pitch);
+  const double g_slot =
+      static_cast<double>(phy.attempts) / static_cast<double>(slots);
+  const double p_slot = std::exp(-g_slot);
+  (void)p;
+  EXPECT_NEAR(phy.success_probability, p_slot,
+              tolerance(p_slot, phy.attempts, 0));
+}
+
+}  // namespace
+}  // namespace fmbs::core

@@ -1,0 +1,208 @@
+// Golden-trace I/O for the regression harness: a trace is the decoded
+// outcome of one reference scenario (per-tag BER / PER / goodput and the
+// aggregate), committed as a small JSON file and re-checked on every run.
+// The writer and the (subset-)JSON reader live together so the round trip
+// can never drift apart. Test-tree-only header — not part of the library.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace fmbs::golden {
+
+struct GoldenTag {
+  std::string name;
+  double ber = 0.0;
+  double per = 0.0;
+  double goodput_bps = 0.0;
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bits = 0;
+};
+
+struct GoldenTrace {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double aggregate_goodput_bps = 0.0;
+  std::vector<GoldenTag> tags;
+};
+
+inline GoldenTrace trace_from_result(const core::Scenario& scenario,
+                                     const core::ScenarioResult& result) {
+  GoldenTrace trace;
+  trace.scenario = scenario.name;
+  trace.seed = scenario.seed;
+  trace.aggregate_goodput_bps = result.aggregate_goodput_bps;
+  for (const core::TagLinkReport& link : result.best_per_tag) {
+    GoldenTag tag;
+    tag.name = scenario.tags[link.tag_index].name;
+    tag.ber = link.burst.ber.ber;
+    tag.per = link.burst.per;
+    tag.goodput_bps = link.goodput_bps;
+    tag.bit_errors = link.burst.ber.bit_errors;
+    tag.bits = link.burst.ber.bits_compared;
+    trace.tags.push_back(std::move(tag));
+  }
+  return trace;
+}
+
+// ---- Writer -----------------------------------------------------------------
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void write_golden(const std::string& path, const GoldenTrace& trace) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_golden: cannot open " + path);
+  out.precision(12);
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(trace.scenario) << "\",\n";
+  out << "  \"seed\": " << trace.seed << ",\n";
+  out << "  \"aggregate_goodput_bps\": " << trace.aggregate_goodput_bps << ",\n";
+  out << "  \"tags\": [\n";
+  for (std::size_t i = 0; i < trace.tags.size(); ++i) {
+    const GoldenTag& t = trace.tags[i];
+    out << "    {\"name\": \"" << json_escape(t.name) << "\", \"ber\": " << t.ber
+        << ", \"per\": " << t.per << ", \"goodput_bps\": " << t.goodput_bps
+        << ", \"bit_errors\": " << t.bit_errors << ", \"bits\": " << t.bits
+        << "}" << (i + 1 < trace.tags.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+// ---- Reader (JSON subset: exactly what the writer emits) --------------------
+
+namespace detail {
+
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string text) : text_(std::move(text)) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      throw std::runtime_error(std::string("golden JSON: expected '") + c +
+                               "' at offset " + std::to_string(pos_));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      s.push_back(text_[pos_++]);
+    }
+    expect('"');
+    return s;
+  }
+
+  double parse_number() {
+    skip_ws();
+    std::size_t consumed = 0;
+    const double v = std::stod(text_.substr(pos_), &consumed);
+    pos_ += consumed;
+    return v;
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Reads a golden trace; nullopt when the file does not exist. Throws on a
+/// malformed file (that is a hard failure, not a missing baseline).
+inline std::optional<GoldenTrace> read_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  detail::JsonCursor cur(buf.str());
+
+  GoldenTrace trace;
+  cur.expect('{');
+  bool more = true;
+  while (more) {
+    const std::string key = cur.parse_string();
+    cur.expect(':');
+    if (key == "scenario") {
+      trace.scenario = cur.parse_string();
+    } else if (key == "seed") {
+      trace.seed = static_cast<std::uint64_t>(cur.parse_number());
+    } else if (key == "aggregate_goodput_bps") {
+      trace.aggregate_goodput_bps = cur.parse_number();
+    } else if (key == "tags") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('{');
+          GoldenTag tag;
+          do {
+            const std::string field = cur.parse_string();
+            cur.expect(':');
+            if (field == "name") {
+              tag.name = cur.parse_string();
+            } else if (field == "ber") {
+              tag.ber = cur.parse_number();
+            } else if (field == "per") {
+              tag.per = cur.parse_number();
+            } else if (field == "goodput_bps") {
+              tag.goodput_bps = cur.parse_number();
+            } else if (field == "bit_errors") {
+              tag.bit_errors = static_cast<std::uint64_t>(cur.parse_number());
+            } else if (field == "bits") {
+              tag.bits = static_cast<std::uint64_t>(cur.parse_number());
+            } else {
+              throw std::runtime_error("golden JSON: unknown tag field " + field);
+            }
+          } while (cur.consume(','));
+          cur.expect('}');
+          trace.tags.push_back(std::move(tag));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else {
+      throw std::runtime_error("golden JSON: unknown field " + key);
+    }
+    more = cur.consume(',');
+  }
+  cur.expect('}');
+  return trace;
+}
+
+}  // namespace fmbs::golden

@@ -1,0 +1,203 @@
+// Golden-trace regression harness: three representative multi-tag scenarios
+// run end-to-end through the ScenarioEngine at fixed seeds; their decoded
+// outcomes (per-tag BER / PER / goodput, aggregate throughput) are diffed
+// against small JSON traces committed under tests/golden/traces/.
+//
+// Refreshing the baselines after an intentional behavior change:
+//
+//   ./build/golden_test_golden_traces --update-golden
+//   # or: FMBS_UPDATE_GOLDEN=1 ctest -L golden
+//
+// rewrites the trace files in the source tree (FMBS_GOLDEN_DIR); commit the
+// diff alongside the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "golden_io.h"
+#include "tag/channel_plan.h"
+
+#ifndef FMBS_GOLDEN_DIR
+#error "FMBS_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
+#endif
+
+namespace fmbs::golden {
+namespace {
+
+bool g_update_golden = false;
+
+std::string trace_path(const std::string& name) {
+  return std::string(FMBS_GOLDEN_DIR) + "/traces/" + name + ".json";
+}
+
+// ---- The three reference scenarios -----------------------------------------
+
+/// One poster tag, one phone: the paper's basic deployment, clean link.
+core::Scenario solo_poster() {
+  core::Scenario sc;
+  sc.name = "solo_poster";
+  sc.station.program.genre = audio::ProgramGenre::kNews;
+  sc.station.program.stereo = false;
+  sc.station.seed = 21;
+  sc.seed = 21;
+  sc.duration_seconds = 0.25;
+  core::ScenarioTag t;
+  t.name = "poster";
+  t.rate = tag::DataRate::k1600bps;
+  t.num_bits = 320;
+  t.packet_bits = 80;
+  t.tag_power_dbm = -25.0;
+  t.distance_override_feet = 4.0;
+  sc.tags.push_back(std::move(t));
+  sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
+  return sc;
+}
+
+/// Four tags on four planned disjoint channels; a phone and a car listen to
+/// two of them (the others transmit as pure adjacent-channel neighbors).
+core::Scenario city_disjoint() {
+  core::Scenario sc;
+  sc.name = "city_disjoint";
+  sc.station.program.genre = audio::ProgramGenre::kNews;
+  sc.station.program.stereo = false;
+  sc.station.seed = 23;
+  sc.seed = 23;
+  sc.duration_seconds = 0.2;
+  const auto plan = tag::plan_subcarrier_channels(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    core::ScenarioTag t;
+    t.name = "sign" + std::to_string(i);
+    t.subcarrier = plan[i].subcarrier;
+    t.rate = tag::DataRate::k1600bps;
+    t.num_bits = 128;
+    t.packet_bits = 64;
+    t.tag_power_dbm = -32.0;
+    t.distance_override_feet = 5.0;
+    sc.tags.push_back(std::move(t));
+  }
+  sc.receivers.push_back(core::phone_listening_to(plan[0].subcarrier));
+  sc.receivers.push_back(core::car_listening_to(plan[1].subcarrier));
+  return sc;
+}
+
+/// Three tags sharing one channel: two overlap (physical collision), one is
+/// staggered clear — the ALOHA story in a single deterministic trace.
+core::Scenario aloha_burst() {
+  core::Scenario sc;
+  sc.name = "aloha_burst";
+  sc.station.program.genre = audio::ProgramGenre::kSilence;
+  sc.station.program.stereo = false;
+  sc.station.seed = 31;
+  sc.seed = 31;
+  sc.duration_seconds = 0.3;
+  const double starts[3] = {0.0, 0.02, 0.18};
+  for (int i = 0; i < 3; ++i) {
+    core::ScenarioTag t;
+    t.name = "node" + std::to_string(i);
+    t.rate = tag::DataRate::k1600bps;
+    t.num_bits = 96;
+    t.tag_power_dbm = -25.0;
+    t.distance_override_feet = 3.0;
+    t.start_seconds = starts[i];
+    sc.tags.push_back(std::move(t));
+  }
+  sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
+  return sc;
+}
+
+// ---- Diffing ----------------------------------------------------------------
+
+/// Value-scaled tolerances, so a regenerated baseline carries its own
+/// bands: clean metrics must stay clean, collision metrics may wobble with
+/// platform libm differences without masking a real regression.
+double ber_tolerance(double golden_ber) { return 0.03 + 0.5 * golden_ber; }
+double per_tolerance(double) { return 0.3; }
+double goodput_tolerance(double golden_bps) {
+  return 25.0 + 0.1 * golden_bps;
+}
+
+void check_against_golden(const core::Scenario& scenario) {
+  const core::ScenarioResult result =
+      core::ScenarioEngine({.keep_captures = false}).run(scenario);
+  const GoldenTrace actual = trace_from_result(scenario, result);
+  const std::string path = trace_path(scenario.name);
+
+  if (g_update_golden) {
+    write_golden(path, actual);
+    SUCCEED() << "updated " << path;
+    return;
+  }
+
+  const std::optional<GoldenTrace> golden = read_golden(path);
+  ASSERT_TRUE(golden.has_value())
+      << path << " is missing — run with --update-golden to create it";
+  ASSERT_EQ(golden->scenario, actual.scenario);
+  EXPECT_EQ(golden->seed, actual.seed)
+      << "scenario seed changed; update the golden trace intentionally";
+  ASSERT_EQ(golden->tags.size(), actual.tags.size());
+  for (std::size_t i = 0; i < golden->tags.size(); ++i) {
+    const GoldenTag& want = golden->tags[i];
+    const GoldenTag& got = actual.tags[i];
+    EXPECT_EQ(want.name, got.name) << i;
+    EXPECT_EQ(want.bits, got.bits) << want.name;
+    EXPECT_NEAR(got.ber, want.ber, ber_tolerance(want.ber)) << want.name;
+    EXPECT_NEAR(got.per, want.per, per_tolerance(want.per)) << want.name;
+    EXPECT_NEAR(got.goodput_bps, want.goodput_bps,
+                goodput_tolerance(want.goodput_bps))
+        << want.name;
+  }
+  EXPECT_NEAR(actual.aggregate_goodput_bps, golden->aggregate_goodput_bps,
+              goodput_tolerance(golden->aggregate_goodput_bps));
+}
+
+TEST(GoldenTraces, SoloPoster) { check_against_golden(solo_poster()); }
+TEST(GoldenTraces, CityDisjoint) { check_against_golden(city_disjoint()); }
+TEST(GoldenTraces, AlohaBurst) { check_against_golden(aloha_burst()); }
+
+// The writer and reader must round-trip exactly (they are the only two
+// parties to the trace format).
+TEST(GoldenTraces, IoRoundTrips) {
+  GoldenTrace trace;
+  trace.scenario = "roundtrip";
+  trace.seed = 17;
+  trace.aggregate_goodput_bps = 1234.5;
+  trace.tags.push_back({"a \"quoted\" \\ name", 0.015625, 0.25, 320.0, 2, 128});
+  trace.tags.push_back({"b", 0.0, 0.0, 640.0, 0, 128});
+  const std::string path = testing::TempDir() + "fmbs_golden_roundtrip.json";
+  write_golden(path, trace);
+  const auto back = read_golden(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->scenario, trace.scenario);
+  EXPECT_EQ(back->seed, trace.seed);
+  EXPECT_DOUBLE_EQ(back->aggregate_goodput_bps, trace.aggregate_goodput_bps);
+  ASSERT_EQ(back->tags.size(), 2U);
+  EXPECT_EQ(back->tags[0].name, "a \"quoted\" \\ name");
+  EXPECT_DOUBLE_EQ(back->tags[0].ber, 0.015625);
+  EXPECT_EQ(back->tags[0].bit_errors, 2U);
+  EXPECT_EQ(back->tags[1].bits, 128U);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fmbs::golden
+
+// Custom main so the binary understands --update-golden (the env var
+// FMBS_UPDATE_GOLDEN=1 works too, for ctest-driven refreshes).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      fmbs::golden::g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (const char* env = std::getenv("FMBS_UPDATE_GOLDEN");
+      env != nullptr && std::string(env) == "1") {
+    fmbs::golden::g_update_golden = true;
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

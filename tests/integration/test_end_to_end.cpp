@@ -125,8 +125,8 @@ TEST(EndToEnd, CooperativeCancellationBeatsOverlay) {
   point.tag_power_dbm = -30.0;
   point.distance_feet = 4.0;
   point.genre = ProgramGenre::kNews;
-  const double overlay = core::run_overlay_pesq(point, 2.5);
-  const double coop = core::run_cooperative_pesq(point, 2.5);
+  const double overlay = core::run_overlay_pesq(point, 1.6);
+  const double coop = core::run_cooperative_pesq(point, 1.6);
   EXPECT_GT(coop, overlay + 0.5)
       << "overlay=" << overlay << " coop=" << coop;
   EXPECT_GT(coop, 3.0);

@@ -28,7 +28,7 @@ CoopFixture make_fixture(double phone2_gain, long delay_samples,
                          double payload_gain_change = 1.0) {
   CoopFixture f;
   const double rate = 48000.0;
-  const double payload_seconds = 1.5;
+  const double payload_seconds = 0.9;
   f.content = audio::synthesize_speech({}, payload_seconds, rate, 81);
   const audio::MonoBuffer ambient =
       audio::synthesize_speech({}, payload_seconds + 0.25 + 0.05, rate, 82);
