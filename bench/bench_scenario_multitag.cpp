@@ -1,6 +1,8 @@
 // Multi-tag coexistence bench (paper section 8): the signal-level
 // ScenarioEngine driving the two deployment strategies the paper proposes
-// for concurrent tags, with the SweepRunner parallelizing scenarios.
+// for concurrent tags, with core::run_scenario_sweep parallelizing the
+// scenarios across the SweepRunner pool (every scenario here pins its own
+// seeds, so the sweep seed policy passes them through untouched).
 //
 //  1. Channel spreading: N tags on the planner's disjoint channels — per-tag
 //     BER stays flat and aggregate goodput scales ~linearly with N.
@@ -105,7 +107,7 @@ int main() {
   for (const double n : tag_counts) {
     spread.push_back(spreading_scenario(static_cast<std::size_t>(n)));
   }
-  const auto spread_results = engine.run_many(runner, spread);
+  const auto spread_results = core::run_scenario_sweep(runner, engine, spread);
 
   std::vector<core::Series> series(2);
   series[0].label = "worst_ber";
@@ -143,7 +145,7 @@ int main() {
       share.push_back(sharing_scenario(schedules.back(), kWindow, seed));
     }
   }
-  const auto share_results = engine.run_many(runner, share);
+  const auto share_results = core::run_scenario_sweep(runner, engine, share);
 
   std::vector<double> offered_load;
   std::vector<core::Series> aloha(4);

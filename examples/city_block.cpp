@@ -1,69 +1,134 @@
-// City block (paper sections 1, 6, 8): one ambient news station serves a
-// whole block of backscatter deployments at once — eight posters and street
-// signs, each on its own planner-assigned backscatter channel, decoded by
-// the pedestrians' phones standing near them and by a car rolling past.
-// Everything shares ONE simulated RF scene: every tag's reflection lands in
-// every receiver's antenna, so adjacent-channel coexistence is physical,
-// not assumed.
+// City block (paper sections 1, 2, 6, 8): a real city's FM band serves a
+// block of backscatter deployments. The scene is built from the band survey
+// (survey::SpectrumDb, Fig. 4): the strongest detectable station is the one
+// the posters backscatter — as the paper's posters reflect whichever ambient
+// signal is strongest — and every other detectable station within the
+// 2.4 MHz scene is rendered and superposed at its real channel offset, so
+// adjacent-channel interference from co-resident stations is physical, not
+// assumed. Posters then deploy only on the backscatter channels the survey
+// shows to be clean (the paper's "choose f_back toward the lowest-power
+// channel" rule); the contested channels are reported and skipped.
 //
 //   $ ./city_block
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/fmbs.h"
 
 int main() {
   using namespace fmbs;
 
-  // Eight deployments around the block, on the 8 disjoint channels the
-  // planner can fit in the scene (SSB switches unlock the negative ones).
+  // ---- The surveyed band, around its strongest street-level station. -------
+  const survey::CitySpectrum city = survey::builtin_city_spectra()[2];  // Boston
+  std::size_t strongest = 0;
+  for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
+    if (city.detectable_power_dbm[i] > city.detectable_power_dbm[strongest]) {
+      strongest = i;
+    }
+  }
+  const int listen_channel = city.detectable_channels[strongest];
+
+  core::Scenario sc;
+  sc.name = "city_block";
+  sc.seed = 49;
+  sc.duration_seconds = 0.4;
+  sc.stations = core::stations_from_survey(city, listen_channel);
+
+  std::printf("%s FM band around %.1f MHz: %zu co-resident stations in the "
+              "2.4 MHz scene\n",
+              city.name.c_str(),
+              survey::channel_frequency_hz(listen_channel) / 1e6,
+              sc.stations.size());
+  for (const auto& st : sc.stations) {
+    std::printf("  %-18s %+6.0f kHz  %6.1f dBm\n", st.name.c_str(),
+                st.offset_hz / 1000.0, st.power_dbm);
+  }
+
+  // ---- Survey-driven channel choice for the posters. -----------------------
+  // Candidate backscatter channels come from the planner; the survey ranks
+  // them by ambient occupancy and the block deploys only on the quiet ones
+  // (paper: "f_back ... chosen such that the backscatter transmission is
+  // sent at the frequency with the lowest power ambient FM signal").
   const auto plan = tag::plan_subcarrier_channels(8);
+  auto ambient_on = [&sc](double offset_hz) {
+    double worst = -110.0;
+    for (const auto& st : sc.stations) {
+      if (std::abs(st.offset_hz - offset_hz) < fm::kChannelSpacingHz / 2.0) {
+        worst = std::max(worst, st.power_dbm);
+      }
+    }
+    return worst;
+  };
+  struct Candidate {
+    tag::ChannelAssignment assignment;
+    double ambient_dbm;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& a : plan) {
+    candidates.push_back({a, ambient_on(a.subcarrier.shift_hz)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.ambient_dbm < b.ambient_dbm;
+                   });
+  constexpr double kQuietThresholdDbm = -60.0;  // well under backscatter power
+  std::vector<Candidate> quiet;
+  std::printf("\nbackscatter channel survey:\n");
+  for (const auto& c : candidates) {
+    const bool usable = c.ambient_dbm < kQuietThresholdDbm;
+    std::printf("  %+5.0f kHz  ambient %6.1f dBm  %s\n",
+                c.assignment.subcarrier.shift_hz / 1000.0, c.ambient_dbm,
+                usable ? "clear" : "occupied -> skipped");
+    if (usable) quiet.push_back(c);
+  }
+
+  if (quiet.empty()) {
+    std::printf("no clean backscatter channel in this scene — survey says "
+                "the band is full here\n");
+    return 1;
+  }
+
+  // ---- The block: one poster per clean channel, a phone near each. ---------
   const char* sites[8] = {"bus-stop poster", "concert poster",  "cafe sign",
                           "museum banner",   "bike-share sign", "bookstore ad",
                           "transit board",   "food-truck menu"};
   // Positions around a ~30 m block (meters).
   const core::ScenePosition tag_pos[8] = {{0, 0},  {12, 0},  {24, 0},  {30, 8},
                                           {30, 20}, {18, 28}, {6, 28},  {0, 16}};
-
-  core::Scenario sc;
-  sc.name = "city_block";
-  sc.station.program.genre = audio::ProgramGenre::kNews;
-  sc.station.program.stereo = false;
-  sc.station.seed = 49;  // the 94.9 MHz news station of the paper
-  sc.seed = 49;
-  sc.duration_seconds = 0.4;
-
-  for (std::size_t i = 0; i < 8; ++i) {
+  const std::size_t deployed = std::min<std::size_t>(quiet.size(), 8);
+  for (std::size_t i = 0; i < deployed; ++i) {
     core::ScenarioTag t;
     t.name = sites[i];
-    t.subcarrier = plan[i].subcarrier;
+    t.subcarrier = quiet[i].assignment.subcarrier;
     t.antenna = i % 2 == 0 ? tag::poster_dipole_antenna()
                            : tag::poster_bowtie_antenna();
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 192;
     t.packet_bits = 96;
-    t.tag_power_dbm = -33.0;  // urban ambient (paper Fig. 2: -30 to -40 dBm)
     t.position = tag_pos[i];
     sc.tags.push_back(std::move(t));
-  }
 
-  // A pedestrian's phone next to each deployment (1.5-3 m off), plus a car
-  // at the curb decoding the bus-stop poster's channel from farther out.
-  for (std::size_t i = 0; i < 8; ++i) {
-    core::ScenarioReceiver rx = core::phone_listening_to(plan[i].subcarrier);
+    core::ScenarioReceiver rx =
+        core::phone_listening_to(quiet[i].assignment.subcarrier);
     rx.name = "phone@" + std::string(sites[i]);
     rx.position = {tag_pos[i].x_m + 1.2 + 0.2 * static_cast<double>(i),
                    tag_pos[i].y_m + 1.0};
     sc.receivers.push_back(std::move(rx));
   }
-  core::ScenarioReceiver car = core::car_listening_to(plan[0].subcarrier);
+  // A car at the curb decodes the bus-stop poster's channel from farther out.
+  core::ScenarioReceiver car =
+      core::car_listening_to(quiet[0].assignment.subcarrier);
   car.name = "car@curb";
   car.position = {4.0, -5.0};
   sc.receivers.push_back(std::move(car));
 
-  std::printf("city block: %zu tags on %zu channels, %zu receivers, %.1f s\n\n",
-              sc.tags.size(), sc.tags.size(), sc.receivers.size(),
-              sc.duration_seconds);
+  std::printf("\ncity block: %zu posters on the %zu clean channels, "
+              "%zu receivers, %zu ambient stations, %.1f s\n\n",
+              sc.tags.size(), quiet.size(), sc.receivers.size(),
+              sc.stations.size(), sc.duration_seconds);
 
   const core::ScenarioResult result = core::ScenarioEngine().run(sc);
 
@@ -90,8 +155,8 @@ int main() {
                 link.burst.ber.bit_errors);
   }
 
-  // Anything above a couple percent BER on a best link means the block's
-  // channelization failed — report it like a demo should.
+  // Anything above a couple percent BER on a best link means the survey's
+  // channel choice failed — report it like a demo should.
   for (const auto& link : result.best_per_tag) {
     if (link.burst.ber.ber > 0.05) {
       std::printf("WARNING: %s BER %.3f — coexistence degraded\n",
@@ -99,7 +164,7 @@ int main() {
       return 1;
     }
   }
-  std::printf("all %zu tags decoded across the shared spectrum\n",
+  std::printf("all %zu tags decoded across the shared city spectrum\n",
               result.best_per_tag.size());
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "audio/tone.h"
@@ -10,6 +11,7 @@
 #include "channel/units.h"
 #include "dsp/fir.h"
 #include "dsp/math_util.h"
+#include "dsp/nco.h"
 #include "fm/station_cache.h"
 #include "rx/tuner.h"
 #include "tag/baseband.h"
@@ -20,11 +22,12 @@ namespace {
 
 constexpr std::size_t kBlockMpx = 24000;  // 0.1 s at 240 kHz, as in simulate()
 
-/// derive_seed index streams so tag content, tag fading and receiver noise
-/// are mutually independent processes per entity.
+/// derive_seed index streams so tag content, tag fading, receiver noise and
+/// scene-station content are mutually independent processes per entity.
 constexpr std::uint64_t kTagContentStream = 0x1000;
 constexpr std::uint64_t kTagFadingStream = 0x2000;
 constexpr std::uint64_t kReceiverNoiseStream = 0x3000;
+constexpr std::uint64_t kStationSeedStream = 0x4000;
 
 double pair_distance_m(const ScenarioTag& tag, const ScenarioReceiver& rx) {
   if (!std::isnan(tag.distance_override_feet)) {
@@ -63,15 +66,32 @@ struct TagState {
 
 }  // namespace
 
-bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz) {
+double station_power_at(const ScenarioStation& station, const ScenePosition& at) {
+  if (!station.position) return station.power_dbm;  // far field: uniform
+  const double d_origin =
+      std::max(1e-3, std::hypot(station.position->x_m, station.position->y_m));
+  const double d_at = std::max(1e-3, std::hypot(station.position->x_m - at.x_m,
+                                                station.position->y_m - at.y_m));
+  // power_dbm is referenced at the scene origin; scale with free-space
+  // distance from the transmitter.
+  return station.power_dbm + 20.0 * std::log10(d_origin / d_at);
+}
+
+bool tag_audible_at(const ScenarioTag& tag, double station_offset_hz,
+                    double tune_offset_hz) {
   constexpr double kTol = 1.0;  // Hz; assignments come from shared constants
   if (tag.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
-    return std::abs(tag.subcarrier.shift_hz - tune_offset_hz) < kTol;
+    return std::abs(station_offset_hz + tag.subcarrier.shift_hz -
+                    tune_offset_hz) < kTol;
   }
-  // Real square switches serve both signed copies of |f_back|.
-  return std::abs(std::abs(tag.subcarrier.shift_hz) - std::abs(tune_offset_hz)) <
-             kTol &&
-         tune_offset_hz != 0.0;
+  // Real square switches serve both signed copies of |f_back| around their
+  // station's carrier; a receiver parked on the carrier itself hears the
+  // station program, not tag data.
+  const double mag = std::abs(tag.subcarrier.shift_hz);
+  const bool on_channel =
+      std::abs(station_offset_hz + mag - tune_offset_hz) < kTol ||
+      std::abs(station_offset_hz - mag - tune_offset_hz) < kTol;
+  return on_channel && std::abs(tune_offset_hz - station_offset_hz) >= kTol;
 }
 
 ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier) {
@@ -108,7 +128,10 @@ Scenario scenario_from_system(const SystemConfig& config,
   t.name = "tag";
   t.subcarrier = config.tag.subcarrier;
   t.antenna = config.tag.antenna;
-  t.custom_baseband = tag_baseband;
+  // An empty legacy baseband means "unmodulated always-on switch" (the
+  // engine zero-pads to the scene length); keep one explicit zero sample so
+  // the engine does not mistake it for an FSK payload tag.
+  t.custom_baseband = tag_baseband.empty() ? dsp::rvec(1, 0.0F) : tag_baseband;
   t.tag_power_dbm = config.scene.tag_power_dbm;
   t.distance_override_feet = config.scene.tag_rx_distance_feet;
   t.fading = config.scene.fading;
@@ -138,6 +161,53 @@ Scenario scenario_from_system(const SystemConfig& config,
   return sc;
 }
 
+std::vector<ScenarioStation> stations_from_survey(
+    const survey::CitySpectrum& city, int listen_channel, double max_offset_hz,
+    std::uint64_t seed) {
+  if (listen_channel < 0 || listen_channel >= fm::kNumChannels) {
+    throw std::invalid_argument("stations_from_survey: bad listen channel");
+  }
+  const double cap = std::min(max_offset_hz, kMaxStationOffsetHz);
+  // Genres cycle deterministically per channel (never silence: a detectable
+  // station is on the air).
+  static constexpr audio::ProgramGenre kGenres[] = {
+      audio::ProgramGenre::kNews, audio::ProgramGenre::kPop,
+      audio::ProgramGenre::kMixed, audio::ProgramGenre::kRock};
+  std::vector<ScenarioStation> out;
+  for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
+    const int ch = city.detectable_channels[i];
+    const double offset =
+        (ch - listen_channel) * fm::kChannelSpacingHz;
+    if (std::abs(offset) > cap + 1e-6) continue;
+    ScenarioStation st;
+    char freq[32];
+    std::snprintf(freq, sizeof(freq), "%.1fMHz",
+                  survey::channel_frequency_hz(ch) / 1e6);
+    st.name = city.name + "@" + freq;
+    st.config.program.genre = kGenres[static_cast<std::size_t>(ch) % 4];
+    st.config.program.stereo = ch % 3 != 0;  // a mix of mono and stereo
+    st.config.seed = derive_seed(seed, static_cast<std::uint64_t>(ch));
+    st.offset_hz = offset;
+    st.power_dbm = city.detectable_power_dbm[i];
+    out.push_back(std::move(st));
+  }
+  if (out.empty()) {
+    // An empty vector would silently flip the Scenario into legacy
+    // single-station mode (the default-constructed sc.station) — surface
+    // the misconfiguration instead.
+    throw std::invalid_argument(
+        "stations_from_survey: no detectable station of " + city.name +
+        " falls within the scene around the listen channel");
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioStation& a, const ScenarioStation& b) {
+              const double am = std::abs(a.offset_hz);
+              const double bm = std::abs(b.offset_hz);
+              return am != bm ? am < bm : a.offset_hz < b.offset_hz;
+            });
+  return out;
+}
+
 ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   if (sc.duration_seconds <= 0.0) {
     throw std::invalid_argument("ScenarioEngine: duration must be > 0");
@@ -146,14 +216,77 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     throw std::invalid_argument("ScenarioEngine: scenario needs a receiver");
   }
   const double total_seconds = sc.settle_seconds + sc.duration_seconds;
+  // Scene station table. An empty `stations` means the legacy single-station
+  // scene: sc.station at the scene center with the legacy per-tag/receiver
+  // power semantics (bit-identical to the pre-multi-station engine).
+  const bool multi = !sc.stations.empty();
+  const std::size_t num_stations = multi ? sc.stations.size() : 1;
+  std::vector<double> station_offset(num_stations, 0.0);
+  if (multi) {
+    for (std::size_t s = 0; s < num_stations; ++s) {
+      station_offset[s] = sc.stations[s].offset_hz;
+      if (std::abs(station_offset[s]) > kMaxStationOffsetHz + 1e-6) {
+        throw std::invalid_argument(
+            "ScenarioEngine: station \"" + sc.stations[s].name +
+            "\" carrier offset falls outside the 2.4 MHz scene");
+      }
+    }
+  }
 
   ScenarioResult result;
-  result.station = fm::StationCache::instance().render(sc.station, total_seconds);
+  // Pin every scene render for the duration of the run: a scene wider than
+  // the cache capacity must not thrash/evict its own stations mid-run.
+  fm::StationCache::SceneScope scope(fm::StationCache::instance());
+  result.station_renders.reserve(num_stations);
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    const fm::StationConfig& config = multi ? sc.stations[s].config : sc.station;
+    result.station_renders.push_back(scope.render(config, total_seconds));
+  }
+  result.station = result.station_renders[0];
   const std::size_t station_len = result.station->iq.size();
   const std::size_t padded =
       (station_len + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
-  dsp::cvec station_iq = result.station->iq;
-  station_iq.resize(padded, dsp::cfloat(1.0F, 0.0F));
+  std::vector<dsp::cvec> station_iq(num_stations);
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    if (result.station_renders[s]->iq.size() != station_len) {
+      throw std::logic_error("ScenarioEngine: station render length mismatch");
+    }
+    station_iq[s] = result.station_renders[s]->iq;
+    station_iq[s].resize(padded, dsp::cfloat(1.0F, 0.0F));
+  }
+
+  // ---- Per-tag station selection and ambient power. ------------------------
+  std::vector<int> sel(sc.tags.size(), 0);
+  std::vector<double> tag_ambient_dbm(sc.tags.size(), 0.0);
+  for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+    const ScenarioTag& tcfg = sc.tags[t];
+    if (!multi) {
+      tag_ambient_dbm[t] = tcfg.tag_power_dbm;
+      continue;
+    }
+    int chosen = tcfg.station_index;
+    if (chosen >= static_cast<int>(num_stations)) {
+      throw std::invalid_argument("ScenarioEngine: tag \"" + tcfg.name +
+                                  "\" selects a station outside the scene");
+    }
+    if (chosen < 0) {
+      // The paper's posters backscatter whichever ambient signal is
+      // strongest at their location.
+      double best = -1e18;
+      for (std::size_t s = 0; s < num_stations; ++s) {
+        const double p = station_power_at(sc.stations[s], tcfg.position);
+        if (p > best) {
+          best = p;
+          chosen = static_cast<int>(s);
+        }
+      }
+    }
+    sel[t] = chosen;
+    tag_ambient_dbm[t] =
+        station_power_at(sc.stations[static_cast<std::size_t>(chosen)],
+                         tcfg.position);
+  }
+  result.selected_station = sel;
 
   // ---- Per-tag state: baseband, burst window, generators. ------------------
   std::vector<TagState> tags(sc.tags.size());
@@ -206,18 +339,21 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
   // ---- Per-pair link budgets. ----------------------------------------------
   // g_back[r][t]: reflected-wave amplitude of tag t at receiver r;
-  // g_direct[r]: unshifted station amplitude at receiver r.
+  // g_direct[r][s]: unshifted amplitude of station s at receiver r.
   std::vector<double> direct_dbm(sc.receivers.size());
-  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-    double p = sc.receivers[r].direct_power_dbm;
-    if (std::isnan(p)) {
-      p = -1e9;
-      for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
-      if (sc.tags.empty()) p = -30.0;
+  if (!multi) {
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      double p = sc.receivers[r].direct_power_dbm;
+      if (std::isnan(p)) {
+        p = -1e9;
+        for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
+        if (sc.tags.empty()) p = -30.0;
+      }
+      direct_dbm[r] = p;
     }
-    direct_dbm[r] = p;
   }
-  std::vector<float> g_direct(sc.receivers.size(), 0.0F);
+  std::vector<std::vector<float>> g_direct(
+      sc.receivers.size(), std::vector<float>(num_stations, 0.0F));
   std::vector<std::vector<float>> g_back(
       sc.receivers.size(), std::vector<float>(sc.tags.size(), 0.0F));
   std::vector<std::vector<double>> rx_power_dbm(
@@ -226,8 +362,26 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     const ScenarioReceiver& rx = sc.receivers[r];
     channel::LinkBudgetConfig link = rx.link;
     link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
+    if (multi) {
+      for (std::size_t s = 0; s < num_stations; ++s) {
+        g_direct[r][s] = static_cast<float>(std::sqrt(dsp::watts_from_dbm(
+            station_power_at(sc.stations[s], rx.position))));
+      }
+      for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+        link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+        const channel::LinkBudget budget = channel::compute_link_budget(
+            tag_ambient_dbm[t], tag_ambient_dbm[t],
+            pair_distance_m(sc.tags[t], rx), link);
+        g_back[r][t] = static_cast<float>(budget.backscatter_amplitude);
+        // One sideband of the square wave carries (2/pi)^2 of the reflection.
+        rx_power_dbm[r][t] = dsp::dbm_from_watts(
+            budget.backscatter_amplitude * budget.backscatter_amplitude *
+            (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
+      }
+      continue;
+    }
     if (sc.tags.empty()) {
-      g_direct[r] =
+      g_direct[r][0] =
           static_cast<float>(std::sqrt(dsp::watts_from_dbm(direct_dbm[r])));
       continue;
     }
@@ -237,7 +391,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           sc.tags[t].tag_power_dbm, direct_dbm[r],
           pair_distance_m(sc.tags[t], rx), link);
       g_back[r][t] = static_cast<float>(budget.backscatter_amplitude);
-      if (t == 0) g_direct[r] = static_cast<float>(budget.direct_amplitude);
+      if (t == 0) g_direct[r][0] = static_cast<float>(budget.direct_amplitude);
       // One sideband of the square wave carries (2/pi)^2 of the reflection.
       rx_power_dbm[r][t] = dsp::dbm_from_watts(
           budget.backscatter_amplitude * budget.backscatter_amplitude *
@@ -245,12 +399,19 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     }
   }
 
-  // ---- Per-receiver front ends. --------------------------------------------
+  // ---- Per-station and per-receiver front ends. ----------------------------
   const auto up_factor = static_cast<std::size_t>(fm::kMpxToRfFactor);
-  dsp::FirInterpolator<dsp::cfloat> upsampler(
-      dsp::fir_design_lowpass((16 * up_factor) | 1U,
-                              0.45 / static_cast<double>(up_factor)),
-      up_factor);
+  const std::vector<float> up_taps = dsp::fir_design_lowpass(
+      (16 * up_factor) | 1U, 0.45 / static_cast<double>(up_factor));
+  std::vector<dsp::FirInterpolator<dsp::cfloat>> upsamplers;
+  upsamplers.reserve(num_stations);
+  std::vector<std::optional<dsp::Mixer>> mixers(num_stations);
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    upsamplers.emplace_back(up_taps, up_factor);
+    if (station_offset[s] != 0.0) {
+      mixers[s].emplace(station_offset[s], fm::kRfRate);
+    }
+  }
   std::vector<channel::AwgnSource> noise;
   std::vector<rx::Tuner> tuners;
   noise.reserve(sc.receivers.size());
@@ -270,13 +431,17 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   }
 
   // ---- The shared RF scene, block by block. --------------------------------
+  std::vector<dsp::cvec> st_rf(num_stations);
   std::vector<dsp::cvec> reflected(sc.tags.size());
   std::vector<char> tag_active(sc.tags.size(), 0);
   dsp::cvec rf;
   for (std::size_t start = 0; start < padded; start += kBlockMpx) {
-    const std::span<const dsp::cfloat> st_block(station_iq.data() + start,
-                                                kBlockMpx);
-    const dsp::cvec st_rf = upsampler.process(st_block);
+    for (std::size_t s = 0; s < num_stations; ++s) {
+      const std::span<const dsp::cfloat> st_block(station_iq[s].data() + start,
+                                                  kBlockMpx);
+      st_rf[s] = upsamplers[s].process(st_block);
+      if (mixers[s]) mixers[s]->process_inplace(st_rf[s]);
+    }
 
     for (std::size_t t = 0; t < tags.size(); ++t) {
       TagState& st = tags[t];
@@ -284,10 +449,12 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           start < st.active_end && start + kBlockMpx > st.active_begin;
       if (!tag_active[t]) continue;
       const std::span<const float> bb_block(st.baseband.data() + start, kBlockMpx);
+      const dsp::cvec& incident = st_rf[static_cast<std::size_t>(sel[t])];
       dsp::cvec& b = reflected[t];
       b = st.subcarrier->process(bb_block);
-      // reflected = B(t) x incident, with motion fading on the tag path.
-      for (std::size_t i = 0; i < st_rf.size(); ++i) b[i] *= st_rf[i];
+      // reflected = B(t) x incident (the tag's selected station), with
+      // motion fading on the tag path.
+      for (std::size_t i = 0; i < incident.size(); ++i) b[i] *= incident[i];
       if (st.fading) st.fading->apply(b);
       // The switch is off outside the burst window: no reflection at all.
       const std::size_t lo =
@@ -301,9 +468,12 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
                 dsp::cfloat(0.0F, 0.0F));
     }
 
-    rf.resize(st_rf.size());
+    rf.resize(st_rf[0].size());
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      channel::scale_into(rf, st_rf, g_direct[r]);
+      channel::scale_into(rf, st_rf[0], g_direct[r][0]);
+      for (std::size_t s = 1; s < num_stations; ++s) {
+        channel::accumulate_scaled(rf, st_rf[s], g_direct[r][s]);
+      }
       for (std::size_t t = 0; t < tags.size(); ++t) {
         if (!tag_active[t]) continue;
         channel::accumulate_scaled(rf, reflected[t], g_back[r][t]);
@@ -331,7 +501,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
       const ScenarioTag& tcfg = sc.tags[t];
       if (tags[t].bits.empty()) continue;  // custom baseband: no BER to score
-      if (!tag_audible_at(tcfg, rx.tune_offset_hz)) continue;
+      if (!tag_audible_at(tcfg, station_offset[static_cast<std::size_t>(sel[t])],
+                          rx.tune_offset_hz)) {
+        continue;
+      }
       rx::BurstSpec burst;
       burst.rate = tcfg.rate;
       burst.bits = tags[t].bits;
@@ -371,6 +544,71 @@ std::vector<ScenarioResult> ScenarioEngine::run_many(
     SweepRunner& runner, const std::vector<Scenario>& scenarios) const {
   return runner.map(scenarios,
                     [this](const Scenario& sc) { return run(sc); });
+}
+
+void apply_scenario_seed_policy(Scenario& scenario, std::size_t index,
+                                const SweepConfig& config) {
+  if (scenario.seed == 0) scenario.seed = derive_seed(config.base_seed, index);
+  // Station seeds left at the 0 sentinel are pinned sweep-wide when sharing
+  // (one fm::StationCache render per station across every point), otherwise
+  // derived from the scenario's own seed (fresh content per point).
+  const std::uint64_t root =
+      config.share_station_renders ? config.base_seed : scenario.seed;
+  if (scenario.station.seed == 0) scenario.station.seed = root;
+  for (std::size_t s = 0; s < scenario.stations.size(); ++s) {
+    if (scenario.stations[s].config.seed == 0) {
+      scenario.stations[s].config.seed = derive_seed(root, kStationSeedStream + s);
+    }
+  }
+}
+
+std::vector<ScenarioResult> run_scenario_sweep(SweepRunner& runner,
+                                               const ScenarioEngine& engine,
+                                               std::vector<Scenario> scenarios) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    apply_scenario_seed_policy(scenarios[i], i, runner.config());
+  }
+  return runner.map(scenarios,
+                    [&engine](const Scenario& sc) { return engine.run(sc); });
+}
+
+std::vector<Series> run_scenario_grid(SweepRunner& runner,
+                                      const ScenarioEngine& engine,
+                                      const std::vector<ScenarioGridRow>& rows,
+                                      const std::vector<double>& xs) {
+  struct Cell {
+    Scenario scenario;
+    const ScenarioGridRow* row;
+    double x;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(rows.size() * xs.size());
+  for (const ScenarioGridRow& row : rows) {
+    if (!row.make_scenario || !row.eval) {
+      throw std::invalid_argument(
+          "run_scenario_grid: row needs make_scenario and eval");
+    }
+    for (const double x : xs) {
+      cells.push_back(Cell{row.make_scenario(x), &row, x});
+      apply_scenario_seed_policy(cells.back().scenario, cells.size() - 1,
+                                 runner.config());
+    }
+  }
+
+  const std::vector<double> values = runner.map(cells, [&](const Cell& cell) {
+    return cell.row->eval(engine.run(cell.scenario), cell.x);
+  });
+
+  std::vector<Series> series;
+  series.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    Series s;
+    s.label = rows[r].label;
+    s.values.assign(values.begin() + static_cast<std::ptrdiff_t>(r * xs.size()),
+                    values.begin() + static_cast<std::ptrdiff_t>((r + 1) * xs.size()));
+    series.push_back(std::move(s));
+  }
+  return series;
 }
 
 }  // namespace fmbs::core

@@ -1,12 +1,14 @@
-// Signal-level multi-tag scenarios — paper section 8 ("Multiple backscatter
-// devices"), simulated physically instead of analytically: one cached
-// ambient FM station, N backscatter tags (each with its own subcarrier
-// channel, FSK payload, link-budget geometry and burst schedule) and M
-// receivers (phone or car, each tuned to one channel), rendered through a
-// single shared RF scene. Overlapping transmissions on one channel *collide
-// in the MPX spectrum* — the engine is what validates the core::aloha
-// analytic MAC model against the PHY — and tags on disjoint channels
-// coexist exactly as the spectrum says they should.
+// Signal-level multi-tag, multi-station scenarios — paper sections 2, 6 and
+// 8: a city block's RF scene holds several co-resident FM stations (the band
+// survey of Fig. 4 finds dozens per city) plus N backscatter tags (each with
+// its own subcarrier channel, FSK payload, link-budget geometry and burst
+// schedule) and M receivers (phone or car, each tuned to one channel),
+// rendered through a single shared 2.4 MHz RF scene. Every station is
+// superposed into the scene at its own carrier offset, every tag reflects
+// its strongest ambient station (as the paper's posters do), overlapping
+// transmissions on one channel *collide in the MPX spectrum*, and
+// adjacent-channel interference between stations and tags is physical —
+// it arrives through the receiver tuner's stopband, not through a model.
 //
 // Typical use:
 //
@@ -21,6 +23,11 @@
 //   }
 //   sc.receivers.push_back(core::phone_listening_to(plan[0].subcarrier));
 //   const core::ScenarioResult r = core::ScenarioEngine().run(sc);
+//
+// City spectra plug in directly:
+//
+//   const auto cities = survey::builtin_city_spectra();
+//   sc.stations = core::stations_from_survey(cities[1], /*listen_channel=*/49);
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,7 @@
 #include "dsp/types.h"
 #include "fm/transmitter.h"
 #include "rx/multitag.h"
+#include "survey/spectrum_db.h"
 #include "tag/antenna.h"
 #include "tag/fsk.h"
 #include "tag/subcarrier.h"
@@ -51,12 +59,39 @@ namespace fmbs::core {
 inline constexpr double kBurstGuardSeconds = 0.01;
 
 /// Planar position of a tag or receiver in the scene (meters). Distances are
-/// Euclidean; the ambient station is far-field so only tag-to-receiver
-/// geometry matters.
+/// Euclidean; far-field stations ignore geometry, positioned stations scale
+/// with it.
 struct ScenePosition {
   double x_m = 0.0;
   double y_m = 0.0;
 };
+
+/// Largest station carrier offset whose Carson bandwidth still fits inside
+/// the complex-baseband RF scene (which spans +-fm::kRfRate / 2).
+inline constexpr double kMaxStationOffsetHz =
+    fm::kRfRate / 2.0 - fm::kCarsonBandwidthHz / 2.0;
+
+/// One ambient FM station of a multi-station RF scene. The scene is complex
+/// baseband around the legacy single-station carrier: a station's carrier
+/// sits at `offset_hz` from the scene center, so adjacent-channel geometry
+/// reads directly in multiples of fm::kChannelSpacingHz.
+struct ScenarioStation {
+  std::string name;
+  fm::StationConfig config;
+  /// Carrier offset within the scene; |offset_hz| <= kMaxStationOffsetHz.
+  double offset_hz = 0.0;
+  /// Ambient power of this station at the scene origin (dBm).
+  double power_dbm = -30.0;
+  /// Transmitter position; unset = far field (the station is equally strong
+  /// everywhere in the scene). When set, the ambient power scales with
+  /// free-space distance relative to the origin — what makes per-tag
+  /// station selection geometric.
+  std::optional<ScenePosition> position;
+};
+
+/// Ambient power (dBm) of `station` at scene position `at` (see
+/// ScenarioStation::position).
+double station_power_at(const ScenarioStation& station, const ScenePosition& at);
 
 /// One backscatter tag in the scenario.
 struct ScenarioTag {
@@ -79,7 +114,15 @@ struct ScenarioTag {
   dsp::rvec custom_baseband;
 
   // Link budget inputs.
-  double tag_power_dbm = -30.0;  // ambient FM power at this tag
+  /// Ambient FM power at this tag (dBm) in a single-station scene. In a
+  /// multi-station scene the value is ignored — the power is derived from
+  /// the selected station via station_power_at.
+  double tag_power_dbm = -30.0;
+  /// Station this tag backscatters in a multi-station scene: -1 selects the
+  /// strongest ambient station at the tag's position (the paper's posters
+  /// reflect whichever signal is strongest); an explicit index pins it.
+  /// Ignored in single-station scenes.
+  int station_index = -1;
   ScenePosition position;
   /// When set, overrides the geometric tag-to-receiver distance for every
   /// receiver (the paper's single-knob experiments; also the bit-identity
@@ -97,13 +140,15 @@ struct ScenarioTag {
 struct ScenarioReceiver {
   std::string name;
   ReceiverKind kind = ReceiverKind::kPhone;
-  /// Channel the receiver tunes to, as an offset from the ambient station
-  /// (a tag's subcarrier shift, or 0 to listen to the station itself).
+  /// Channel the receiver tunes to, as an offset from the scene center (a
+  /// tag's channel is its station's offset plus the subcarrier shift; 0
+  /// listens to the station at the scene center).
   double tune_offset_hz = fm::kDefaultBackscatterShiftHz;
   ScenePosition position;
-  /// Power of the unshifted station at the receiver; NaN = the strongest
-  /// tag's ambient power (the paper keeps devices equidistant from the
-  /// transmitter).
+  /// Power of the unshifted station at the receiver in a single-station
+  /// scene; NaN = the strongest tag's ambient power (the paper keeps devices
+  /// equidistant from the transmitter). Multi-station scenes derive every
+  /// station's power at the receiver from station_power_at instead.
   double direct_power_dbm = std::numeric_limits<double>::quiet_NaN();
   /// Receiver noise floor (dBm / 200 kHz); NaN = the kind's default.
   double noise_dbm_200khz = std::numeric_limits<double>::quiet_NaN();
@@ -123,10 +168,16 @@ struct ScenarioReceiver {
   }
 };
 
-/// A complete multi-entity deployment around one ambient station.
+/// A complete multi-entity deployment inside one RF scene.
 struct Scenario {
   std::string name;
+  /// Legacy single-station scene (bit-identical to the pre-multi-station
+  /// engine); used only while `stations` is empty.
   fm::StationConfig station;
+  /// Multi-station scene: every entry is rendered and superposed into the
+  /// shared RF stream at its carrier offset. Empty = the single legacy
+  /// `station` at offset 0.
+  std::vector<ScenarioStation> stations;
   std::vector<ScenarioTag> tags;
   std::vector<ScenarioReceiver> receivers;
   /// Scenario length after the settle window; tag bursts must fit inside.
@@ -134,7 +185,9 @@ struct Scenario {
   /// Receiver warm-up before any burst starts (filters, AGC, pilot
   /// tracking), matching the experiment harness's lead-in convention.
   double settle_seconds = 0.08;
-  /// Root for every derived per-entity seed.
+  /// Root for every derived per-entity seed. 0 is the "derive me" sentinel
+  /// used by run_scenario_sweep's seed policy; a scenario run directly
+  /// through ScenarioEngine::run keeps whatever is set here.
   std::uint64_t seed = 1;
 };
 
@@ -155,7 +208,13 @@ struct ScenarioReceiverResult {
 
 /// Full scenario outcome.
 struct ScenarioResult {
+  /// The scene-center station's render (station 0; the legacy field).
   std::shared_ptr<const fm::StationSignal> station;
+  /// One render per scene station (parallel to Scenario::stations, or a
+  /// single entry for the legacy station).
+  std::vector<std::shared_ptr<const fm::StationSignal>> station_renders;
+  /// Station index each tag backscattered (parallel to Scenario::tags).
+  std::vector<int> selected_station;
   std::vector<ScenarioReceiverResult> receivers;
   /// Best (lowest-BER) link per data tag, across every receiver that hears
   /// it; tags heard by no receiver are absent.
@@ -172,7 +231,9 @@ struct ScenarioEngineConfig {
 };
 
 /// Renders and decodes scenarios. Stateless between runs; one shared station
-/// render per (StationConfig, duration) via fm::StationCache.
+/// render per (StationConfig, duration) via fm::StationCache, pinned for the
+/// run through a StationCache::SceneScope so multi-station scenes never
+/// evict their own renders.
 class ScenarioEngine {
  public:
   explicit ScenarioEngine(ScenarioEngineConfig config = {}) : config_(config) {}
@@ -180,7 +241,8 @@ class ScenarioEngine {
   const ScenarioEngineConfig& config() const { return config_; }
 
   /// Runs one scenario. Throws std::invalid_argument on an inconsistent
-  /// scenario (no receivers, burst past the end, bad rates).
+  /// scenario (no receivers, burst past the end, bad rates, station offsets
+  /// outside the scene).
   ScenarioResult run(const Scenario& scenario) const;
 
   /// Runs many scenarios across a SweepRunner pool. Ordered and
@@ -193,10 +255,18 @@ class ScenarioEngine {
   ScenarioEngineConfig config_;
 };
 
-/// True when a receiver tuned at `tune_offset_hz` hears the tag's channel: a
-/// real square-wave switch serves +-|f_back| (mirror copies), SSB only its
-/// signed channel.
-bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz);
+/// True when a receiver tuned at `tune_offset_hz` (scene-absolute) hears the
+/// channel of a tag backscattering the station at `station_offset_hz`: a
+/// real square-wave switch serves station_offset +- |f_back| (mirror
+/// copies), SSB only station_offset + f_back; a receiver on the station
+/// carrier itself hears the station, not tag data.
+bool tag_audible_at(const ScenarioTag& tag, double station_offset_hz,
+                    double tune_offset_hz);
+
+/// Single-station shorthand (station at the scene center).
+inline bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz) {
+  return tag_audible_at(tag, 0.0, tune_offset_hz);
+}
 
 /// A phone receiver tuned to a planned subcarrier channel.
 ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier);
@@ -212,5 +282,54 @@ ScenarioReceiver car_listening_to(const tag::SubcarrierConfig& subcarrier);
 Scenario scenario_from_system(const SystemConfig& config,
                               const dsp::rvec& tag_baseband,
                               double duration_seconds);
+
+/// Builds a multi-station scene from a surveyed city's band occupancy
+/// (survey::SpectrumDb, paper Fig. 4): every detectable channel within
+/// `max_offset_hz` of `listen_channel` becomes a ScenarioStation at its real
+/// 200 kHz-raster offset carrying its surveyed street-level ambient power;
+/// program genre, stereo flag and content seed vary deterministically per
+/// channel. Stations come back sorted by |offset|, so the listen channel
+/// (when detectable) is station 0 — the scene center a ScenarioResult
+/// reports as `station`. Throws std::invalid_argument when no detectable
+/// station falls inside the scene (an empty vector would silently mean
+/// "legacy single-station mode" to the engine).
+std::vector<ScenarioStation> stations_from_survey(
+    const survey::CitySpectrum& city, int listen_channel,
+    double max_offset_hz = kMaxStationOffsetHz, std::uint64_t seed = 1);
+
+// ---- Scenario-level sweeps --------------------------------------------------
+
+/// One row of a scenario figure grid (the scenario-level analogue of
+/// GridRow): a label, a factory building the row's Scenario at an x value,
+/// and the measurement extracted from its result.
+struct ScenarioGridRow {
+  std::string label;
+  std::function<Scenario(double x)> make_scenario;
+  std::function<double(const ScenarioResult& result, double x)> eval;
+};
+
+/// Applies the sweep seed policy to scenario `index` of a sweep rooted at
+/// `config`: a scenario left at seed == 0 gets derive_seed(base_seed, index)
+/// — scheduling-independent, so sweeps are bit-identical at any thread
+/// count — and, when the sweep shares station renders, station seeds left
+/// at 0 are pinned sweep-wide (base_seed for the legacy station,
+/// derive_seed(base_seed, stream + s) for scene station s) so every point
+/// shares one fm::StationCache render per station instead of re-rendering.
+void apply_scenario_seed_policy(Scenario& scenario, std::size_t index,
+                                const SweepConfig& config);
+
+/// Runs scenarios across the runner's pool after applying the seed policy
+/// to each (in list order). Ordered and bit-identical at any thread count.
+std::vector<ScenarioResult> run_scenario_sweep(SweepRunner& runner,
+                                               const ScenarioEngine& engine,
+                                               std::vector<Scenario> scenarios);
+
+/// Full scenario figure grid: one scenario per (row, x) cell — the grid is
+/// flattened into a single work list so narrow rows still fill the pool —
+/// returning one print_table-ready Series per row.
+std::vector<Series> run_scenario_grid(SweepRunner& runner,
+                                      const ScenarioEngine& engine,
+                                      const std::vector<ScenarioGridRow>& rows,
+                                      const std::vector<double>& xs);
 
 }  // namespace fmbs::core

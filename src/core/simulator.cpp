@@ -1,28 +1,13 @@
 #include "core/simulator.h"
 
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "channel/awgn.h"
 #include "channel/units.h"
-#include "dsp/fir.h"
+#include "core/scenario.h"
 #include "dsp/math_util.h"
-#include "fm/station_cache.h"
-#include "rx/tuner.h"
-#include "tag/subcarrier.h"
 
 namespace fmbs::core {
-
-namespace {
-
-constexpr std::size_t kBlockMpx = 24000;  // 0.1 s at 240 kHz
-
-ReceiverCapture finish_receiver(const fm::ReceiverOutput& out,
-                                const SystemConfig& cfg) {
-  return finish_receiver_capture(out, cfg.receiver, cfg.phone, cfg.cabin);
-}
-
-}  // namespace
 
 ReceiverCapture finish_receiver_capture(const fm::ReceiverOutput& out,
                                         ReceiverKind kind,
@@ -46,105 +31,31 @@ SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseb
   if (duration_seconds <= 0.0) {
     throw std::invalid_argument("simulate: duration must be > 0");
   }
+  // Thin bridge onto the one physics path: build the equivalent one-tag
+  // Scenario and run it through the ScenarioEngine. Sample-for-sample
+  // bit-identical to the historical hand-rolled simulator loop (verified by
+  // tests/core/test_scenario_engine.cpp and the committed golden traces).
+  ScenarioResult rendered = ScenarioEngine().run(
+      scenario_from_system(config, tag_baseband, duration_seconds));
+
   SimulationResult result;
-  result.station =
-      fm::StationCache::instance().render(config.station, duration_seconds);
+  result.station = std::move(rendered.station);
+  result.backscatter_rx = std::move(rendered.receivers[0].capture);
+  if (config.capture_ambient_receiver) {
+    result.ambient_rx = std::move(rendered.receivers[1].capture);
+  }
 
-  // Pad/trim the tag baseband to the station length.
-  dsp::rvec tag_bb = tag_baseband;
-  tag_bb.resize(result.station->iq.size(), 0.0F);
-  // Pad the station to a whole number of blocks (both streams together).
-  const std::size_t padded =
-      (result.station->iq.size() + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
-  dsp::cvec station_iq = result.station->iq;
-  station_iq.resize(padded, dsp::cfloat(1.0F, 0.0F));
-  tag_bb.resize(padded, 0.0F);
-
-  // Scene gains.
+  // Scene gains, reported exactly as the legacy simulator computed them.
   channel::LinkBudgetConfig link = config.scene.link;
   link.tag_antenna_gain_db = config.tag.antenna.effective_gain_db();
   result.budget = channel::compute_link_budget(
       config.scene.tag_power_dbm, config.scene.direct_power_dbm,
       channel::meters_from_feet(config.scene.tag_rx_distance_feet), link);
-  const auto g_direct = static_cast<float>(result.budget.direct_amplitude);
-  const auto g_back = static_cast<float>(result.budget.backscatter_amplitude);
   // In-channel backscatter power: one sideband of the square wave carries
   // (2/pi)^2 of the reflected power.
-  result.backscatter_rx_power_dbm =
-      dsp::dbm_from_watts(static_cast<double>(g_back) * g_back *
-                          (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
-
-  // Streaming components.
-  const auto up_factor = static_cast<std::size_t>(fm::kMpxToRfFactor);
-  dsp::FirInterpolator<dsp::cfloat> upsampler(
-      dsp::fir_design_lowpass((16 * up_factor) | 1U,
-                              0.45 / static_cast<double>(up_factor)),
-      up_factor);
-  tag::SubcarrierGenerator subcarrier(config.tag.subcarrier);
-
-  channel::AwgnSource noise_back(config.scene.rx_noise_dbm_200khz,
-                                 fm::kChannelSpacingHz, fm::kRfRate,
-                                 config.scene.noise_seed);
-  channel::AwgnSource noise_amb(config.scene.rx_noise_dbm_200khz,
-                                fm::kChannelSpacingHz, fm::kRfRate,
-                                config.scene.noise_seed + 0x9e3779b9ULL);
-
-  std::optional<channel::FadingProcess> fading;
-  if (config.scene.fading) {
-    fading.emplace(*config.scene.fading, fm::kRfRate, config.scene.noise_seed + 1);
-  }
-
-  rx::TunerConfig tuner_cfg;
-  tuner_cfg.offset_hz = config.tag.subcarrier.shift_hz;
-  rx::Tuner tuner_back(tuner_cfg);
-  std::optional<rx::Tuner> tuner_amb;
-  if (config.capture_ambient_receiver) {
-    rx::TunerConfig amb_cfg;
-    amb_cfg.offset_hz = 0.0;
-    tuner_amb.emplace(amb_cfg);
-  }
-
-  dsp::cvec iq_back;
-  iq_back.reserve(padded);
-  dsp::cvec iq_amb;
-  if (tuner_amb) iq_amb.reserve(padded);
-
-  dsp::cvec rf;           // composite block at RF rate
-  dsp::cvec rf_ambient;   // copy for the second receiver's independent noise
-  for (std::size_t start = 0; start < padded; start += kBlockMpx) {
-    const std::span<const dsp::cfloat> st_block(station_iq.data() + start,
-                                                kBlockMpx);
-    const std::span<const float> bb_block(tag_bb.data() + start, kBlockMpx);
-
-    dsp::cvec st_rf = upsampler.process(st_block);
-    dsp::cvec b = subcarrier.process(bb_block);
-
-    // reflected = B(t) x incident, with motion fading on the tag path.
-    for (std::size_t i = 0; i < st_rf.size(); ++i) b[i] *= st_rf[i];
-    if (fading) fading->apply(b);
-
-    rf.resize(st_rf.size());
-    for (std::size_t i = 0; i < st_rf.size(); ++i) {
-      rf[i] = g_direct * st_rf[i] + g_back * b[i];
-    }
-
-    if (tuner_amb) {
-      rf_ambient = rf;  // same waves, independent receiver noise
-      noise_amb.add_to(rf_ambient);
-      const dsp::cvec t = tuner_amb->process(rf_ambient);
-      iq_amb.insert(iq_amb.end(), t.begin(), t.end());
-    }
-    noise_back.add_to(rf);
-    const dsp::cvec t = tuner_back.process(rf);
-    iq_back.insert(iq_back.end(), t.begin(), t.end());
-  }
-
-  fm::ReceiverConfig rx_cfg;
-  rx_cfg.stereo = config.stereo_decoder;
-  result.backscatter_rx = finish_receiver(fm::receive_fm(iq_back, rx_cfg), config);
-  if (tuner_amb) {
-    result.ambient_rx = finish_receiver(fm::receive_fm(iq_amb, rx_cfg), config);
-  }
+  const double g_back = result.budget.backscatter_amplitude;
+  result.backscatter_rx_power_dbm = dsp::dbm_from_watts(
+      g_back * g_back * (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
   return result;
 }
 

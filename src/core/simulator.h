@@ -10,6 +10,11 @@
 // exactly as the tag's switch does it; no audio-domain shortcut is taken.
 // Processing is block-streamed (0.1 s blocks) so long captures never hold
 // the 2.4 MHz stream in memory.
+//
+// Since the multi-station refactor there is exactly ONE physics path:
+// simulate() is a thin bridge that builds a one-tag, one-station
+// core::Scenario (see core/scenario.h) and runs the ScenarioEngine; its
+// output is sample-for-sample identical to the historical hand-rolled loop.
 #pragma once
 
 #include <memory>

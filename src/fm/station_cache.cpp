@@ -26,8 +26,26 @@ StationCache::Key StationCache::make_key(const StationConfig& config,
   return key;
 }
 
+bool StationCache::evict_one_locked() {
+  Entry* oldest = nullptr;
+  for (Entry& entry : entries_) {
+    if (entry.pins > 0) continue;
+    if (oldest == nullptr || entry.last_used < oldest->last_used) {
+      oldest = &entry;
+    }
+  }
+  if (oldest == nullptr) return false;  // everything pinned: overflow instead
+  entries_.erase(entries_.begin() + (oldest - entries_.data()));
+  return true;
+}
+
 std::shared_ptr<const StationSignal> StationCache::render(
     const StationConfig& config, double duration_seconds) {
+  return render_impl(config, duration_seconds, nullptr);
+}
+
+std::shared_ptr<const StationSignal> StationCache::render_impl(
+    const StationConfig& config, double duration_seconds, SceneScope* scope) {
   Key key;
   std::shared_future<std::shared_ptr<const StationSignal>> future;
   std::promise<std::shared_ptr<const StationSignal>> promise;
@@ -45,21 +63,26 @@ std::shared_ptr<const StationSignal> StationCache::render(
       if (entry.key == key) {
         ++stats_.hits;
         entry.last_used = tick_;
+        if (scope != nullptr &&
+            std::find(scope->keys_.begin(), scope->keys_.end(), key) ==
+                scope->keys_.end()) {
+          ++entry.pins;
+          scope->keys_.push_back(key);
+        }
         future = entry.signal;
         break;
       }
     }
     if (!future.valid()) {
       ++stats_.misses;
-      if (entries_.size() >= capacity_) {
-        auto oldest = std::min_element(entries_.begin(), entries_.end(),
-                                       [](const Entry& a, const Entry& b) {
-                                         return a.last_used < b.last_used;
-                                       });
-        entries_.erase(oldest);
-      }
+      if (entries_.size() >= capacity_) evict_one_locked();
       future = promise.get_future().share();
-      entries_.push_back(Entry{key, future, tick_});
+      Entry entry{key, future, tick_, 0};
+      if (scope != nullptr) {
+        entry.pins = 1;
+        scope->keys_.push_back(key);
+      }
+      entries_.push_back(std::move(entry));
       renderer = true;
     }
   }
@@ -78,9 +101,43 @@ std::shared_ptr<const StationSignal> StationCache::render(
           std::remove_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.key == key; }),
           entries_.end());
+      // The scope's pin died with the entry; forget the key so the scope's
+      // destructor cannot decrement a pin owned by a scope that re-created
+      // the entry later. (The renderer is the scope-owning thread, so
+      // touching keys_ here is safe.)
+      if (scope != nullptr) {
+        scope->keys_.erase(
+            std::remove(scope->keys_.begin(), scope->keys_.end(), key),
+            scope->keys_.end());
+      }
     }
   }
   return future.get();
+}
+
+StationCache::SceneScope::~SceneScope() {
+  std::lock_guard<std::mutex> lock(cache_.mutex_);
+  for (const Key& key : keys_) {
+    for (std::size_t i = 0; i < cache_.entries_.size(); ++i) {
+      Entry& entry = cache_.entries_[i];
+      if (!(entry.key == key)) continue;
+      if (entry.pins > 0) --entry.pins;
+      if (evict_on_exit_ && entry.pins == 0) {
+        cache_.entries_.erase(cache_.entries_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      }
+      break;
+    }
+  }
+  // A pinned scene may have overflowed capacity; shrink back now.
+  while (cache_.entries_.size() > cache_.capacity_) {
+    if (!cache_.evict_one_locked()) break;
+  }
+}
+
+std::shared_ptr<const StationSignal> StationCache::SceneScope::render(
+    const StationConfig& config, double duration_seconds) {
+  return cache_.render_impl(config, duration_seconds, this);
 }
 
 void StationCache::set_enabled(bool enabled) {
@@ -97,16 +154,20 @@ void StationCache::set_capacity(std::size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = std::max<std::size_t>(1, capacity);
   while (entries_.size() > capacity_) {
-    auto oldest = std::min_element(
-        entries_.begin(), entries_.end(),
-        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
-    entries_.erase(oldest);
+    if (!evict_one_locked()) break;  // pinned entries overflow transiently
   }
+}
+
+std::size_t StationCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 void StationCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.pins == 0; }),
+                 entries_.end());
 }
 
 StationCache::Stats StationCache::stats() const {

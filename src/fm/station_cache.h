@@ -7,6 +7,12 @@
 // later callers of the same key block on a shared_future, so concurrent
 // sweeps never render the same station twice, and distinct keys render in
 // parallel. Entries are immutable once published (shared_ptr<const>).
+//
+// Multi-station scenes render through a SceneScope: every station rendered
+// inside the scope is pinned against eviction until the scope ends (growing
+// past capacity transiently if it must), so an 8-station scene can never
+// thrash its own renders mid-run, nor have them stolen by a concurrent
+// scene on another sweep thread.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,8 @@ class StationCache {
     std::uint64_t misses = 0;
   };
 
+  class SceneScope;
+
   /// Process-wide instance used by core::simulate.
   static StationCache& instance();
 
@@ -41,12 +49,16 @@ class StationCache {
   void set_enabled(bool enabled);
   bool enabled() const;
 
-  /// Maximum resident renders; least-recently-used entries are evicted.
-  /// Renders are large (roughly 4-5 MB per second of station signal), so
-  /// the default of 4 bounds the steady-state footprint to a few tens of
-  /// MB; long-lived processes can clear() after a sweep or shrink this.
+  /// Maximum resident renders; least-recently-used unpinned entries are
+  /// evicted. Renders are large (roughly 4-5 MB per second of station
+  /// signal), so the default of 16 bounds the steady-state footprint while
+  /// letting a scenario sweep keep a whole city scene (up to ~10 stations at
+  /// the 2.4 MHz scene width) plus a few single-station sweeps resident;
+  /// long-lived processes can clear() after a sweep or shrink this.
   void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
 
+  /// Drops every unpinned entry (entries pinned by live SceneScopes stay).
   void clear();
   Stats stats() const;
   void reset_stats();
@@ -74,16 +86,52 @@ class StationCache {
     Key key;
     std::shared_future<std::shared_ptr<const StationSignal>> signal;
     std::uint64_t last_used = 0;
+    /// Live SceneScopes holding this entry; pinned entries are never evicted.
+    int pins = 0;
   };
 
   static Key make_key(const StationConfig& config, double duration_seconds);
 
+  std::shared_ptr<const StationSignal> render_impl(const StationConfig& config,
+                                                   double duration_seconds,
+                                                   SceneScope* scope);
+  /// Evicts the least-recently-used unpinned entry; false when all pinned.
+  bool evict_one_locked();
+
   mutable std::mutex mutex_;
-  std::vector<Entry> entries_;  // small (capacity ~4): linear scan is fine
-  std::size_t capacity_ = 4;
+  std::vector<Entry> entries_;  // small (capacity ~16): linear scan is fine
+  std::size_t capacity_ = 16;
   std::uint64_t tick_ = 0;
   bool enabled_ = true;
   Stats stats_;
+};
+
+/// RAII scope for one RF scene's station renders. Renders requested through
+/// the scope behave exactly like StationCache::render, plus the entries stay
+/// pinned (unevictable) for the scope's lifetime; a scene with more stations
+/// than the cache capacity overflows transiently rather than thrashing. On
+/// destruction the pins are released and the cache shrinks back to capacity;
+/// with `evict_on_exit` the scope's entries are dropped immediately (one-off
+/// giant scenes that should not displace a sweep's working set).
+class StationCache::SceneScope {
+ public:
+  explicit SceneScope(StationCache& cache, bool evict_on_exit = false)
+      : cache_(cache), evict_on_exit_(evict_on_exit) {}
+  ~SceneScope();
+
+  SceneScope(const SceneScope&) = delete;
+  SceneScope& operator=(const SceneScope&) = delete;
+
+  /// Renders (config, duration) through the cache and pins the entry.
+  std::shared_ptr<const StationSignal> render(const StationConfig& config,
+                                              double duration_seconds);
+
+ private:
+  friend class StationCache;
+
+  StationCache& cache_;
+  bool evict_on_exit_;
+  std::vector<Key> keys_;  // distinct keys pinned by this scope
 };
 
 }  // namespace fmbs::fm

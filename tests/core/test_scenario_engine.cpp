@@ -233,6 +233,197 @@ TEST(ChannelPlan, AudibilityFollowsWaveformMirrors) {
   EXPECT_FALSE(tag_audible_at(ssb, -600000.0));  // mirror suppressed
 }
 
+// ---- Multi-station scenes ---------------------------------------------------
+
+ScenarioStation make_station(const std::string& name, double offset_hz,
+                             double power_dbm, std::uint64_t seed,
+                             audio::ProgramGenre genre) {
+  ScenarioStation st;
+  st.name = name;
+  st.offset_hz = offset_hz;
+  st.power_dbm = power_dbm;
+  st.config.program.genre = genre;
+  st.config.program.stereo = false;
+  st.config.seed = seed;
+  return st;
+}
+
+TEST(ScenarioMultiStation, StationPowerFollowsGeometry) {
+  ScenarioStation far = make_station("far", 0.0, -30.0, 1,
+                                     audio::ProgramGenre::kNews);
+  // Far field: uniform everywhere.
+  EXPECT_DOUBLE_EQ(station_power_at(far, {0.0, 0.0}), -30.0);
+  EXPECT_DOUBLE_EQ(station_power_at(far, {500.0, -200.0}), -30.0);
+
+  ScenarioStation near = far;
+  near.position = ScenePosition{100.0, 0.0};
+  // At the origin the reference power holds; half the distance = +6 dB.
+  EXPECT_NEAR(station_power_at(near, {0.0, 0.0}), -30.0, 1e-12);
+  EXPECT_NEAR(station_power_at(near, {50.0, 0.0}), -30.0 + 20.0 * std::log10(2.0),
+              1e-9);
+  EXPECT_LT(station_power_at(near, {-100.0, 0.0}), -36.0);
+}
+
+TEST(ScenarioMultiStation, TagsSelectTheStrongestStation) {
+  Scenario sc;
+  sc.seed = 91;
+  ScenarioStation a =
+      make_station("west", 0.0, -28.0, 91, audio::ProgramGenre::kNews);
+  a.position = ScenePosition{-60.0, 0.0};
+  ScenarioStation b =
+      make_station("east", 800e3, -30.0, 92, audio::ProgramGenre::kPop);
+  b.position = ScenePosition{60.0, 0.0};
+  sc.stations = {a, b};
+  sc.settle_seconds = 0.0;
+  sc.duration_seconds = 0.05;
+  for (const double x : {-10.0, 10.0}) {
+    ScenarioTag t;
+    t.name = x < 0 ? "west-tag" : "east-tag";
+    t.position = {x, 0.0};
+    t.custom_baseband = dsp::rvec(1, 0.0F);  // unmodulated: selection only
+    sc.tags.push_back(std::move(t));
+  }
+  // A third tag pinned against the geometric choice.
+  ScenarioTag pinned = sc.tags[1];
+  pinned.name = "pinned-west";
+  pinned.station_index = 0;
+  sc.tags.push_back(std::move(pinned));
+  sc.receivers.emplace_back();
+
+  const ScenarioResult r = ScenarioEngine({.keep_captures = false}).run(sc);
+  ASSERT_EQ(r.selected_station.size(), 3U);
+  EXPECT_EQ(r.selected_station[0], 0);  // west tag hears the west station best
+  EXPECT_EQ(r.selected_station[1], 1);  // east tag flips to the east station
+  EXPECT_EQ(r.selected_station[2], 0);  // explicit index wins
+  ASSERT_EQ(r.station_renders.size(), 2U);
+  EXPECT_EQ(r.station, r.station_renders[0]);
+}
+
+// The acceptance property of the multi-station scene: spectrally disjoint
+// stations superpose linearly — each receiver's capture matches the
+// corresponding single-station run to within the tuner's adjacent-channel
+// leakage (the only path by which the other station can reach it).
+TEST(ScenarioMultiStation, DisjointStationsSuperposeWithinTunerLeakage) {
+  const ScenarioStation a =
+      make_station("A", 0.0, -30.0, 61, audio::ProgramGenre::kNews);
+  const ScenarioStation b =
+      make_station("B", 800e3, -33.0, 62, audio::ProgramGenre::kPop);
+
+  Scenario both;
+  both.name = "two-station";
+  both.seed = 61;
+  both.stations = {a, b};
+  both.duration_seconds = 0.25;
+  ScenarioTag t;
+  t.name = "tag";
+  t.subcarrier.shift_hz = 400e3;  // station A's tag, channel at +400 kHz
+  t.rate = tag::DataRate::k1600bps;
+  t.num_bits = 96;
+  t.distance_override_feet = 4.0;
+  t.seed = 777;  // pinned so the solo run reuses the same content
+  both.tags = {t};
+  ScenarioReceiver rx_tag = phone_listening_to(t.subcarrier);
+  rx_tag.name = "tag-rx";
+  rx_tag.noise_seed = 5001;
+  ScenarioReceiver rx_b;
+  rx_b.name = "b-rx";
+  rx_b.tune_offset_hz = b.offset_hz;  // parked on station B's carrier
+  rx_b.noise_seed = 5002;
+  both.receivers = {rx_tag, rx_b};
+
+  const ScenarioEngine engine;
+  const ScenarioResult r_both = engine.run(both);
+
+  Scenario only_a = both;
+  only_a.stations = {a};
+  only_a.receivers = {rx_tag};
+  const ScenarioResult r_a = engine.run(only_a);
+
+  Scenario only_b = both;
+  only_b.stations = {b};
+  only_b.tags.clear();  // the tag belongs to station A's scene
+  only_b.receivers = {rx_b};
+  const ScenarioResult r_b = engine.run(only_b);
+
+  // The tag decodes identically with and without the far station on air.
+  ASSERT_EQ(r_both.best_per_tag.size(), 1U);
+  ASSERT_EQ(r_a.best_per_tag.size(), 1U);
+  EXPECT_EQ(r_both.best_per_tag[0].burst.ber.bit_errors,
+            r_a.best_per_tag[0].burst.ber.bit_errors);
+  EXPECT_EQ(r_both.best_per_tag[0].burst.ber.bit_errors, 0U);
+
+  // Relative RMS error over [t0, t1): comparisons are windowed to where a
+  // deterministic signal dominates the channel — outside a burst the FM
+  // demodulator outputs pure receiver noise, which is chaotic under any
+  // perturbation and says nothing about superposition.
+  auto rel_rms_diff = [](const audio::MonoBuffer& x, const audio::MonoBuffer& y,
+                         double t0, double t1) {
+    EXPECT_EQ(x.size(), y.size());
+    const auto i0 = static_cast<std::size_t>(t0 * fm::kAudioRate);
+    const auto i1 = std::min(static_cast<std::size_t>(t1 * fm::kAudioRate),
+                             std::min(x.size(), y.size()));
+    double err = 0.0, sig = 0.0;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double d =
+          static_cast<double>(x.samples[i]) - static_cast<double>(y.samples[i]);
+      err += d * d;
+      sig += static_cast<double>(x.samples[i]) * x.samples[i];
+    }
+    return std::sqrt(err / std::max(sig, 1e-30));
+  };
+  // 70 dB of tuner stopband keeps the cross-station error orders of
+  // magnitude below the wanted audio (measured ~8e-5 / ~5e-6 here).
+  EXPECT_LT(rel_rms_diff(r_both.receivers[0].capture.mono,
+                         r_a.receivers[0].capture.mono, 0.085, 0.14),
+            1e-3);  // the tag burst window
+  EXPECT_LT(rel_rms_diff(r_both.receivers[1].capture.mono,
+                         r_b.receivers[0].capture.mono, 0.02, 0.33),
+            1e-4);  // station B program, past the front-end warm-up
+}
+
+TEST(ScenarioMultiStation, AudibilityFollowsTheStationOffset) {
+  ScenarioTag square;
+  square.subcarrier.shift_hz = 600e3;
+  square.subcarrier.mode = tag::SubcarrierMode::kBandlimitedSquare;
+  // Station at -800 kHz: mirror channels land at -200 kHz and -1.4 MHz.
+  EXPECT_TRUE(tag_audible_at(square, -800e3, -200e3));
+  EXPECT_TRUE(tag_audible_at(square, -800e3, -1400e3));
+  EXPECT_FALSE(tag_audible_at(square, -800e3, 600e3));
+  EXPECT_FALSE(tag_audible_at(square, -800e3, -800e3));  // the carrier itself
+
+  ScenarioTag ssb = square;
+  ssb.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
+  ssb.subcarrier.shift_hz = -600e3;
+  EXPECT_TRUE(tag_audible_at(ssb, 800e3, 200e3));
+  EXPECT_FALSE(tag_audible_at(ssb, 800e3, 1400e3));  // mirror suppressed
+}
+
+TEST(ScenarioMultiStation, StationsFromSurveyMapTheNeighborhood) {
+  survey::CitySpectrum city;
+  city.name = "Testville";
+  city.detectable_channels = {48, 49, 51, 53, 90};
+  city.detectable_power_dbm = {-50.0, -25.0, -60.0, -40.0, -20.0};
+
+  const auto stations = stations_from_survey(city, 49);
+  // Channel 90 is 8.2 MHz up-band: outside the 2.4 MHz scene.
+  ASSERT_EQ(stations.size(), 4U);
+  // Sorted by |offset|: the listen channel itself is station 0.
+  EXPECT_DOUBLE_EQ(stations[0].offset_hz, 0.0);
+  EXPECT_DOUBLE_EQ(stations[0].power_dbm, -25.0);
+  EXPECT_DOUBLE_EQ(stations[1].offset_hz, -200e3);
+  EXPECT_DOUBLE_EQ(stations[1].power_dbm, -50.0);
+  EXPECT_DOUBLE_EQ(stations[2].offset_hz, 400e3);
+  EXPECT_DOUBLE_EQ(stations[3].offset_hz, 800e3);
+  // Distinct deterministic content per channel.
+  std::set<std::uint64_t> seeds;
+  for (const auto& st : stations) seeds.insert(st.config.seed);
+  EXPECT_EQ(seeds.size(), stations.size());
+  // A tighter cap trims the scene.
+  EXPECT_EQ(stations_from_survey(city, 49, 300e3).size(), 2U);
+  // An empty scene is a misconfiguration, not legacy single-station mode.
+  EXPECT_THROW(stations_from_survey(city, 0, 100e3), std::invalid_argument);
+}
+
 // ---- Validation ------------------------------------------------------------
 
 TEST(ScenarioEngine, RejectsInconsistentScenarios) {
@@ -250,6 +441,24 @@ TEST(ScenarioEngine, RejectsInconsistentScenarios) {
   t.rate = tag::DataRate::k3200bps;
   sc.tags.push_back(t);
   EXPECT_THROW(engine.run(sc), std::invalid_argument);
+
+  // A station carrier parked outside the 2.4 MHz scene would alias.
+  Scenario wide;
+  wide.receivers.emplace_back();
+  wide.stations.push_back(make_station("edge", 1.2e6, -30.0, 1,
+                                       audio::ProgramGenre::kSilence));
+  EXPECT_THROW(engine.run(wide), std::invalid_argument);
+
+  // A tag pinned to a station index the scene does not have.
+  Scenario bad_index;
+  bad_index.receivers.emplace_back();
+  bad_index.stations.push_back(make_station("only", 0.0, -30.0, 1,
+                                            audio::ProgramGenre::kSilence));
+  ScenarioTag pinned;
+  pinned.custom_baseband = dsp::rvec(1, 0.0F);
+  pinned.station_index = 3;
+  bad_index.tags.push_back(std::move(pinned));
+  EXPECT_THROW(engine.run(bad_index), std::invalid_argument);
 }
 
 }  // namespace

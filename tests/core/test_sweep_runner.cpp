@@ -199,6 +199,7 @@ TEST(StationCache, EvictsLeastRecentlyUsed) {
   auto& cache = fm::StationCache::instance();
   cache.clear();
   cache.reset_stats();
+  const std::size_t original_capacity = cache.capacity();
   cache.set_capacity(1);
   fm::StationConfig config;
   config.seed = 1;
@@ -209,7 +210,7 @@ TEST(StationCache, EvictsLeastRecentlyUsed) {
   (void)cache.render(config, 0.2);  // miss again
   EXPECT_EQ(cache.stats().misses, 3U);
   EXPECT_EQ(cache.stats().hits, 0U);
-  cache.set_capacity(4);
+  cache.set_capacity(original_capacity);
   cache.clear();
 }
 

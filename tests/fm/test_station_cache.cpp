@@ -1,0 +1,119 @@
+// StationCache scene scopes: a multi-station scene pins its renders for the
+// duration of a run — the cache overflows transiently rather than letting a
+// scene wider than the capacity thrash (or a concurrent scene evict) its
+// own stations — and optionally drops them on exit.
+#include "fm/station_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace fmbs::fm {
+namespace {
+
+StationConfig station_with_seed(std::uint64_t seed) {
+  StationConfig config;
+  config.program.genre = audio::ProgramGenre::kSilence;
+  config.program.stereo = false;
+  config.seed = seed;
+  return config;
+}
+
+class StationCacheScopeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_.clear();
+    cache_.reset_stats();
+    original_capacity_ = cache_.capacity();
+  }
+  void TearDown() override {
+    cache_.set_capacity(original_capacity_);
+    cache_.clear();
+    cache_.reset_stats();
+  }
+
+  StationCache& cache_ = StationCache::instance();
+  std::size_t original_capacity_ = 0;
+};
+
+TEST_F(StationCacheScopeTest, DefaultCapacityHoldsACityScene) {
+  // An 8-station scene plus a few single-station sweeps must fit without
+  // evictions (the LRU-of-4 this replaces thrashed on every repeat).
+  EXPECT_GE(cache_.capacity(), 16U);
+}
+
+TEST_F(StationCacheScopeTest, PinnedSceneOverflowsInsteadOfThrashing) {
+  cache_.set_capacity(2);
+  {
+    StationCache::SceneScope scope(cache_);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      (void)scope.render(station_with_seed(seed), 0.05);
+    }
+    EXPECT_EQ(cache_.stats().misses, 4U);
+    // Every station of the scene is still resident despite capacity 2: the
+    // second pass is all hits. An unpinned LRU-of-2 would re-render each.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      (void)scope.render(station_with_seed(seed), 0.05);
+    }
+    EXPECT_EQ(cache_.stats().misses, 4U);
+    EXPECT_EQ(cache_.stats().hits, 4U);
+  }
+  // Scope gone: the cache shrinks back to capacity, keeping the most
+  // recently used renders (seeds 3 and 4).
+  (void)cache_.render(station_with_seed(4), 0.05);
+  EXPECT_EQ(cache_.stats().hits, 5U);
+  (void)cache_.render(station_with_seed(1), 0.05);
+  EXPECT_EQ(cache_.stats().misses, 5U);
+}
+
+TEST_F(StationCacheScopeTest, PinsProtectAgainstConcurrentScenes) {
+  cache_.set_capacity(1);
+  StationCache::SceneScope scene_a(cache_);
+  (void)scene_a.render(station_with_seed(11), 0.05);
+  // A second scene (another sweep thread) floods the cache; the pinned
+  // render must survive it.
+  {
+    StationCache::SceneScope scene_b(cache_);
+    for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+      (void)scene_b.render(station_with_seed(seed), 0.05);
+    }
+    (void)scene_a.render(station_with_seed(11), 0.05);
+    EXPECT_EQ(cache_.stats().hits, 1U);  // still resident: no re-render
+  }
+}
+
+TEST_F(StationCacheScopeTest, EvictOnExitDropsTheSceneEntries) {
+  {
+    StationCache::SceneScope scope(cache_, /*evict_on_exit=*/true);
+    (void)scope.render(station_with_seed(31), 0.05);
+    (void)scope.render(station_with_seed(32), 0.05);
+  }
+  EXPECT_EQ(cache_.stats().misses, 2U);
+  // Dropped on exit: rendering again misses.
+  (void)cache_.render(station_with_seed(31), 0.05);
+  EXPECT_EQ(cache_.stats().misses, 3U);
+  EXPECT_EQ(cache_.stats().hits, 0U);
+}
+
+TEST_F(StationCacheScopeTest, SharedKeyStaysWhileAnotherScopeHoldsIt) {
+  {
+    StationCache::SceneScope keeper(cache_);
+    (void)keeper.render(station_with_seed(41), 0.05);
+    {
+      StationCache::SceneScope dropper(cache_, /*evict_on_exit=*/true);
+      (void)dropper.render(station_with_seed(41), 0.05);
+    }
+    // The dropper exits but the keeper still pins the entry.
+    (void)cache_.render(station_with_seed(41), 0.05);
+    EXPECT_EQ(cache_.stats().misses, 1U);
+    EXPECT_EQ(cache_.stats().hits, 2U);
+  }
+}
+
+TEST_F(StationCacheScopeTest, ScopedRenderEqualsPlainRender) {
+  const auto plain = cache_.render(station_with_seed(51), 0.05);
+  StationCache::SceneScope scope(cache_);
+  const auto scoped = scope.render(station_with_seed(51), 0.05);
+  EXPECT_EQ(plain.get(), scoped.get());  // literally the same render
+}
+
+}  // namespace
+}  // namespace fmbs::fm

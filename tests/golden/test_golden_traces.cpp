@@ -1,5 +1,6 @@
-// Golden-trace regression harness: three representative multi-tag scenarios
-// run end-to-end through the ScenarioEngine at fixed seeds; their decoded
+// Golden-trace regression harness: four representative multi-tag scenarios
+// (including a two-station city scene) run end-to-end through the
+// ScenarioEngine at fixed seeds; their decoded
 // outcomes (per-tag BER / PER / goodput, aggregate throughput) are diffed
 // against small JSON traces committed under tests/golden/traces/.
 //
@@ -107,6 +108,63 @@ core::Scenario aloha_burst() {
   return sc;
 }
 
+/// Two stations, two tags (paper sections 2/6: posters backscatter whichever
+/// ambient signal is strongest): a west and an east station at opposite ends
+/// of the scene, each geometrically captured by the tag nearest it; two
+/// phones decode the two resulting backscatter channels out of one shared
+/// spectrum.
+core::Scenario two_station_city() {
+  core::Scenario sc;
+  sc.name = "two_station_city";
+  sc.seed = 37;
+  sc.duration_seconds = 0.25;
+
+  core::ScenarioStation west;
+  west.name = "west-news";
+  west.config.program.genre = audio::ProgramGenre::kNews;
+  west.config.program.stereo = false;
+  west.config.seed = 37;
+  west.offset_hz = 0.0;
+  west.power_dbm = -28.0;
+  west.position = core::ScenePosition{-60.0, 0.0};
+  core::ScenarioStation east;
+  east.name = "east-pop";
+  east.config.program.genre = audio::ProgramGenre::kPop;
+  east.config.program.stereo = false;
+  east.config.seed = 38;
+  east.offset_hz = 800e3;
+  east.power_dbm = -30.0;
+  east.position = core::ScenePosition{60.0, 0.0};
+  sc.stations = {west, east};
+
+  core::ScenarioTag poster_w;
+  poster_w.name = "west-poster";
+  poster_w.subcarrier.shift_hz = 600e3;  // west channel: 0 + 600 kHz
+  poster_w.rate = tag::DataRate::k1600bps;
+  poster_w.num_bits = 192;
+  poster_w.packet_bits = 96;
+  poster_w.position = {-10.0, 0.0};
+  core::ScenarioTag poster_e;
+  poster_e.name = "east-poster";
+  poster_e.subcarrier.shift_hz = -600e3;  // east channel: 800 - 600 kHz
+  poster_e.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
+  poster_e.rate = tag::DataRate::k1600bps;
+  poster_e.num_bits = 192;
+  poster_e.packet_bits = 96;
+  poster_e.position = {10.0, 0.0};
+  sc.tags = {poster_w, poster_e};
+
+  core::ScenarioReceiver phone_w = core::phone_listening_to(poster_w.subcarrier);
+  phone_w.name = "phone-west";
+  phone_w.position = {-10.0, 1.5};
+  core::ScenarioReceiver phone_e;
+  phone_e.name = "phone-east";
+  phone_e.tune_offset_hz = east.offset_hz + poster_e.subcarrier.shift_hz;
+  phone_e.position = {10.0, 1.5};
+  sc.receivers = {phone_w, phone_e};
+  return sc;
+}
+
 // ---- Diffing ----------------------------------------------------------------
 
 /// Value-scaled tolerances, so a regenerated baseline carries its own
@@ -155,6 +213,7 @@ void check_against_golden(const core::Scenario& scenario) {
 TEST(GoldenTraces, SoloPoster) { check_against_golden(solo_poster()); }
 TEST(GoldenTraces, CityDisjoint) { check_against_golden(city_disjoint()); }
 TEST(GoldenTraces, AlohaBurst) { check_against_golden(aloha_burst()); }
+TEST(GoldenTraces, TwoStationCity) { check_against_golden(two_station_city()); }
 
 // The writer and reader must round-trip exactly (they are the only two
 // parties to the trace format).
