@@ -37,11 +37,17 @@ AlohaResult simulate_aloha(const AlohaConfig& config) {
 
   AlohaResult result;
   result.attempts = transmissions.size();
+  // Slotted starts are k * frame_seconds in floating point, so the gap
+  // between adjacent slots can round to just under frame_seconds (0.08 is
+  // not binary-representable); without the epsilon the scan would count
+  // adjacent slots as collisions and slotted success would collapse toward
+  // e^{-3G} instead of e^{-G}.
+  const double vulnerable = config.frame_seconds * (1.0 - 1e-9);
   for (std::size_t i = 0; i < transmissions.size(); ++i) {
     bool collided = false;
     // Conflicts only within the same channel and within +-frame time.
     for (std::size_t j = i; j-- > 0;) {
-      if (transmissions[i].start - transmissions[j].start >= config.frame_seconds)
+      if (transmissions[i].start - transmissions[j].start >= vulnerable)
         break;
       if (transmissions[j].channel == transmissions[i].channel) {
         collided = true;
@@ -50,7 +56,7 @@ AlohaResult simulate_aloha(const AlohaConfig& config) {
     }
     if (!collided) {
       for (std::size_t j = i + 1; j < transmissions.size(); ++j) {
-        if (transmissions[j].start - transmissions[i].start >= config.frame_seconds)
+        if (transmissions[j].start - transmissions[i].start >= vulnerable)
           break;
         if (transmissions[j].channel == transmissions[i].channel) {
           collided = true;

@@ -48,5 +48,6 @@
 #include "tag/channel_plan.h"
 #include "tag/framing.h"
 #include "tag/fsk.h"
+#include "tag/mac.h"
 #include "tag/power_model.h"
 #include "tag/subcarrier.h"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "audio/tone.h"
 #include "channel/awgn.h"
@@ -21,6 +22,8 @@ namespace fmbs::core {
 namespace {
 
 constexpr std::size_t kBlockMpx = 24000;  // 0.1 s at 240 kHz, as in simulate()
+constexpr double kBlockSeconds =
+    static_cast<double>(kBlockMpx) / fm::kMpxRate;
 
 /// derive_seed index streams so tag content, tag fading, receiver noise and
 /// scene-station content are mutually independent processes per entity.
@@ -29,14 +32,15 @@ constexpr std::uint64_t kTagFadingStream = 0x2000;
 constexpr std::uint64_t kReceiverNoiseStream = 0x3000;
 constexpr std::uint64_t kStationSeedStream = 0x4000;
 
-double pair_distance_m(const ScenarioTag& tag, const ScenarioReceiver& rx) {
+double pair_distance_m(const ScenarioTag& tag, const ScenePosition& tag_at,
+                       const ScenePosition& rx_at) {
   if (!std::isnan(tag.distance_override_feet)) {
     return channel::meters_from_feet(tag.distance_override_feet);
   }
   // Coincident positions (both entities left at the origin) degrade to the
   // near-field bound inside friis_path_loss_db; just keep the value positive.
-  return std::max(1e-3, std::hypot(tag.position.x_m - rx.position.x_m,
-                                   tag.position.y_m - rx.position.y_m));
+  return std::max(1e-3, std::hypot(tag_at.x_m - rx_at.x_m,
+                                   tag_at.y_m - rx_at.y_m));
 }
 
 double receiver_noise_dbm(const ScenarioReceiver& rx) {
@@ -60,11 +64,27 @@ struct TagState {
   std::size_t active_end = 0;
   std::vector<std::uint8_t> bits;  // empty for custom-baseband tags
   double burst_start_seconds = 0.0;
+  double burst_seconds = 0.0;  // payload on-air time (0 for custom tags)
+  bool transmitted = true;     // false: the MAC never let the burst out
   std::unique_ptr<tag::SubcarrierGenerator> subcarrier;
   std::unique_ptr<channel::FadingProcess> fading;
 };
 
 }  // namespace
+
+ScenePosition path_position(const ScenePosition& anchor,
+                            std::span<const ScenePosition> waypoints, double u) {
+  if (waypoints.empty()) return anchor;
+  u = std::clamp(u, 0.0, 1.0);
+  // The path [anchor, waypoints...] spends equal time on every leg.
+  const double along = u * static_cast<double>(waypoints.size());
+  const std::size_t leg =
+      std::min(static_cast<std::size_t>(along), waypoints.size() - 1);
+  const double f = along - static_cast<double>(leg);
+  const ScenePosition& a = leg == 0 ? anchor : waypoints[leg - 1];
+  const ScenePosition& b = waypoints[leg];
+  return {a.x_m + (b.x_m - a.x_m) * f, a.y_m + (b.y_m - a.y_m) * f};
+}
 
 double station_power_at(const ScenarioStation& station, const ScenePosition& at) {
   if (!station.position) return station.power_dbm;  // far field: uniform
@@ -161,37 +181,50 @@ Scenario scenario_from_system(const SystemConfig& config,
   return sc;
 }
 
-std::vector<ScenarioStation> stations_from_survey(
+SurveySceneReport stations_from_survey_report(
     const survey::CitySpectrum& city, int listen_channel, double max_offset_hz,
     std::uint64_t seed) {
   if (listen_channel < 0 || listen_channel >= fm::kNumChannels) {
     throw std::invalid_argument("stations_from_survey: bad listen channel");
   }
+  // A caller asking for a wider cap than the scene can hold is clamped to
+  // the scene: a station past kMaxStationOffsetHz cannot be rendered without
+  // aliasing its Carson band back into the scene.
   const double cap = std::min(max_offset_hz, kMaxStationOffsetHz);
   // Genres cycle deterministically per channel (never silence: a detectable
   // station is on the air).
   static constexpr audio::ProgramGenre kGenres[] = {
       audio::ProgramGenre::kNews, audio::ProgramGenre::kPop,
       audio::ProgramGenre::kMixed, audio::ProgramGenre::kRock};
-  std::vector<ScenarioStation> out;
+  SurveySceneReport report;
   for (std::size_t i = 0; i < city.detectable_channels.size(); ++i) {
     const int ch = city.detectable_channels[i];
     const double offset =
         (ch - listen_channel) * fm::kChannelSpacingHz;
-    if (std::abs(offset) > cap + 1e-6) continue;
-    ScenarioStation st;
     char freq[32];
     std::snprintf(freq, sizeof(freq), "%.1fMHz",
                   survey::channel_frequency_hz(ch) / 1e6);
+    if (std::abs(offset) > cap + 1e-6) {
+      // Out of scene: excluded, never clamped onto a wrong carrier — but
+      // loudly, so a survey-driven deployment knows what it is not seeing.
+      char warning[160];
+      std::snprintf(warning, sizeof(warning),
+                    "%s@%s at %+.0f kHz is outside the +-%.0f kHz scene "
+                    "around the listen channel - skipped",
+                    city.name.c_str(), freq, offset / 1000.0, cap / 1000.0);
+      report.warnings.emplace_back(warning);
+      continue;
+    }
+    ScenarioStation st;
     st.name = city.name + "@" + freq;
     st.config.program.genre = kGenres[static_cast<std::size_t>(ch) % 4];
     st.config.program.stereo = ch % 3 != 0;  // a mix of mono and stereo
     st.config.seed = derive_seed(seed, static_cast<std::uint64_t>(ch));
     st.offset_hz = offset;
     st.power_dbm = city.detectable_power_dbm[i];
-    out.push_back(std::move(st));
+    report.stations.push_back(std::move(st));
   }
-  if (out.empty()) {
+  if (report.stations.empty()) {
     // An empty vector would silently flip the Scenario into legacy
     // single-station mode (the default-constructed sc.station) — surface
     // the misconfiguration instead.
@@ -199,13 +232,20 @@ std::vector<ScenarioStation> stations_from_survey(
         "stations_from_survey: no detectable station of " + city.name +
         " falls within the scene around the listen channel");
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(report.stations.begin(), report.stations.end(),
             [](const ScenarioStation& a, const ScenarioStation& b) {
               const double am = std::abs(a.offset_hz);
               const double bm = std::abs(b.offset_hz);
               return am != bm ? am < bm : a.offset_hz < b.offset_hz;
             });
-  return out;
+  return report;
+}
+
+std::vector<ScenarioStation> stations_from_survey(
+    const survey::CitySpectrum& city, int listen_channel, double max_offset_hz,
+    std::uint64_t seed) {
+  return stations_from_survey_report(city, listen_channel, max_offset_hz, seed)
+      .stations;
 }
 
 ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
@@ -216,6 +256,46 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     throw std::invalid_argument("ScenarioEngine: scenario needs a receiver");
   }
   const double total_seconds = sc.settle_seconds + sc.duration_seconds;
+
+  // ---- Timeline segmentation. ----------------------------------------------
+  // Geometry (positions, station selection, link budgets) is evaluated once
+  // per segment; the streaming front ends (upsamplers, mixers, tuners,
+  // noise) run straight through segment boundaries, so captures — and the
+  // bursts demodulated out of them — are seam-free by construction.
+  const double seg_len = sc.timeline.segment_seconds;
+  std::size_t num_segments = 1;
+  if (seg_len < 0.0) {
+    throw std::invalid_argument("ScenarioEngine: negative segment length");
+  }
+  if (seg_len > 0.0) {
+    const double blocks = seg_len / kBlockSeconds;
+    if (blocks < 1.0 - 1e-9 ||
+        std::abs(blocks - std::round(blocks)) > 1e-6) {
+      throw std::invalid_argument(
+          "ScenarioEngine: timeline segment_seconds must be a positive "
+          "multiple of the 0.1 s streaming block");
+    }
+    num_segments = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(total_seconds / seg_len - 1e-9)));
+  }
+  const std::size_t blocks_per_segment =
+      seg_len > 0.0
+          ? static_cast<std::size_t>(std::llround(seg_len / kBlockSeconds))
+          : 0;
+  auto segment_bounds = [&](std::size_t k) {
+    if (num_segments == 1) return std::pair<double, double>(0.0, total_seconds);
+    const double s0 = static_cast<double>(k) * seg_len;
+    return std::pair<double, double>(s0, std::min(total_seconds, s0 + seg_len));
+  };
+  auto segment_of_time = [&](double t) {
+    if (num_segments == 1) return std::size_t{0};
+    // The epsilon keeps boundary times (k * S computed in floating point)
+    // in segment k, matching resolve_mac_schedule's convention.
+    return std::min(num_segments - 1,
+                    static_cast<std::size_t>(
+                        std::floor(std::max(0.0, t) / seg_len + 1e-9)));
+  };
+
   // Scene station table. An empty `stations` means the legacy single-station
   // scene: sc.station at the scene center with the legacy per-tag/receiver
   // power semantics (bit-identical to the pre-multi-station engine).
@@ -235,7 +315,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
   ScenarioResult result;
   // Pin every scene render for the duration of the run: a scene wider than
-  // the cache capacity must not thrash/evict its own stations mid-run.
+  // the cache capacity must not thrash/evict its own stations mid-run. Each
+  // station is rendered ONCE for the whole run and reused across every
+  // timeline segment — segmentation changes geometry, never the broadcast.
   fm::StationCache::SceneScope scope(fm::StationCache::instance());
   result.station_renders.reserve(num_stations);
   for (std::size_t s = 0; s < num_stations; ++s) {
@@ -255,41 +337,74 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     station_iq[s].resize(padded, dsp::cfloat(1.0F, 0.0F));
   }
 
-  // ---- Per-tag station selection and ambient power. ------------------------
-  std::vector<int> sel(sc.tags.size(), 0);
-  std::vector<double> tag_ambient_dbm(sc.tags.size(), 0.0);
-  for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-    const ScenarioTag& tcfg = sc.tags[t];
-    if (!multi) {
-      tag_ambient_dbm[t] = tcfg.tag_power_dbm;
-      continue;
+  // ---- Per-segment entity positions along their waypoint paths. -----------
+  std::vector<std::vector<ScenePosition>> tag_pos(
+      num_segments, std::vector<ScenePosition>(sc.tags.size()));
+  std::vector<std::vector<ScenePosition>> rx_pos(
+      num_segments, std::vector<ScenePosition>(sc.receivers.size()));
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    const auto [s0, s1] = segment_bounds(k);
+    const double u = total_seconds > 0.0 ? 0.5 * (s0 + s1) / total_seconds : 0.0;
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      tag_pos[k][t] =
+          path_position(sc.tags[t].position, sc.tags[t].waypoints, u);
     }
-    int chosen = tcfg.station_index;
-    if (chosen >= static_cast<int>(num_stations)) {
-      throw std::invalid_argument("ScenarioEngine: tag \"" + tcfg.name +
-                                  "\" selects a station outside the scene");
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      rx_pos[k][r] =
+          path_position(sc.receivers[r].position, sc.receivers[r].waypoints, u);
     }
-    if (chosen < 0) {
-      // The paper's posters backscatter whichever ambient signal is
-      // strongest at their location.
-      double best = -1e18;
-      for (std::size_t s = 0; s < num_stations; ++s) {
-        const double p = station_power_at(sc.stations[s], tcfg.position);
-        if (p > best) {
-          best = p;
-          chosen = static_cast<int>(s);
+  }
+
+  // ---- Per-segment station selection and ambient power. --------------------
+  // Re-deciding the strongest station per segment is what turns a waypoint
+  // path into a handoff: a walking tag crosses the midpoint between two
+  // stations and its reflected carrier moves to the other channel.
+  std::vector<std::vector<int>> sel(num_segments,
+                                    std::vector<int>(sc.tags.size(), 0));
+  std::vector<std::vector<double>> tag_ambient_dbm(
+      num_segments, std::vector<double>(sc.tags.size(), 0.0));
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      const ScenarioTag& tcfg = sc.tags[t];
+      if (!multi) {
+        tag_ambient_dbm[k][t] = tcfg.tag_power_dbm;
+        continue;
+      }
+      int chosen = tcfg.station_index;
+      if (chosen >= static_cast<int>(num_stations)) {
+        throw std::invalid_argument("ScenarioEngine: tag \"" + tcfg.name +
+                                    "\" selects a station outside the scene");
+      }
+      if (chosen < 0) {
+        // The paper's posters backscatter whichever ambient signal is
+        // strongest at their location.
+        double best = -1e18;
+        for (std::size_t s = 0; s < num_stations; ++s) {
+          const double p = station_power_at(sc.stations[s], tag_pos[k][t]);
+          if (p > best) {
+            best = p;
+            chosen = static_cast<int>(s);
+          }
         }
       }
+      sel[k][t] = chosen;
+      tag_ambient_dbm[k][t] =
+          station_power_at(sc.stations[static_cast<std::size_t>(chosen)],
+                           tag_pos[k][t]);
     }
-    sel[t] = chosen;
-    tag_ambient_dbm[t] =
-        station_power_at(sc.stations[static_cast<std::size_t>(chosen)],
-                         tcfg.position);
   }
-  result.selected_station = sel;
+  result.selected_station = sel[0];
+  result.segments.resize(num_segments);
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    const auto [s0, s1] = segment_bounds(k);
+    result.segments[k].start_seconds = s0;
+    result.segments[k].end_seconds = s1;
+    result.segments[k].selected_station = sel[k];
+  }
 
-  // ---- Per-tag state: baseband, burst window, generators. ------------------
+  // ---- Per-tag state: generators, payload bits, burst waveforms. -----------
   std::vector<TagState> tags(sc.tags.size());
+  std::vector<audio::MonoBuffer> waves(sc.tags.size());  // FSK payloads
   for (std::size_t i = 0; i < sc.tags.size(); ++i) {
     const ScenarioTag& t = sc.tags[i];
     TagState& st = tags[i];
@@ -311,35 +426,154 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" has no payload");
     }
+    if (t.start_seconds < 0.0) {
+      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
+                                  "\" burst does not fit the scenario");
+    }
     const std::uint64_t cseed =
         t.seed ? *t.seed : derive_seed(sc.seed, kTagContentStream + i);
     st.bits = tag::random_bits(t.num_bits, cseed);
-    const audio::MonoBuffer wave =
-        tag::modulate_fsk(st.bits, t.rate, fm::kAudioRate);
-    st.burst_start_seconds = sc.settle_seconds + t.start_seconds;
-    if (t.start_seconds < 0.0 ||
-        st.burst_start_seconds + wave.duration_seconds() >
-            total_seconds + 1e-9) {
+    waves[i] = tag::modulate_fsk(st.bits, t.rate, fm::kAudioRate);
+    st.burst_seconds = waves[i].duration_seconds();
+  }
+
+  // ---- Medium access: nominal starts -> actual burst schedule. -------------
+  // The MAC resolves before anything is rendered: carrier-sense deferrals
+  // reshape the on-air schedule segment by segment, and the scene is then
+  // rendered once with the final schedule (so what a receiver hears is what
+  // the MAC actually let on the air).
+  std::vector<tag::MacAttempt> attempts;
+  std::vector<std::size_t> attempt_tag;  // attempt index -> tag index
+  for (std::size_t i = 0; i < sc.tags.size(); ++i) {
+    if (tags[i].bits.empty()) continue;  // custom baseband: always on, no MAC
+    tag::MacAttempt a;
+    a.nominal_start_seconds = sc.settle_seconds + sc.tags[i].start_seconds;
+    a.burst_seconds = tags[i].burst_seconds;
+    a.guard_seconds = kBurstGuardSeconds;
+    a.config = sc.tags[i].mac;
+    attempt_tag.push_back(i);
+    attempts.push_back(a);
+  }
+  // What a deferring tag hears: every station whose carrier falls in one of
+  // the tag's subcarrier channels, plus every committed neighbor burst that
+  // couples into those channels, all evaluated with the segment's geometry.
+  auto channels_of = [&](std::size_t t, std::size_t seg,
+                         double (&out)[2]) -> int {
+    const ScenarioTag& tc = sc.tags[t];
+    const double off = multi ? station_offset[static_cast<std::size_t>(
+                                   sel[seg][t])]
+                             : 0.0;
+    if (tc.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
+      out[0] = off + tc.subcarrier.shift_hz;
+      return 1;
+    }
+    const double mag = std::abs(tc.subcarrier.shift_hz);
+    out[0] = off + mag;
+    out[1] = off - mag;
+    return 2;
+  };
+  auto sense_channel = [&](std::size_t attempt, double t0, double t1,
+                           std::span<const tag::OnAirInterval> on_air) {
+    const std::size_t ti = attempt_tag[attempt];
+    const std::size_t seg = segment_of_time(0.5 * (t0 + t1));
+    const ScenePosition& at = tag_pos[seg][ti];
+    double ch_i[2];
+    const int n_i = channels_of(ti, seg, ch_i);
+    const double half = fm::kChannelSpacingHz / 2.0;
+    double watts = 0.0;
+    // Ambient stations occupying the sensed channel(s).
+    for (std::size_t s = 0; s < num_stations; ++s) {
+      const double power =
+          multi ? station_power_at(sc.stations[s], at)
+                : sc.tags[ti].tag_power_dbm;  // legacy: ambient at the tag
+      for (int c = 0; c < n_i; ++c) {
+        if (std::abs(station_offset[s] - ch_i[c]) < half) {
+          watts += dsp::watts_from_dbm(power);
+          break;
+        }
+      }
+    }
+    // Committed neighbor bursts on the air during the window.
+    for (const tag::OnAirInterval& iv : on_air) {
+      if (std::min(t1, iv.end_seconds) - std::max(t0, iv.begin_seconds) <=
+          0.0) {
+        continue;
+      }
+      const std::size_t tj = attempt_tag[iv.attempt];
+      if (tj == ti) continue;
+      double ch_j[2];
+      const int n_j = channels_of(tj, seg, ch_j);
+      bool couples = false;
+      for (int a = 0; a < n_i && !couples; ++a) {
+        for (int b = 0; b < n_j; ++b) {
+          if (std::abs(ch_i[a] - ch_j[b]) < half) {
+            couples = true;
+            break;
+          }
+        }
+      }
+      if (!couples) continue;
+      channel::LinkBudgetConfig link;
+      link.tag_antenna_gain_db = sc.tags[tj].antenna.effective_gain_db();
+      link.rx_antenna_gain_db = sc.tags[ti].antenna.effective_gain_db();
+      const double dist =
+          std::max(1e-3, std::hypot(tag_pos[seg][tj].x_m - at.x_m,
+                                    tag_pos[seg][tj].y_m - at.y_m));
+      const channel::LinkBudget budget = channel::compute_link_budget(
+          tag_ambient_dbm[seg][tj], tag_ambient_dbm[seg][tj], dist, link);
+      // One sideband of the square wave carries (2/pi)^2 of the reflection.
+      watts += budget.backscatter_amplitude * budget.backscatter_amplitude *
+               (2.0 / dsp::kPi) * (2.0 / dsp::kPi);
+    }
+    return watts > 0.0 ? dsp::dbm_from_watts(watts)
+                       : -std::numeric_limits<double>::infinity();
+  };
+  const std::vector<tag::MacDecision> schedule = tag::resolve_mac_schedule(
+      attempts, total_seconds, seg_len, sense_channel);
+
+  // ---- Compose each transmitted burst's baseband at its resolved start. ----
+  result.mac.resize(sc.tags.size());
+  for (std::size_t a = 0; a < schedule.size(); ++a) {
+    const std::size_t i = attempt_tag[a];
+    const ScenarioTag& t = sc.tags[i];
+    TagState& st = tags[i];
+    const tag::MacDecision& d = schedule[a];
+    result.mac[i].transmitted = d.transmitted;
+    result.mac[i].deferrals = d.deferrals;
+    result.mac[i].start_seconds = d.start_seconds;
+    result.mac[i].last_sensed_dbm = d.last_sensed_dbm;
+    st.transmitted = d.transmitted;
+    if (!d.transmitted) {
+      st.baseband.assign(padded, 0.0F);
+      st.active_begin = 0;
+      st.active_end = 0;  // the switch never turns on: no reflection at all
+      continue;
+    }
+    st.burst_start_seconds = d.start_seconds;
+    if (st.burst_start_seconds + st.burst_seconds > total_seconds + 1e-9) {
+      // Pure/slotted starts are pure functions of the config, so this is a
+      // configuration error (carrier sense silently gives up instead).
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" burst does not fit the scenario");
     }
     const audio::MonoBuffer lead_in =
         audio::make_silence(st.burst_start_seconds, fm::kAudioRate);
-    st.baseband = tag::compose_overlay_baseband(audio::concat(lead_in, wave),
-                                                t.level, fm::kMpxRate);
+    st.baseband = tag::compose_overlay_baseband(
+        audio::concat(lead_in, waves[i]), t.level, fm::kMpxRate);
     st.baseband.resize(padded, 0.0F);
     st.active_begin = static_cast<std::size_t>(
         std::max(0.0, st.burst_start_seconds - kBurstGuardSeconds) * fm::kMpxRate);
     st.active_end = std::min(
         padded, static_cast<std::size_t>(
-                    (st.burst_start_seconds + wave.duration_seconds() +
+                    (st.burst_start_seconds + st.burst_seconds +
                      kBurstGuardSeconds) *
                     fm::kMpxRate));
   }
 
-  // ---- Per-pair link budgets. ----------------------------------------------
-  // g_back[r][t]: reflected-wave amplitude of tag t at receiver r;
-  // g_direct[r][s]: unshifted amplitude of station s at receiver r.
+  // ---- Per-pair link budgets, one table per segment. -----------------------
+  // g_back[k][r][t]: reflected-wave amplitude of tag t at receiver r during
+  // segment k; g_direct[k][r][s]: unshifted amplitude of station s at
+  // receiver r during segment k.
   std::vector<double> direct_dbm(sc.receivers.size());
   if (!multi) {
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
@@ -352,54 +586,67 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       direct_dbm[r] = p;
     }
   }
-  std::vector<std::vector<float>> g_direct(
-      sc.receivers.size(), std::vector<float>(num_stations, 0.0F));
-  std::vector<std::vector<float>> g_back(
-      sc.receivers.size(), std::vector<float>(sc.tags.size(), 0.0F));
-  std::vector<std::vector<double>> rx_power_dbm(
-      sc.receivers.size(), std::vector<double>(sc.tags.size(), 0.0));
-  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-    const ScenarioReceiver& rx = sc.receivers[r];
-    channel::LinkBudgetConfig link = rx.link;
-    link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
-    if (multi) {
-      for (std::size_t s = 0; s < num_stations; ++s) {
-        g_direct[r][s] = static_cast<float>(std::sqrt(dsp::watts_from_dbm(
-            station_power_at(sc.stations[s], rx.position))));
+  std::vector<std::vector<std::vector<float>>> g_direct(
+      num_segments, std::vector<std::vector<float>>(
+                        sc.receivers.size(),
+                        std::vector<float>(num_stations, 0.0F)));
+  std::vector<std::vector<std::vector<float>>> g_back(
+      num_segments, std::vector<std::vector<float>>(
+                        sc.receivers.size(),
+                        std::vector<float>(sc.tags.size(), 0.0F)));
+  std::vector<std::vector<std::vector<double>>> rx_power_dbm(
+      num_segments, std::vector<std::vector<double>>(
+                        sc.receivers.size(),
+                        std::vector<double>(sc.tags.size(), 0.0)));
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      const ScenarioReceiver& rx = sc.receivers[r];
+      channel::LinkBudgetConfig link = rx.link;
+      link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
+      if (multi) {
+        for (std::size_t s = 0; s < num_stations; ++s) {
+          g_direct[k][r][s] = static_cast<float>(std::sqrt(dsp::watts_from_dbm(
+              station_power_at(sc.stations[s], rx_pos[k][r]))));
+        }
+        for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+          link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+          const channel::LinkBudget budget = channel::compute_link_budget(
+              tag_ambient_dbm[k][t], tag_ambient_dbm[k][t],
+              pair_distance_m(sc.tags[t], tag_pos[k][t], rx_pos[k][r]), link);
+          g_back[k][r][t] = static_cast<float>(budget.backscatter_amplitude);
+          // One sideband of the square wave carries (2/pi)^2 of the
+          // reflection.
+          rx_power_dbm[k][r][t] = dsp::dbm_from_watts(
+              budget.backscatter_amplitude * budget.backscatter_amplitude *
+              (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
+        }
+        continue;
+      }
+      if (sc.tags.empty()) {
+        g_direct[k][r][0] =
+            static_cast<float>(std::sqrt(dsp::watts_from_dbm(direct_dbm[r])));
+        continue;
       }
       for (std::size_t t = 0; t < sc.tags.size(); ++t) {
         link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
         const channel::LinkBudget budget = channel::compute_link_budget(
-            tag_ambient_dbm[t], tag_ambient_dbm[t],
-            pair_distance_m(sc.tags[t], rx), link);
-        g_back[r][t] = static_cast<float>(budget.backscatter_amplitude);
+            sc.tags[t].tag_power_dbm, direct_dbm[r],
+            pair_distance_m(sc.tags[t], tag_pos[k][t], rx_pos[k][r]), link);
+        g_back[k][r][t] = static_cast<float>(budget.backscatter_amplitude);
+        if (t == 0) {
+          g_direct[k][r][0] = static_cast<float>(budget.direct_amplitude);
+        }
         // One sideband of the square wave carries (2/pi)^2 of the reflection.
-        rx_power_dbm[r][t] = dsp::dbm_from_watts(
+        rx_power_dbm[k][r][t] = dsp::dbm_from_watts(
             budget.backscatter_amplitude * budget.backscatter_amplitude *
             (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
       }
-      continue;
-    }
-    if (sc.tags.empty()) {
-      g_direct[r][0] =
-          static_cast<float>(std::sqrt(dsp::watts_from_dbm(direct_dbm[r])));
-      continue;
-    }
-    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-      link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
-      const channel::LinkBudget budget = channel::compute_link_budget(
-          sc.tags[t].tag_power_dbm, direct_dbm[r],
-          pair_distance_m(sc.tags[t], rx), link);
-      g_back[r][t] = static_cast<float>(budget.backscatter_amplitude);
-      if (t == 0) g_direct[r][0] = static_cast<float>(budget.direct_amplitude);
-      // One sideband of the square wave carries (2/pi)^2 of the reflection.
-      rx_power_dbm[r][t] = dsp::dbm_from_watts(
-          budget.backscatter_amplitude * budget.backscatter_amplitude *
-          (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
     }
   }
 
   // ---- Per-station and per-receiver front ends. ----------------------------
+  // Streaming state (interpolators, mixers, noise, tuners) is never reset at
+  // a segment boundary — only the geometry scalars switch.
   const auto up_factor = static_cast<std::size_t>(fm::kMpxToRfFactor);
   const std::vector<float> up_taps = dsp::fir_design_lowpass(
       (16 * up_factor) | 1U, 0.45 / static_cast<double>(up_factor));
@@ -435,7 +682,14 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   std::vector<dsp::cvec> reflected(sc.tags.size());
   std::vector<char> tag_active(sc.tags.size(), 0);
   dsp::cvec rf;
-  for (std::size_t start = 0; start < padded; start += kBlockMpx) {
+  std::size_t block_index = 0;
+  for (std::size_t start = 0; start < padded; start += kBlockMpx, ++block_index) {
+    // The segment owning this block (blocks past the nominal end — padding —
+    // stay on the last segment's geometry).
+    const std::size_t seg =
+        num_segments == 1
+            ? 0
+            : std::min(num_segments - 1, block_index / blocks_per_segment);
     for (std::size_t s = 0; s < num_stations; ++s) {
       const std::span<const dsp::cfloat> st_block(station_iq[s].data() + start,
                                                   kBlockMpx);
@@ -449,11 +703,13 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           start < st.active_end && start + kBlockMpx > st.active_begin;
       if (!tag_active[t]) continue;
       const std::span<const float> bb_block(st.baseband.data() + start, kBlockMpx);
-      const dsp::cvec& incident = st_rf[static_cast<std::size_t>(sel[t])];
+      const dsp::cvec& incident =
+          st_rf[static_cast<std::size_t>(sel[seg][t])];
       dsp::cvec& b = reflected[t];
       b = st.subcarrier->process(bb_block);
-      // reflected = B(t) x incident (the tag's selected station), with
-      // motion fading on the tag path.
+      // reflected = B(t) x incident (the tag's selected station in this
+      // segment — a handoff moves the reflection to the new station's
+      // carrier), with motion fading on the tag path.
       for (std::size_t i = 0; i < incident.size(); ++i) b[i] *= incident[i];
       if (st.fading) st.fading->apply(b);
       // The switch is off outside the burst window: no reflection at all.
@@ -470,13 +726,13 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
     rf.resize(st_rf[0].size());
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      channel::scale_into(rf, st_rf[0], g_direct[r][0]);
+      channel::scale_into(rf, st_rf[0], g_direct[seg][r][0]);
       for (std::size_t s = 1; s < num_stations; ++s) {
-        channel::accumulate_scaled(rf, st_rf[s], g_direct[r][s]);
+        channel::accumulate_scaled(rf, st_rf[s], g_direct[seg][r][s]);
       }
       for (std::size_t t = 0; t < tags.size(); ++t) {
         if (!tag_active[t]) continue;
-        channel::accumulate_scaled(rf, reflected[t], g_back[r][t]);
+        channel::accumulate_scaled(rf, reflected[t], g_back[seg][r][t]);
       }
       noise[r].add_to(rf);
       const dsp::cvec tuned = tuners[r].process(rf);
@@ -497,12 +753,20 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
     ScenarioReceiverResult& rr = result.receivers[r];
     std::vector<std::size_t> routed;  // tag index per burst, demod order
+    std::vector<std::size_t> routed_seg;  // segment owning each burst
     std::vector<rx::BurstSpec> bursts;
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
       const ScenarioTag& tcfg = sc.tags[t];
       if (tags[t].bits.empty()) continue;  // custom baseband: no BER to score
-      if (!tag_audible_at(tcfg, station_offset[static_cast<std::size_t>(sel[t])],
-                          rx.tune_offset_hz)) {
+      if (!tags[t].transmitted) continue;  // the MAC kept this burst silent
+      // The burst lives on the channel of the station its tag reflected
+      // while on the air: route by the segment holding the burst midpoint.
+      const std::size_t burst_seg = segment_of_time(
+          tags[t].burst_start_seconds + 0.5 * tags[t].burst_seconds);
+      if (!tag_audible_at(
+              tcfg,
+              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
+              rx.tune_offset_hz)) {
         continue;
       }
       rx::BurstSpec burst;
@@ -511,6 +775,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       burst.start_seconds = tags[t].burst_start_seconds;
       burst.packet_bits = tcfg.packet_bits;
       routed.push_back(t);
+      routed_seg.push_back(burst_seg);
       bursts.push_back(std::move(burst));
     }
     const std::vector<rx::BurstReport> reports =
@@ -521,7 +786,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       link.tag_index = t;
       link.receiver_index = r;
       link.burst = reports[b];
-      link.backscatter_rx_power_dbm = rx_power_dbm[r][t];
+      link.backscatter_rx_power_dbm = rx_power_dbm[routed_seg[b]][r][t];
       link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
                          sc.duration_seconds;
       if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {

@@ -31,9 +31,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,7 @@
 #include "survey/spectrum_db.h"
 #include "tag/antenna.h"
 #include "tag/fsk.h"
+#include "tag/mac.h"
 #include "tag/subcarrier.h"
 
 namespace fmbs::core {
@@ -65,6 +68,26 @@ struct ScenePosition {
   double x_m = 0.0;
   double y_m = 0.0;
 };
+
+/// Fixed-duration segmentation of a scenario's timeline. With a positive
+/// `segment_seconds` the engine re-evaluates the scene geometry once per
+/// segment — waypoint paths advance, per-tag strongest-station selection is
+/// re-decided (handoff), link budgets update — and carrier-sense MACs listen
+/// segment by segment. 0 keeps today's single frozen geometry for the whole
+/// run (bit-identical to the pre-timeline engine).
+struct ScenarioTimeline {
+  /// Segment length (seconds); 0 = one segment spanning the run. Must be a
+  /// whole number of 0.1 s streaming blocks: geometry switches apply at
+  /// block boundaries, so a non-multiple would silently shift the segment
+  /// grid — the engine rejects it instead.
+  double segment_seconds = 0.0;
+};
+
+/// Position along a waypoint path at time fraction `u` in [0, 1]: the path
+/// runs [anchor, waypoints...] with equal time per leg (an empty waypoint
+/// list pins the entity at the anchor).
+ScenePosition path_position(const ScenePosition& anchor,
+                            std::span<const ScenePosition> waypoints, double u);
 
 /// Largest station carrier offset whose Carson bandwidth still fits inside
 /// the complex-baseband RF scene (which spans +-fm::kRfRate / 2).
@@ -124,6 +147,17 @@ struct ScenarioTag {
   /// Ignored in single-station scenes.
   int station_index = -1;
   ScenePosition position;
+  /// Waypoint path: when non-empty the tag walks [position, waypoints...]
+  /// with equal time per leg across the run. Geometry is re-evaluated per
+  /// timeline segment, so a walking tag's strongest station changes along
+  /// the path — a mid-run handoff between stations.
+  std::vector<ScenePosition> waypoints;
+  /// Medium access: how `start_seconds` maps to the actual burst start
+  /// (pure ALOHA transmits at the nominal time — today's behavior; slotted
+  /// ALOHA quantizes to slot boundaries; carrier sense listens per segment
+  /// and defers while its channel is busy). Custom-baseband tags are on the
+  /// air for the whole run and ignore this.
+  tag::MacConfig mac;
   /// When set, overrides the geometric tag-to-receiver distance for every
   /// receiver (the paper's single-knob experiments; also the bit-identity
   /// bridge from SceneConfig::tag_rx_distance_feet).
@@ -145,6 +179,9 @@ struct ScenarioReceiver {
   /// listens to the station at the scene center).
   double tune_offset_hz = fm::kDefaultBackscatterShiftHz;
   ScenePosition position;
+  /// Waypoint path, like ScenarioTag::waypoints (a pedestrian's phone walks
+  /// with its owner; link budgets re-evaluate per timeline segment).
+  std::vector<ScenePosition> waypoints;
   /// Power of the unshifted station at the receiver in a single-station
   /// scene; NaN = the strongest tag's ambient power (the paper keeps devices
   /// equidistant from the transmitter). Multi-station scenes derive every
@@ -182,6 +219,9 @@ struct Scenario {
   std::vector<ScenarioReceiver> receivers;
   /// Scenario length after the settle window; tag bursts must fit inside.
   double duration_seconds = 0.5;
+  /// Timeline segmentation (mobility, handoff, carrier sense). The default
+  /// single segment is bit-identical to the pre-timeline engine.
+  ScenarioTimeline timeline;
   /// Receiver warm-up before any burst starts (filters, AGC, pilot
   /// tracking), matching the experiment harness's lead-in convention.
   double settle_seconds = 0.08;
@@ -206,6 +246,26 @@ struct ScenarioReceiverResult {
   std::vector<TagLinkReport> links;  // one per tag audible on this channel
 };
 
+/// Geometry snapshot of one timeline segment.
+struct ScenarioSegmentReport {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// Station index each tag backscatters during this segment (parallel to
+  /// Scenario::tags). A change between consecutive segments is a handoff.
+  std::vector<int> selected_station;
+};
+
+/// MAC outcome of one tag's burst (parallel to Scenario::tags; always-on
+/// custom-baseband tags report transmitted with no deferrals).
+struct TagMacReport {
+  bool transmitted = true;
+  std::size_t deferrals = 0;
+  /// Actual payload start within the rendered window (settle included).
+  double start_seconds = 0.0;
+  /// What the final carrier-sense measured; -inf for other policies.
+  double last_sensed_dbm = -std::numeric_limits<double>::infinity();
+};
+
 /// Full scenario outcome.
 struct ScenarioResult {
   /// The scene-center station's render (station 0; the legacy field).
@@ -213,8 +273,16 @@ struct ScenarioResult {
   /// One render per scene station (parallel to Scenario::stations, or a
   /// single entry for the legacy station).
   std::vector<std::shared_ptr<const fm::StationSignal>> station_renders;
-  /// Station index each tag backscattered (parallel to Scenario::tags).
+  /// Station index each tag backscattered during the first segment
+  /// (parallel to Scenario::tags; the whole run for an unsegmented
+  /// scenario). Per-segment history — the handoff record — is in
+  /// `segments`.
   std::vector<int> selected_station;
+  /// One geometry snapshot per timeline segment (a single entry when the
+  /// timeline is unsegmented).
+  std::vector<ScenarioSegmentReport> segments;
+  /// MAC outcome per tag (deferrals, actual start, silent give-ups).
+  std::vector<TagMacReport> mac;
   std::vector<ScenarioReceiverResult> receivers;
   /// Best (lowest-BER) link per data tag, across every receiver that hears
   /// it; tags heard by no receiver are absent.
@@ -294,6 +362,22 @@ Scenario scenario_from_system(const SystemConfig& config,
 /// station falls inside the scene (an empty vector would silently mean
 /// "legacy single-station mode" to the engine).
 std::vector<ScenarioStation> stations_from_survey(
+    const survey::CitySpectrum& city, int listen_channel,
+    double max_offset_hz = kMaxStationOffsetHz, std::uint64_t seed = 1);
+
+/// stations_from_survey plus the stations it could NOT place: a surveyed
+/// channel whose carrier offset falls outside the ±1.2 MHz scene (or past
+/// the caller's tighter cap) cannot be rendered without aliasing, so it is
+/// excluded — never clamped onto a wrong frequency — and reported here with
+/// a human-readable warning, instead of disappearing silently.
+struct SurveySceneReport {
+  std::vector<ScenarioStation> stations;  ///< the renderable scene
+  /// One warning per excluded channel ("<city>@<freq> at +3.4 MHz is
+  /// outside the ±1.1 MHz scene — skipped").
+  std::vector<std::string> warnings;
+};
+
+SurveySceneReport stations_from_survey_report(
     const survey::CitySpectrum& city, int listen_channel,
     double max_offset_hz = kMaxStationOffsetHz, std::uint64_t seed = 1);
 

@@ -1,0 +1,148 @@
+#include "tag/mac.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fmbs::tag {
+
+namespace {
+
+constexpr double kTimeEps = 1e-9;
+
+/// Candidate times within one epsilon share a decision round: they sense
+/// the same committed schedule and commit together.
+bool same_instant(double a, double b) { return std::abs(a - b) < kTimeEps; }
+
+}  // namespace
+
+const char* to_string(MacKind kind) {
+  switch (kind) {
+    case MacKind::kPureAloha:
+      return "pure-aloha";
+    case MacKind::kSlottedAloha:
+      return "slotted-aloha";
+    case MacKind::kCarrierSense:
+      return "carrier-sense";
+  }
+  return "?";
+}
+
+double slotted_start(double nominal_start_seconds, double slot_seconds) {
+  if (slot_seconds <= 0.0) {
+    throw std::invalid_argument("slotted_start: slot pitch must be > 0");
+  }
+  const double slots = nominal_start_seconds / slot_seconds;
+  // A nominal start already on a boundary keeps it (epsilon absorbs the
+  // division round-off); anything later rounds up to the next slot.
+  return std::ceil(slots - kTimeEps) * slot_seconds;
+}
+
+std::vector<MacDecision> resolve_mac_schedule(
+    std::span<const MacAttempt> attempts, double window_seconds,
+    double segment_seconds, const ChannelSenseFn& sense) {
+  std::vector<MacDecision> decisions(attempts.size());
+  std::vector<OnAirInterval> on_air;
+  on_air.reserve(attempts.size());
+
+  // Pending carrier-sense attempts, tracked by their moving candidate time.
+  struct Pending {
+    std::size_t index = 0;
+    double candidate = 0.0;
+  };
+  std::vector<Pending> pending;
+
+  // ---- Phase 1: policies whose start is a pure function of the config. ----
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    const MacAttempt& a = attempts[i];
+    MacDecision& d = decisions[i];
+    switch (a.config.kind) {
+      case MacKind::kPureAloha:
+        d.start_seconds = a.nominal_start_seconds;
+        on_air.push_back({i, d.start_seconds - a.guard_seconds,
+                          d.start_seconds + a.burst_seconds + a.guard_seconds});
+        break;
+      case MacKind::kSlottedAloha: {
+        const double pitch = a.config.slot_seconds > 0.0
+                                 ? a.config.slot_seconds
+                                 : a.burst_seconds + 2.0 * a.guard_seconds;
+        d.start_seconds = slotted_start(a.nominal_start_seconds, pitch);
+        on_air.push_back({i, d.start_seconds - a.guard_seconds,
+                          d.start_seconds + a.burst_seconds + a.guard_seconds});
+        break;
+      }
+      case MacKind::kCarrierSense:
+        if (segment_seconds <= 0.0) {
+          throw std::invalid_argument(
+              "resolve_mac_schedule: carrier sense needs a segmented "
+              "timeline (segment_seconds > 0) to listen in");
+        }
+        pending.push_back({i, a.nominal_start_seconds});
+        break;
+    }
+  }
+
+  // ---- Phase 2: carrier sense, earliest candidate first. -------------------
+  while (!pending.empty()) {
+    double now = pending.front().candidate;
+    for (const Pending& p : pending) now = std::min(now, p.candidate);
+
+    std::vector<OnAirInterval> committed_this_round;
+    std::vector<Pending> still_pending;
+    for (Pending& p : pending) {
+      if (!same_instant(p.candidate, now)) {
+        still_pending.push_back(p);
+        continue;
+      }
+      const MacAttempt& a = attempts[p.index];
+      MacDecision& d = decisions[p.index];
+      // Carrier sense never throws on fit: a burst that cannot fit the
+      // window — nominally or after deferral — silently stays off the air.
+      if (p.candidate + a.burst_seconds > window_seconds + kTimeEps) {
+        d.transmitted = false;
+        continue;
+      }
+      // The sense window: the full preceding segment, or — inside segment 0,
+      // where no full segment has elapsed — whatever has been on the air
+      // since the scenario began.
+      const auto seg =
+          static_cast<std::size_t>(std::floor(now / segment_seconds + kTimeEps));
+      const double w0 =
+          seg == 0 ? 0.0 : (static_cast<double>(seg) - 1.0) * segment_seconds;
+      const double w1 =
+          seg == 0 ? now : static_cast<double>(seg) * segment_seconds;
+      d.last_sensed_dbm =
+          w1 > w0 ? sense(p.index, w0, w1, on_air)
+                  : -std::numeric_limits<double>::infinity();
+
+      if (d.last_sensed_dbm <= a.config.cs_threshold_dbm) {
+        d.start_seconds = now;
+        d.transmitted = true;
+        committed_this_round.push_back(
+            {p.index, now - a.guard_seconds,
+             now + a.burst_seconds + a.guard_seconds});
+        continue;
+      }
+      ++d.deferrals;
+      if (d.deferrals > a.config.max_deferrals) {
+        d.transmitted = false;  // bounded LBT: give up, stay silent
+        continue;
+      }
+      p.candidate = (static_cast<double>(seg) + 1.0) * segment_seconds;
+      if (p.candidate + a.burst_seconds > window_seconds + kTimeEps) {
+        d.transmitted = false;  // the deferred burst no longer fits the run
+        continue;
+      }
+      still_pending.push_back(p);
+    }
+    // Same-boundary listeners could not hear each other; their bursts join
+    // the schedule only after the whole round has decided.
+    on_air.insert(on_air.end(), committed_this_round.begin(),
+                  committed_this_round.end());
+    pending = std::move(still_pending);
+  }
+
+  return decisions;
+}
+
+}  // namespace fmbs::tag

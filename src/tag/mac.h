@@ -1,0 +1,113 @@
+// Medium access for backscatter tags — the connected-cities open problem
+// (paper section 8; Talla et al., "Advances and Open Problems in Backscatter
+// Networking"): tags sharing one backscatter channel must decide *when* to
+// burst. Three policies:
+//
+//  * kPureAloha — transmit at the nominal start time (the engine's historic
+//    behavior; collisions follow the S = G e^{-2G} vulnerability rule),
+//  * kSlottedAloha — quantize the start up to the next slot boundary
+//    (collisions become total overlaps; S = G e^{-G}),
+//  * kCarrierSense — listen-before-talk: the tag measures the in-band scene
+//    energy in its subcarrier channel over the preceding timeline segment
+//    and defers its burst to the next segment boundary while the channel is
+//    busy. Deferral changes the on-air schedule, which changes what later
+//    tags sense — a feedback loop a single-shot render cannot express,
+//    which is why the ScenarioEngine resolves the schedule segment by
+//    segment before rendering.
+//
+// The resolver is pure scheduling: channel physics (who couples into whose
+// channel, at what power) enters through the ChannelSenseFn oracle the
+// caller provides, so this layer stays independent of scene geometry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace fmbs::tag {
+
+enum class MacKind { kPureAloha, kSlottedAloha, kCarrierSense };
+
+const char* to_string(MacKind kind);
+
+/// Per-tag medium-access policy.
+struct MacConfig {
+  MacKind kind = MacKind::kPureAloha;
+  /// Slotted-ALOHA slot pitch (seconds); 0 derives it from the burst:
+  /// payload + both switch-on guards, so one burst fills one slot exactly.
+  double slot_seconds = 0.0;
+  /// Carrier-sense busy threshold (dBm): defer while the sensed in-channel
+  /// power over the preceding segment exceeds this. The default sits well
+  /// above receiver noise floors and well below a same-channel neighbor
+  /// burst at city ranges.
+  double cs_threshold_dbm = -70.0;
+  /// Carrier-sense gives up (the burst is never sent) after this many
+  /// deferrals — a bounded listen-before-talk, not an infinite backoff.
+  std::size_t max_deferrals = 64;
+};
+
+/// One intended transmission entering MAC resolution. Times are absolute
+/// within the rendered window (settle included), like the engine's blocks.
+struct MacAttempt {
+  double nominal_start_seconds = 0.0;  ///< requested payload start
+  double burst_seconds = 0.0;          ///< payload on-air time
+  double guard_seconds = 0.0;          ///< switch-on guard on either side
+  MacConfig config;
+};
+
+/// The resolved outcome of one attempt.
+struct MacDecision {
+  /// Actual payload start (meaningful only when transmitted).
+  double start_seconds = 0.0;
+  std::size_t deferrals = 0;
+  bool transmitted = true;
+  /// What the final carrier-sense measured (-inf for non-CS policies and
+  /// for empty sense windows).
+  double last_sensed_dbm = -std::numeric_limits<double>::infinity();
+};
+
+/// A committed transmission's switch-on window (payload plus guards) as
+/// seen by carrier sensing.
+struct OnAirInterval {
+  std::size_t attempt = 0;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Channel-sense oracle: in-band power (dBm) observed by `attempt`'s tag in
+/// its own subcarrier channel over [t0, t1), given the transmissions
+/// committed so far. The caller owns the physics (geometry, link budgets,
+/// channel overlap); return -inf for a silent channel.
+using ChannelSenseFn =
+    std::function<double(std::size_t attempt, double t0, double t1,
+                         std::span<const OnAirInterval> on_air)>;
+
+/// Next slot boundary at or after `nominal_start_seconds` for a pitch.
+double slotted_start(double nominal_start_seconds, double slot_seconds);
+
+/// Resolves every attempt's actual start time within [0, window_seconds].
+///
+/// Pure-ALOHA and slotted-ALOHA attempts commit immediately (slotted after
+/// quantization); their fit inside the window is the caller's contract to
+/// validate. Carrier-sense attempts then resolve in candidate-time order:
+/// a candidate inside segment k senses the preceding segment [(k-1)S, kS)
+/// — or the elapsed part of segment 0 — against the transmissions committed
+/// so far; a busy channel defers the candidate to the next segment
+/// boundary. Candidates sharing one boundary decide against the same
+/// committed set and commit together (simultaneous listeners cannot hear
+/// each other — colliding anyway is exactly the residual collision rate a
+/// real LBT keeps). A carrier-sense burst that can no longer fit the
+/// window, or exceeds max_deferrals, is never sent (transmitted = false).
+///
+/// Deterministic: no randomness, no dependence on container ordering
+/// beyond attempt indices. Throws std::invalid_argument when a
+/// carrier-sense attempt is given a non-positive segment_seconds (LBT needs
+/// a timeline to listen in).
+std::vector<MacDecision> resolve_mac_schedule(
+    std::span<const MacAttempt> attempts, double window_seconds,
+    double segment_seconds, const ChannelSenseFn& sense);
+
+}  // namespace fmbs::tag

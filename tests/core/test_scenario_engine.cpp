@@ -424,6 +424,39 @@ TEST(ScenarioMultiStation, StationsFromSurveyMapTheNeighborhood) {
   EXPECT_THROW(stations_from_survey(city, 0, 100e3), std::invalid_argument);
 }
 
+// Regression: a surveyed channel outside the scene bandwidth must never be
+// clamped or aliased onto a wrong in-scene carrier — it is excluded, and the
+// exclusion is reported instead of silent.
+TEST(ScenarioMultiStation, SurveyReportsTheStationsItCannotPlace) {
+  survey::CitySpectrum city;
+  city.name = "Testville";
+  city.detectable_channels = {48, 49, 51, 53, 90};
+  city.detectable_power_dbm = {-50.0, -25.0, -60.0, -40.0, -20.0};
+
+  const SurveySceneReport report = stations_from_survey_report(city, 49);
+  EXPECT_EQ(report.stations.size(), 4U);
+  ASSERT_EQ(report.warnings.size(), 1U);  // channel 90, 8.2 MHz up-band
+  EXPECT_NE(report.warnings[0].find("Testville@"), std::string::npos);
+  EXPECT_NE(report.warnings[0].find("skipped"), std::string::npos);
+
+  // A caller-supplied cap wider than the scene clamps to the scene: the
+  // strong out-of-scene station stays excluded, never aliased in.
+  const SurveySceneReport wide = stations_from_survey_report(city, 49, 100e6);
+  EXPECT_EQ(wide.stations.size(), 4U);
+  EXPECT_EQ(wide.warnings.size(), 1U);
+  for (const ScenarioStation& st : wide.stations) {
+    EXPECT_LE(std::abs(st.offset_hz), kMaxStationOffsetHz);
+  }
+  // Every scene the report builds is one the engine accepts (nothing inside
+  // can trip the engine's own offset validation).
+  const SurveySceneReport tight = stations_from_survey_report(city, 49, 300e3);
+  EXPECT_EQ(tight.stations.size(), 2U);
+  EXPECT_EQ(tight.warnings.size(), 3U);  // channels 51, 53 and 90 trimmed
+
+  // The plain vector API is the report's stations, warnings dropped.
+  EXPECT_EQ(stations_from_survey(city, 49).size(), report.stations.size());
+}
+
 // ---- Validation ------------------------------------------------------------
 
 TEST(ScenarioEngine, RejectsInconsistentScenarios) {

@@ -145,5 +145,101 @@ TEST(ScenarioSweep, RepeatedMultiStationSweepHitsAtLeastMisses) {
   cache.clear();
 }
 
+// ---- Segmented (timeline) sweeps --------------------------------------------
+
+/// A two-station scene with a walking carrier-sense tag on a 0.1 s
+/// timeline: everything the segmented engine adds (mobility, handoff, MAC
+/// deferral) in one sweep point.
+Scenario segmented_mobile_scene(double walk_span_m) {
+  Scenario sc;
+  sc.name = "segmented-point";
+  sc.seed = 0;  // derived per point by the seed policy
+  sc.duration_seconds = 0.4;
+  sc.timeline.segment_seconds = 0.1;
+  for (int s = 0; s < 2; ++s) {
+    ScenarioStation st;
+    st.name = s == 0 ? "west" : "east";
+    st.offset_hz = s * 800e3;
+    st.power_dbm = s == 0 ? -28.0 : -30.0;
+    st.position = ScenePosition{s == 0 ? -60.0 : 60.0, 0.0};
+    st.config.program.genre = audio::ProgramGenre::kNews;
+    st.config.program.stereo = false;
+    st.config.seed = 0;  // pinned sweep-wide by the seed policy
+    sc.stations.push_back(std::move(st));
+  }
+  ScenarioTag t;
+  t.name = "walker";
+  t.rate = tag::DataRate::k1600bps;
+  t.num_bits = 96;
+  t.position = {-walk_span_m, 0.0};
+  t.waypoints = {{walk_span_m, 0.0}};
+  t.distance_override_feet = 4.0;
+  t.mac.kind = tag::MacKind::kCarrierSense;
+  sc.tags.push_back(std::move(t));
+  sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
+  return sc;
+}
+
+// The tentpole acceptance property: sweeps over segmented, mobile,
+// MAC-resolved scenarios are still bit-identical at 1, 2 and 8 threads.
+TEST(ScenarioSweep, SegmentedSweepIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> spans{10.0, 20.0, 30.0};
+
+  auto run_at = [&](std::size_t threads) {
+    SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 29});
+    const ScenarioEngine engine({.keep_captures = false});
+    std::vector<Scenario> points;
+    for (const double s : spans) points.push_back(segmented_mobile_scene(s));
+    return run_scenario_sweep(runner, engine, std::move(points));
+  };
+
+  const auto serial = run_at(1);
+  const auto two = run_at(2);
+  const auto eight = run_at(8);
+  ASSERT_EQ(serial.size(), spans.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].segments.size(), 5U);
+    ASSERT_EQ(serial[i].best_per_tag.size(), 1U) << "tag went unheard";
+    for (const auto* other : {&two[i], &eight[i]}) {
+      EXPECT_EQ(serial[i].best_per_tag[0].burst.ber.ber,
+                other->best_per_tag[0].burst.ber.ber) << i;
+      EXPECT_EQ(serial[i].mac[0].start_seconds, other->mac[0].start_seconds)
+          << i;
+      for (std::size_t k = 0; k < serial[i].segments.size(); ++k) {
+        EXPECT_EQ(serial[i].segments[k].selected_station,
+                  other->segments[k].selected_station) << i << "," << k;
+      }
+    }
+  }
+  // The walk really produces handoffs (the sweep is not testing statics).
+  EXPECT_NE(serial[2].segments.front().selected_station,
+            serial[2].segments.back().selected_station);
+}
+
+// Station renders are reused ACROSS segments (one render per station per
+// run, never one per segment) and across sweep points: sweeping a 5-segment
+// scene must keep the cache hit-rate at or above the miss count.
+TEST(ScenarioSweep, MultiSegmentSweepReusesRendersAcrossSegments) {
+  auto& cache = fm::StationCache::instance();
+  cache.clear();
+  cache.reset_stats();
+
+  SweepRunner runner(SweepConfig{.threads = 2, .base_seed = 31});
+  const ScenarioEngine engine({.keep_captures = false});
+  std::vector<Scenario> points;
+  for (int i = 0; i < 4; ++i) points.push_back(segmented_mobile_scene(15.0));
+  const auto results = run_scenario_sweep(runner, engine, std::move(points));
+  ASSERT_EQ(results.size(), 4U);
+  ASSERT_EQ(results[0].segments.size(), 5U);
+
+  const auto stats = cache.stats();
+  // 2 stations x 4 points x 5 segments of use, but only 2 renders: one miss
+  // per distinct station, hits for every other (point, station) lookup.
+  EXPECT_EQ(stats.misses, 2U);
+  EXPECT_EQ(stats.hits, 6U);
+  EXPECT_GE(stats.hits, stats.misses);
+  cache.clear();
+}
+
 }  // namespace
 }  // namespace fmbs::core

@@ -28,10 +28,21 @@ struct GoldenTag {
   std::uint64_t bits = 0;
 };
 
+/// One timeline segment's geometry snapshot: which station each tag
+/// backscattered. A selected_station change between consecutive segments is
+/// the handoff the trace pins down.
+struct GoldenSegment {
+  double start_seconds = 0.0;
+  std::vector<int> selected_station;
+};
+
 struct GoldenTrace {
   std::string scenario;
   std::uint64_t seed = 0;
   double aggregate_goodput_bps = 0.0;
+  /// Present only for segmented (timeline) scenarios — single-segment
+  /// traces omit it so their committed files stay byte-identical.
+  std::vector<GoldenSegment> segments;
   std::vector<GoldenTag> tags;
 };
 
@@ -41,6 +52,11 @@ inline GoldenTrace trace_from_result(const core::Scenario& scenario,
   trace.scenario = scenario.name;
   trace.seed = scenario.seed;
   trace.aggregate_goodput_bps = result.aggregate_goodput_bps;
+  if (result.segments.size() > 1) {
+    for (const core::ScenarioSegmentReport& seg : result.segments) {
+      trace.segments.push_back({seg.start_seconds, seg.selected_station});
+    }
+  }
   for (const core::TagLinkReport& link : result.best_per_tag) {
     GoldenTag tag;
     tag.name = scenario.tags[link.tag_index].name;
@@ -76,6 +92,19 @@ inline void write_golden(const std::string& path, const GoldenTrace& trace) {
   out << "  \"scenario\": \"" << json_escape(trace.scenario) << "\",\n";
   out << "  \"seed\": " << trace.seed << ",\n";
   out << "  \"aggregate_goodput_bps\": " << trace.aggregate_goodput_bps << ",\n";
+  if (!trace.segments.empty()) {
+    out << "  \"segments\": [\n";
+    for (std::size_t i = 0; i < trace.segments.size(); ++i) {
+      const GoldenSegment& s = trace.segments[i];
+      out << "    {\"start\": " << s.start_seconds << ", \"selected\": [";
+      for (std::size_t t = 0; t < s.selected_station.size(); ++t) {
+        out << s.selected_station[t]
+            << (t + 1 < s.selected_station.size() ? ", " : "");
+      }
+      out << "]}" << (i + 1 < trace.segments.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+  }
   out << "  \"tags\": [\n";
   for (std::size_t i = 0; i < trace.tags.size(); ++i) {
     const GoldenTag& t = trace.tags[i];
@@ -166,6 +195,36 @@ inline std::optional<GoldenTrace> read_golden(const std::string& path) {
       trace.seed = static_cast<std::uint64_t>(cur.parse_number());
     } else if (key == "aggregate_goodput_bps") {
       trace.aggregate_goodput_bps = cur.parse_number();
+    } else if (key == "segments") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('{');
+          GoldenSegment seg;
+          do {
+            const std::string field = cur.parse_string();
+            cur.expect(':');
+            if (field == "start") {
+              seg.start_seconds = cur.parse_number();
+            } else if (field == "selected") {
+              cur.expect('[');
+              if (!cur.consume(']')) {
+                do {
+                  seg.selected_station.push_back(
+                      static_cast<int>(cur.parse_number()));
+                } while (cur.consume(','));
+                cur.expect(']');
+              }
+            } else {
+              throw std::runtime_error("golden JSON: unknown segment field " +
+                                       field);
+            }
+          } while (cur.consume(','));
+          cur.expect('}');
+          trace.segments.push_back(std::move(seg));
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
     } else if (key == "tags") {
       cur.expect('[');
       if (!cur.consume(']')) {

@@ -1,7 +1,8 @@
-// Golden-trace regression harness: four representative multi-tag scenarios
-// (including a two-station city scene) run end-to-end through the
-// ScenarioEngine at fixed seeds; their decoded
-// outcomes (per-tag BER / PER / goodput, aggregate throughput) are diffed
+// Golden-trace regression harness: five representative multi-tag scenarios
+// (including a two-station city scene and a mobile handoff on a segmented
+// timeline) run end-to-end through the ScenarioEngine at fixed seeds; their
+// decoded outcomes (per-tag BER / PER / goodput, aggregate throughput, and
+// per-segment station selection where the timeline is segmented) are diffed
 // against small JSON traces committed under tests/golden/traces/.
 //
 // Refreshing the baselines after an intentional behavior change:
@@ -165,6 +166,56 @@ core::Scenario two_station_city() {
   return sc;
 }
 
+/// One tag walking between two stations on a segmented timeline (paper
+/// section 8's mobility story): the tag starts west-side backscattering the
+/// west station, crosses the midpoint mid-run, and the per-segment
+/// selected_station record flips — the handoff this trace pins down. The
+/// burst goes out early (while still west-selected) so the link also stays
+/// decodable.
+core::Scenario mobile_handoff() {
+  core::Scenario sc;
+  sc.name = "mobile_handoff";
+  sc.seed = 53;
+  sc.duration_seconds = 0.4;
+  sc.timeline.segment_seconds = 0.1;  // 0.48 s total -> 5 segments
+
+  core::ScenarioStation west;
+  west.name = "west-news";
+  west.config.program.genre = audio::ProgramGenre::kNews;
+  west.config.program.stereo = false;
+  west.config.seed = 53;
+  west.offset_hz = 0.0;
+  west.power_dbm = -28.0;
+  west.position = core::ScenePosition{-60.0, 0.0};
+  core::ScenarioStation east;
+  east.name = "east-pop";
+  east.config.program.genre = audio::ProgramGenre::kPop;
+  east.config.program.stereo = false;
+  east.config.seed = 54;
+  east.offset_hz = 800e3;
+  east.power_dbm = -30.0;
+  east.position = core::ScenePosition{60.0, 0.0};
+  sc.stations = {west, east};
+
+  core::ScenarioTag walker;
+  walker.name = "walker";
+  walker.subcarrier.shift_hz = 600e3;
+  walker.rate = tag::DataRate::k1600bps;
+  walker.num_bits = 128;
+  walker.packet_bits = 64;
+  walker.position = {-20.0, 0.0};
+  walker.waypoints = {{20.0, 0.0}};  // west side to east side
+  walker.distance_override_feet = 4.0;  // constant link, moving selection
+  walker.start_seconds = 0.0;
+  sc.tags = {walker};
+
+  core::ScenarioReceiver phone =
+      core::phone_listening_to(walker.subcarrier);
+  phone.name = "phone";
+  sc.receivers = {phone};
+  return sc;
+}
+
 // ---- Diffing ----------------------------------------------------------------
 
 /// Value-scaled tolerances, so a regenerated baseline carries its own
@@ -194,6 +245,16 @@ void check_against_golden(const core::Scenario& scenario) {
   ASSERT_EQ(golden->scenario, actual.scenario);
   EXPECT_EQ(golden->seed, actual.seed)
       << "scenario seed changed; update the golden trace intentionally";
+  // Segment geometry is deterministic (no noise involved): the handoff
+  // pattern must reproduce exactly.
+  ASSERT_EQ(golden->segments.size(), actual.segments.size());
+  for (std::size_t i = 0; i < golden->segments.size(); ++i) {
+    EXPECT_NEAR(actual.segments[i].start_seconds,
+                golden->segments[i].start_seconds, 1e-9) << i;
+    EXPECT_EQ(actual.segments[i].selected_station,
+              golden->segments[i].selected_station)
+        << "segment " << i << ": the handoff pattern changed";
+  }
   ASSERT_EQ(golden->tags.size(), actual.tags.size());
   for (std::size_t i = 0; i < golden->tags.size(); ++i) {
     const GoldenTag& want = golden->tags[i];
@@ -215,6 +276,20 @@ TEST(GoldenTraces, CityDisjoint) { check_against_golden(city_disjoint()); }
 TEST(GoldenTraces, AlohaBurst) { check_against_golden(aloha_burst()); }
 TEST(GoldenTraces, TwoStationCity) { check_against_golden(two_station_city()); }
 
+TEST(GoldenTraces, MobileHandoff) {
+  const core::Scenario sc = mobile_handoff();
+  check_against_golden(sc);
+  // Beyond the trace diff: the committed baseline itself must show a
+  // mid-run handoff, or the trace has stopped testing what it is for.
+  const std::optional<GoldenTrace> golden =
+      read_golden(trace_path(sc.name));
+  ASSERT_TRUE(golden.has_value());
+  ASSERT_GE(golden->segments.size(), 2U);
+  EXPECT_NE(golden->segments.front().selected_station,
+            golden->segments.back().selected_station)
+      << "mobile_handoff's selected_station must flip mid-run";
+}
+
 // The writer and reader must round-trip exactly (they are the only two
 // parties to the trace format).
 TEST(GoldenTraces, IoRoundTrips) {
@@ -222,6 +297,8 @@ TEST(GoldenTraces, IoRoundTrips) {
   trace.scenario = "roundtrip";
   trace.seed = 17;
   trace.aggregate_goodput_bps = 1234.5;
+  trace.segments.push_back({0.0, {0, 1}});
+  trace.segments.push_back({0.1, {1, 1}});
   trace.tags.push_back({"a \"quoted\" \\ name", 0.015625, 0.25, 320.0, 2, 128});
   trace.tags.push_back({"b", 0.0, 0.0, 640.0, 0, 128});
   const std::string path = testing::TempDir() + "fmbs_golden_roundtrip.json";
@@ -231,6 +308,10 @@ TEST(GoldenTraces, IoRoundTrips) {
   EXPECT_EQ(back->scenario, trace.scenario);
   EXPECT_EQ(back->seed, trace.seed);
   EXPECT_DOUBLE_EQ(back->aggregate_goodput_bps, trace.aggregate_goodput_bps);
+  ASSERT_EQ(back->segments.size(), 2U);
+  EXPECT_DOUBLE_EQ(back->segments[1].start_seconds, 0.1);
+  EXPECT_EQ(back->segments[0].selected_station, (std::vector<int>{0, 1}));
+  EXPECT_EQ(back->segments[1].selected_station, (std::vector<int>{1, 1}));
   ASSERT_EQ(back->tags.size(), 2U);
   EXPECT_EQ(back->tags[0].name, "a \"quoted\" \\ name");
   EXPECT_DOUBLE_EQ(back->tags[0].ber, 0.015625);

@@ -1,0 +1,269 @@
+// The tag MAC layer (tag/mac.h): slot quantization, carrier-sense deferral
+// mechanics, and — the way tests/core/test_scenario_aloha.cpp cross-checks
+// pure ALOHA against S = G e^{-2G} — a slotted-ALOHA throughput cross-check
+// of the schedule resolver against the analytic e^{-G} curve and the
+// core::aloha Monte-Carlo.
+#include "tag/mac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+#include "core/aloha.h"
+
+namespace fmbs::tag {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A sense oracle for a channel that is never busy.
+double silent_channel(std::size_t, double, double,
+                      std::span<const OnAirInterval>) {
+  return -kInf;
+}
+
+TEST(Mac, SlottedStartQuantizesUpToTheNextBoundary) {
+  EXPECT_DOUBLE_EQ(slotted_start(0.0, 0.08), 0.0);
+  EXPECT_DOUBLE_EQ(slotted_start(0.001, 0.08), 0.08);
+  EXPECT_DOUBLE_EQ(slotted_start(0.0799, 0.08), 0.08);
+  // A nominal start already on a boundary keeps it.
+  EXPECT_DOUBLE_EQ(slotted_start(0.16, 0.08), 0.16);
+  EXPECT_DOUBLE_EQ(slotted_start(0.1600000001, 0.08), 0.24);
+  EXPECT_THROW(slotted_start(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Mac, PureAlohaPassesNominalStartsThrough) {
+  std::vector<MacAttempt> attempts(2);
+  attempts[0].nominal_start_seconds = 0.013;
+  attempts[0].burst_seconds = 0.06;
+  attempts[1].nominal_start_seconds = 0.07;
+  attempts[1].burst_seconds = 0.06;
+  const auto d = resolve_mac_schedule(attempts, 1.0, 0.0, silent_channel);
+  ASSERT_EQ(d.size(), 2U);
+  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.013);
+  EXPECT_DOUBLE_EQ(d[1].start_seconds, 0.07);
+  EXPECT_TRUE(d[0].transmitted);
+  EXPECT_EQ(d[0].deferrals, 0U);
+  EXPECT_EQ(d[0].last_sensed_dbm, -kInf);
+}
+
+TEST(Mac, SlottedAlohaDerivesThePitchFromTheBurst) {
+  MacAttempt a;
+  a.config.kind = MacKind::kSlottedAloha;
+  a.nominal_start_seconds = 0.05;
+  a.burst_seconds = 0.06;
+  a.guard_seconds = 0.01;  // derived pitch: 0.06 + 2 * 0.01 = 0.08
+  const auto d =
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel);
+  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.08);
+
+  a.config.slot_seconds = 0.2;  // explicit pitch wins
+  const auto d2 =
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel);
+  EXPECT_DOUBLE_EQ(d2[0].start_seconds, 0.2);
+}
+
+TEST(Mac, CarrierSenseNeedsATimeline) {
+  MacAttempt a;
+  a.config.kind = MacKind::kCarrierSense;
+  a.burst_seconds = 0.06;
+  EXPECT_THROW(
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel),
+      std::invalid_argument);
+}
+
+TEST(Mac, CarrierSenseDefersWhileBusyThenTransmits) {
+  // Tag 0: pure ALOHA on the air over [0.07, 0.15] (payload + guards).
+  // Tag 1: carrier sense, nominal 0.11 (segment 1 of a 0.1 s timeline).
+  std::vector<MacAttempt> attempts(2);
+  attempts[0].nominal_start_seconds = 0.08;
+  attempts[0].burst_seconds = 0.06;
+  attempts[0].guard_seconds = 0.01;
+  attempts[1].config.kind = MacKind::kCarrierSense;
+  attempts[1].config.cs_threshold_dbm = -70.0;
+  attempts[1].nominal_start_seconds = 0.11;
+  attempts[1].burst_seconds = 0.06;
+  attempts[1].guard_seconds = 0.01;
+
+  // The oracle reports the neighbor hot (-40 dBm) whenever its committed
+  // window overlaps the sensed one.
+  auto sense = [](std::size_t attempt, double t0, double t1,
+                  std::span<const OnAirInterval> on_air) {
+    double dbm = -kInf;
+    for (const OnAirInterval& iv : on_air) {
+      if (iv.attempt == attempt) continue;
+      if (std::min(t1, iv.end_seconds) - std::max(t0, iv.begin_seconds) > 0.0) {
+        dbm = std::max(dbm, -40.0);
+      }
+    }
+    return dbm;
+  };
+  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, sense);
+  // Candidate 0.11 senses segment 0 ([0, 0.1): neighbor on air from 0.07)
+  // -> defer to 0.2; 0.2 senses [0.1, 0.2) (neighbor on air until 0.15) ->
+  // defer to 0.3; 0.3 senses [0.2, 0.3): clear -> transmit.
+  EXPECT_TRUE(d[1].transmitted);
+  EXPECT_EQ(d[1].deferrals, 2U);
+  EXPECT_DOUBLE_EQ(d[1].start_seconds, 0.3);
+  EXPECT_EQ(d[1].last_sensed_dbm, -kInf);
+  // The pure neighbor was untouched.
+  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.08);
+}
+
+TEST(Mac, SameBoundaryListenersCannotHearEachOther) {
+  // Two carrier-sense tags whose candidates land on the same boundary both
+  // sense the same (clear) preceding segment and both commit — the residual
+  // collision a real LBT cannot avoid.
+  std::vector<MacAttempt> attempts(2);
+  for (MacAttempt& a : attempts) {
+    a.config.kind = MacKind::kCarrierSense;
+    a.nominal_start_seconds = 0.21;
+    a.burst_seconds = 0.06;
+    a.guard_seconds = 0.01;
+  }
+  auto sense = [](std::size_t, double, double,
+                  std::span<const OnAirInterval> on_air) {
+    return on_air.empty() ? -kInf : -40.0;
+  };
+  const auto d = resolve_mac_schedule(attempts, 1.0, 0.1, sense);
+  EXPECT_TRUE(d[0].transmitted);
+  EXPECT_TRUE(d[1].transmitted);
+  EXPECT_DOUBLE_EQ(d[0].start_seconds, d[1].start_seconds);
+}
+
+TEST(Mac, CarrierSenseGivesUpWhenTheBurstNoLongerFits) {
+  std::vector<MacAttempt> attempts(2);
+  attempts[0].nominal_start_seconds = 0.0;
+  attempts[0].burst_seconds = 0.5;  // hogs the whole window
+  attempts[0].guard_seconds = 0.01;
+  attempts[1].config.kind = MacKind::kCarrierSense;
+  attempts[1].nominal_start_seconds = 0.15;
+  attempts[1].burst_seconds = 0.06;
+  attempts[1].guard_seconds = 0.01;
+  auto sense = [](std::size_t, double, double,
+                  std::span<const OnAirInterval> on_air) {
+    return on_air.empty() ? -kInf : -40.0;
+  };
+  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, sense);
+  EXPECT_FALSE(d[1].transmitted);
+  EXPECT_GT(d[1].deferrals, 0U);
+}
+
+TEST(Mac, CarrierSenseNeverThrowsOnAnUnfittableBurst) {
+  // Unlike pure/slotted (whose fit is the caller's configuration contract),
+  // carrier sense stays silent when its burst cannot fit the window — even
+  // at the nominal start on an idle channel, before any deferral.
+  std::vector<MacAttempt> attempts(1);
+  attempts[0].config.kind = MacKind::kCarrierSense;
+  attempts[0].nominal_start_seconds = 0.55;
+  attempts[0].burst_seconds = 0.2;  // 0.55 + 0.2 > 0.6: never fits
+  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, silent_channel);
+  EXPECT_FALSE(d[0].transmitted);
+  EXPECT_EQ(d[0].deferrals, 0U);
+}
+
+TEST(Mac, CarrierSenseRespectsMaxDeferrals) {
+  std::vector<MacAttempt> attempts(1);
+  attempts[0].config.kind = MacKind::kCarrierSense;
+  attempts[0].config.max_deferrals = 3;
+  attempts[0].nominal_start_seconds = 0.15;
+  attempts[0].burst_seconds = 0.06;
+  attempts[0].guard_seconds = 0.01;
+  // A jammed channel: always busy.
+  auto jammed = [](std::size_t, double, double,
+                   std::span<const OnAirInterval>) { return -30.0; };
+  const auto d = resolve_mac_schedule(attempts, 100.0, 0.1, jammed);
+  EXPECT_FALSE(d[0].transmitted);
+  EXPECT_EQ(d[0].deferrals, 4U);  // the give-up attempt is counted
+}
+
+// ---- Slotted ALOHA vs the analytic e^{-G} curve -----------------------------
+
+/// Runs `num_attempts` uniform arrivals through the resolver's slotted
+/// policy and scores successes by slot occupancy (a slot used once is a
+/// delivery; a shared slot is a total collision — the slotted vulnerability
+/// rule).
+struct SlottedRun {
+  double success_probability = 0.0;
+  double offered_load = 0.0;  // G: attempts per slot
+  std::size_t attempts = 0;
+};
+
+SlottedRun run_slotted(std::size_t num_attempts, std::size_t num_slots,
+                       double pitch, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> at(
+      0.0, static_cast<double>(num_slots) * pitch);
+  std::vector<MacAttempt> attempts(num_attempts);
+  for (MacAttempt& a : attempts) {
+    a.config.kind = MacKind::kSlottedAloha;
+    a.config.slot_seconds = pitch;
+    a.nominal_start_seconds = at(rng);
+    a.burst_seconds = 0.8 * pitch;
+  }
+  const auto decisions = resolve_mac_schedule(
+      attempts, static_cast<double>(num_slots + 2) * pitch, 0.0, silent_channel);
+
+  std::unordered_map<long long, std::size_t> occupancy;
+  for (const MacDecision& d : decisions) {
+    occupancy[std::llround(d.start_seconds / pitch)]++;
+  }
+  std::size_t successes = 0;
+  for (const MacDecision& d : decisions) {
+    if (occupancy[std::llround(d.start_seconds / pitch)] == 1) ++successes;
+  }
+  SlottedRun out;
+  out.attempts = num_attempts;
+  out.offered_load =
+      static_cast<double>(num_attempts) / static_cast<double>(num_slots);
+  out.success_probability =
+      static_cast<double>(successes) / static_cast<double>(num_attempts);
+  return out;
+}
+
+/// 3-sigma binomial Monte-Carlo band around p for n samples.
+double tolerance(double p, std::size_t n) {
+  return 3.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+TEST(MacSlottedAloha, LowLoadMatchesAnalytic) {
+  const SlottedRun run = run_slotted(400, 1000, 0.08, 2026);
+  const double p = std::exp(-run.offered_load);  // e^{-G}, G = 0.4
+  EXPECT_NEAR(run.success_probability, p, tolerance(p, run.attempts));
+}
+
+TEST(MacSlottedAloha, FullLoadMatchesAnalyticAndMonteCarlo) {
+  const SlottedRun run = run_slotted(600, 600, 0.08, 7);
+  const double p = std::exp(-run.offered_load);  // e^{-G}, G = 1
+  EXPECT_NEAR(run.success_probability, p, tolerance(p, run.attempts));
+
+  // Converged core::aloha Monte-Carlo at the same offered load: the
+  // schedule resolver and the MAC simulator must tell the same story.
+  core::AlohaConfig mc;
+  mc.slotted = true;
+  mc.num_tags = 30;
+  mc.frame_seconds = 0.08;
+  mc.duration_seconds = 3600.0;
+  mc.per_tag_rate_hz =
+      run.offered_load / (mc.frame_seconds * static_cast<double>(mc.num_tags));
+  const core::AlohaResult ref = core::simulate_aloha(mc);
+  EXPECT_NEAR(run.success_probability, ref.success_probability,
+              tolerance(ref.success_probability, run.attempts));
+}
+
+TEST(MacSlottedAloha, ThroughputPeaksNearGOfOne) {
+  // S = G e^{-G} peaks at G = 1: the resolver's throughput curve must show
+  // the same shape the closed form predicts.
+  const double s_low = 0.4 * run_slotted(240, 600, 0.08, 11).success_probability;
+  const double s_peak = 1.0 * run_slotted(600, 600, 0.08, 12).success_probability;
+  const double s_high = 2.0 * run_slotted(1200, 600, 0.08, 13).success_probability;
+  EXPECT_GT(s_peak, s_low);
+  EXPECT_GT(s_peak, s_high);
+  EXPECT_NEAR(s_peak, std::exp(-1.0), 0.06);
+  EXPECT_NEAR(s_peak, core::aloha_theoretical_throughput(1.0, true), 0.06);
+}
+
+}  // namespace
+}  // namespace fmbs::tag
