@@ -1,0 +1,76 @@
+// RDS range — the paper's headline data plane (§4.2, §8, Fig. 3) measured
+// the way Fig. 7/14 measure audio: a poster pushes one RadioText ad
+// ("SIMPLY THREE - TICKETS 50% OFF") over the 57 kHz subcarrier of its
+// backscatter channel, and the grid sweeps tag–receiver distance for a
+// phone row and a car row. Reported per cell: RDS block error rate (the
+// post-sync accounting of fm::RdsDecodeResult) and whether the full
+// RadioText string was recovered — BLER vs distance is the RDS twin of the
+// FSK BER curves, and the recovery row is the user-visible outcome.
+#include <iostream>
+#include <string>
+
+#include "core/scenario.h"
+
+namespace {
+
+using namespace fmbs;
+
+constexpr const char* kAdText = "SIMPLY THREE - TICKETS 50% OFF";
+
+core::Scenario rds_scenario(double distance_ft, bool car) {
+  core::Scenario sc;
+  sc.name = "rds_range";
+  sc.seed = 0;          // derived per grid cell by the sweep seed policy
+  sc.station.seed = 0;  // pinned sweep-wide: one shared station render
+  sc.station.program.genre = audio::ProgramGenre::kNews;
+  sc.station.program.stereo = false;
+  sc.duration_seconds = 0.75;  // 8 RadioText groups at 1187.5 bps ~ 0.70 s
+
+  core::ScenarioTag t;
+  t.name = "ad-poster";
+  t.rds_radiotext = kAdText;
+  t.tag_power_dbm = -35.0;  // low-power poster: the knee lands mid-grid
+  t.distance_override_feet = distance_ft;
+  sc.tags.push_back(std::move(t));
+  sc.receivers.push_back(car ? core::car_listening_to(sc.tags[0].subcarrier)
+                             : core::phone_listening_to(sc.tags[0].subcarrier));
+  return sc;
+}
+
+const rx::RdsLinkReport& rds_of(const core::ScenarioResult& result) {
+  return *result.best_per_tag.at(0).rds;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> distances_ft{4, 32, 64, 128, 192, 256, 384};
+
+  std::vector<core::ScenarioGridRow> rows;
+  for (const bool car : {false, true}) {
+    const std::string chain = car ? "car" : "phone";
+    rows.push_back({chain + " BLER",
+                    [car](double d) { return rds_scenario(d, car); },
+                    [](const core::ScenarioResult& result, double) {
+                      return rds_of(result).bler;
+                    }});
+    rows.push_back({chain + " RT-ok",
+                    [car](double d) { return rds_scenario(d, car); },
+                    [](const core::ScenarioResult& result, double) {
+                      return rds_of(result).radiotext == kAdText ? 1.0 : 0.0;
+                    }});
+  }
+
+  core::SweepRunner runner;
+  const core::ScenarioEngine engine({.keep_captures = false});
+  const auto series = core::run_scenario_grid(runner, engine, rows,
+                                              distances_ft);
+
+  std::cout << "RDS range: RadioText \"" << kAdText << "\" (8 groups, "
+               "1187.5 bps) vs tag-receiver distance\n"
+               "(BLER is post-sync block error rate, 1.0 when sync was "
+               "never acquired; RT-ok = full string recovered)\n\n";
+  core::print_table(std::cout, "RDS BLER / RadioText recovery vs distance",
+                    "dist_ft", distances_ft, series, 3);
+  return 0;
+}

@@ -15,8 +15,17 @@
 // segmented timeline, and its carrier-sense MAC defers around a fixed
 // poster contending for the same channel.
 //
+// `--rds` is the paper's headline demo (sections 4.2 and 8, Fig. 3) on the
+// same street: the courier's poster pushes an RDS RadioText ad ("SIMPLY
+// THREE - TICKETS 50% OFF") over the 57 kHz subcarrier of its backscatter
+// channel while walking the scene — handoff, LBT deferral around the fixed
+// poster, and end-to-end RadioText recovery in one run, while a radio
+// parked on the anchor station's own channel displays the survey-derived
+// PS name any unmodified RDS radio would.
+//
 //   $ ./city_block
 //   $ ./city_block --walk
+//   $ ./city_block --rds
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -29,7 +38,7 @@
 namespace {
 
 int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
-                  fmbs::core::SurveySceneReport scene);
+                  fmbs::core::SurveySceneReport scene, bool rds);
 
 }  // namespace
 
@@ -37,11 +46,14 @@ int main(int argc, char** argv) {
   using namespace fmbs;
 
   bool walk = false;
+  bool rds = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--walk") == 0) {
       walk = true;
+    } else if (std::strcmp(argv[i], "--rds") == 0) {
+      rds = true;
     } else {
-      std::printf("usage: %s [--walk]\n", argv[0]);
+      std::printf("usage: %s [--walk | --rds]\n", argv[0]);
       return 2;
     }
   }
@@ -65,7 +77,9 @@ int main(int argc, char** argv) {
                 "and were skipped (e.g. %s)\n",
                 scene.warnings.size(), scene.warnings.front().c_str());
   }
-  if (walk) return run_walk_mode(city, listen_channel, std::move(scene));
+  if (walk || rds) {
+    return run_walk_mode(city, listen_channel, std::move(scene), rds);
+  }
 
   core::Scenario sc;
   sc.name = "city_block";
@@ -210,13 +224,17 @@ namespace {
 /// The mobility demo: the scene's two strongest stations anchor the street
 /// ends, a courier tag walks the block on a segmented timeline (handoff),
 /// and its carrier-sense MAC defers around a fixed poster on the same
-/// channel.
+/// channel. With `rds` the courier's payload is the paper's RadioText ad
+/// instead of FSK bits, and a radio parked on the west anchor's own channel
+/// displays the scene station's PS name.
 int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
-                  fmbs::core::SurveySceneReport scene) {
+                  fmbs::core::SurveySceneReport scene, bool rds) {
   using namespace fmbs;
 
-  std::printf("%s walk: %zu stations in the scene around %.1f MHz\n",
-              city.name.c_str(), scene.stations.size(),
+  constexpr const char* kAdText = "SIMPLY THREE - TICKETS 50% OFF";
+  std::printf("%s %s: %zu stations in the scene around %.1f MHz\n",
+              city.name.c_str(), rds ? "RDS walk" : "walk",
+              scene.stations.size(),
               survey::channel_frequency_hz(listen_channel) / 1e6);
 
   // ---- Anchor the two strongest stations at the street ends. ---------------
@@ -236,12 +254,17 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   west.position = core::ScenePosition{-80.0, 0.0};
   east.position = core::ScenePosition{80.0, 0.0};
   // Street-level powers within a few dB make the handoff geometric rather
-  // than foregone; keep the surveyed ordering, cap the gap.
-  if (east.power_dbm < west.power_dbm - 4.0) {
+  // than foregone; keep the surveyed ordering, cap the gap. The RDS walk
+  // caps it tighter: its 0.7 s RadioText burst must finish on the west
+  // channel before the coverage boundary (which a larger gap pushes east)
+  // is crossed.
+  const double max_gap_db = rds ? 2.0 : 4.0;
+  if (east.power_dbm < west.power_dbm - max_gap_db) {
     std::printf("(east anchor %s raised %.1f dB so the walk crosses the "
                 "coverage boundary mid-block)\n",
-                east.name.c_str(), west.power_dbm - 4.0 - east.power_dbm);
-    east.power_dbm = west.power_dbm - 4.0;
+                east.name.c_str(),
+                west.power_dbm - max_gap_db - east.power_dbm);
+    east.power_dbm = west.power_dbm - max_gap_db;
   }
   std::printf("anchors: %-18s west end  %6.1f dBm\n         %-18s east end  "
               "%6.1f dBm\n",
@@ -249,21 +272,30 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
               east.power_dbm);
 
   // ---- The walk scenario. --------------------------------------------------
+  // The RDS walk is longer (the RadioText burst alone is ~0.7 s) and starts
+  // farther west, so the whole ad goes out on the west channel before the
+  // handoff boundary.
   core::Scenario sc;
-  sc.name = "city_walk";
+  sc.name = rds ? "city_rds" : "city_walk";
   sc.seed = 50;
-  sc.duration_seconds = 0.8;
-  sc.timeline.segment_seconds = 0.1;  // 0.88 s total -> 9 segments
+  sc.duration_seconds = rds ? 1.4 : 0.8;
+  sc.timeline.segment_seconds = 0.1;  // 0.1 s geometry re-evaluation
   sc.stations = std::move(scene.stations);
 
   core::ScenarioTag courier;
-  courier.name = "courier badge";
+  courier.name = rds ? "courier ad-poster" : "courier badge";
   courier.subcarrier.shift_hz = 600e3;
-  courier.rate = tag::DataRate::k1600bps;
-  courier.num_bits = 192;
-  courier.packet_bits = 96;
-  courier.position = {-30.0, 0.0};
-  courier.waypoints = {{30.0, 0.0}};  // across the block
+  if (rds) {
+    courier.rds_radiotext = kAdText;  // 8 groups at 1187.5 bps ~ 0.70 s
+    courier.position = {-40.0, 0.0};
+    courier.waypoints = {{20.0, 0.0}};  // across the block
+  } else {
+    courier.rate = tag::DataRate::k1600bps;
+    courier.num_bits = 192;
+    courier.packet_bits = 96;
+    courier.position = {-30.0, 0.0};
+    courier.waypoints = {{30.0, 0.0}};  // across the block
+  }
   courier.distance_override_feet = 4.0;  // the phone walks along
   courier.start_seconds = 0.03;
   courier.mac.kind = tag::MacKind::kCarrierSense;
@@ -283,9 +315,18 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   core::ScenarioReceiver phone;
   phone.name = "pedestrian phone";
   phone.tune_offset_hz = west.offset_hz + courier.subcarrier.shift_hz;
-  phone.position = {-30.0, 1.0};
-  phone.waypoints = {{30.0, 1.0}};
+  phone.position = {courier.position.x_m, 1.0};
+  phone.waypoints = {{courier.waypoints[0].x_m, 1.0}};
   sc.receivers = {phone};
+  if (rds) {
+    // A radio parked on the west anchor's own channel: what any unmodified
+    // RDS radio in the scene displays is the survey-derived PS name.
+    core::ScenarioReceiver parked;
+    parked.name = "parked radio";
+    parked.tune_offset_hz = west.offset_hz;
+    parked.position = {-35.0, 3.0};
+    sc.receivers.push_back(std::move(parked));
+  }
 
   const core::ScenarioResult result =
       core::ScenarioEngine({.keep_captures = false}).run(sc);
@@ -294,8 +335,13 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   std::printf("\n%-14s %-18s %-10s\n", "segment", "courier reflects",
               "on air");
   const double courier_burst_seconds =
-      static_cast<double>(sc.tags[0].num_bits) /
-      tag::bits_per_second(sc.tags[0].rate);
+      rds ? static_cast<double>(
+                fm::serialize_groups(
+                    fm::make_radiotext_groups(sc.tags[0].rds_radiotext))
+                    .size()) /
+                fm::kRdsBitRateHz
+          : static_cast<double>(sc.tags[0].num_bits) /
+                tag::bits_per_second(sc.tags[0].rate);
   for (const core::ScenarioSegmentReport& seg : result.segments) {
     const auto s = static_cast<std::size_t>(seg.selected_station[0]);
     const bool on_air =
@@ -330,10 +376,23 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
     std::printf("\n");
   }
   for (const core::TagLinkReport& link : result.best_per_tag) {
-    std::printf("%s: %zu/%zu bit errors, PER %.2f, goodput %.0f bps\n",
-                sc.tags[link.tag_index].name.c_str(),
-                link.burst.ber.bit_errors, link.burst.ber.bits_compared,
-                link.burst.per, link.goodput_bps);
+    if (link.rds.has_value()) {
+      std::printf("%s: RadioText \"%s\", BLER %.3f (%zu/%zu blocks clean)\n",
+                  sc.tags[link.tag_index].name.c_str(),
+                  link.rds->radiotext.c_str(), link.rds->bler,
+                  link.rds->blocks_ok,
+                  link.rds->blocks_ok + link.rds->blocks_failed);
+    } else {
+      std::printf("%s: %zu/%zu bit errors, PER %.2f, goodput %.0f bps\n",
+                  sc.tags[link.tag_index].name.c_str(),
+                  link.burst.ber.bit_errors, link.burst.ber.bits_compared,
+                  link.burst.per, link.goodput_bps);
+    }
+  }
+  if (rds && result.receivers.size() > 1 &&
+      result.receivers[1].station_rds.has_value()) {
+    std::printf("parked radio on %s: PS \"%s\"\n", west.name.c_str(),
+                result.receivers[1].station_rds->ps_name.c_str());
   }
   std::printf("\n%d handoff%s along the walk; end-to-end goodput %.0f bps\n",
               handoffs, handoffs == 1 ? "" : "s",
@@ -348,9 +407,24 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
     return 1;
   }
   for (const core::TagLinkReport& link : result.best_per_tag) {
-    if (link.tag_index == 0 && link.burst.ber.ber > 0.05) {
+    if (link.tag_index != 0) continue;
+    if (rds) {
+      if (!link.rds.has_value() || link.rds->radiotext != kAdText) {
+        std::printf("WARNING: the RadioText ad did not survive the walk\n");
+        return 1;
+      }
+    } else if (link.burst.ber.ber > 0.05) {
       std::printf("WARNING: courier BER %.3f — the deferred burst was not "
                   "clean\n", link.burst.ber.ber);
+      return 1;
+    }
+  }
+  if (rds) {
+    if (result.receivers.size() < 2 ||
+        !result.receivers[1].station_rds.has_value() ||
+        result.receivers[1].station_rds->ps_name != west.config.rds_ps_name) {
+      std::printf("WARNING: the parked radio did not recover the anchor "
+                  "station's PS name\n");
       return 1;
     }
   }

@@ -1,6 +1,7 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 #include "dsp/fir.h"
 #include "dsp/math_util.h"
 #include "dsp/nco.h"
+#include "fm/rds.h"
 #include "fm/station_cache.h"
 #include "rx/tuner.h"
 #include "tag/baseband.h"
@@ -31,6 +33,12 @@ constexpr std::uint64_t kTagContentStream = 0x1000;
 constexpr std::uint64_t kTagFadingStream = 0x2000;
 constexpr std::uint64_t kReceiverNoiseStream = 0x3000;
 constexpr std::uint64_t kStationSeedStream = 0x4000;
+constexpr std::uint64_t kSurveyRdsStream = 0x5000;
+
+/// Capture kept past an RDS burst's nominal end when decoding it out of a
+/// receiver's post-demod MPX: covers the front-end group delay, like the
+/// FSK router's tail slack.
+constexpr double kRdsDecodeSlackSeconds = 0.02;
 
 double pair_distance_m(const ScenarioTag& tag, const ScenePosition& tag_at,
                        const ScenePosition& rx_at) {
@@ -62,12 +70,18 @@ struct TagState {
   dsp::rvec baseband;           // FM_back at the MPX rate, padded
   std::size_t active_begin = 0;  // switch-on window, MPX samples
   std::size_t active_end = 0;
-  std::vector<std::uint8_t> bits;  // empty for custom-baseband tags
+  std::vector<std::uint8_t> bits;  // empty for custom-baseband and RDS tags
+  std::vector<unsigned char> rds_bits;  // serialized groups of an RDS tag
   double burst_start_seconds = 0.0;
   double burst_seconds = 0.0;  // payload on-air time (0 for custom tags)
   bool transmitted = true;     // false: the MAC never let the burst out
   std::unique_ptr<tag::SubcarrierGenerator> subcarrier;
   std::unique_ptr<channel::FadingProcess> fading;
+  /// Root of the tag's fading streams. Single-segment runs construct one
+  /// process from it directly (the historical, bit-identical path);
+  /// segmented runs re-derive a stream per segment in the block loop.
+  std::uint64_t fading_seed = 0;
+  std::size_t fading_segment = static_cast<std::size_t>(-1);
 };
 
 }  // namespace
@@ -220,6 +234,26 @@ SurveySceneReport stations_from_survey_report(
     st.config.program.genre = kGenres[static_cast<std::size_t>(ch) % 4];
     st.config.program.stereo = ch % 3 != 0;  // a mix of mono and stereo
     st.config.seed = derive_seed(seed, static_cast<std::uint64_t>(ch));
+    // Real stations broadcast RDS: give every surveyed channel a
+    // deterministic injection level (the 0.04-0.06 band real broadcasters
+    // use) and a PS name derived from the city and channel frequency, so
+    // city scenes carry the 57 kHz subcarrier the way a real band does.
+    st.config.rds_level =
+        0.04 + 0.01 * static_cast<double>(
+                          derive_seed(seed, kSurveyRdsStream +
+                                                static_cast<std::uint64_t>(ch)) %
+                          3);
+    std::string call;
+    for (const char c : city.name) {
+      if (call.size() == 3) break;
+      call.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    }
+    while (call.size() < 3) call.push_back('X');
+    char ps[16];
+    std::snprintf(ps, sizeof(ps), "%s%05.1f", call.c_str(),
+                  survey::channel_frequency_hz(ch) / 1e6);
+    st.config.rds_ps_name = ps;  // e.g. "BOS098.5"
     st.offset_hz = offset;
     st.power_dbm = city.detectable_power_dbm[i];
     report.stations.push_back(std::move(st));
@@ -410,25 +444,51 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     TagState& st = tags[i];
     st.subcarrier = std::make_unique<tag::SubcarrierGenerator>(t.subcarrier);
     if (t.fading) {
-      const std::uint64_t fseed =
+      st.fading_seed =
           t.fading_seed ? *t.fading_seed : derive_seed(sc.seed, kTagFadingStream + i);
-      st.fading =
-          std::make_unique<channel::FadingProcess>(*t.fading, fm::kRfRate, fseed);
+      // A single-segment run streams one process seeded exactly as the
+      // historical engine did (bit-identical); segmented runs re-derive the
+      // stream per segment inside the block loop, so segment geometry
+      // changes actually decorrelate the fade instead of riding one
+      // coherent realization across the whole walk.
+      if (num_segments == 1) {
+        st.fading = std::make_unique<channel::FadingProcess>(
+            *t.fading, fm::kRfRate, st.fading_seed);
+      }
     }
     if (!t.custom_baseband.empty()) {
+      if (!t.rds_radiotext.empty()) {
+        throw std::invalid_argument(
+            "ScenarioEngine: tag \"" + t.name +
+            "\" sets both custom_baseband and rds_radiotext");
+      }
       st.baseband = t.custom_baseband;
       st.baseband.resize(padded, 0.0F);
       st.active_begin = 0;
       st.active_end = padded;
       continue;
     }
-    if (t.num_bits == 0) {
-      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
-                                  "\" has no payload");
-    }
     if (t.start_seconds < 0.0) {
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" burst does not fit the scenario");
+    }
+    if (!t.rds_radiotext.empty()) {
+      // RDS data mode: the RadioText compiles to group-2A blocks whose
+      // serialized bitstream becomes the burst (one pass over the groups at
+      // the standard 1187.5 bps).
+      if (t.rds_level <= 0.0 || t.rds_level > 1.0) {
+        throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
+                                    "\" rds_level must be in (0, 1]");
+      }
+      st.rds_bits =
+          fm::serialize_groups(fm::make_radiotext_groups(t.rds_radiotext));
+      st.burst_seconds =
+          static_cast<double>(st.rds_bits.size()) / fm::kRdsBitRateHz;
+      continue;
+    }
+    if (t.num_bits == 0) {
+      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
+                                  "\" has no payload");
     }
     const std::uint64_t cseed =
         t.seed ? *t.seed : derive_seed(sc.seed, kTagContentStream + i);
@@ -445,7 +505,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   std::vector<tag::MacAttempt> attempts;
   std::vector<std::size_t> attempt_tag;  // attempt index -> tag index
   for (std::size_t i = 0; i < sc.tags.size(); ++i) {
-    if (tags[i].bits.empty()) continue;  // custom baseband: always on, no MAC
+    // Custom-baseband tags are always on and bypass the MAC; FSK and RDS
+    // bursts both contend for the channel.
+    if (tags[i].bits.empty() && tags[i].rds_bits.empty()) continue;
     tag::MacAttempt a;
     a.nominal_start_seconds = sc.settle_seconds + sc.tags[i].start_seconds;
     a.burst_seconds = tags[i].burst_seconds;
@@ -556,11 +618,28 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" burst does not fit the scenario");
     }
-    const audio::MonoBuffer lead_in =
-        audio::make_silence(st.burst_start_seconds, fm::kAudioRate);
-    st.baseband = tag::compose_overlay_baseband(
-        audio::concat(lead_in, waves[i]), t.level, fm::kMpxRate);
-    st.baseband.resize(padded, 0.0F);
+    if (!st.rds_bits.empty()) {
+      // RDS burst: generated directly at the MPX rate and dropped into the
+      // burst window (the biphase/BPSK waveform needs no audio-rate stage).
+      const auto nsamp = static_cast<std::size_t>(
+          std::ceil(st.burst_seconds * fm::kMpxRate));
+      const dsp::rvec wave =
+          tag::compose_rds_baseband(st.rds_bits, nsamp, t.rds_level);
+      st.baseband.assign(padded, 0.0F);
+      const auto s0 = static_cast<std::size_t>(st.burst_start_seconds *
+                                               fm::kMpxRate);
+      const std::size_t n =
+          std::min(wave.size(), s0 < padded ? padded - s0 : 0);
+      std::copy(wave.begin(),
+                wave.begin() + static_cast<std::ptrdiff_t>(n),
+                st.baseband.begin() + static_cast<std::ptrdiff_t>(s0));
+    } else {
+      const audio::MonoBuffer lead_in =
+          audio::make_silence(st.burst_start_seconds, fm::kAudioRate);
+      st.baseband = tag::compose_overlay_baseband(
+          audio::concat(lead_in, waves[i]), t.level, fm::kMpxRate);
+      st.baseband.resize(padded, 0.0F);
+    }
     st.active_begin = static_cast<std::size_t>(
         std::max(0.0, st.burst_start_seconds - kBurstGuardSeconds) * fm::kMpxRate);
     st.active_end = std::min(
@@ -711,7 +790,19 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       // segment — a handoff moves the reflection to the new station's
       // carrier), with motion fading on the tag path.
       for (std::size_t i = 0; i < incident.size(); ++i) b[i] *= incident[i];
-      if (st.fading) st.fading->apply(b);
+      if (sc.tags[t].fading) {
+        if (num_segments > 1 && st.fading_segment != seg) {
+          // Segmented timelines re-derive the fading stream per segment
+          // (derive_seed(fseed, segment)): the walk's geometry change is
+          // what decorrelates the fade — one process streaming across the
+          // whole run would keep a long walk on a single coherent fade.
+          st.fading = std::make_unique<channel::FadingProcess>(
+              *sc.tags[t].fading, fm::kRfRate,
+              derive_seed(st.fading_seed, seg));
+          st.fading_segment = seg;
+        }
+        st.fading->apply(b);
+      }
       // The switch is off outside the burst window: no reflection at all.
       const std::size_t lo =
           st.active_begin > start ? (st.active_begin - start) * up_factor : 0;
@@ -794,6 +885,57 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
         heard[t] = 1;
       }
       rr.links.push_back(std::move(link));
+    }
+
+    // RDS tag links: each audible RadioText burst is decoded out of this
+    // receiver's post-demod MPX over its on-air window only (so the
+    // reflected station's continuous RDS outside the burst cannot steal
+    // carrier/timing lock). BLER plays the role FSK BER plays in best-link
+    // selection, and goodput counts the info bits of clean blocks.
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      const TagState& st = tags[t];
+      if (st.rds_bits.empty() || !st.transmitted) continue;
+      const std::size_t burst_seg = segment_of_time(
+          st.burst_start_seconds + 0.5 * st.burst_seconds);
+      if (!tag_audible_at(
+              sc.tags[t],
+              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
+              rx.tune_offset_hz)) {
+        continue;
+      }
+      TagLinkReport link;
+      link.tag_index = t;
+      link.receiver_index = r;
+      link.rds = rx::decode_rds_link(
+          capture.fm.mpx, fm::kMpxRate, st.burst_start_seconds,
+          st.burst_seconds + kRdsDecodeSlackSeconds);
+      link.burst.ber.ber = link.rds->bler;
+      link.burst.bits_delivered = link.rds->blocks_ok * 16;
+      link.backscatter_rx_power_dbm = rx_power_dbm[burst_seg][r][t];
+      link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
+                         sc.duration_seconds;
+      if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {
+        best[t] = link;
+        heard[t] = 1;
+      }
+      rr.links.push_back(std::move(link));
+    }
+
+    // The tuned channel's own broadcast RDS: the scene-station PS name any
+    // unmodified RDS radio parked on this channel displays.
+    const fm::StationConfig* tuned_station = nullptr;
+    if (multi) {
+      for (std::size_t s = 0; s < num_stations; ++s) {
+        if (std::abs(station_offset[s] - rx.tune_offset_hz) < 1.0) {
+          tuned_station = &sc.stations[s].config;
+          break;
+        }
+      }
+    } else if (std::abs(rx.tune_offset_hz) < 1.0) {
+      tuned_station = &sc.station;
+    }
+    if (tuned_station != nullptr && tuned_station->rds_level > 0.0) {
+      rr.station_rds = rx::decode_rds_link(capture.fm.mpx, fm::kMpxRate);
     }
     if (config_.keep_captures) rr.capture = std::move(capture);
   }

@@ -47,6 +47,7 @@
 #include "dsp/types.h"
 #include "fm/transmitter.h"
 #include "rx/multitag.h"
+#include "rx/rds_path.h"
 #include "survey/spectrum_db.h"
 #include "tag/antenna.h"
 #include "tag/fsk.h"
@@ -131,6 +132,21 @@ struct ScenarioTag {
   /// switch runs only while its burst is on the air (an idle tag reflects
   /// nothing), which is what makes ALOHA collisions physical.
   double start_seconds = 0.0;
+  /// ...or an RDS RadioText payload (the paper's headline demo: a poster
+  /// pushing "SIMPLY THREE - TICKETS 50% OFF" onto any RDS radio display).
+  /// A non-empty string switches the tag into RDS data mode: the text is
+  /// compiled via fm::make_radiotext_groups -> tag::compose_rds_baseband
+  /// and transmitted as one burst starting at `start_seconds` — MAC-aware
+  /// (carrier sense defers it like an FSK burst) and colliding physically
+  /// in the 57 kHz band of its backscatter channel. The burst lasts
+  /// ceil((chars+1)/4) * 104 / 1187.5 seconds and must fit the scenario.
+  /// Mutually exclusive with custom_baseband.
+  std::string rds_radiotext;
+  /// RDS subcarrier injection level of the burst, relative to full
+  /// deviation. Broadcast stations inject ~0.05; the tag's backscatter
+  /// channel has an empty program band, so a stronger injection simply
+  /// buys block-error margin against the reflected station's own RDS.
+  double rds_level = 0.3;
   /// ...or an explicit FM_back baseband at the MPX rate (non-empty overrides
   /// the FSK payload; the tag is then on-air for the whole scenario and
   /// reports no BER — used for audio tags and the legacy-simulator bridge).
@@ -236,6 +252,12 @@ struct TagLinkReport {
   std::size_t tag_index = 0;
   std::size_t receiver_index = 0;
   rx::BurstReport burst;                  // BER / PER / confidence
+  /// RDS payload outcome — set only for rds_radiotext tags. For those
+  /// links `burst.ber.ber` carries the block error rate (so best-link
+  /// selection and sweep plotting stay uniform with FSK tags),
+  /// `burst.bits_delivered` counts the 16 information bits of every clean
+  /// block, and `goodput_bps` follows from it.
+  std::optional<rx::RdsLinkReport> rds;
   double backscatter_rx_power_dbm = 0.0;  // in-channel power at this receiver
   double goodput_bps = 0.0;  // correct payload bits per scenario second
 };
@@ -244,6 +266,11 @@ struct TagLinkReport {
 struct ScenarioReceiverResult {
   ReceiverCapture capture;           // empty when keep_captures is off
   std::vector<TagLinkReport> links;  // one per tag audible on this channel
+  /// RDS of the ambient station on this receiver's tuned channel — what an
+  /// unmodified RDS radio parked here displays (the scene station's PS
+  /// name). Set when such a station exists and broadcasts RDS
+  /// (StationConfig::rds_level > 0); decoded over the whole capture.
+  std::optional<rx::RdsLinkReport> station_rds;
 };
 
 /// Geometry snapshot of one timeline segment.
@@ -355,8 +382,10 @@ Scenario scenario_from_system(const SystemConfig& config,
 /// (survey::SpectrumDb, paper Fig. 4): every detectable channel within
 /// `max_offset_hz` of `listen_channel` becomes a ScenarioStation at its real
 /// 200 kHz-raster offset carrying its surveyed street-level ambient power;
-/// program genre, stereo flag and content seed vary deterministically per
-/// channel. Stations come back sorted by |offset|, so the listen channel
+/// program genre, stereo flag, content seed, RDS injection level and PS
+/// name (derived from the city and channel frequency, e.g. "BOS098.5") vary
+/// deterministically per channel — surveyed city scenes broadcast RDS the
+/// way a real band does. Stations come back sorted by |offset|, so the listen channel
 /// (when detectable) is station 0 — the scene center a ScenarioResult
 /// reports as `station`. Throws std::invalid_argument when no detectable
 /// station falls inside the scene (an empty vector would silently mean

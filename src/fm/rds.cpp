@@ -165,35 +165,42 @@ RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate) {
   dsp::rvec w(base.size());
   for (std::size_t i = 0; i < base.size(); ++i) w[i] = (base[i] * derot).real();
 
-  // 3) Symbol timing: search bit-phase offsets, maximize mean |soft bit|
-  // where soft = integral(first half) - integral(second half).
+  // 3) Symbol timing: search bit-phase offsets, maximize the *mean* |soft
+  // bit| where soft = integral(first half) - integral(second half). Each
+  // phase integrates every bit whose full period fits the capture, so a
+  // phase with a larger tau may fit one bit fewer — the metric must be the
+  // per-bit mean, because a raw sum would structurally penalize later
+  // phases and bias the sync toward phase 0.
   const auto num_bits_max =
       static_cast<std::size_t>(static_cast<double>(w.size()) / bit_period) - 2;
   if (num_bits_max < 4) return result;
   constexpr int kPhases = 16;
   double best_metric = -1.0;
   std::vector<float> best_soft;
+  std::vector<float> soft;
   for (int p = 0; p < kPhases; ++p) {
     const double tau = bit_period * static_cast<double>(p) / kPhases;
-    std::vector<float> soft;
-    soft.reserve(num_bits_max);
-    double metric = 0.0;
-    for (std::size_t b = 0; b < num_bits_max; ++b) {
+    soft.clear();
+    soft.reserve(num_bits_max + 2);
+    double sum = 0.0;
+    for (std::size_t b = 0;; ++b) {
       const double t0 = tau + static_cast<double>(b) * bit_period;
       const auto i0 = static_cast<std::size_t>(t0);
       const auto i1 = static_cast<std::size_t>(t0 + bit_period / 2.0);
       const auto i2 = static_cast<std::size_t>(t0 + bit_period);
-      if (i2 >= w.size()) break;
+      if (i2 > w.size()) break;
       double first = 0.0, second = 0.0;
       for (std::size_t i = i0; i < i1; ++i) first += w[i];
       for (std::size_t i = i1; i < i2; ++i) second += w[i];
       const double s = first - second;
       soft.push_back(static_cast<float>(s));
-      metric += std::abs(s);
+      sum += std::abs(s);
     }
+    if (soft.empty()) continue;
+    const double metric = sum / static_cast<double>(soft.size());
     if (metric > best_metric) {
       best_metric = metric;
-      best_soft = std::move(soft);
+      best_soft = soft;
     }
   }
 
@@ -207,8 +214,15 @@ RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate) {
   }
   result.bits_decoded = bits.size();
 
-  // 5) Block sync: find an alignment where four consecutive 26-bit windows
-  // carry offsets A, B, C (or C'), D with zero syndrome.
+  // 5) Block sync + error accounting. Acquisition scans for the first bit
+  // alignment where four consecutive 26-bit windows carry offsets A, B, C
+  // (or C'), D with zero syndrome; from that anchor the decoder strides
+  // group by group (the simulation shares one bit clock, so sync cannot
+  // drift) and checks every block against its expected offset word. Only
+  // these post-sync blocks are tallied — a misaligned scan offset probed
+  // during acquisition is not a "failed block" (the historical accounting
+  // charged all ~104 of them per group found, so a perfectly clean signal
+  // reported hundreds of failures).
   auto read_block = [&bits](std::size_t start) {
     std::uint32_t v = 0;
     for (int i = 0; i < kBlockBits; ++i) {
@@ -221,33 +235,52 @@ RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate) {
       static_cast<std::uint16_t>(RdsOffset::kB),
       static_cast<std::uint16_t>(RdsOffset::kC),
       static_cast<std::uint16_t>(RdsOffset::kD)};
+  auto check_block = [&](std::size_t group_start, std::size_t b,
+                         std::uint16_t* info) {
+    const std::uint32_t raw = read_block(group_start + b * kBlockBits);
+    const std::uint16_t syn = syndrome(raw);
+    const bool ok =
+        syn == want[b] ||
+        (b == 2 && syn == static_cast<std::uint16_t>(RdsOffset::kCPrime));
+    if (ok && info != nullptr) *info = static_cast<std::uint16_t>(raw >> 10);
+    return ok;
+  };
+
+  std::size_t sync = bits.size();
+  if (bits.size() >= 4 * kBlockBits) {
+    for (std::size_t start = 0; start + 4 * kBlockBits <= bits.size();
+         ++start) {
+      bool ok = true;
+      for (std::size_t b = 0; b < 4 && ok; ++b) {
+        ok = check_block(start, b, nullptr);
+      }
+      if (ok) {
+        sync = start;
+        break;
+      }
+    }
+  }
 
   std::string ps(8, ' ');
   std::string rt(64, ' ');
   bool got_ps = false;
   bool got_rt = false;
   std::size_t rt_max_end = 0;
-  if (bits.size() >= 4 * kBlockBits) {
-    for (std::size_t start = 0;
-         start + 4 * kBlockBits <= bits.size(); ++start) {
-      bool ok = true;
+  if (sync < bits.size()) {
+    result.synced = true;
+    for (std::size_t start = sync; start + 4 * kBlockBits <= bits.size();
+         start += 4 * kBlockBits) {
       RdsGroup group;
-      for (std::size_t b = 0; b < 4 && ok; ++b) {
-        const std::uint32_t raw = read_block(start + b * kBlockBits);
-        const std::uint16_t syn = syndrome(raw);
-        const std::uint16_t offset_found = syn;
-        if (offset_found != want[b] &&
-            !(b == 2 && offset_found ==
-                            static_cast<std::uint16_t>(RdsOffset::kCPrime))) {
-          ok = false;
-          break;
+      bool all_ok = true;
+      for (std::size_t b = 0; b < 4; ++b) {
+        if (check_block(start, b, &group.blocks[b])) {
+          ++result.blocks_ok;
+        } else {
+          ++result.blocks_failed;
+          all_ok = false;
         }
-        group.blocks[b] = static_cast<std::uint16_t>(raw >> 10);
       }
-      if (!ok) {
-        ++result.blocks_failed;
-        continue;
-      }
+      if (!all_ok) continue;
       result.groups.push_back(group);
       const std::uint16_t b1 = group.blocks[1];
       if ((b1 >> 12) == 0x0) {
@@ -266,7 +299,6 @@ RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate) {
         rt_max_end = std::max<std::size_t>(rt_max_end, (seg + 1) * 4);
         got_rt = true;
       }
-      start += 4 * kBlockBits - 1;  // jump past this group
     }
   }
   if (got_ps) result.ps_name = ps;

@@ -64,12 +64,23 @@ dsp::rvec modulate_rds_subcarrier(std::span<const unsigned char> bits,
                                   std::size_t num_samples, double sample_rate);
 
 /// Result of RDS demodulation.
+///
+/// Error accounting semantics: after block sync is acquired (the first bit
+/// alignment where four consecutive 26-bit windows carry offsets A, B,
+/// C/C', D with zero syndrome), the decoder strides group by group and
+/// checks every 26-bit block against its expected offset word. Only these
+/// post-sync blocks enter the tallies — the misaligned offsets probed
+/// during acquisition are not "failed blocks", so a clean capture reports
+/// blocks_failed == 0 and the block error rate is simply
+/// blocks_failed / (blocks_ok + blocks_failed).
 struct RdsDecodeResult {
-  std::vector<RdsGroup> groups;   // block-synchronized, checkword-verified
+  std::vector<RdsGroup> groups;   // post-sync windows with all 4 blocks clean
   std::string ps_name;            // reassembled from group 0A/0B segments
   std::string radiotext;          // reassembled from group 2A segments
   std::size_t bits_decoded = 0;
-  std::size_t blocks_failed = 0;  // windows rejected by the syndrome check
+  bool synced = false;            // block sync ever acquired
+  std::size_t blocks_ok = 0;      // post-sync blocks passing the syndrome
+  std::size_t blocks_failed = 0;  // post-sync blocks failing the syndrome
 };
 
 /// Demodulates and decodes RDS from a composite MPX signal.

@@ -1,0 +1,37 @@
+#include "rx/rds_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fm/rds.h"
+
+namespace fmbs::rx {
+
+RdsLinkReport decode_rds_link(std::span<const float> mpx, double sample_rate,
+                              double start_seconds, double duration_seconds) {
+  RdsLinkReport report;
+  if (mpx.empty() || sample_rate <= 0.0) return report;
+  const std::size_t begin = std::min(
+      mpx.size(),
+      static_cast<std::size_t>(std::max(0.0, start_seconds) * sample_rate));
+  std::size_t length = mpx.size() - begin;
+  if (duration_seconds >= 0.0) {
+    length = std::min(
+        length, static_cast<std::size_t>(duration_seconds * sample_rate));
+  }
+  const fm::RdsDecodeResult decoded =
+      fm::decode_rds(mpx.subspan(begin, length), sample_rate);
+  report.synced = decoded.synced;
+  report.blocks_ok = decoded.blocks_ok;
+  report.blocks_failed = decoded.blocks_failed;
+  const std::size_t checked = decoded.blocks_ok + decoded.blocks_failed;
+  report.bler = checked > 0
+                    ? static_cast<double>(decoded.blocks_failed) /
+                          static_cast<double>(checked)
+                    : 1.0;
+  report.ps_name = decoded.ps_name;
+  report.radiotext = decoded.radiotext;
+  return report;
+}
+
+}  // namespace fmbs::rx

@@ -143,6 +143,80 @@ TEST(RdsRadiotext, CoexistsWithPsGroups) {
   EXPECT_EQ(result.radiotext, "HELLO CITY");
 }
 
+TEST(RdsTiming, HalfBitCaptureOffsetStillDecodes) {
+  // Regression (decoder step 3): the timing search claimed to maximize the
+  // *mean* |soft bit| but maximized the sum, structurally favoring phases
+  // with small tau. A capture whose head is clipped by about half a bit
+  // period puts the true symbol phase at the far end of the search range —
+  // the worst case for that bias.
+  audio::StereoBuffer prog(std::vector<float>(120000, 0.0F),
+                           std::vector<float>(120000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits = serialize_groups(make_ps_groups("TIMINGOK"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto offset =
+      static_cast<std::size_t>(kMpxRate / kRdsBitRateHz / 2.0);  // ~half bit
+  const std::vector<float> shifted(mpx.begin() + static_cast<std::ptrdiff_t>(offset),
+                                   mpx.end());
+  const auto result = decode_rds(shifted, kMpxRate);
+  EXPECT_EQ(result.ps_name, "TIMINGOK");
+  EXPECT_EQ(result.blocks_failed, 0U);
+}
+
+TEST(RdsTiming, WinningPhaseUsesEveryBitThatFits) {
+  // Regression (decoder step 3): each phase must integrate every bit whose
+  // period fits the capture instead of clamping all phases to a fixed count
+  // two bits short — with the old fixed-count loop this assertion fails
+  // (bits_decoded == floor(len/period) - 2).
+  audio::StereoBuffer prog(std::vector<float>(96000, 0.0F),
+                           std::vector<float>(96000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits = serialize_groups(make_ps_groups("ALLBITS!"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  const double bit_period = kMpxRate / kRdsBitRateHz;
+  const auto fit =
+      static_cast<std::size_t>(static_cast<double>(mpx.size()) / bit_period);
+  EXPECT_GE(result.bits_decoded, fit - 1);
+  EXPECT_EQ(result.ps_name, "ALLBITS!");
+}
+
+TEST(RdsErrorAccounting, CleanSignalReportsZeroFailedBlocks) {
+  // Regression (decoder step 5): blocks_failed used to increment once per
+  // misaligned scan offset, so a perfectly clean capture reported ~104
+  // "failed blocks" per group found. Post-sync accounting must report zero.
+  audio::StereoBuffer prog(std::vector<float>(96000, 0.0F),
+                           std::vector<float>(96000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  const auto bits = serialize_groups(make_ps_groups("FMBSCTTR"));
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_TRUE(result.synced);
+  EXPECT_EQ(result.blocks_failed, 0U);
+  EXPECT_GE(result.blocks_ok, 4U * result.groups.size());
+  EXPECT_EQ(result.ps_name, "FMBSCTTR");
+}
+
+TEST(RdsErrorAccounting, CorruptedBitCountsRealBlockFailures) {
+  audio::StereoBuffer prog(std::vector<float>(120000, 0.0F),
+                           std::vector<float>(120000, 0.0F), kAudioRate);
+  MpxConfig cfg;
+  cfg.rds_level = 0.1;
+  auto bits = serialize_groups(make_ps_groups("ERRBLOCK"));
+  // Flip one information bit inside the second group's C block: every
+  // cyclic repetition of the sequence now carries exactly one bad block
+  // (the differential code localizes a transmitted-bit flip).
+  bits[104 + 2 * 26 + 5] ^= 1;
+  const auto mpx = compose_mpx(prog, cfg, bits);
+  const auto result = decode_rds(mpx, kMpxRate);
+  EXPECT_TRUE(result.synced);
+  EXPECT_GT(result.blocks_failed, 0U);
+  EXPECT_GT(result.blocks_ok, result.blocks_failed);
+}
+
 TEST(RdsDecode, EmptyAndShortInputsReturnNothing) {
   const auto r1 = decode_rds({}, kMpxRate);
   EXPECT_TRUE(r1.groups.empty());
