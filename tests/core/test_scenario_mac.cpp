@@ -178,7 +178,9 @@ Scenario contention_scene(tag::MacKind second_tag_mac) {
   const double starts[2] = {0.0, 0.03};  // overlapping nominal bursts
   for (int i = 0; i < 2; ++i) {
     ScenarioTag t;
-    t.name = i == 0 ? "a" : "b";
+    // assign(1, ch) rather than `= i == 0 ? "a" : "b"`: GCC 12 at -O2 emits
+    // a bogus -Wrestrict through the inlined literal operator= (PR 105329).
+    t.name.assign(1, i == 0 ? 'a' : 'b');
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 128;  // 80 ms on the air
     t.tag_power_dbm = -25.0;

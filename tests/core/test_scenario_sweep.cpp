@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "fm/station_cache.h"
+#include "support/determinism.h"
 
 namespace fmbs::core {
 namespace {
@@ -75,34 +76,34 @@ TEST(ScenarioSweep, GridIsBitIdenticalAcrossThreadCounts) {
   const std::vector<double> distances{3.0, 6.0};
   const std::vector<double> powers{-25.0, -40.0};
 
-  auto run_at = [&](std::size_t threads) {
-    SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 13});
-    const ScenarioEngine engine({.keep_captures = false});
-    std::vector<ScenarioGridRow> rows;
-    for (const double p : powers) {
-      rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
-                      [p](double d) { return one_tag_scenario(p, d); },
-                      [](const ScenarioResult& r, double) {
-                        return r.best_per_tag.empty()
-                                   ? -1.0
-                                   : r.best_per_tag[0].burst.ber.ber;
-                      }});
-    }
-    return run_scenario_grid(runner, engine, rows, distances);
-  };
-
-  const auto serial = run_at(1);
-  const auto two = run_at(2);
-  const auto eight = run_at(8);
-  ASSERT_EQ(serial.size(), 2U);
-  for (std::size_t r = 0; r < serial.size(); ++r) {
-    ASSERT_EQ(serial[r].values.size(), distances.size());
-    for (std::size_t i = 0; i < serial[r].values.size(); ++i) {
-      EXPECT_GE(serial[r].values[i], 0.0) << "tag went unheard";
-      EXPECT_EQ(serial[r].values[i], two[r].values[i]) << r << "," << i;
-      EXPECT_EQ(serial[r].values[i], eight[r].values[i]) << r << "," << i;
-    }
-  }
+  test::ExpectBitIdenticalAcrossThreads(
+      [&](std::size_t threads) {
+        SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 13});
+        const ScenarioEngine engine({.keep_captures = false});
+        std::vector<ScenarioGridRow> rows;
+        for (const double p : powers) {
+          rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
+                          [p](double d) { return one_tag_scenario(p, d); },
+                          [](const ScenarioResult& r, double) {
+                            return r.best_per_tag.empty()
+                                       ? -1.0
+                                       : r.best_per_tag[0].burst.ber.ber;
+                          }});
+        }
+        return run_scenario_grid(runner, engine, rows, distances);
+      },
+      [&](const auto& serial, const auto& other, std::size_t threads) {
+        ASSERT_EQ(serial.size(), 2U);
+        ASSERT_EQ(other.size(), serial.size());
+        for (std::size_t r = 0; r < serial.size(); ++r) {
+          ASSERT_EQ(serial[r].values.size(), distances.size());
+          for (std::size_t i = 0; i < serial[r].values.size(); ++i) {
+            EXPECT_GE(serial[r].values[i], 0.0) << "tag went unheard";
+            EXPECT_EQ(serial[r].values[i], other[r].values[i])
+                << threads << "t," << r << "," << i;
+          }
+        }
+      });
 }
 
 // The satellite guarantee for city scenes: a repeated multi-station sweep
@@ -185,35 +186,39 @@ Scenario segmented_mobile_scene(double walk_span_m) {
 TEST(ScenarioSweep, SegmentedSweepIsBitIdenticalAcrossThreadCounts) {
   const std::vector<double> spans{10.0, 20.0, 30.0};
 
-  auto run_at = [&](std::size_t threads) {
-    SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 29});
-    const ScenarioEngine engine({.keep_captures = false});
-    std::vector<Scenario> points;
-    for (const double s : spans) points.push_back(segmented_mobile_scene(s));
-    return run_scenario_sweep(runner, engine, std::move(points));
-  };
-
-  const auto serial = run_at(1);
-  const auto two = run_at(2);
-  const auto eight = run_at(8);
-  ASSERT_EQ(serial.size(), spans.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    ASSERT_EQ(serial[i].segments.size(), 5U);
-    ASSERT_EQ(serial[i].best_per_tag.size(), 1U) << "tag went unheard";
-    for (const auto* other : {&two[i], &eight[i]}) {
-      EXPECT_EQ(serial[i].best_per_tag[0].burst.ber.ber,
-                other->best_per_tag[0].burst.ber.ber) << i;
-      EXPECT_EQ(serial[i].mac[0].start_seconds, other->mac[0].start_seconds)
-          << i;
-      for (std::size_t k = 0; k < serial[i].segments.size(); ++k) {
-        EXPECT_EQ(serial[i].segments[k].selected_station,
-                  other->segments[k].selected_station) << i << "," << k;
-      }
-    }
-  }
-  // The walk really produces handoffs (the sweep is not testing statics).
-  EXPECT_NE(serial[2].segments.front().selected_station,
-            serial[2].segments.back().selected_station);
+  test::ExpectBitIdenticalAcrossThreads(
+      [&](std::size_t threads) {
+        SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 29});
+        const ScenarioEngine engine({.keep_captures = false});
+        std::vector<Scenario> points;
+        for (const double s : spans) {
+          points.push_back(segmented_mobile_scene(s));
+        }
+        return run_scenario_sweep(runner, engine, std::move(points));
+      },
+      [&](const auto& serial, const auto& other, std::size_t threads) {
+        ASSERT_EQ(serial.size(), spans.size());
+        ASSERT_EQ(other.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+          ASSERT_EQ(serial[i].segments.size(), 5U);
+          ASSERT_EQ(serial[i].best_per_tag.size(), 1U) << "tag went unheard";
+          EXPECT_EQ(serial[i].best_per_tag[0].burst.ber.ber,
+                    other[i].best_per_tag[0].burst.ber.ber)
+              << threads << "t," << i;
+          EXPECT_EQ(serial[i].mac[0].start_seconds,
+                    other[i].mac[0].start_seconds)
+              << threads << "t," << i;
+          for (std::size_t k = 0; k < serial[i].segments.size(); ++k) {
+            EXPECT_EQ(serial[i].segments[k].selected_station,
+                      other[i].segments[k].selected_station)
+                << threads << "t," << i << "," << k;
+          }
+        }
+        // The walk really produces handoffs (the sweep is not testing
+        // statics).
+        EXPECT_NE(serial[2].segments.front().selected_station,
+                  serial[2].segments.back().selected_station);
+      });
 }
 
 // Station renders are reused ACROSS segments (one render per station per

@@ -11,6 +11,7 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "fm/station_cache.h"
+#include "support/determinism.h"
 
 namespace fmbs::core {
 namespace {
@@ -81,34 +82,35 @@ TEST(SweepRunner, GridIsBitIdenticalAcrossThreadCounts) {
   const std::vector<double> distances{2.0, 4.0};
   const std::vector<double> powers{-25.0, -35.0};
 
-  auto run_at = [&](std::size_t threads) {
-    SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 11});
-    std::vector<ExperimentPoint> points;
-    for (const double p : powers) {
-      for (const double d : distances) {
-        ExperimentPoint point;
-        point.tag_power_dbm = p;
-        point.distance_feet = d;
-        points.push_back(point);
-      }
-    }
-    return runner.map(runner.seed_points(points), [](const ExperimentPoint& pt) {
-      return run_overlay_ber(pt, tag::DataRate::k1600bps, 64);
-    });
-  };
-
-  const auto serial = run_at(1);
-  const auto two = run_at(2);
-  const auto eight = run_at(8);
-  ASSERT_EQ(serial.size(), 4U);
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].bit_errors, two[i].bit_errors) << i;
-    EXPECT_EQ(serial[i].bits_compared, two[i].bits_compared) << i;
-    EXPECT_EQ(serial[i].ber, two[i].ber) << i;
-    EXPECT_EQ(serial[i].bit_errors, eight[i].bit_errors) << i;
-    EXPECT_EQ(serial[i].bits_compared, eight[i].bits_compared) << i;
-    EXPECT_EQ(serial[i].ber, eight[i].ber) << i;
-  }
+  test::ExpectBitIdenticalAcrossThreads(
+      [&](std::size_t threads) {
+        SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 11});
+        std::vector<ExperimentPoint> points;
+        for (const double p : powers) {
+          for (const double d : distances) {
+            ExperimentPoint point;
+            point.tag_power_dbm = p;
+            point.distance_feet = d;
+            points.push_back(point);
+          }
+        }
+        return runner.map(runner.seed_points(points),
+                          [](const ExperimentPoint& pt) {
+                            return run_overlay_ber(pt, tag::DataRate::k1600bps,
+                                                   64);
+                          });
+      },
+      [](const auto& serial, const auto& other, std::size_t threads) {
+        ASSERT_EQ(serial.size(), 4U);
+        ASSERT_EQ(other.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+          EXPECT_EQ(serial[i].bit_errors, other[i].bit_errors)
+              << threads << "t," << i;
+          EXPECT_EQ(serial[i].bits_compared, other[i].bits_compared)
+              << threads << "t," << i;
+          EXPECT_EQ(serial[i].ber, other[i].ber) << threads << "t," << i;
+        }
+      });
 }
 
 TEST(SweepRunner, RunGridShapesSeries) {

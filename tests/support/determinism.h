@@ -1,0 +1,41 @@
+// Shared helper for the repo's acceptance property: a sweep's results are
+// bit-identical at any thread count. Every suite that asserts 1/2/8-thread
+// identity goes through this header instead of hand-rolling the
+// run-serial/run-parallel/compare scaffold (which had drifted into three
+// copies before this existed).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace fmbs::test {
+
+/// The canonical thread counts: serial reference, the smallest parallel
+/// case, and more workers than this CI box has cores (oversubscription
+/// shakes out scheduling-order dependence).
+inline constexpr std::initializer_list<std::size_t> kIdentityThreadCounts = {
+    1, 2, 8};
+
+/// Runs `run_at(threads)` once per entry of `thread_counts` and invokes
+/// `compare(reference, other, threads)` for every non-reference count, where
+/// `reference` is the first run. `compare` should EXPECT_EQ the
+/// result fields that must match bit-for-bit — exact equality, no
+/// tolerances: the contract is identical bits, not close ones.
+template <typename RunAt, typename Compare>
+void ExpectBitIdenticalAcrossThreads(
+    RunAt&& run_at, Compare&& compare,
+    std::initializer_list<std::size_t> thread_counts = kIdentityThreadCounts) {
+  auto it = thread_counts.begin();
+  ASSERT_NE(it, thread_counts.end()) << "no thread counts to compare";
+  const auto reference = run_at(*it);
+  for (++it; it != thread_counts.end(); ++it) {
+    const auto other = run_at(*it);
+    compare(reference, other, *it);
+  }
+}
+
+}  // namespace fmbs::test

@@ -9,12 +9,6 @@
 namespace fmbs::tag {
 namespace {
 
-std::vector<std::uint8_t> flip_bits(std::vector<std::uint8_t> bits,
-                                    std::span<const std::size_t> positions) {
-  for (const std::size_t p : positions) bits[p] ^= 1;
-  return bits;
-}
-
 TEST(Hamming74, RoundTripClean) {
   const auto data = random_bits(64, 1);
   const auto coded = hamming74_encode(data);

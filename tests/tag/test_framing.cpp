@@ -73,7 +73,12 @@ TEST(Frame, OversizedPayloadThrows) {
 TEST(Frame, TruncatedFrameRejected) {
   const auto payload = bytes_of("truncate me");
   auto bits = encode_frame(payload);
-  bits.resize(bits.size() - 10);
+  // erase, not resize(size()-10): GCC 12 cannot prove size()>=10 through the
+  // inlined resize and emits a -Wstringop-overflow/-Warray-bounds false
+  // positive (PR 107852) under -Werror; erasing a checked tail range does
+  // the same truncation without the flagged memset path.
+  ASSERT_GT(bits.size(), 10U);
+  bits.erase(bits.end() - 10, bits.end());
   EXPECT_FALSE(decode_frame(bits).has_value());
 }
 

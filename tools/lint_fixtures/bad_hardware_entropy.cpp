@@ -1,0 +1,10 @@
+// Fixture: the hardware-entropy violation class. std::random_device yields
+// different bits every run, so no golden trace could ever pin its output.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <random>
+
+// expect: hardware-entropy
+std::uint64_t entropy_seed() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,11 @@
+// Fixture: the raw-rand violation class. std::rand/srand share one hidden
+// global state, so two sweep points racing through them are order-dependent.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <cstdlib>
+
+// expect: raw-rand
+// expect: raw-rand
+int noisy_sample() {
+  srand(42);
+  return rand() % 100;
+}

@@ -1,0 +1,24 @@
+// Fixture: the underived-seed violation class. A literal or default seed in
+// library code means every call site shares one RNG stream regardless of the
+// sweep's base seed or grid index — results can never vary with the
+// experiment seed, and parallel points correlate.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <random>
+
+// expect: underived-seed
+double literal_seeded() {
+  std::mt19937_64 rng(12345);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+// expect: underived-seed
+double default_seeded() {
+  std::mt19937 rng;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+// A correctly derived seed does NOT trip the rule.
+double derived(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}

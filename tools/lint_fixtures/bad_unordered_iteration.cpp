@@ -1,0 +1,15 @@
+// Fixture: the unordered-iter violation class. unordered_map iteration order
+// is implementation-defined (bucket layout varies with libstdc++ version and
+// insertion history), so accumulating results in visitation order silently
+// breaks bit-identity across toolchains.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <string>
+#include <unordered_map>
+
+double total_power(const std::unordered_map<std::string, double>& by_station) {
+  std::unordered_map<std::string, double> scaled = by_station;
+  double sum = 0.0;
+  // expect: unordered-iter
+  for (const auto& entry : scaled) sum += entry.second;
+  return sum;
+}

@@ -1,0 +1,22 @@
+// Fixture: the wall-clock-seed violation class. Seeding from the clock makes
+// a result depend on when the simulation ran — the exact opposite of the
+// bit-identical-at-any-thread-count contract.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+// expect: wall-clock-seed
+std::uint64_t clock_seed() { return static_cast<std::uint64_t>(time(nullptr)); }
+
+// expect: wall-clock-seed
+std::uint64_t chrono_seed() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+// expect: wall-clock-seed
+std::uint64_t steady_seed() {
+  // steady_clock is sanctioned only in bench/ + examples/ for elapsed-time
+  // measurement; this fixture emulates src/ where it is banned outright.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,22 @@
+// Fixture: clean code and the sanctioned escape hatch. Derived seeds pass
+// outright; a justified `fmbs-lint: allow(...)` comment suppresses its rule;
+// an allow() with no justification is itself a violation.
+// NOT compiled — consumed by tools/lint_determinism.py --self-test.
+#include <cstdlib>
+#include <random>
+
+double derived_sample(std::uint64_t base_seed, std::uint64_t index) {
+  // Emulates core::derive_seed routing — no rule fires.
+  const std::uint64_t seed = base_seed ^ (index * 0x9e3779b97f4a7c15ULL);
+  std::mt19937_64 rng(seed);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+int justified_escape_hatch() {
+  return rand();  // fmbs-lint: allow(raw-rand) fixture demonstrating the documented escape hatch
+}
+
+// expect: raw-rand
+int unjustified_escape_hatch() {
+  return rand();  // fmbs-lint: allow(raw-rand)
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# clang-format driver over every C++ file in src/ tests/ bench/ examples/
+# (style: the committed .clang-format).
+#
+#   tools/run_format.sh          # rewrite files in place
+#   tools/run_format.sh --check  # exit non-zero on drift (what CI runs)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FORMAT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT_BIN" >/dev/null 2>&1; then
+  echo "error: '$FORMAT_BIN' not found. Install clang-format (apt-get" >&2
+  echo "install clang-format) or set CLANG_FORMAT=/path/to/clang-format." >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(git ls-files 'src/*.cpp' 'src/*.h' 'tests/*.cpp' 'tests/*.h' \
+                                  'bench/*.cpp' 'examples/*.cpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$FORMAT_BIN" --dry-run -Werror "${FILES[@]}"
+  echo "clang-format: ${#FILES[@]} files clean"
+else
+  "$FORMAT_BIN" -i "${FILES[@]}"
+  echo "clang-format: ${#FILES[@]} files formatted"
+fi
