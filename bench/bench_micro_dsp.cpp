@@ -6,6 +6,7 @@
 
 #include "audio/tone.h"
 #include "channel/awgn.h"
+#include "channel/superpose.h"
 #include "core/experiment.h"
 #include "core/simulator.h"
 #include "core/thread_pool.h"
@@ -47,6 +48,41 @@ void BM_FirFilterFloat(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 24000);
 }
 BENCHMARK(BM_FirFilterFloat)->Arg(31)->Arg(127);
+
+void BM_ScaleInto(benchmark::State& state) {
+  dsp::cvec src(240000, dsp::cfloat(0.3F, -0.2F));
+  dsp::cvec dst(240000);
+  for (auto _ : state) {
+    channel::scale_into(dst, src, 0.7F);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_ScaleInto);
+
+void BM_AccumulateScaled(benchmark::State& state) {
+  dsp::cvec src(240000, dsp::cfloat(0.3F, -0.2F));
+  dsp::cvec dst(240000, dsp::cfloat(0.1F, 0.1F));
+  for (auto _ : state) {
+    channel::accumulate_scaled(dst, src, 0.7F);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 240000);
+}
+BENCHMARK(BM_AccumulateScaled);
+
+// The scene's per-station upsampler: one 0.1 s MPX-rate block to RF rate.
+void BM_PolyphaseInterpolator(benchmark::State& state) {
+  dsp::FirInterpolator<dsp::cfloat> interp(dsp::fir_design_lowpass(127, 0.04),
+                                           10);
+  dsp::cvec block(24000, dsp::cfloat(0.3F, -0.2F));
+  for (auto _ : state) {
+    auto out = interp.process(block);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 24000);
+}
+BENCHMARK(BM_PolyphaseInterpolator);
 
 void BM_PolyphaseDecimator(benchmark::State& state) {
   dsp::FirDecimator<dsp::cfloat> dec(dsp::fir_design_lowpass(127, 0.04), 10);

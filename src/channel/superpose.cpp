@@ -2,14 +2,27 @@
 
 #include <stdexcept>
 
+#include "dsp/simd.h"
+
 namespace fmbs::channel {
+
+// Both kernels are elementwise, so the SSE2 paths are bit-identical to the
+// scalar loops: each output float is one multiply (and one add) in the same
+// order either way. complex<float> arrays are layout-compatible with
+// interleaved float pairs, so a span of n complex samples is 2n floats.
 
 void scale_into(std::span<dsp::cfloat> dst, std::span<const dsp::cfloat> src,
                 float gain) {
   if (dst.size() != src.size()) {
     throw std::invalid_argument("scale_into: length mismatch");
   }
+#if FMBS_SIMD_ENABLED
+  dsp::simd::scale_f32(reinterpret_cast<float*>(dst.data()),
+                       reinterpret_cast<const float*>(src.data()), gain,
+                       2 * dst.size());
+#else
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = gain * src[i];
+#endif
 }
 
 void accumulate_scaled(std::span<dsp::cfloat> dst,
@@ -17,7 +30,13 @@ void accumulate_scaled(std::span<dsp::cfloat> dst,
   if (dst.size() != src.size()) {
     throw std::invalid_argument("accumulate_scaled: length mismatch");
   }
+#if FMBS_SIMD_ENABLED
+  dsp::simd::axpy_f32(reinterpret_cast<float*>(dst.data()),
+                      reinterpret_cast<const float*>(src.data()), gain,
+                      2 * dst.size());
+#else
   for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += gain * src[i];
+#endif
 }
 
 }  // namespace fmbs::channel

@@ -350,26 +350,19 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   ScenarioResult result;
   // Pin every scene render for the duration of the run: a scene wider than
   // the cache capacity must not thrash/evict its own stations mid-run. Each
-  // station is rendered ONCE for the whole run and reused across every
-  // timeline segment — segmentation changes geometry, never the broadcast.
+  // needed station is rendered ONCE for the whole run and reused across
+  // every timeline segment — segmentation changes geometry, never the
+  // broadcast. Station 0 (the scene center, the legacy `station` field) is
+  // rendered up front; the rest render lazily once demand-driven pruning
+  // below knows which ones any receiver can actually hear.
   fm::StationCache::SceneScope scope(fm::StationCache::instance());
-  result.station_renders.reserve(num_stations);
-  for (std::size_t s = 0; s < num_stations; ++s) {
-    const fm::StationConfig& config = multi ? sc.stations[s].config : sc.station;
-    result.station_renders.push_back(scope.render(config, total_seconds));
-  }
+  result.station_renders.assign(num_stations, nullptr);
+  result.station_renders[0] =
+      scope.render(multi ? sc.stations[0].config : sc.station, total_seconds);
   result.station = result.station_renders[0];
   const std::size_t station_len = result.station->iq.size();
   const std::size_t padded =
       (station_len + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
-  std::vector<dsp::cvec> station_iq(num_stations);
-  for (std::size_t s = 0; s < num_stations; ++s) {
-    if (result.station_renders[s]->iq.size() != station_len) {
-      throw std::logic_error("ScenarioEngine: station render length mismatch");
-    }
-    station_iq[s] = result.station_renders[s]->iq;
-    station_iq[s].resize(padded, dsp::cfloat(1.0F, 0.0F));
-  }
 
   // ---- Per-segment entity positions along their waypoint paths. -----------
   std::vector<std::vector<ScenePosition>> tag_pos(
@@ -438,7 +431,6 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
   // ---- Per-tag state: generators, payload bits, burst waveforms. -----------
   std::vector<TagState> tags(sc.tags.size());
-  std::vector<audio::MonoBuffer> waves(sc.tags.size());  // FSK payloads
   for (std::size_t i = 0; i < sc.tags.size(); ++i) {
     const ScenarioTag& t = sc.tags[i];
     TagState& st = tags[i];
@@ -493,8 +485,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     const std::uint64_t cseed =
         t.seed ? *t.seed : derive_seed(sc.seed, kTagContentStream + i);
     st.bits = tag::random_bits(t.num_bits, cseed);
-    waves[i] = tag::modulate_fsk(st.bits, t.rate, fm::kAudioRate);
-    st.burst_seconds = waves[i].duration_seconds();
+    // Duration only: the waveform itself is synthesized at composition time,
+    // and only for tags some receiver can hear — a city of deployed tags
+    // resolves its MAC schedule without paying per-tag FSK synthesis.
+    st.burst_seconds = tag::fsk_burst_seconds(t.num_bits, t.rate, fm::kAudioRate);
   }
 
   // ---- Medium access: nominal starts -> actual burst schedule. -------------
@@ -593,6 +587,72 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   const std::vector<tag::MacDecision> schedule = tag::resolve_mac_schedule(
       attempts, total_seconds, seg_len, sense_channel);
 
+  // ---- Demand-driven scene pruning. ----------------------------------------
+  // What must actually be synthesized, from the channel plan and capture
+  // logic alone (everything here is a pure function of configuration — no
+  // rendered signal is consulted, so the decision is cheap and
+  // deterministic):
+  //   * a tag is needed when one of its backscatter channels (channels_of,
+  //     evaluated against its per-segment selected station) falls within
+  //     kSceneNeighborhoodHz of some receiver's tuned channel;
+  //   * a station is needed when its carrier falls within that margin of
+  //     some receiver's tune, or when a needed tag selects it in any segment
+  //     (the reflection carries the station's modulation);
+  //   * station 0 is always needed — it is the scene center the legacy
+  //     `station` field and single-station power semantics hang off.
+  // Everything needed is synthesized for ALL receivers: pruning decides what
+  // enters the scene, never per-receiver superposition lists, so dense mode
+  // (every flag forced on) reproduces the historical engine exactly.
+  const bool sparse = config_.scene_rendering == SceneRendering::kSparse;
+  std::vector<char> station_needed(num_stations, 1);
+  std::vector<char> tag_needed(sc.tags.size(), 1);
+  if (sparse) {
+    auto near_some_receiver = [&](double channel_hz) {
+      for (const ScenarioReceiver& rx : sc.receivers) {
+        if (std::abs(channel_hz - rx.tune_offset_hz) <=
+            kSceneNeighborhoodHz + 1e-6) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (std::size_t s = 1; s < num_stations; ++s) {
+      station_needed[s] = near_some_receiver(station_offset[s]) ? 1 : 0;
+    }
+    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+      tag_needed[t] = 0;
+      for (std::size_t k = 0; k < num_segments && !tag_needed[t]; ++k) {
+        double ch[2];
+        const int n = channels_of(t, k, ch);
+        for (int c = 0; c < n; ++c) {
+          if (near_some_receiver(ch[c])) {
+            tag_needed[t] = 1;
+            break;
+          }
+        }
+      }
+      if (!tag_needed[t]) continue;
+      for (std::size_t k = 0; k < num_segments; ++k) {
+        station_needed[static_cast<std::size_t>(sel[k][t])] = 1;
+      }
+    }
+  }
+  for (std::size_t s = 1; s < num_stations; ++s) {
+    if (!station_needed[s]) continue;
+    result.station_renders[s] = scope.render(sc.stations[s].config, total_seconds);
+    if (result.station_renders[s]->iq.size() != station_len) {
+      throw std::logic_error("ScenarioEngine: station render length mismatch");
+    }
+  }
+  result.scene.stations_total = num_stations;
+  result.scene.tags_total = sc.tags.size();
+  for (std::size_t s = 0; s < num_stations; ++s) {
+    result.scene.stations_rendered += station_needed[s] ? 1U : 0U;
+  }
+  for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+    result.scene.tags_rendered += tag_needed[t] ? 1U : 0U;
+  }
+
   // ---- Compose each transmitted burst's baseband at its resolved start. ----
   result.mac.resize(sc.tags.size());
   for (std::size_t a = 0; a < schedule.size(); ++a) {
@@ -606,7 +666,6 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     result.mac[i].last_sensed_dbm = d.last_sensed_dbm;
     st.transmitted = d.transmitted;
     if (!d.transmitted) {
-      st.baseband.assign(padded, 0.0F);
       st.active_begin = 0;
       st.active_end = 0;  // the switch never turns on: no reflection at all
       continue;
@@ -617,6 +676,13 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       // configuration error (carrier sense silently gives up instead).
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" burst does not fit the scenario");
+    }
+    if (!tag_needed[i]) {
+      // No receiver can hear this tag's channel: the MAC outcome above is
+      // still reported, but the burst waveform itself is never composed.
+      st.active_begin = 0;
+      st.active_end = 0;
+      continue;
     }
     if (!st.rds_bits.empty()) {
       // RDS burst: generated directly at the MPX rate and dropped into the
@@ -637,7 +703,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       const audio::MonoBuffer lead_in =
           audio::make_silence(st.burst_start_seconds, fm::kAudioRate);
       st.baseband = tag::compose_overlay_baseband(
-          audio::concat(lead_in, waves[i]), t.level, fm::kMpxRate);
+          audio::concat(lead_in,
+                        tag::modulate_fsk(st.bits, t.rate, fm::kAudioRate)),
+          t.level, fm::kMpxRate);
       st.baseband.resize(padded, 0.0F);
     }
     st.active_begin = static_cast<std::size_t>(
@@ -729,11 +797,12 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   const auto up_factor = static_cast<std::size_t>(fm::kMpxToRfFactor);
   const std::vector<float> up_taps = dsp::fir_design_lowpass(
       (16 * up_factor) | 1U, 0.45 / static_cast<double>(up_factor));
-  std::vector<dsp::FirInterpolator<dsp::cfloat>> upsamplers;
-  upsamplers.reserve(num_stations);
+  std::vector<std::optional<dsp::FirInterpolator<dsp::cfloat>>> upsamplers(
+      num_stations);
   std::vector<std::optional<dsp::Mixer>> mixers(num_stations);
   for (std::size_t s = 0; s < num_stations; ++s) {
-    upsamplers.emplace_back(up_taps, up_factor);
+    if (!station_needed[s]) continue;  // never enters the scene
+    upsamplers[s].emplace(up_taps, up_factor);
     if (station_offset[s] != 0.0) {
       mixers[s].emplace(station_offset[s], fm::kRfRate);
     }
@@ -757,9 +826,18 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   }
 
   // ---- The shared RF scene, block by block. --------------------------------
+  // Full blocks stream as spans straight out of the cached renders (shared,
+  // read-only — no per-station copies); only the final partial block is
+  // staged into one shared scratch, reused arena-style across stations. The
+  // tail past the render holds the final sample: the FM carrier continues at
+  // its last phase (the discriminator sees silence), where the old padded
+  // copies snapped to the unrelated constant (1, 0) and clicked at the seam.
   std::vector<dsp::cvec> st_rf(num_stations);
   std::vector<dsp::cvec> reflected(sc.tags.size());
   std::vector<char> tag_active(sc.tags.size(), 0);
+  dsp::cvec scratch;
+  if (padded != station_len) scratch.resize(kBlockMpx);
+  result.scene.scene_scratch_bytes = scratch.size() * sizeof(dsp::cfloat);
   dsp::cvec rf;
   std::size_t block_index = 0;
   for (std::size_t start = 0; start < padded; start += kBlockMpx, ++block_index) {
@@ -770,14 +848,27 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
             ? 0
             : std::min(num_segments - 1, block_index / blocks_per_segment);
     for (std::size_t s = 0; s < num_stations; ++s) {
-      const std::span<const dsp::cfloat> st_block(station_iq[s].data() + start,
-                                                  kBlockMpx);
-      st_rf[s] = upsamplers[s].process(st_block);
+      if (!station_needed[s]) continue;
+      const dsp::cvec& src = result.station_renders[s]->iq;
+      std::span<const dsp::cfloat> st_block(scratch);
+      if (start + kBlockMpx <= station_len) {
+        st_block = std::span<const dsp::cfloat>(src.data() + start, kBlockMpx);
+      } else {
+        // The last block is partial: stage the remaining render samples and
+        // hold the final one through the pad.
+        const std::size_t have = station_len - start;
+        std::copy(src.begin() + static_cast<std::ptrdiff_t>(start), src.end(),
+                  scratch.begin());
+        std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(have),
+                  scratch.end(), src.back());
+      }
+      st_rf[s] = upsamplers[s]->process(st_block);
       if (mixers[s]) mixers[s]->process_inplace(st_rf[s]);
     }
 
     for (std::size_t t = 0; t < tags.size(); ++t) {
       TagState& st = tags[t];
+      if (!tag_needed[t]) continue;  // stays zero in tag_active
       tag_active[t] =
           start < st.active_end && start + kBlockMpx > st.active_begin;
       if (!tag_active[t]) continue;
@@ -819,6 +910,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
       channel::scale_into(rf, st_rf[0], g_direct[seg][r][0]);
       for (std::size_t s = 1; s < num_stations; ++s) {
+        if (!station_needed[s]) continue;
         channel::accumulate_scaled(rf, st_rf[s], g_direct[seg][r][s]);
       }
       for (std::size_t t = 0; t < tags.size(); ++t) {

@@ -95,6 +95,16 @@ ScenePosition path_position(const ScenePosition& anchor,
 inline constexpr double kMaxStationOffsetHz =
     fm::kRfRate / 2.0 - fm::kCarsonBandwidthHz / 2.0;
 
+/// Demand-driven scene pruning radius: an emitter (station carrier or tag
+/// backscatter channel) is synthesized only when it falls within this many Hz
+/// of some receiver's tuned channel. Two channel spacings covers the tuned
+/// channel plus both adjacent channels — everything the tuner's transition
+/// band passes at a level that can move a decode; anything further arrives
+/// only through >70 dB of stopband, far below every receiver noise floor the
+/// engine models. Selected stations of a needed tag are always synthesized
+/// regardless of distance (the reflection carries their modulation).
+inline constexpr double kSceneNeighborhoodHz = 2.0 * fm::kChannelSpacingHz;
+
 /// One ambient FM station of a multi-station RF scene. The scene is complex
 /// baseband around the legacy single-station carrier: a station's carrier
 /// sits at `offset_hz` from the scene center, so adjacent-channel geometry
@@ -293,12 +303,30 @@ struct TagMacReport {
   double last_sensed_dbm = -std::numeric_limits<double>::infinity();
 };
 
+/// What demand-driven rendering actually synthesized (see
+/// ScenarioEngineConfig::scene_rendering): totals versus the subset inside
+/// some receiver's tuned-channel neighborhood, plus the size of the shared
+/// block-staging scratch that replaced the old per-station padded copies.
+struct SceneRenderStats {
+  std::size_t stations_total = 0;
+  std::size_t stations_rendered = 0;
+  std::size_t tags_total = 0;
+  std::size_t tags_rendered = 0;
+  /// Bytes of per-run staging scratch (one shared block when the render
+  /// length is not a whole number of streaming blocks, else zero). The old
+  /// engine instead copied and padded every station render.
+  std::size_t scene_scratch_bytes = 0;
+};
+
 /// Full scenario outcome.
 struct ScenarioResult {
   /// The scene-center station's render (station 0; the legacy field).
   std::shared_ptr<const fm::StationSignal> station;
   /// One render per scene station (parallel to Scenario::stations, or a
-  /// single entry for the legacy station).
+  /// single entry for the legacy station). Under SceneRendering::kSparse a
+  /// station outside every receiver's neighborhood is never synthesized and
+  /// its entry is nullptr (station 0 — the scene center — is always
+  /// rendered).
   std::vector<std::shared_ptr<const fm::StationSignal>> station_renders;
   /// Station index each tag backscattered during the first segment
   /// (parallel to Scenario::tags; the whole run for an unsegmented
@@ -316,6 +344,20 @@ struct ScenarioResult {
   std::vector<TagLinkReport> best_per_tag;
   /// Sum of best-per-tag goodput: the deployment's delivered bit rate.
   double aggregate_goodput_bps = 0.0;
+  /// What demand-driven rendering synthesized for this run.
+  SceneRenderStats scene;
+};
+
+/// How the engine decides which emitters to synthesize.
+enum class SceneRendering {
+  /// Synthesize only stations/tags within kSceneNeighborhoodHz of some
+  /// receiver's tuned channel (plus every needed tag's selected stations).
+  /// Decoded outcomes match kDense — what is dropped sits below every
+  /// receiver's noise floor — at O(audible) instead of O(scene) cost.
+  kSparse,
+  /// Synthesize every station and tag in the scenario (the historical
+  /// behavior; the reference for the sparse-vs-dense equivalence tests).
+  kDense,
 };
 
 /// Engine options.
@@ -323,6 +365,8 @@ struct ScenarioEngineConfig {
   /// Keep per-receiver audio captures in the result (turn off for sweeps —
   /// captures dominate the result's memory).
   bool keep_captures = true;
+  /// Demand-driven (kSparse) vs exhaustive (kDense) scene synthesis.
+  SceneRendering scene_rendering = SceneRendering::kSparse;
 };
 
 /// Renders and decodes scenarios. Stateless between runs; one shared station

@@ -1,13 +1,21 @@
 // FIR design (windowed-sinc, Kaiser-sized) and streaming FIR filters,
 // including polyphase decimators and interpolators used by the RF <-> MPX
 // <-> audio rate-conversion chain.
+//
+// The float and complex<float> inner loops dispatch to the SSE2 kernels in
+// dsp/simd.h when FMBS_SIMD is on. Those kernels vectorize across OUTPUTS
+// (each lane accumulates its taps serially, in the scalar order), so the
+// filtered blocks are bit-identical to the scalar fallback — pinned by
+// tests/dsp/test_simd_kernels.cpp.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "dsp/simd.h"
 #include "dsp/types.h"
 #include "dsp/window.h"
 
@@ -18,8 +26,12 @@ namespace fmbs::dsp {
 std::vector<float> fir_design_lowpass(std::size_t num_taps, double cutoff,
                                       WindowType window = WindowType::kHamming);
 
-/// Designs a high-pass FIR (spectral inversion of the low-pass);
-/// num_taps is forced odd internally for a well-defined Nyquist response.
+/// Designs a high-pass FIR (spectral inversion of the low-pass). num_taps
+/// must be odd: an even count has no well-defined Nyquist response, and the
+/// historical behavior of silently bumping to the next odd count left every
+/// caller that sized history or group delay from the REQUESTED count off by
+/// one sample. Throws std::invalid_argument on an even num_taps, so the tap
+/// count the caller reasons about is always the tap count it gets.
 std::vector<float> fir_design_highpass(std::size_t num_taps, double cutoff,
                                        WindowType window = WindowType::kHamming);
 
@@ -33,6 +45,44 @@ std::vector<float> fir_design_bandpass(std::size_t num_taps, double low,
 std::vector<float> fir_design_kaiser_lowpass(double cutoff, double transition_width,
                                              double attenuation_db);
 
+namespace detail {
+
+/// Reversed taps (rt[t] = taps[nt-1-t]) so the convolution loop reads them
+/// in ascending order — the layout the SIMD kernels and the scalar loops
+/// share.
+inline std::vector<float> reverse_taps(const std::vector<float>& taps) {
+  return std::vector<float>(taps.rbegin(), taps.rend());
+}
+
+/// out[i * out_stride] = sum_t x[i * in_stride + t] * rt[t], the shared
+/// inner loop of every FIR variant below. Sample is float or cfloat; taps
+/// are real. Dispatches to dsp::simd when compiled in (bit-identical).
+template <typename Sample>
+inline void fir_apply(const Sample* x, std::size_t in_stride,
+                      const float* rt, std::size_t nt, Sample* out,
+                      std::size_t out_stride, std::size_t n) {
+#if FMBS_SIMD_ENABLED
+  if constexpr (std::is_same_v<Sample, float>) {
+    if (in_stride == 1) {
+      simd::fir_f32(x, rt, nt, out, out_stride, n);
+      return;
+    }
+  } else if constexpr (std::is_same_v<Sample, cfloat>) {
+    simd::fir_cx(reinterpret_cast<const float*>(x), in_stride, rt, nt,
+                 reinterpret_cast<float*>(out), out_stride, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample acc{};
+    const Sample* xi = x + i * in_stride;
+    for (std::size_t t = 0; t < nt; ++t) acc += xi[t] * rt[t];
+    out[i * out_stride] = acc;
+  }
+}
+
+}  // namespace detail
+
 /// Streaming FIR filter over float or complex samples. Maintains history
 /// across process() calls so block boundaries are seamless.
 template <typename Sample>
@@ -40,6 +90,7 @@ class FirFilter {
  public:
   explicit FirFilter(std::vector<float> taps) : taps_(std::move(taps)) {
     if (taps_.empty()) throw std::invalid_argument("FirFilter: empty taps");
+    rtaps_ = detail::reverse_taps(taps_);
     history_.assign(taps_.size() - 1, Sample{});
   }
 
@@ -62,13 +113,8 @@ class FirFilter {
     work_.resize(h + in.size());
     std::copy(history_.begin(), history_.end(), work_.begin());
     std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
-    const std::size_t nt = taps_.size();
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      Sample acc{};
-      const Sample* x = work_.data() + i;
-      for (std::size_t t = 0; t < nt; ++t) acc += x[t] * taps_[nt - 1 - t];
-      out[i] = acc;
-    }
+    detail::fir_apply(work_.data(), 1, rtaps_.data(), taps_.size(), out.data(),
+                      1, in.size());
     if (h > 0) {
       std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
                 history_.begin());
@@ -80,6 +126,7 @@ class FirFilter {
 
  private:
   std::vector<float> taps_;
+  std::vector<float> rtaps_;
   std::vector<Sample> history_;
   std::vector<Sample> work_;
 };
@@ -94,6 +141,7 @@ class FirDecimator {
       : taps_(std::move(taps)), factor_(factor) {
     if (taps_.empty()) throw std::invalid_argument("FirDecimator: empty taps");
     if (factor_ == 0) throw std::invalid_argument("FirDecimator: factor must be >= 1");
+    rtaps_ = detail::reverse_taps(taps_);
     history_.assign(taps_.size() - 1, Sample{});
   }
 
@@ -107,14 +155,9 @@ class FirDecimator {
     work_.resize(h + in.size());
     std::copy(history_.begin(), history_.end(), work_.begin());
     std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
-    const std::size_t nt = taps_.size();
     std::vector<Sample> out(in.size() / factor_);
-    for (std::size_t o = 0; o < out.size(); ++o) {
-      Sample acc{};
-      const Sample* x = work_.data() + o * factor_;
-      for (std::size_t t = 0; t < nt; ++t) acc += x[t] * taps_[nt - 1 - t];
-      out[o] = acc;
-    }
+    detail::fir_apply(work_.data(), factor_, rtaps_.data(), taps_.size(),
+                      out.data(), 1, out.size());
     if (h > 0) {
       std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
                 history_.begin());
@@ -126,6 +169,7 @@ class FirDecimator {
 
  private:
   std::vector<float> taps_;
+  std::vector<float> rtaps_;
   std::size_t factor_;
   std::vector<Sample> history_;
   std::vector<Sample> work_;
@@ -154,6 +198,10 @@ class FirInterpolator {
       branches_[i % factor_][i / factor_] =
           prototype_taps[i] * static_cast<float>(factor_);
     }
+    rbranches_.reserve(factor_);
+    for (const std::vector<float>& b : branches_) {
+      rbranches_.push_back(detail::reverse_taps(b));
+    }
     history_.assign(branch_len - 1, Sample{});
   }
 
@@ -166,14 +214,14 @@ class FirInterpolator {
     std::copy(in.begin(), in.end(), work_.begin() + static_cast<std::ptrdiff_t>(h));
     std::vector<Sample> out(in.size() * factor_);
     const std::size_t bl = branches_.empty() ? 0 : branches_[0].size();
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const Sample* x = work_.data() + i;
-      for (std::size_t p = 0; p < factor_; ++p) {
-        Sample acc{};
-        const std::vector<float>& b = branches_[p];
-        for (std::size_t t = 0; t < bl; ++t) acc += x[t] * b[bl - 1 - t];
-        out[i * factor_ + p] = acc;
-      }
+    // Branch-major: each polyphase branch is one strided FIR pass across
+    // every input sample (out[i*L + p] = branch p applied at input i), which
+    // is the across-outputs layout the SIMD kernels want. Identical
+    // arithmetic to the historical sample-major loop — each output is still
+    // its branch's taps accumulated serially.
+    for (std::size_t p = 0; p < factor_; ++p) {
+      detail::fir_apply(work_.data(), 1, rbranches_[p].data(), bl,
+                        out.data() + p, factor_, in.size());
     }
     if (h > 0) {
       std::copy(work_.end() - static_cast<std::ptrdiff_t>(h), work_.end(),
@@ -187,6 +235,7 @@ class FirInterpolator {
  private:
   std::size_t factor_;
   std::vector<std::vector<float>> branches_;
+  std::vector<std::vector<float>> rbranches_;
   std::vector<Sample> history_;
   std::vector<Sample> work_;
 };

@@ -1,0 +1,195 @@
+// SSE2 kernels for the hot DSP inner loops, behind the FMBS_SIMD gate
+// (CMake option FMBS_SIMD, ON by default; scalar fallbacks compile when the
+// gate is off or the target has no SSE2).
+//
+// Bit-compatibility contract: every kernel here vectorizes ACROSS OUTPUTS —
+// each SIMD lane accumulates its output's taps serially, in exactly the
+// scalar loop's order — so no floating-point reassociation happens and the
+// results are bit-identical to the scalar implementations. (Vectorizing
+// across taps would reassociate the accumulation and is deliberately
+// avoided.) Baseline x86-64 SSE2 has no FMA, so there is no contraction
+// risk either. The one tolerance-pinned exception in the codebase — the
+// NCO rotator recurrence — lives in nco.cpp/subcarrier.cpp, not here, and
+// is justified at its call sites and pinned by tests.
+//
+// std::complex<float> arrays are addressed through reinterpret_cast<float*>:
+// the standard guarantees array-of-complex is layout-compatible with
+// interleaved re/im float pairs ([complex.numbers.general]).
+#pragma once
+
+#include <cstddef>
+
+#if defined(FMBS_SIMD) && defined(__SSE2__)
+#define FMBS_SIMD_ENABLED 1
+#include <emmintrin.h>
+#else
+#define FMBS_SIMD_ENABLED 0
+#endif
+
+namespace fmbs::dsp::simd {
+
+/// True when the SIMD kernels are compiled in (FMBS_SIMD + SSE2 target).
+inline constexpr bool kEnabled = FMBS_SIMD_ENABLED == 1;
+
+#if FMBS_SIMD_ENABLED
+
+/// dst[i] = gain * src[i] over n floats (a complex span is 2n floats).
+inline void scale_f32(float* dst, const float* src, float gain,
+                      std::size_t n) {
+  const __m128 g = _mm_set1_ps(gain);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i, _mm_mul_ps(g, _mm_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = gain * src[i];
+}
+
+/// dst[i] += gain * src[i] over n floats.
+inline void axpy_f32(float* dst, const float* src, float gain,
+                     std::size_t n) {
+  const __m128 g = _mm_set1_ps(gain);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i),
+                                      _mm_mul_ps(g, _mm_loadu_ps(src + i))));
+  }
+  for (; i < n; ++i) dst[i] += gain * src[i];
+}
+
+/// Real FIR across outputs: out[i * out_stride] = sum_t x[i + t] * rt[t]
+/// for i in [0, n), with rt the REVERSED tap vector (rt[t] = taps[nt-1-t])
+/// so the scalar loop `acc += x[t] * taps[nt-1-t]` reads rt in ascending
+/// order. Four outputs per vector; each lane accumulates taps serially.
+inline void fir_f32(const float* x, const float* rt, std::size_t nt,
+                    float* out, std::size_t out_stride, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128 acc = _mm_setzero_ps();
+    const float* xi = x + i;
+    for (std::size_t t = 0; t < nt; ++t) {
+      acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(xi + t),
+                                       _mm_set1_ps(rt[t])));
+    }
+    if (out_stride == 1) {
+      _mm_storeu_ps(out + i, acc);
+    } else {
+      alignas(16) float lanes[4];
+      _mm_store_ps(lanes, acc);
+      out[i * out_stride] = lanes[0];
+      out[(i + 1) * out_stride] = lanes[1];
+      out[(i + 2) * out_stride] = lanes[2];
+      out[(i + 3) * out_stride] = lanes[3];
+    }
+  }
+  for (; i < n; ++i) {
+    float acc = 0.0F;
+    const float* xi = x + i;
+    for (std::size_t t = 0; t < nt; ++t) acc += xi[t] * rt[t];
+    out[i * out_stride] = acc;
+  }
+}
+
+/// Complex FIR across outputs with real taps: two complex outputs per
+/// vector. x/out are interleaved re/im float arrays; strides are in complex
+/// samples. in_stride > 1 implements the polyphase decimator (output o
+/// reads x starting at complex index o * in_stride).
+inline void fir_cx(const float* x, std::size_t in_stride, const float* rt,
+                   std::size_t nt, float* out, std::size_t out_stride,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128 acc = _mm_setzero_ps();
+    const float* x0 = x + 2 * (i * in_stride);
+    const float* x1 = x + 2 * ((i + 1) * in_stride);
+    for (std::size_t t = 0; t < nt; ++t) {
+      __m128 xv;
+      if (in_stride == 1) {
+        xv = _mm_loadu_ps(x0 + 2 * t);
+      } else {
+        xv = _mm_loadl_pi(_mm_setzero_ps(),
+                          reinterpret_cast<const __m64*>(x0 + 2 * t));
+        xv = _mm_loadh_pi(xv, reinterpret_cast<const __m64*>(x1 + 2 * t));
+      }
+      acc = _mm_add_ps(acc, _mm_mul_ps(xv, _mm_set1_ps(rt[t])));
+    }
+    if (out_stride == 1) {
+      _mm_storeu_ps(out + 2 * i, acc);
+    } else {
+      _mm_storel_pi(reinterpret_cast<__m64*>(out + 2 * (i * out_stride)), acc);
+      _mm_storeh_pi(
+          reinterpret_cast<__m64*>(out + 2 * ((i + 1) * out_stride)), acc);
+    }
+  }
+  for (; i < n; ++i) {
+    float re = 0.0F;
+    float im = 0.0F;
+    const float* xi = x + 2 * (i * in_stride);
+    for (std::size_t t = 0; t < nt; ++t) {
+      re += xi[2 * t] * rt[t];
+      im += xi[2 * t + 1] * rt[t];
+    }
+    out[2 * (i * out_stride)] = re;
+    out[2 * (i * out_stride) + 1] = im;
+  }
+}
+
+/// 4-lane single-precision sin/cos (Cephes-style range reduction + minimax
+/// polynomials, the classic sse_mathfun construction). Accurate to ~2 ulp
+/// for |x| < 8192 — the subcarrier NCO feeds it phases below ~100 rad.
+/// NOT bit-identical to libm cos/sin; call sites must be tolerance-pinned.
+inline void sincos_ps(__m128 x, __m128* s, __m128* c) {
+  const __m128 sign_mask = _mm_castsi128_ps(_mm_set1_epi32(
+      static_cast<int>(0x80000000U)));
+  __m128 sign_bit_sin = _mm_and_ps(x, sign_mask);
+  x = _mm_andnot_ps(sign_mask, x);  // |x|
+
+  // j = ((int)(x * 4/pi) + 1) & ~1 — quadrant counter, rounded to even.
+  __m128 y = _mm_mul_ps(x, _mm_set1_ps(1.27323954473516F));
+  __m128i j = _mm_cvttps_epi32(y);
+  j = _mm_add_epi32(j, _mm_set1_epi32(1));
+  j = _mm_and_si128(j, _mm_set1_epi32(~1));
+  y = _mm_cvtepi32_ps(j);
+
+  // sin sign flips when j & 4; the swap (j & 2) selects which polynomial
+  // lands in which output; cos sign flips when exactly one of j&2, j&4.
+  const __m128 flip_sin = _mm_castsi128_ps(
+      _mm_slli_epi32(_mm_and_si128(j, _mm_set1_epi32(4)), 29));
+  sign_bit_sin = _mm_xor_ps(sign_bit_sin, flip_sin);
+  const __m128 sign_bit_cos = _mm_castsi128_ps(_mm_slli_epi32(
+      _mm_and_si128(_mm_andnot_si128(_mm_sub_epi32(j, _mm_set1_epi32(2)),
+                                     _mm_set1_epi32(4)),
+                    _mm_set1_epi32(4)),
+      29));
+  const __m128 poly_mask = _mm_castsi128_ps(_mm_cmpeq_epi32(
+      _mm_and_si128(j, _mm_set1_epi32(2)), _mm_setzero_si128()));
+
+  // Extended-precision reduction: x -= j * pi/4 in three parts.
+  x = _mm_add_ps(x, _mm_mul_ps(y, _mm_set1_ps(-0.78515625F)));
+  x = _mm_add_ps(x, _mm_mul_ps(y, _mm_set1_ps(-2.4187564849853515625e-4F)));
+  x = _mm_add_ps(x, _mm_mul_ps(y, _mm_set1_ps(-3.77489497744594108e-8F)));
+
+  const __m128 z = _mm_mul_ps(x, x);
+  // cos polynomial on the reduced argument.
+  __m128 yc = _mm_set1_ps(2.443315711809948e-5F);
+  yc = _mm_add_ps(_mm_mul_ps(yc, z), _mm_set1_ps(-1.388731625493765e-3F));
+  yc = _mm_add_ps(_mm_mul_ps(yc, z), _mm_set1_ps(4.166664568298827e-2F));
+  yc = _mm_mul_ps(_mm_mul_ps(yc, z), z);
+  yc = _mm_sub_ps(yc, _mm_mul_ps(z, _mm_set1_ps(0.5F)));
+  yc = _mm_add_ps(yc, _mm_set1_ps(1.0F));
+  // sin polynomial.
+  __m128 ys = _mm_set1_ps(-1.9515295891e-4F);
+  ys = _mm_add_ps(_mm_mul_ps(ys, z), _mm_set1_ps(8.3321608736e-3F));
+  ys = _mm_add_ps(_mm_mul_ps(ys, z), _mm_set1_ps(-1.6666654611e-1F));
+  ys = _mm_add_ps(_mm_mul_ps(_mm_mul_ps(ys, z), x), x);
+
+  const __m128 sin_sel = _mm_or_ps(_mm_and_ps(poly_mask, ys),
+                                   _mm_andnot_ps(poly_mask, yc));
+  const __m128 cos_sel = _mm_or_ps(_mm_and_ps(poly_mask, yc),
+                                   _mm_andnot_ps(poly_mask, ys));
+  *s = _mm_xor_ps(sin_sel, sign_bit_sin);
+  *c = _mm_xor_ps(cos_sel, sign_bit_cos);
+}
+
+#endif  // FMBS_SIMD_ENABLED
+
+}  // namespace fmbs::dsp::simd

@@ -103,6 +103,20 @@ audio::MonoBuffer modulate_fsk(std::span<const std::uint8_t> bits, DataRate rate
   return audio::MonoBuffer(std::move(out), sample_rate);
 }
 
+double fsk_burst_seconds(std::size_t num_bits, DataRate rate,
+                         double sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("fsk_burst_seconds: bad rate");
+  }
+  if (num_bits == 0) throw std::invalid_argument("fsk_burst_seconds: no bits");
+  const FskParams p = FskParams::for_rate(rate);
+  const auto samples_per_symbol =
+      static_cast<std::size_t>(sample_rate / p.symbol_rate + 0.5);
+  const std::size_t num_symbols =
+      (num_bits + p.bits_per_symbol - 1) / p.bits_per_symbol;
+  return static_cast<double>(num_symbols * samples_per_symbol) / sample_rate;
+}
+
 std::vector<std::uint8_t> random_bits(std::size_t count, std::uint64_t seed) {
   std::vector<std::uint8_t> bits(count);
   std::mt19937_64 rng(seed);

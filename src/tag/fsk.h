@@ -49,6 +49,15 @@ struct FskParams {
 audio::MonoBuffer modulate_fsk(std::span<const std::uint8_t> bits, DataRate rate,
                                double sample_rate, double amplitude = 1.0);
 
+/// Exact on-air duration of modulate_fsk(bits of `num_bits`, rate,
+/// sample_rate) without synthesizing the waveform — the same whole-symbol
+/// rounding, so MAC schedules built from this match the rendered burst
+/// sample for sample. Lets the scenario engine resolve its schedule for
+/// every deployed tag while synthesizing waveforms only for the tags some
+/// receiver can actually hear.
+double fsk_burst_seconds(std::size_t num_bits, DataRate rate,
+                         double sample_rate);
+
 /// Deterministic pseudo-random payload helper for BER runs.
 std::vector<std::uint8_t> random_bits(std::size_t count, std::uint64_t seed);
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "dsp/math_util.h"
+#include "dsp/simd.h"
 
 namespace fmbs::tag {
 
@@ -67,6 +69,75 @@ dsp::cvec SubcarrierGenerator::process(std::span<const float> baseband) {
   // Optional DCO quantization: the IC's capacitor bank realizes 2^bits
   // discrete frequencies across [shift - dev, shift + dev].
   const double levels = cfg_.dco_bits > 0 ? std::pow(2.0, cfg_.dco_bits) - 1.0 : 0.0;
+
+#if FMBS_SIMD_ENABLED
+  // The phase accumulation is inherently serial (each step depends on the
+  // previous phase), but the waveform synthesis is not: run the accumulator
+  // alone, then evaluate cos/sin four phases at a time with the vector
+  // sincos. The phase SEQUENCE is identical to the scalar path — same
+  // advance() calls in the same order — so streaming state is unaffected by
+  // the gate; only the per-sample waveform values differ, at the ~1e-7
+  // level of the Cephes float polynomials (tolerance pinned by
+  // tests/dsp/test_simd_kernels.cpp). kHardSquare takes sign(cos), which a
+  // 1e-7 wobble near a zero crossing could flip, so it stays on libm.
+  if (cfg_.mode != SubcarrierMode::kHardSquare) {
+    std::vector<float> ph(up.size());
+    for (std::size_t i = 0; i < up.size(); ++i) {
+      double m = static_cast<double>(up[i]);
+      if (levels > 0.0) {
+        const double clamped = std::clamp(m, -1.0, 1.0);
+        m = std::round((clamped + 1.0) / 2.0 * levels) / levels * 2.0 - 1.0;
+      }
+      ph[i] = static_cast<float>(phase_.advance(base_step + dev_step * m));
+    }
+    auto* of = reinterpret_cast<float*>(out.data());
+    const std::size_t n = up.size();
+    std::size_t i = 0;
+    if (cfg_.mode == SubcarrierMode::kSingleSideband) {
+      const __m128 amp = _mm_set1_ps(static_cast<float>(2.0 / dsp::kPi));
+      for (; i + 4 <= n; i += 4) {
+        __m128 s;
+        __m128 c;
+        dsp::simd::sincos_ps(_mm_loadu_ps(ph.data() + i), &s, &c);
+        c = _mm_mul_ps(c, amp);
+        s = _mm_mul_ps(s, amp);
+        _mm_storeu_ps(of + 2 * i, _mm_unpacklo_ps(c, s));
+        _mm_storeu_ps(of + 2 * i + 4, _mm_unpackhi_ps(c, s));
+      }
+      for (; i < n; ++i) {
+        out[i] = dsp::cfloat(
+            static_cast<float>(2.0 / dsp::kPi) * std::cos(ph[i]),
+            static_cast<float>(2.0 / dsp::kPi) * std::sin(ph[i]));
+      }
+    } else {  // kBandlimitedSquare
+      for (; i + 4 <= n; i += 4) {
+        const __m128 phv = _mm_loadu_ps(ph.data() + i);
+        __m128 acc = _mm_setzero_ps();
+        for (int k = 1; k <= harmonics_; k += 2) {
+          __m128 s;
+          __m128 c;
+          dsp::simd::sincos_ps(
+              _mm_mul_ps(phv, _mm_set1_ps(static_cast<float>(k))), &s, &c);
+          acc = _mm_add_ps(
+              acc, _mm_mul_ps(c, _mm_set1_ps(static_cast<float>(
+                                     4.0 / (dsp::kPi * k)))));
+        }
+        const __m128 zero = _mm_setzero_ps();
+        _mm_storeu_ps(of + 2 * i, _mm_unpacklo_ps(acc, zero));
+        _mm_storeu_ps(of + 2 * i + 4, _mm_unpackhi_ps(acc, zero));
+      }
+      for (; i < n; ++i) {
+        float acc = 0.0F;
+        for (int k = 1; k <= harmonics_; k += 2) {
+          acc += static_cast<float>(4.0 / (dsp::kPi * k)) *
+                 std::cos(static_cast<float>(k) * ph[i]);
+        }
+        out[i] = dsp::cfloat(acc, 0.0F);
+      }
+    }
+    return out;
+  }
+#endif
 
   for (std::size_t i = 0; i < up.size(); ++i) {
     double m = static_cast<double>(up[i]);

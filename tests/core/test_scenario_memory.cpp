@@ -1,0 +1,162 @@
+// Peak-allocation regression for the scenario engine's scene staging.
+//
+// The pre-sparse engine materialized, for EVERY station in the scene, a full
+// copy of its rendered IQ padded up to a whole number of streaming blocks
+// (copy-then-pad), then kept a full upsampled RF block per station — so a
+// six-station scene paid ~2x the render memory again in copies before the
+// first receiver ever decoded, and scenes paid for stations no receiver
+// could hear. Demand-driven rendering replaced the copies with ONE shared
+// block-sized scratch (used only for the final partial block) and skips
+// unneeded stations entirely. This test instruments global operator new and
+// pins the peak: if copy-then-pad (or render-everything) comes back, the
+// peak jumps by megabytes and the bound here fails.
+//
+// The binary-local allocator override counts every live byte via
+// malloc_usable_size; this file is its own test executable, so the override
+// cannot leak into other tests.
+#include <gtest/gtest.h>
+#include <malloc.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "core/scenario.h"
+#include "dsp/types.h"
+#include "fm/constants.h"
+
+namespace {
+
+std::atomic<std::size_t> g_live{0};
+std::atomic<std::size_t> g_peak{0};
+
+void track_alloc(void* p) {
+  if (p == nullptr) return;
+  const std::size_t live =
+      g_live.fetch_add(malloc_usable_size(p)) + malloc_usable_size(p);
+  std::size_t peak = g_peak.load();
+  while (live > peak && !g_peak.compare_exchange_weak(peak, live)) {
+  }
+}
+
+void track_free(void* p) {
+  if (p == nullptr) return;
+  g_live.fetch_sub(malloc_usable_size(p));
+}
+
+}  // namespace
+
+// GCC 12 flags free() inside a user-defined operator delete as a mismatched
+// pair even though this file's operator new is malloc-backed by construction.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  track_alloc(p);
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept {
+  track_free(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+namespace fmbs::core {
+namespace {
+
+/// Six far-field stations spread across the scene, one tag on the center
+/// station, one phone on the tag's channel: only the center station (and the
+/// one 200 kHz over) are inside the receiver's neighborhood.
+Scenario six_station_scene() {
+  Scenario sc;
+  sc.name = "memory_probe";
+  sc.seed = 11;
+  sc.duration_seconds = 0.2;  // 0.28 s total: NOT a whole number of blocks
+  const double offsets[6] = {0.0, 200e3, -600e3, 600e3, -1000e3, 1000e3};
+  for (int s = 0; s < 6; ++s) {
+    ScenarioStation st;
+    st.name = "st" + std::to_string(s);
+    st.config.program.genre = audio::ProgramGenre::kNews;
+    st.config.program.stereo = false;
+    st.config.seed = 100 + static_cast<std::uint64_t>(s);
+    st.offset_hz = offsets[s];
+    st.power_dbm = -28.0 - s;
+    sc.stations.push_back(st);
+  }
+  ScenarioTag t;
+  t.name = "poster";
+  t.station_index = 0;
+  t.subcarrier.shift_hz = 100e3;  // tune at +100 kHz: only 0 / 200 kHz near
+  t.rate = tag::DataRate::k1600bps;
+  t.num_bits = 128;
+  t.packet_bits = 64;
+  t.distance_override_feet = 4.0;
+  sc.tags.push_back(t);
+  sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
+  return sc;
+}
+
+TEST(ScenarioMemory, SparseRunPeakStaysBounded) {
+  const Scenario sc = six_station_scene();
+  const ScenarioEngine sparse_engine({.keep_captures = false});
+  const ScenarioEngine dense_engine(
+      {.keep_captures = false, .scene_rendering = SceneRendering::kDense});
+
+  // Warm fm::StationCache (all six renders) so the measured runs pay engine
+  // staging only, not first-render synthesis.
+  const ScenarioResult warm = sparse_engine.run(sc);
+  ASSERT_EQ(warm.scene.stations_total, 6U);
+  EXPECT_EQ(warm.scene.stations_rendered, 2U)
+      << "only the center station and its 200 kHz neighbor are in range";
+  EXPECT_EQ(warm.scene.tags_rendered, 1U);
+  dense_engine.run(sc);
+
+  const auto measure_peak = [&](const ScenarioEngine& engine) {
+    const std::size_t baseline = g_live.load();
+    g_peak.store(baseline);
+    const ScenarioResult result = engine.run(sc);
+    // Keep `result` alive through the read so both modes count their
+    // retained result the same way.
+    const std::size_t peak = g_peak.load() - baseline;
+    EXPECT_GE(result.scene.stations_rendered, 1U);
+    return peak;
+  };
+  const std::size_t sparse_peak = measure_peak(sparse_engine);
+  const std::size_t dense_peak = measure_peak(dense_engine);
+
+  // Scale reference: one station render of this scene (0.28 s at the MPX
+  // rate) is ~540 KB of IQ, and one upsampled RF block is ~1.9 MB. Measured
+  // peaks today: ~16.9 MB sparse (two staged stations) vs ~24 MB dense (all
+  // six) — and the removed copy-then-pad staging alone would add another
+  // ~3.3 MB of padded IQ copies on top of dense. The absolute bound sits
+  // just above the sparse measurement: either regression (padded copies, or
+  // rendering/staging stations nobody can hear) blows through it.
+  EXPECT_LT(sparse_peak, 19U << 20)
+      << "scene staging regressed toward copy-then-pad / render-everything";
+  // Demand-driven staging must actually be cheaper than exhaustive staging
+  // by about the four skipped stations' RF blocks.
+  EXPECT_LT(sparse_peak + (4U << 20), dense_peak)
+      << "sparse " << sparse_peak << " vs dense " << dense_peak;
+
+  // The shared scratch replaces the per-station pads: exactly one streaming
+  // block (0.1 s of MPX-rate IQ) when the render length is partial-block.
+  const ScenarioResult result = sparse_engine.run(sc);
+  const auto block = static_cast<std::size_t>(fm::kMpxRate / 10.0);
+  EXPECT_EQ(result.scene.scene_scratch_bytes, block * sizeof(dsp::cfloat));
+}
+
+TEST(ScenarioMemory, WholeBlockRunNeedsNoScratch) {
+  Scenario sc = six_station_scene();
+  sc.duration_seconds = 0.22;  // 0.3 s total = exactly 3 streaming blocks
+  const ScenarioResult result =
+      ScenarioEngine({.keep_captures = false}).run(sc);
+  EXPECT_EQ(result.scene.scene_scratch_bytes, 0U);
+}
+
+}  // namespace
+}  // namespace fmbs::core

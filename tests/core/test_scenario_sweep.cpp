@@ -221,6 +221,71 @@ TEST(ScenarioSweep, SegmentedSweepIsBitIdenticalAcrossThreadCounts) {
       });
 }
 
+/// A scene where demand-driven rendering genuinely prunes: five stations,
+/// but the receiver's neighborhood around the tag's +600 kHz channel covers
+/// only station 0 (always rendered), +200 kHz (exactly at the 400 kHz
+/// pruning boundary) and +800 kHz — the −800 kHz and −1 MHz stations are
+/// never synthesized. Lazy renders then hit fm::StationCache concurrently
+/// from the sweep pool, which is exactly the path this thread-identity test
+/// (and its TSan lane) must cover.
+Scenario pruned_city_scene(double distance_ft) {
+  Scenario sc = one_tag_scenario(-30.0, distance_ft);
+  sc.name = "pruned-point";
+  const double offsets[5] = {0.0, 200e3, -800e3, 800e3, -1000e3};
+  for (int s = 0; s < 5; ++s) {
+    ScenarioStation st;
+    st.name = "st" + std::to_string(s);
+    st.offset_hz = offsets[s];
+    st.power_dbm = -28.0 - s;
+    st.config.program.genre = audio::ProgramGenre::kNews;
+    st.config.program.stereo = false;
+    st.config.seed = 0;  // pinned sweep-wide by the seed policy
+    sc.stations.push_back(std::move(st));
+  }
+  sc.tags[0].station_index = 0;  // pin: selection must not rescue far stations
+  return sc;
+}
+
+// Demand-driven rendering under the sweep pool: pruning decisions and the
+// lazily-rendered scene must be bit-identical at 1, 2 and 8 threads even
+// though the lazy renders race through the shared StationCache.
+TEST(ScenarioSweep, SparseLazyRenderIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> distances{3.0, 4.0, 6.0, 8.0};
+
+  test::ExpectBitIdenticalAcrossThreads(
+      [&](std::size_t threads) {
+        SweepRunner runner(SweepConfig{.threads = threads, .base_seed = 43});
+        const ScenarioEngine engine({.keep_captures = false});
+        std::vector<Scenario> points;
+        for (const double d : distances) {
+          points.push_back(pruned_city_scene(d));
+        }
+        return run_scenario_sweep(runner, engine, std::move(points));
+      },
+      [&](const auto& serial, const auto& other, std::size_t threads) {
+        ASSERT_EQ(serial.size(), distances.size());
+        ASSERT_EQ(other.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+          // The pruning decision itself is part of the contract.
+          EXPECT_EQ(serial[i].scene.stations_total, 5U);
+          EXPECT_EQ(serial[i].scene.stations_rendered, 3U) << i;
+          EXPECT_EQ(other[i].scene.stations_rendered,
+                    serial[i].scene.stations_rendered)
+              << threads << "t," << i;
+          ASSERT_EQ(serial[i].best_per_tag.size(), 1U) << "tag went unheard";
+          ASSERT_EQ(other[i].best_per_tag.size(), 1U);
+          EXPECT_EQ(serial[i].best_per_tag[0].burst.ber.ber,
+                    other[i].best_per_tag[0].burst.ber.ber)
+              << threads << "t," << i;
+          EXPECT_EQ(serial[i].best_per_tag[0].goodput_bps,
+                    other[i].best_per_tag[0].goodput_bps)
+              << threads << "t," << i;
+          EXPECT_EQ(serial[i].selected_station, other[i].selected_station)
+              << threads << "t," << i;
+        }
+      });
+}
+
 // Station renders are reused ACROSS segments (one render per station per
 // run, never one per segment) and across sweep points: sweeping a 5-segment
 // scene must keep the cache hit-rate at or above the miss count.
