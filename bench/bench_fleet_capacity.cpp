@@ -1,0 +1,499 @@
+// Metro-scale fleet capacity (paper section 8): aggregate goodput and
+// delivery latency versus tag density over the survey-driven Boston band,
+// at 10^2..10^5 tags — two to three orders of magnitude past what the
+// signal-level ScenarioEngine can render — through the hybrid
+// core::FleetEngine.
+//
+// Modes:
+//   (default)            capacity curve on a reduced grid, human-readable
+//   --json <path>        full 10^2..10^5 curve + full-PHY speedup
+//                        accounting, written as JSON (CI's bench-baselines
+//                        job regenerates BENCH_fleet.json with this)
+//   --smoke              fast acceptance run (CI build-and-test step):
+//                        small fleet through the hybrid, sanity-checked
+//   --calibrate          refit the analytic FSK calibration against the
+//                        PHY demodulator and print the constants pinned in
+//                        rx/analytic_fsk.cpp (run after touching the
+//                        demodulator or the link budget)
+//
+// The speedup number is honest about what it compares: the full-PHY cost of
+// a 10^4-tag, 30 s Boston point is *projected* from two measured small-N
+// renders (wall time is affine in tag count at fixed duration and linear in
+// duration), because actually rendering it would take hours.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fmbs.h"
+#include "fm/station_cache.h"
+
+namespace {
+
+using namespace fmbs;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- The survey-driven Boston band ------------------------------------------
+
+/// The densest in-scene slice of the surveyed Boston band (same selection as
+/// bench_scenario_multitag's city-scale scene).
+std::vector<core::ScenarioStation> boston_band() {
+  const auto cities = survey::builtin_city_spectra();
+  const survey::CitySpectrum* boston = nullptr;
+  for (const auto& city : cities) {
+    if (city.name == "Boston") boston = &city;
+  }
+  if (boston == nullptr) throw std::runtime_error("no Boston survey");
+  core::SurveySceneReport report;
+  for (const int channel : boston->detectable_channels) {
+    core::SurveySceneReport candidate =
+        core::stations_from_survey_report(*boston, channel);
+    if (candidate.stations.size() > report.stations.size()) {
+      report = std::move(candidate);
+    }
+  }
+  return report.stations;
+}
+
+/// Backscatter slots a coordinated metro deployment would use: 100 kHz grid
+/// positions one full channel spacing clear of every licensed carrier,
+/// reachable by some station with a legal SSB shift (400 kHz..1 MHz), and
+/// pairwise a full channel spacing apart so each slot's gateway receiver
+/// never sits in another slot's tuner neighborhood.
+struct FleetSlot {
+  double offset_hz = 0.0;
+  std::vector<std::size_t> feeders;  ///< stations that can reach this slot
+};
+
+std::vector<FleetSlot> gateway_slots(
+    const std::vector<core::ScenarioStation>& stations) {
+  std::vector<FleetSlot> slots;
+  for (double c = -1000e3; c <= 1000e3 + 1.0; c += 100e3) {
+    if (std::abs(c) > core::kMaxStationOffsetHz) continue;
+    double min_dist = 1e12;
+    for (const auto& st : stations) {
+      min_dist = std::min(min_dist, std::abs(c - st.offset_hz));
+    }
+    if (min_dist < fm::kChannelSpacingHz - 1e-6) continue;
+    FleetSlot slot;
+    slot.offset_hz = c;
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      const double shift = c - stations[s].offset_hz;
+      if (std::abs(shift) >= 400e3 - 1e-6 && std::abs(shift) <= 1000e3 + 1e-6) {
+        slot.feeders.push_back(s);
+      }
+    }
+    if (slot.feeders.empty()) continue;
+    if (!slots.empty() &&
+        std::abs(c - slots.back().offset_hz) < fm::kChannelSpacingHz - 1e-6) {
+      continue;
+    }
+    slots.push_back(std::move(slot));
+  }
+  if (slots.empty()) throw std::runtime_error("no gateway slots in the band");
+  return slots;
+}
+
+constexpr std::size_t kBurstBits = 128;  // 0.08 s at 1.6 kbps
+constexpr std::size_t kPacketBits = 64;
+
+/// `num_tags` posters spread round-robin over the band's gateway slots, one
+/// gateway phone per slot, every tag bursting once at a uniformly random
+/// time in the window — the fleet's offered load is num_tags bursts per
+/// `duration` seconds.
+core::Scenario fleet_scenario(const std::vector<core::ScenarioStation>& band,
+                              const std::vector<FleetSlot>& slots,
+                              std::size_t num_tags, double duration,
+                              bool slotted, std::uint64_t seed) {
+  core::Scenario sc;
+  sc.name = (slotted ? std::string("fleet-slotted") : std::string("fleet")) +
+            std::to_string(num_tags);
+  sc.stations = band;
+  sc.seed = seed;
+  sc.duration_seconds = duration;
+
+  const double burst_seconds =
+      tag::fsk_burst_seconds(kBurstBits, tag::DataRate::k1600bps, fm::kMpxRate);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> at(0.0, duration - burst_seconds -
+                                                     2.0 * core::kBurstGuardSeconds);
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    const FleetSlot& slot = slots[i % slots.size()];
+    const std::size_t s = slot.feeders[(i / slots.size()) % slot.feeders.size()];
+    core::ScenarioTag t;
+    t.name = "tag" + std::to_string(i);
+    t.station_index = static_cast<int>(s);
+    t.subcarrier.shift_hz = slot.offset_hz - sc.stations[s].offset_hz;
+    t.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
+    t.rate = tag::DataRate::k1600bps;
+    t.num_bits = kBurstBits;
+    t.packet_bits = kPacketBits;
+    // Poster-to-gateway walk-up distances vary a little, so same-slot
+    // bursts arrive at distinct powers (4..8 ft).
+    t.distance_override_feet = 4.0 + static_cast<double>(i % 5);
+    t.start_seconds = at(rng);
+    if (slotted) t.mac.kind = tag::MacKind::kSlottedAloha;
+    sc.tags.push_back(std::move(t));
+  }
+  for (const FleetSlot& slot : slots) {
+    core::ScenarioReceiver phone;
+    phone.name = "gateway@" + std::to_string(slot.offset_hz / 1e3) + "kHz";
+    phone.kind = core::ReceiverKind::kPhone;
+    phone.tune_offset_hz = slot.offset_hz;
+    sc.receivers.push_back(std::move(phone));
+  }
+  return sc;
+}
+
+// ---- Calibration: fit the analytic curve against the PHY --------------------
+
+/// Runs one single-tag scene through the signal-level engine and returns
+/// (in-channel SNR dB, PHY BER) for the link.
+std::pair<double, double> phy_ber_point(tag::DataRate rate, double distance_ft,
+                                        std::size_t num_bits,
+                                        std::uint64_t seed,
+                                        double noise_dbm_override) {
+  core::Scenario sc;
+  sc.name = "cal";
+  sc.station.program.genre = audio::ProgramGenre::kNews;
+  sc.station.program.stereo = false;
+  sc.station.seed = 7;
+  sc.seed = seed;
+  core::ScenarioTag t;
+  t.name = "cal-tag";
+  t.rate = rate;
+  t.num_bits = num_bits;
+  t.tag_power_dbm = -30.0;
+  t.distance_override_feet = distance_ft;
+  sc.tags.push_back(t);
+  sc.duration_seconds =
+      tag::fsk_burst_seconds(num_bits, rate, fm::kMpxRate) + 4.0 * core::kBurstGuardSeconds +
+      0.1;
+  core::ScenarioReceiver rx = core::phone_listening_to(t.subcarrier);
+  if (!std::isnan(noise_dbm_override)) rx.noise_dbm_200khz = noise_dbm_override;
+  sc.receivers.push_back(rx);
+
+  const core::ScenarioResult result =
+      core::ScenarioEngine({.keep_captures = false}).run(sc);
+  if (result.best_per_tag.empty()) {
+    throw std::runtime_error("calibration link not audible");
+  }
+  const core::TagLinkReport& link = result.best_per_tag.front();
+  const double snr_db = link.backscatter_rx_power_dbm -
+                        core::receiver_noise_floor_dbm(sc.receivers[0]);
+  return {snr_db, link.burst.ber.ber};
+}
+
+int run_calibrate() {
+  struct RateSpec {
+    tag::DataRate rate;
+    const char* name;
+    std::size_t bits;
+  };
+  const std::vector<RateSpec> rates = {
+      {tag::DataRate::k100bps, "k100bps", 96},
+      {tag::DataRate::k1600bps, "k1600bps", 512},
+      {tag::DataRate::k3200bps, "k3200bps", 512},
+  };
+  std::cout << "Calibration: PHY BER vs in-channel SNR, one tag at 4 ft,\n"
+               "kNews station, receiver noise floor swept. Noise power is\n"
+               "the same coordinate the fleet engine's SINR denominator\n"
+               "uses, so the fit transfers to interference-limited links.\n";
+  for (const RateSpec& spec : rates) {
+    std::cout << "  " << spec.name << ":\n";
+    // Reference probe at the phone's default floor pins the received
+    // sideband power; each SNR target then maps to a floor override.
+    const auto [snr_ref, ber_ref] = phy_ber_point(
+        spec.rate, 4.0, spec.bits, 11,
+        std::numeric_limits<double>::quiet_NaN());
+    const double p_rx_dbm =
+        snr_ref + channel::ReceiverNoise::kPhoneDbmPer200kHz;
+    std::cout << "    reference: p_rx=" << p_rx_dbm << "dBm snr=" << snr_ref
+              << "dB ber=" << ber_ref << "\n";
+    // Coarse above the knee (floor estimation), fine through it: the
+    // noncoherent waterfall can be only a few dB wide at 100 bps.
+    std::vector<double> snr_targets;
+    for (double s = 30.0; s > 8.0; s -= 4.0) snr_targets.push_back(s);
+    for (double s = 8.0; s > -2.0; s -= 1.0) snr_targets.push_back(s);
+    for (double s = -2.0; s >= -9.0; s -= 0.5) snr_targets.push_back(s);
+    std::vector<std::pair<double, double>> points;  // (snr_db, ber)
+    for (const double snr_target : snr_targets) {
+      const auto [snr_db, ber] = phy_ber_point(
+          spec.rate, 4.0, spec.bits, 11, p_rx_dbm - snr_target);
+      points.emplace_back(snr_db, ber);
+      std::cout << "    snr=" << snr_db << "dB ber=" << ber << "\n";
+    }
+    // The SNR-independent floor is what remains on saturated-clean links;
+    // below one expected bit error it is indistinguishable from zero.
+    double floor_sum = 0.0;
+    std::size_t floor_n = 0;
+    for (const auto& [snr_db, ber] : points) {
+      if (snr_db >= 22.0) {
+        floor_sum += ber;
+        ++floor_n;
+      }
+    }
+    double ber_floor = floor_n > 0 ? floor_sum / static_cast<double>(floor_n)
+                                   : 0.0;
+    if (ber_floor < 1.0 / static_cast<double>(spec.bits)) ber_floor = 0.0;
+    // Only waterfall points identify the gamma mapping: a saturated-clean
+    // BER says "gamma is at least ...", a chance-level one "at most ...".
+    std::vector<double> xs, ys;  // snr_db -> gamma_s_db
+    for (const auto& [snr_db, ber] : points) {
+      const double curve = (ber - ber_floor) / (1.0 - 2.0 * ber_floor);
+      if (curve > 1.5 / static_cast<double>(spec.bits) && ber < 0.4) {
+        const double gamma = rx::analytic_fsk_gamma_from_ber(curve, spec.rate);
+        xs.push_back(snr_db);
+        ys.push_back(10.0 * std::log10(gamma));
+      }
+    }
+    double slope = 1.0;
+    double offset = 0.0;
+    if (xs.size() >= 3) {
+      double sx = 0, sy = 0, sxx = 0, sxy = 0;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+      }
+      const auto n = static_cast<double>(xs.size());
+      slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+      offset = (sy - slope * sx) / n;
+    } else if (!xs.empty()) {
+      // Waterfall narrower than the grid: pin unit slope through the
+      // point(s) we did catch. Only the knee position matters then —
+      // links on either side are saturated clean or dead.
+      for (std::size_t i = 0; i < xs.size(); ++i) offset += ys[i] - xs[i];
+      offset /= static_cast<double>(xs.size());
+      std::cout << "    (cliff: " << xs.size()
+                << " waterfall point(s), unit slope through them)\n";
+    } else {
+      // No waterfall point at all: place the half-BER knee at the cliff
+      // midpoint between the last clean and first chance-level sample.
+      double snr_dead = snr_targets.back();
+      for (const auto& [snr_db, ber] : points) {
+        if (ber >= 0.4 && snr_db > snr_dead) snr_dead = snr_db;
+      }
+      // Clean samples below the first chance-level one are sync failures
+      // scored as zero errors, not working links — ignore them.
+      double snr_clean = snr_targets.front();
+      for (const auto& [snr_db, ber] : points) {
+        if (ber < 1.5 / static_cast<double>(spec.bits) && snr_db > snr_dead &&
+            snr_db < snr_clean) {
+          snr_clean = snr_db;
+        }
+      }
+      const double gamma_half =
+          rx::analytic_fsk_gamma_from_ber(0.25, spec.rate);
+      offset = 10.0 * std::log10(gamma_half) - 0.5 * (snr_clean + snr_dead);
+      std::cout << "    (cliff between snr=" << snr_clean << " and "
+                << snr_dead << "dB; unit slope through the midpoint)\n";
+    }
+    const rx::AnalyticFskCalibration pinned =
+        rx::analytic_fsk_calibration(spec.rate);
+    std::cout << "    fit (" << xs.size() << " points): gamma_offset_db="
+              << offset << " gamma_slope=" << slope
+              << " ber_floor=" << ber_floor << "   [pinned: "
+              << pinned.gamma_offset_db << ", " << pinned.gamma_slope << ", "
+              << pinned.ber_floor << "]\n";
+  }
+  std::cout << "Pin the fitted constants in rx/analytic_fsk.cpp and in\n"
+               "tests/rx/test_analytic_fsk.cpp.\n";
+  return 0;
+}
+
+// ---- Capacity curve ---------------------------------------------------------
+
+struct CapacityPoint {
+  std::size_t tags = 0;
+  bool slotted = false;
+  double wall_seconds = 0.0;
+  double goodput_bps = 0.0;
+  double latency_seconds = 0.0;
+  std::size_t delivered = 0;
+  core::FleetStats stats;
+};
+
+CapacityPoint run_point(const std::vector<core::ScenarioStation>& band,
+                        const std::vector<FleetSlot>& slots, std::size_t n,
+                        double duration, bool slotted) {
+  const core::Scenario sc =
+      fleet_scenario(band, slots, n, duration, slotted, 40 + (slotted ? 1 : 0));
+  fm::StationCache::instance().clear();  // cold: sub-scene renders count
+  const core::FleetEngine engine;
+  const double t0 = now_seconds();
+  const core::FleetResult result = engine.run(sc);
+  CapacityPoint point;
+  point.wall_seconds = now_seconds() - t0;
+  point.tags = n;
+  point.slotted = slotted;
+  point.goodput_bps = result.aggregate_goodput_bps;
+  point.latency_seconds = result.mean_delivery_latency_seconds;
+  for (const core::FleetLink& link : result.best_per_tag) {
+    if (link.delivered) ++point.delivered;
+  }
+  point.stats = result.stats;
+  return point;
+}
+
+void print_point(const CapacityPoint& p) {
+  std::cout << "  " << (p.slotted ? "slotted" : "pure   ") << " N=" << p.tags
+            << ": goodput=" << p.goodput_bps / 1000.0 << " kbps, delivered "
+            << p.delivered << "/" << p.tags
+            << ", latency=" << p.latency_seconds << " s, links "
+            << p.stats.links_total << " (clear " << p.stats.analytic_clear
+            << ", collision " << p.stats.analytic_collision << ", phy "
+            << p.stats.phy_links << " in " << p.stats.phy_clusters
+            << " clusters), " << p.wall_seconds << " s wall\n";
+}
+
+/// Projects the full-PHY wall cost of an (n tags, duration) Boston point
+/// from two measured small renders: cost is affine in N at fixed duration
+/// and scales linearly with duration (both station synthesis and per-tag
+/// compose/demod do).
+double project_phy_seconds(const std::vector<core::ScenarioStation>& band,
+                           const std::vector<FleetSlot>& slots, std::size_t n,
+                           double duration, double* measured_small) {
+  constexpr double kProbeDuration = 2.0;
+  constexpr std::size_t kSmallN = 8;
+  constexpr std::size_t kBigN = 24;
+  const core::ScenarioEngine engine({.keep_captures = false});
+  double t_small = 0.0;
+  double t_big = 0.0;
+  {
+    const core::Scenario sc =
+        fleet_scenario(band, slots, kSmallN, kProbeDuration, false, 40);
+    fm::StationCache::instance().clear();
+    const double t0 = now_seconds();
+    (void)engine.run(sc);
+    t_small = now_seconds() - t0;
+  }
+  {
+    const core::Scenario sc =
+        fleet_scenario(band, slots, kBigN, kProbeDuration, false, 40);
+    fm::StationCache::instance().clear();
+    const double t0 = now_seconds();
+    (void)engine.run(sc);
+    t_big = now_seconds() - t0;
+  }
+  if (measured_small != nullptr) *measured_small = t_small;
+  const double per_tag =
+      std::max(0.0, (t_big - t_small) / static_cast<double>(kBigN - kSmallN));
+  const double base = std::max(0.0, t_small - per_tag * kSmallN);
+  return (base + per_tag * static_cast<double>(n)) * (duration / kProbeDuration);
+}
+
+int run_capacity(const std::string& json_path, bool full) {
+  const std::vector<core::ScenarioStation> band = boston_band();
+  const std::vector<FleetSlot> slots = gateway_slots(band);
+  const double duration = 30.0;
+  std::cout << "Fleet capacity: Boston band, " << band.size() << " stations, "
+            << slots.size() << " gateway slots, " << duration
+            << " s window\n";
+
+  std::vector<std::size_t> grid = {100, 1000, 10000};
+  if (full) grid = {100, 316, 1000, 3162, 10000, 31623, 100000};
+
+  std::vector<CapacityPoint> points;
+  for (const bool slotted : {false, true}) {
+    for (const std::size_t n : grid) {
+      points.push_back(run_point(band, slots, n, duration, slotted));
+      print_point(points.back());
+    }
+  }
+
+  // Full-PHY projection at the acceptance point (10^4 tags).
+  double probe_seconds = 0.0;
+  const double phy_10k =
+      project_phy_seconds(band, slots, 10000, duration, &probe_seconds);
+  double fleet_10k = 0.0;
+  for (const CapacityPoint& p : points) {
+    if (!p.slotted && p.tags == 10000) fleet_10k = p.wall_seconds;
+  }
+  const double speedup = fleet_10k > 0.0 ? phy_10k / fleet_10k : 0.0;
+  std::cout << "  full-PHY projection at N=10000: " << phy_10k
+            << " s (probe render " << probe_seconds << " s); hybrid measured "
+            << fleet_10k << " s -> speedup " << speedup << "x\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"scenario\": \"boston-fleet\",\n"
+        << "  \"stations_in_scene\": " << band.size() << ",\n"
+        << "  \"gateway_slots\": " << slots.size() << ",\n"
+        << "  \"window_seconds\": " << duration << ",\n"
+        << "  \"phy_projected_seconds_10k\": " << phy_10k << ",\n"
+        << "  \"hybrid_seconds_10k\": " << fleet_10k << ",\n"
+        << "  \"speedup_10k\": " << speedup << ",\n"
+        << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const CapacityPoint& p = points[i];
+      out << "    {\"mac\": \"" << (p.slotted ? "slotted" : "pure")
+          << "\", \"tags\": " << p.tags
+          << ", \"goodput_bps\": " << p.goodput_bps
+          << ", \"delivered\": " << p.delivered
+          << ", \"mean_latency_seconds\": " << p.latency_seconds
+          << ", \"links\": " << p.stats.links_total
+          << ", \"analytic_clear\": " << p.stats.analytic_clear
+          << ", \"analytic_collision\": " << p.stats.analytic_collision
+          << ", \"phy_links\": " << p.stats.phy_links
+          << ", \"phy_clusters\": " << p.stats.phy_clusters
+          << ", \"wall_seconds\": " << p.wall_seconds << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "  wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int run_smoke() {
+  const std::vector<core::ScenarioStation> band = boston_band();
+  const std::vector<FleetSlot> slots = gateway_slots(band);
+  const CapacityPoint p = run_point(band, slots, 64, 4.0, false);
+  print_point(p);
+  if (p.stats.links_total == 0) {
+    std::cerr << "smoke: no links resolved\n";
+    return 1;
+  }
+  if (p.delivered == 0) {
+    std::cerr << "smoke: nothing delivered at low load\n";
+    return 1;
+  }
+  if (p.stats.analytic_clear + p.stats.analytic_collision +
+          p.stats.phy_links !=
+      p.stats.links_total) {
+    std::cerr << "smoke: resolution counts do not partition the links\n";
+    return 1;
+  }
+  std::cout << "smoke: ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") return run_smoke();
+    if (arg == "--calibrate") return run_calibrate();
+    if (arg == "--json" && i + 1 < argc) return run_capacity(argv[i + 1], true);
+  }
+  return run_capacity("", false);
+}

@@ -68,4 +68,19 @@ LinkBudget compute_link_budget(double tag_power_dbm, double direct_power_dbm,
   return out;
 }
 
+BackscatterPath compute_backscatter_path(double tag_power_dbm,
+                                         double direct_power_dbm,
+                                         double tag_rx_distance_m,
+                                         const LinkBudgetConfig& config) {
+  BackscatterPath out;
+  out.budget = compute_link_budget(tag_power_dbm, direct_power_dbm,
+                                   tag_rx_distance_m, config);
+  // One sideband of the square wave carries (2/pi)^2 of the reflection.
+  out.sideband_watts = out.budget.backscatter_amplitude *
+                       out.budget.backscatter_amplitude * (2.0 / dsp::kPi) *
+                       (2.0 / dsp::kPi);
+  out.sideband_power_dbm = dsp::dbm_from_watts(out.sideband_watts);
+  return out;
+}
+
 }  // namespace fmbs::channel

@@ -61,6 +61,28 @@ LinkBudget compute_link_budget(double tag_power_dbm, double direct_power_dbm,
                                double tag_rx_distance_m,
                                const LinkBudgetConfig& config = {});
 
+/// A priced tag-to-receiver reflection path: the link budget plus the
+/// square-wave sideband bookkeeping every engine needs when it reasons about
+/// the reflected power as a channel occupant (carrier sensing, interference
+/// folding, SNR). One sideband of the switch waveform carries (2/pi)^2 of
+/// the reflected power — the band-limited square synthesis puts 4/pi on the
+/// fundamental's amplitude and the receiver hears one of the two copies.
+struct BackscatterPath {
+  LinkBudget budget;
+  /// In-channel power of one backscatter sideband at the receiver.
+  double sideband_watts = 0.0;
+  double sideband_power_dbm = 0.0;
+};
+
+/// compute_link_budget plus the single-sideband power split. This is the one
+/// shared pricing of a reflection; the scenario engine's carrier-sense
+/// oracle, its per-segment link tables and the fleet engine's analytic chain
+/// all go through it instead of repeating the (2/pi)^2 arithmetic.
+BackscatterPath compute_backscatter_path(double tag_power_dbm,
+                                         double direct_power_dbm,
+                                         double tag_rx_distance_m,
+                                         const LinkBudgetConfig& config = {});
+
 /// Receiver noise floor (dBm in the 200 kHz FM channel) for a given receiver
 /// class. These lump LNA noise figure and antenna inefficiency and are
 /// calibrated so the end-to-end ranges match the paper (phones: Fig. 7/8,

@@ -26,6 +26,7 @@
 #include "core/aloha.h"
 #include "core/config.h"
 #include "core/experiment.h"
+#include "core/fleet.h"
 #include "core/harvesting.h"
 #include "core/rng.h"
 #include "core/scenario.h"
@@ -37,6 +38,7 @@
 #include "fm/receiver.h"
 #include "fm/station_cache.h"
 #include "fm/transmitter.h"
+#include "rx/analytic_fsk.h"
 #include "rx/cooperative.h"
 #include "rx/fsk_demod.h"
 #include "rx/mrc.h"

@@ -51,20 +51,6 @@ double pair_distance_m(const ScenarioTag& tag, const ScenePosition& tag_at,
                                    tag_at.y_m - rx_at.y_m));
 }
 
-double receiver_noise_dbm(const ScenarioReceiver& rx) {
-  if (!std::isnan(rx.noise_dbm_200khz)) return rx.noise_dbm_200khz;
-  return rx.kind == ReceiverKind::kCar
-             ? channel::ReceiverNoise::kCarDbmPer200kHz
-             : channel::ReceiverNoise::kPhoneDbmPer200kHz;
-}
-
-double receiver_antenna_gain_db(const ScenarioReceiver& rx) {
-  if (!std::isnan(rx.link.rx_antenna_gain_db)) return rx.link.rx_antenna_gain_db;
-  return rx.kind == ReceiverKind::kCar
-             ? tag::car_whip_antenna().effective_gain_db()
-             : tag::headphone_antenna().effective_gain_db();
-}
-
 /// Per-tag rendering state for one engine run.
 struct TagState {
   dsp::rvec baseband;           // FM_back at the MPX rate, padded
@@ -126,6 +112,32 @@ bool tag_audible_at(const ScenarioTag& tag, double station_offset_hz,
       std::abs(station_offset_hz + mag - tune_offset_hz) < kTol ||
       std::abs(station_offset_hz - mag - tune_offset_hz) < kTol;
   return on_channel && std::abs(tune_offset_hz - station_offset_hz) >= kTol;
+}
+
+double receiver_noise_floor_dbm(const ScenarioReceiver& rx) {
+  if (!std::isnan(rx.noise_dbm_200khz)) return rx.noise_dbm_200khz;
+  return rx.kind == ReceiverKind::kCar
+             ? channel::ReceiverNoise::kCarDbmPer200kHz
+             : channel::ReceiverNoise::kPhoneDbmPer200kHz;
+}
+
+double receiver_antenna_gain_db(const ScenarioReceiver& rx) {
+  if (!std::isnan(rx.link.rx_antenna_gain_db)) return rx.link.rx_antenna_gain_db;
+  return rx.kind == ReceiverKind::kCar
+             ? tag::car_whip_antenna().effective_gain_db()
+             : tag::headphone_antenna().effective_gain_db();
+}
+
+int tag_backscatter_channels(const ScenarioTag& tag, double station_offset_hz,
+                             double out[2]) {
+  if (tag.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
+    out[0] = station_offset_hz + tag.subcarrier.shift_hz;
+    return 1;
+  }
+  const double mag = std::abs(tag.subcarrier.shift_hz);
+  out[0] = station_offset_hz + mag;
+  out[1] = station_offset_hz - mag;
+  return 2;
 }
 
 ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier) {
@@ -282,22 +294,38 @@ std::vector<ScenarioStation> stations_from_survey(
       .stations;
 }
 
-ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
+std::size_t ScenarioPlan::segment_of_time(double t) const {
+  if (num_segments == 1) return 0;
+  // The epsilon keeps boundary times (k * S computed in floating point)
+  // in segment k, matching resolve_mac_schedule's convention.
+  return std::min(num_segments - 1,
+                  static_cast<std::size_t>(std::floor(
+                      std::max(0.0, t) / segment_seconds + 1e-9)));
+}
+
+std::pair<double, double> ScenarioPlan::segment_bounds(std::size_t k) const {
+  if (num_segments == 1) return {0.0, total_seconds};
+  const double s0 = static_cast<double>(k) * segment_seconds;
+  return {s0, std::min(total_seconds, s0 + segment_seconds)};
+}
+
+ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   if (sc.duration_seconds <= 0.0) {
     throw std::invalid_argument("ScenarioEngine: duration must be > 0");
   }
   if (sc.receivers.empty()) {
     throw std::invalid_argument("ScenarioEngine: scenario needs a receiver");
   }
-  const double total_seconds = sc.settle_seconds + sc.duration_seconds;
+  ScenarioPlan plan;
+  plan.total_seconds = sc.settle_seconds + sc.duration_seconds;
+  const double total_seconds = plan.total_seconds;
 
   // ---- Timeline segmentation. ----------------------------------------------
   // Geometry (positions, station selection, link budgets) is evaluated once
-  // per segment; the streaming front ends (upsamplers, mixers, tuners,
-  // noise) run straight through segment boundaries, so captures — and the
-  // bursts demodulated out of them — are seam-free by construction.
+  // per segment; the engines' streaming front ends run straight through
+  // segment boundaries, so captures — and the bursts demodulated out of
+  // them — are seam-free by construction.
   const double seg_len = sc.timeline.segment_seconds;
-  std::size_t num_segments = 1;
   if (seg_len < 0.0) {
     throw std::invalid_argument("ScenarioEngine: negative segment length");
   }
@@ -309,37 +337,24 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           "ScenarioEngine: timeline segment_seconds must be a positive "
           "multiple of the 0.1 s streaming block");
     }
-    num_segments = static_cast<std::size_t>(
+    plan.num_segments = static_cast<std::size_t>(
         std::max(1.0, std::ceil(total_seconds / seg_len - 1e-9)));
   }
-  const std::size_t blocks_per_segment =
-      seg_len > 0.0
-          ? static_cast<std::size_t>(std::llround(seg_len / kBlockSeconds))
-          : 0;
-  auto segment_bounds = [&](std::size_t k) {
-    if (num_segments == 1) return std::pair<double, double>(0.0, total_seconds);
-    const double s0 = static_cast<double>(k) * seg_len;
-    return std::pair<double, double>(s0, std::min(total_seconds, s0 + seg_len));
-  };
-  auto segment_of_time = [&](double t) {
-    if (num_segments == 1) return std::size_t{0};
-    // The epsilon keeps boundary times (k * S computed in floating point)
-    // in segment k, matching resolve_mac_schedule's convention.
-    return std::min(num_segments - 1,
-                    static_cast<std::size_t>(
-                        std::floor(std::max(0.0, t) / seg_len + 1e-9)));
-  };
+  plan.segment_seconds = seg_len;
+  const std::size_t num_segments = plan.num_segments;
 
   // Scene station table. An empty `stations` means the legacy single-station
   // scene: sc.station at the scene center with the legacy per-tag/receiver
   // power semantics (bit-identical to the pre-multi-station engine).
-  const bool multi = !sc.stations.empty();
-  const std::size_t num_stations = multi ? sc.stations.size() : 1;
-  std::vector<double> station_offset(num_stations, 0.0);
+  plan.multi = !sc.stations.empty();
+  const bool multi = plan.multi;
+  plan.num_stations = multi ? sc.stations.size() : 1;
+  const std::size_t num_stations = plan.num_stations;
+  plan.station_offset.assign(num_stations, 0.0);
   if (multi) {
     for (std::size_t s = 0; s < num_stations; ++s) {
-      station_offset[s] = sc.stations[s].offset_hz;
-      if (std::abs(station_offset[s]) > kMaxStationOffsetHz + 1e-6) {
+      plan.station_offset[s] = sc.stations[s].offset_hz;
+      if (std::abs(plan.station_offset[s]) > kMaxStationOffsetHz + 1e-6) {
         throw std::invalid_argument(
             "ScenarioEngine: station \"" + sc.stations[s].name +
             "\" carrier offset falls outside the 2.4 MHz scene");
@@ -347,37 +362,19 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     }
   }
 
-  ScenarioResult result;
-  // Pin every scene render for the duration of the run: a scene wider than
-  // the cache capacity must not thrash/evict its own stations mid-run. Each
-  // needed station is rendered ONCE for the whole run and reused across
-  // every timeline segment — segmentation changes geometry, never the
-  // broadcast. Station 0 (the scene center, the legacy `station` field) is
-  // rendered up front; the rest render lazily once demand-driven pruning
-  // below knows which ones any receiver can actually hear.
-  fm::StationCache::SceneScope scope(fm::StationCache::instance());
-  result.station_renders.assign(num_stations, nullptr);
-  result.station_renders[0] =
-      scope.render(multi ? sc.stations[0].config : sc.station, total_seconds);
-  result.station = result.station_renders[0];
-  const std::size_t station_len = result.station->iq.size();
-  const std::size_t padded =
-      (station_len + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
-
   // ---- Per-segment entity positions along their waypoint paths. -----------
-  std::vector<std::vector<ScenePosition>> tag_pos(
-      num_segments, std::vector<ScenePosition>(sc.tags.size()));
-  std::vector<std::vector<ScenePosition>> rx_pos(
-      num_segments, std::vector<ScenePosition>(sc.receivers.size()));
+  plan.tag_pos.assign(num_segments, std::vector<ScenePosition>(sc.tags.size()));
+  plan.rx_pos.assign(num_segments,
+                     std::vector<ScenePosition>(sc.receivers.size()));
   for (std::size_t k = 0; k < num_segments; ++k) {
-    const auto [s0, s1] = segment_bounds(k);
+    const auto [s0, s1] = plan.segment_bounds(k);
     const double u = total_seconds > 0.0 ? 0.5 * (s0 + s1) / total_seconds : 0.0;
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-      tag_pos[k][t] =
+      plan.tag_pos[k][t] =
           path_position(sc.tags[t].position, sc.tags[t].waypoints, u);
     }
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      rx_pos[k][r] =
+      plan.rx_pos[k][r] =
           path_position(sc.receivers[r].position, sc.receivers[r].waypoints, u);
     }
   }
@@ -386,15 +383,15 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   // Re-deciding the strongest station per segment is what turns a waypoint
   // path into a handoff: a walking tag crosses the midpoint between two
   // stations and its reflected carrier moves to the other channel.
-  std::vector<std::vector<int>> sel(num_segments,
-                                    std::vector<int>(sc.tags.size(), 0));
-  std::vector<std::vector<double>> tag_ambient_dbm(
-      num_segments, std::vector<double>(sc.tags.size(), 0.0));
+  plan.selected_station.assign(num_segments,
+                               std::vector<int>(sc.tags.size(), 0));
+  plan.tag_ambient_dbm.assign(num_segments,
+                              std::vector<double>(sc.tags.size(), 0.0));
   for (std::size_t k = 0; k < num_segments; ++k) {
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
       const ScenarioTag& tcfg = sc.tags[t];
       if (!multi) {
-        tag_ambient_dbm[k][t] = tcfg.tag_power_dbm;
+        plan.tag_ambient_dbm[k][t] = tcfg.tag_power_dbm;
         continue;
       }
       int chosen = tcfg.station_index;
@@ -407,46 +404,28 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
         // strongest at their location.
         double best = -1e18;
         for (std::size_t s = 0; s < num_stations; ++s) {
-          const double p = station_power_at(sc.stations[s], tag_pos[k][t]);
+          const double p = station_power_at(sc.stations[s], plan.tag_pos[k][t]);
           if (p > best) {
             best = p;
             chosen = static_cast<int>(s);
           }
         }
       }
-      sel[k][t] = chosen;
-      tag_ambient_dbm[k][t] =
+      plan.selected_station[k][t] = chosen;
+      plan.tag_ambient_dbm[k][t] =
           station_power_at(sc.stations[static_cast<std::size_t>(chosen)],
-                           tag_pos[k][t]);
+                           plan.tag_pos[k][t]);
     }
   }
-  result.selected_station = sel[0];
-  result.segments.resize(num_segments);
-  for (std::size_t k = 0; k < num_segments; ++k) {
-    const auto [s0, s1] = segment_bounds(k);
-    result.segments[k].start_seconds = s0;
-    result.segments[k].end_seconds = s1;
-    result.segments[k].selected_station = sel[k];
-  }
 
-  // ---- Per-tag state: generators, payload bits, burst waveforms. -----------
-  std::vector<TagState> tags(sc.tags.size());
+  // ---- Per-tag payload plan: kinds, burst durations, seeds. ----------------
+  plan.tags.resize(sc.tags.size());
   for (std::size_t i = 0; i < sc.tags.size(); ++i) {
     const ScenarioTag& t = sc.tags[i];
-    TagState& st = tags[i];
-    st.subcarrier = std::make_unique<tag::SubcarrierGenerator>(t.subcarrier);
+    ScenarioTagPlan& tp = plan.tags[i];
     if (t.fading) {
-      st.fading_seed =
-          t.fading_seed ? *t.fading_seed : derive_seed(sc.seed, kTagFadingStream + i);
-      // A single-segment run streams one process seeded exactly as the
-      // historical engine did (bit-identical); segmented runs re-derive the
-      // stream per segment inside the block loop, so segment geometry
-      // changes actually decorrelate the fade instead of riding one
-      // coherent realization across the whole walk.
-      if (num_segments == 1) {
-        st.fading = std::make_unique<channel::FadingProcess>(
-            *t.fading, fm::kRfRate, st.fading_seed);
-      }
+      tp.fading_seed = t.fading_seed ? *t.fading_seed
+                                     : derive_seed(sc.seed, kTagFadingStream + i);
     }
     if (!t.custom_baseband.empty()) {
       if (!t.rds_radiotext.empty()) {
@@ -454,10 +433,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
             "ScenarioEngine: tag \"" + t.name +
             "\" sets both custom_baseband and rds_radiotext");
       }
-      st.baseband = t.custom_baseband;
-      st.baseband.resize(padded, 0.0F);
-      st.active_begin = 0;
-      st.active_end = padded;
+      tp.custom_baseband = true;
       continue;
     }
     if (t.start_seconds < 0.0) {
@@ -472,23 +448,23 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
         throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                     "\" rds_level must be in (0, 1]");
       }
-      st.rds_bits =
+      tp.rds = true;
+      tp.rds_bits =
           fm::serialize_groups(fm::make_radiotext_groups(t.rds_radiotext));
-      st.burst_seconds =
-          static_cast<double>(st.rds_bits.size()) / fm::kRdsBitRateHz;
+      tp.burst_seconds =
+          static_cast<double>(tp.rds_bits.size()) / fm::kRdsBitRateHz;
       continue;
     }
     if (t.num_bits == 0) {
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" has no payload");
     }
-    const std::uint64_t cseed =
+    tp.content_seed =
         t.seed ? *t.seed : derive_seed(sc.seed, kTagContentStream + i);
-    st.bits = tag::random_bits(t.num_bits, cseed);
     // Duration only: the waveform itself is synthesized at composition time,
     // and only for tags some receiver can hear — a city of deployed tags
     // resolves its MAC schedule without paying per-tag FSK synthesis.
-    st.burst_seconds = tag::fsk_burst_seconds(t.num_bits, t.rate, fm::kAudioRate);
+    tp.burst_seconds = tag::fsk_burst_seconds(t.num_bits, t.rate, fm::kAudioRate);
   }
 
   // ---- Medium access: nominal starts -> actual burst schedule. -------------
@@ -501,10 +477,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   for (std::size_t i = 0; i < sc.tags.size(); ++i) {
     // Custom-baseband tags are always on and bypass the MAC; FSK and RDS
     // bursts both contend for the channel.
-    if (tags[i].bits.empty() && tags[i].rds_bits.empty()) continue;
+    if (plan.tags[i].custom_baseband) continue;
     tag::MacAttempt a;
     a.nominal_start_seconds = sc.settle_seconds + sc.tags[i].start_seconds;
-    a.burst_seconds = tags[i].burst_seconds;
+    a.burst_seconds = plan.tags[i].burst_seconds;
     a.guard_seconds = kBurstGuardSeconds;
     a.config = sc.tags[i].mac;
     attempt_tag.push_back(i);
@@ -515,24 +491,16 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   // couples into those channels, all evaluated with the segment's geometry.
   auto channels_of = [&](std::size_t t, std::size_t seg,
                          double (&out)[2]) -> int {
-    const ScenarioTag& tc = sc.tags[t];
-    const double off = multi ? station_offset[static_cast<std::size_t>(
-                                   sel[seg][t])]
+    const double off = multi ? plan.station_offset[static_cast<std::size_t>(
+                                   plan.selected_station[seg][t])]
                              : 0.0;
-    if (tc.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
-      out[0] = off + tc.subcarrier.shift_hz;
-      return 1;
-    }
-    const double mag = std::abs(tc.subcarrier.shift_hz);
-    out[0] = off + mag;
-    out[1] = off - mag;
-    return 2;
+    return tag_backscatter_channels(sc.tags[t], off, out);
   };
   auto sense_channel = [&](std::size_t attempt, double t0, double t1,
                            std::span<const tag::OnAirInterval> on_air) {
     const std::size_t ti = attempt_tag[attempt];
-    const std::size_t seg = segment_of_time(0.5 * (t0 + t1));
-    const ScenePosition& at = tag_pos[seg][ti];
+    const std::size_t seg = plan.segment_of_time(0.5 * (t0 + t1));
+    const ScenePosition& at = plan.tag_pos[seg][ti];
     double ch_i[2];
     const int n_i = channels_of(ti, seg, ch_i);
     const double half = fm::kChannelSpacingHz / 2.0;
@@ -543,7 +511,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           multi ? station_power_at(sc.stations[s], at)
                 : sc.tags[ti].tag_power_dbm;  // legacy: ambient at the tag
       for (int c = 0; c < n_i; ++c) {
-        if (std::abs(station_offset[s] - ch_i[c]) < half) {
+        if (std::abs(plan.station_offset[s] - ch_i[c]) < half) {
           watts += dsp::watts_from_dbm(power);
           break;
         }
@@ -573,19 +541,198 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       link.tag_antenna_gain_db = sc.tags[tj].antenna.effective_gain_db();
       link.rx_antenna_gain_db = sc.tags[ti].antenna.effective_gain_db();
       const double dist =
-          std::max(1e-3, std::hypot(tag_pos[seg][tj].x_m - at.x_m,
-                                    tag_pos[seg][tj].y_m - at.y_m));
-      const channel::LinkBudget budget = channel::compute_link_budget(
-          tag_ambient_dbm[seg][tj], tag_ambient_dbm[seg][tj], dist, link);
-      // One sideband of the square wave carries (2/pi)^2 of the reflection.
-      watts += budget.backscatter_amplitude * budget.backscatter_amplitude *
-               (2.0 / dsp::kPi) * (2.0 / dsp::kPi);
+          std::max(1e-3, std::hypot(plan.tag_pos[seg][tj].x_m - at.x_m,
+                                    plan.tag_pos[seg][tj].y_m - at.y_m));
+      watts += channel::compute_backscatter_path(plan.tag_ambient_dbm[seg][tj],
+                                                 plan.tag_ambient_dbm[seg][tj],
+                                                 dist, link)
+                   .sideband_watts;
     }
     return watts > 0.0 ? dsp::dbm_from_watts(watts)
                        : -std::numeric_limits<double>::infinity();
   };
   const std::vector<tag::MacDecision> schedule = tag::resolve_mac_schedule(
       attempts, total_seconds, seg_len, sense_channel);
+  for (std::size_t a = 0; a < schedule.size(); ++a) {
+    const std::size_t i = attempt_tag[a];
+    ScenarioTagPlan& tp = plan.tags[i];
+    const tag::MacDecision& d = schedule[a];
+    tp.transmitted = d.transmitted;
+    tp.deferrals = d.deferrals;
+    tp.start_seconds = d.start_seconds;
+    tp.last_sensed_dbm = d.last_sensed_dbm;
+    if (d.transmitted &&
+        d.start_seconds + tp.burst_seconds > total_seconds + 1e-9) {
+      // Pure/slotted starts are pure functions of the config, so this is a
+      // configuration error (carrier sense silently gives up instead).
+      throw std::invalid_argument("ScenarioEngine: tag \"" + sc.tags[i].name +
+                                  "\" burst does not fit the scenario");
+    }
+  }
+
+  // ---- Legacy direct-power policy and per-receiver noise seeds. ------------
+  if (!multi) {
+    plan.receiver_direct_dbm.resize(sc.receivers.size());
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      double p = sc.receivers[r].direct_power_dbm;
+      if (std::isnan(p)) {
+        p = -1e9;
+        for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
+        if (sc.tags.empty()) p = -30.0;
+      }
+      plan.receiver_direct_dbm[r] = p;
+    }
+  }
+  plan.receiver_noise_seed.resize(sc.receivers.size());
+  for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+    plan.receiver_noise_seed[r] =
+        sc.receivers[r].noise_seed
+            ? *sc.receivers[r].noise_seed
+            : derive_seed(sc.seed, kReceiverNoiseStream + r);
+  }
+
+  // ---- Per-pair link budgets, one table per segment. -----------------------
+  // g_back[k][r][t]: reflected-wave amplitude of tag t at receiver r during
+  // segment k; g_direct[k][r][s]: unshifted amplitude of station s at
+  // receiver r during segment k.
+  plan.g_direct.assign(num_segments,
+                       std::vector<std::vector<float>>(
+                           sc.receivers.size(),
+                           std::vector<float>(num_stations, 0.0F)));
+  plan.g_back.assign(num_segments,
+                     std::vector<std::vector<float>>(
+                         sc.receivers.size(),
+                         std::vector<float>(sc.tags.size(), 0.0F)));
+  plan.rx_power_dbm.assign(num_segments,
+                           std::vector<std::vector<double>>(
+                               sc.receivers.size(),
+                               std::vector<double>(sc.tags.size(), 0.0)));
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
+      const ScenarioReceiver& rx = sc.receivers[r];
+      channel::LinkBudgetConfig link = rx.link;
+      link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
+      if (multi) {
+        for (std::size_t s = 0; s < num_stations; ++s) {
+          plan.g_direct[k][r][s] =
+              static_cast<float>(std::sqrt(dsp::watts_from_dbm(
+                  station_power_at(sc.stations[s], plan.rx_pos[k][r]))));
+        }
+        for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+          link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+          const channel::BackscatterPath path =
+              channel::compute_backscatter_path(
+                  plan.tag_ambient_dbm[k][t], plan.tag_ambient_dbm[k][t],
+                  pair_distance_m(sc.tags[t], plan.tag_pos[k][t],
+                                  plan.rx_pos[k][r]),
+                  link);
+          plan.g_back[k][r][t] =
+              static_cast<float>(path.budget.backscatter_amplitude);
+          plan.rx_power_dbm[k][r][t] = path.sideband_power_dbm;
+        }
+        continue;
+      }
+      if (sc.tags.empty()) {
+        plan.g_direct[k][r][0] = static_cast<float>(
+            std::sqrt(dsp::watts_from_dbm(plan.receiver_direct_dbm[r])));
+        continue;
+      }
+      for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+        link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+        const channel::BackscatterPath path = channel::compute_backscatter_path(
+            sc.tags[t].tag_power_dbm, plan.receiver_direct_dbm[r],
+            pair_distance_m(sc.tags[t], plan.tag_pos[k][t], plan.rx_pos[k][r]),
+            link);
+        plan.g_back[k][r][t] =
+            static_cast<float>(path.budget.backscatter_amplitude);
+        if (t == 0) {
+          plan.g_direct[k][r][0] =
+              static_cast<float>(path.budget.direct_amplitude);
+        }
+        plan.rx_power_dbm[k][r][t] = path.sideband_power_dbm;
+      }
+    }
+  }
+  return plan;
+}
+
+ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
+  // Everything decided before a sample exists — validation, timeline,
+  // geometry, station selection, the MAC schedule, the link tables — lives
+  // in the shared pre-render plan; this engine adds the signal level:
+  // synthesis, superposition, demodulation.
+  const ScenarioPlan plan = resolve_scenario_plan(sc);
+  const double total_seconds = plan.total_seconds;
+  const std::size_t num_segments = plan.num_segments;
+  const bool multi = plan.multi;
+  const std::size_t num_stations = plan.num_stations;
+  const std::vector<double>& station_offset = plan.station_offset;
+  const std::vector<std::vector<int>>& sel = plan.selected_station;
+  const std::size_t blocks_per_segment =
+      plan.segment_seconds > 0.0
+          ? static_cast<std::size_t>(
+                std::llround(plan.segment_seconds / kBlockSeconds))
+          : 0;
+
+  ScenarioResult result;
+  // Pin every scene render for the duration of the run: a scene wider than
+  // the cache capacity must not thrash/evict its own stations mid-run. Each
+  // needed station is rendered ONCE for the whole run and reused across
+  // every timeline segment — segmentation changes geometry, never the
+  // broadcast. Station 0 (the scene center, the legacy `station` field) is
+  // rendered up front; the rest render lazily once demand-driven pruning
+  // below knows which ones any receiver can actually hear.
+  fm::StationCache::SceneScope scope(fm::StationCache::instance());
+  result.station_renders.assign(num_stations, nullptr);
+  result.station_renders[0] =
+      scope.render(multi ? sc.stations[0].config : sc.station, total_seconds);
+  result.station = result.station_renders[0];
+  const std::size_t station_len = result.station->iq.size();
+  const std::size_t padded =
+      (station_len + kBlockMpx - 1) / kBlockMpx * kBlockMpx;
+
+  result.selected_station = sel[0];
+  result.segments.resize(num_segments);
+  for (std::size_t k = 0; k < num_segments; ++k) {
+    const auto [s0, s1] = plan.segment_bounds(k);
+    result.segments[k].start_seconds = s0;
+    result.segments[k].end_seconds = s1;
+    result.segments[k].selected_station = sel[k];
+  }
+
+  // ---- Per-tag state: generators, payload bits, burst waveforms. -----------
+  std::vector<TagState> tags(sc.tags.size());
+  for (std::size_t i = 0; i < sc.tags.size(); ++i) {
+    const ScenarioTag& t = sc.tags[i];
+    const ScenarioTagPlan& tp = plan.tags[i];
+    TagState& st = tags[i];
+    st.subcarrier = std::make_unique<tag::SubcarrierGenerator>(t.subcarrier);
+    if (t.fading) {
+      st.fading_seed = tp.fading_seed;
+      // A single-segment run streams one process seeded exactly as the
+      // historical engine did (bit-identical); segmented runs re-derive the
+      // stream per segment inside the block loop, so segment geometry
+      // changes actually decorrelate the fade instead of riding one
+      // coherent realization across the whole walk.
+      if (num_segments == 1) {
+        st.fading = std::make_unique<channel::FadingProcess>(
+            *t.fading, fm::kRfRate, st.fading_seed);
+      }
+    }
+    if (tp.custom_baseband) {
+      st.baseband = t.custom_baseband;
+      st.baseband.resize(padded, 0.0F);
+      st.active_begin = 0;
+      st.active_end = padded;
+      continue;
+    }
+    st.burst_seconds = tp.burst_seconds;
+    if (tp.rds) {
+      st.rds_bits = tp.rds_bits;
+      continue;
+    }
+    st.bits = tag::random_bits(t.num_bits, tp.content_seed);
+  }
 
   // ---- Demand-driven scene pruning. ----------------------------------------
   // What must actually be synthesized, from the channel plan and capture
@@ -623,7 +770,10 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       tag_needed[t] = 0;
       for (std::size_t k = 0; k < num_segments && !tag_needed[t]; ++k) {
         double ch[2];
-        const int n = channels_of(t, k, ch);
+        const int n = tag_backscatter_channels(
+            sc.tags[t],
+            multi ? station_offset[static_cast<std::size_t>(sel[k][t])] : 0.0,
+            ch);
         for (int c = 0; c < n; ++c) {
           if (near_some_receiver(ch[c])) {
             tag_needed[t] = 1;
@@ -655,28 +805,22 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
   // ---- Compose each transmitted burst's baseband at its resolved start. ----
   result.mac.resize(sc.tags.size());
-  for (std::size_t a = 0; a < schedule.size(); ++a) {
-    const std::size_t i = attempt_tag[a];
+  for (std::size_t i = 0; i < sc.tags.size(); ++i) {
     const ScenarioTag& t = sc.tags[i];
+    const ScenarioTagPlan& tp = plan.tags[i];
     TagState& st = tags[i];
-    const tag::MacDecision& d = schedule[a];
-    result.mac[i].transmitted = d.transmitted;
-    result.mac[i].deferrals = d.deferrals;
-    result.mac[i].start_seconds = d.start_seconds;
-    result.mac[i].last_sensed_dbm = d.last_sensed_dbm;
-    st.transmitted = d.transmitted;
-    if (!d.transmitted) {
+    if (tp.custom_baseband) continue;  // always on; default MAC report
+    result.mac[i].transmitted = tp.transmitted;
+    result.mac[i].deferrals = tp.deferrals;
+    result.mac[i].start_seconds = tp.start_seconds;
+    result.mac[i].last_sensed_dbm = tp.last_sensed_dbm;
+    st.transmitted = tp.transmitted;
+    if (!tp.transmitted) {
       st.active_begin = 0;
       st.active_end = 0;  // the switch never turns on: no reflection at all
       continue;
     }
-    st.burst_start_seconds = d.start_seconds;
-    if (st.burst_start_seconds + st.burst_seconds > total_seconds + 1e-9) {
-      // Pure/slotted starts are pure functions of the config, so this is a
-      // configuration error (carrier sense silently gives up instead).
-      throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
-                                  "\" burst does not fit the scenario");
-    }
+    st.burst_start_seconds = tp.start_seconds;
     if (!tag_needed[i]) {
       // No receiver can hear this tag's channel: the MAC outcome above is
       // still reported, but the burst waveform itself is never composed.
@@ -717,80 +861,6 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
                     fm::kMpxRate));
   }
 
-  // ---- Per-pair link budgets, one table per segment. -----------------------
-  // g_back[k][r][t]: reflected-wave amplitude of tag t at receiver r during
-  // segment k; g_direct[k][r][s]: unshifted amplitude of station s at
-  // receiver r during segment k.
-  std::vector<double> direct_dbm(sc.receivers.size());
-  if (!multi) {
-    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      double p = sc.receivers[r].direct_power_dbm;
-      if (std::isnan(p)) {
-        p = -1e9;
-        for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
-        if (sc.tags.empty()) p = -30.0;
-      }
-      direct_dbm[r] = p;
-    }
-  }
-  std::vector<std::vector<std::vector<float>>> g_direct(
-      num_segments, std::vector<std::vector<float>>(
-                        sc.receivers.size(),
-                        std::vector<float>(num_stations, 0.0F)));
-  std::vector<std::vector<std::vector<float>>> g_back(
-      num_segments, std::vector<std::vector<float>>(
-                        sc.receivers.size(),
-                        std::vector<float>(sc.tags.size(), 0.0F)));
-  std::vector<std::vector<std::vector<double>>> rx_power_dbm(
-      num_segments, std::vector<std::vector<double>>(
-                        sc.receivers.size(),
-                        std::vector<double>(sc.tags.size(), 0.0)));
-  for (std::size_t k = 0; k < num_segments; ++k) {
-    for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      const ScenarioReceiver& rx = sc.receivers[r];
-      channel::LinkBudgetConfig link = rx.link;
-      link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
-      if (multi) {
-        for (std::size_t s = 0; s < num_stations; ++s) {
-          g_direct[k][r][s] = static_cast<float>(std::sqrt(dsp::watts_from_dbm(
-              station_power_at(sc.stations[s], rx_pos[k][r]))));
-        }
-        for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-          link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
-          const channel::LinkBudget budget = channel::compute_link_budget(
-              tag_ambient_dbm[k][t], tag_ambient_dbm[k][t],
-              pair_distance_m(sc.tags[t], tag_pos[k][t], rx_pos[k][r]), link);
-          g_back[k][r][t] = static_cast<float>(budget.backscatter_amplitude);
-          // One sideband of the square wave carries (2/pi)^2 of the
-          // reflection.
-          rx_power_dbm[k][r][t] = dsp::dbm_from_watts(
-              budget.backscatter_amplitude * budget.backscatter_amplitude *
-              (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
-        }
-        continue;
-      }
-      if (sc.tags.empty()) {
-        g_direct[k][r][0] =
-            static_cast<float>(std::sqrt(dsp::watts_from_dbm(direct_dbm[r])));
-        continue;
-      }
-      for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-        link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
-        const channel::LinkBudget budget = channel::compute_link_budget(
-            sc.tags[t].tag_power_dbm, direct_dbm[r],
-            pair_distance_m(sc.tags[t], tag_pos[k][t], rx_pos[k][r]), link);
-        g_back[k][r][t] = static_cast<float>(budget.backscatter_amplitude);
-        if (t == 0) {
-          g_direct[k][r][0] = static_cast<float>(budget.direct_amplitude);
-        }
-        // One sideband of the square wave carries (2/pi)^2 of the reflection.
-        rx_power_dbm[k][r][t] = dsp::dbm_from_watts(
-            budget.backscatter_amplitude * budget.backscatter_amplitude *
-            (2.0 / dsp::kPi) * (2.0 / dsp::kPi));
-      }
-    }
-  }
-
   // ---- Per-station and per-receiver front ends. ----------------------------
   // Streaming state (interpolators, mixers, noise, tuners) is never reset at
   // a segment boundary — only the geometry scalars switch.
@@ -814,11 +884,8 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   std::vector<dsp::cvec> iq(sc.receivers.size());
   for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
     const ScenarioReceiver& rx = sc.receivers[r];
-    const std::uint64_t nseed = rx.noise_seed
-                                    ? *rx.noise_seed
-                                    : derive_seed(sc.seed, kReceiverNoiseStream + r);
-    noise.emplace_back(receiver_noise_dbm(rx), fm::kChannelSpacingHz, fm::kRfRate,
-                       nseed);
+    noise.emplace_back(receiver_noise_floor_dbm(rx), fm::kChannelSpacingHz,
+                       fm::kRfRate, plan.receiver_noise_seed[r]);
     rx::TunerConfig tuner_cfg;
     tuner_cfg.offset_hz = rx.tune_offset_hz;
     tuners.emplace_back(tuner_cfg);
@@ -908,14 +975,14 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
 
     rf.resize(st_rf[0].size());
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      channel::scale_into(rf, st_rf[0], g_direct[seg][r][0]);
+      channel::scale_into(rf, st_rf[0], plan.g_direct[seg][r][0]);
       for (std::size_t s = 1; s < num_stations; ++s) {
         if (!station_needed[s]) continue;
-        channel::accumulate_scaled(rf, st_rf[s], g_direct[seg][r][s]);
+        channel::accumulate_scaled(rf, st_rf[s], plan.g_direct[seg][r][s]);
       }
       for (std::size_t t = 0; t < tags.size(); ++t) {
         if (!tag_active[t]) continue;
-        channel::accumulate_scaled(rf, reflected[t], g_back[seg][r][t]);
+        channel::accumulate_scaled(rf, reflected[t], plan.g_back[seg][r][t]);
       }
       noise[r].add_to(rf);
       const dsp::cvec tuned = tuners[r].process(rf);
@@ -944,7 +1011,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       if (!tags[t].transmitted) continue;  // the MAC kept this burst silent
       // The burst lives on the channel of the station its tag reflected
       // while on the air: route by the segment holding the burst midpoint.
-      const std::size_t burst_seg = segment_of_time(
+      const std::size_t burst_seg = plan.segment_of_time(
           tags[t].burst_start_seconds + 0.5 * tags[t].burst_seconds);
       if (!tag_audible_at(
               tcfg,
@@ -969,7 +1036,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       link.tag_index = t;
       link.receiver_index = r;
       link.burst = reports[b];
-      link.backscatter_rx_power_dbm = rx_power_dbm[routed_seg[b]][r][t];
+      link.backscatter_rx_power_dbm = plan.rx_power_dbm[routed_seg[b]][r][t];
       link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
                          sc.duration_seconds;
       if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {
@@ -987,7 +1054,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
       const TagState& st = tags[t];
       if (st.rds_bits.empty() || !st.transmitted) continue;
-      const std::size_t burst_seg = segment_of_time(
+      const std::size_t burst_seg = plan.segment_of_time(
           st.burst_start_seconds + 0.5 * st.burst_seconds);
       if (!tag_audible_at(
               sc.tags[t],
@@ -1003,7 +1070,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           st.burst_seconds + kRdsDecodeSlackSeconds);
       link.burst.ber.ber = link.rds->bler;
       link.burst.bits_delivered = link.rds->blocks_ok * 16;
-      link.backscatter_rx_power_dbm = rx_power_dbm[burst_seg][r][t];
+      link.backscatter_rx_power_dbm = plan.rx_power_dbm[burst_seg][r][t];
       link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
                          sc.duration_seconds;
       if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {

@@ -37,6 +37,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/fading.h"
@@ -359,6 +360,93 @@ enum class SceneRendering {
   /// behavior; the reference for the sparse-vs-dense equivalence tests).
   kDense,
 };
+
+// ---- Pre-render planning ----------------------------------------------------
+// Everything the engines decide before any signal is synthesized — timeline
+// segmentation, waypoint geometry, per-segment station selection, payload
+// durations, the resolved MAC schedule and the per-pair link tables — is a
+// pure function of the Scenario, factored out so the signal-level
+// ScenarioEngine and the hybrid FleetEngine share one resolution
+// bit-identically.
+
+/// Effective noise floor (dBm / 200 kHz) of a receiver: the explicit value
+/// when set, else the kind's default.
+double receiver_noise_floor_dbm(const ScenarioReceiver& rx);
+
+/// Effective receive antenna gain (dB): the explicit value when set, else
+/// the kind's default antenna.
+double receiver_antenna_gain_db(const ScenarioReceiver& rx);
+
+/// The channel(s) `tag` occupies when reflecting a station whose carrier
+/// sits at `station_offset_hz`: an SSB tag shifts one copy, a real square
+/// switch mirrors two. Fills out[0..n) and returns n (1 or 2).
+int tag_backscatter_channels(const ScenarioTag& tag, double station_offset_hz,
+                             double out[2]);
+
+/// One tag's pre-render decisions.
+struct ScenarioTagPlan {
+  /// Payload kind flags (mutually exclusive; neither set = FSK data).
+  bool custom_baseband = false;
+  bool rds = false;
+  /// Payload on-air seconds (0 for custom-baseband tags, which are on the
+  /// air for the whole run).
+  double burst_seconds = 0.0;
+  /// Resolved content / fading seeds (explicit or derived from
+  /// Scenario::seed); fading_seed is 0 when the tag has no fading.
+  std::uint64_t content_seed = 0;
+  std::uint64_t fading_seed = 0;
+  /// Serialized RDS groups of an rds_radiotext tag (drives burst_seconds).
+  std::vector<unsigned char> rds_bits;
+  // Resolved MAC outcome (custom-baseband tags report transmitted with no
+  // deferrals, like TagMacReport).
+  bool transmitted = true;
+  double start_seconds = 0.0;  ///< actual payload start, settle included
+  std::size_t deferrals = 0;
+  double last_sensed_dbm = -std::numeric_limits<double>::infinity();
+};
+
+/// The resolved pre-render plan of one scenario.
+struct ScenarioPlan {
+  double total_seconds = 0.0;    ///< settle + duration
+  double segment_seconds = 0.0;  ///< 0 = one segment spanning the run
+  std::size_t num_segments = 1;
+  /// False = legacy single-station scene (sc.station at the center).
+  bool multi = false;
+  std::size_t num_stations = 1;
+  std::vector<double> station_offset;  ///< carrier offset per station
+  /// Per-segment entity positions along their waypoint paths.
+  std::vector<std::vector<ScenePosition>> tag_pos;  // [segment][tag]
+  std::vector<std::vector<ScenePosition>> rx_pos;   // [segment][receiver]
+  /// Station index each tag backscatters per segment, and the ambient power
+  /// (dBm) of that station at the tag.
+  std::vector<std::vector<int>> selected_station;      // [segment][tag]
+  std::vector<std::vector<double>> tag_ambient_dbm;    // [segment][tag]
+  /// Legacy single-station scene: power of the unshifted station at each
+  /// receiver after the NaN policy (empty for multi-station scenes).
+  std::vector<double> receiver_direct_dbm;
+  /// Resolved per-receiver noise seed (explicit or derived).
+  std::vector<std::uint64_t> receiver_noise_seed;
+  std::vector<ScenarioTagPlan> tags;  ///< parallel to Scenario::tags
+  /// Per-segment link tables: g_direct[k][r][s] — unshifted amplitude of
+  /// station s at receiver r; g_back[k][r][t] — reflected amplitude of tag
+  /// t at receiver r; rx_power_dbm[k][r][t] — in-channel sideband power of
+  /// that reflection.
+  std::vector<std::vector<std::vector<float>>> g_direct;
+  std::vector<std::vector<std::vector<float>>> g_back;
+  std::vector<std::vector<std::vector<double>>> rx_power_dbm;
+
+  /// Segment owning time `t` (boundary times stay in the opening segment,
+  /// matching resolve_mac_schedule's convention).
+  std::size_t segment_of_time(double t) const;
+  /// [start, end) of segment `k` in seconds.
+  std::pair<double, double> segment_bounds(std::size_t k) const;
+};
+
+/// Resolves a scenario's pre-render plan. Performs the engine's full
+/// validation (throws std::invalid_argument on inconsistent scenarios) and
+/// the complete MAC resolution — carrier-sense tags listen against the same
+/// analytic channel model the engine uses — without synthesizing a sample.
+ScenarioPlan resolve_scenario_plan(const Scenario& scenario);
 
 /// Engine options.
 struct ScenarioEngineConfig {

@@ -1,0 +1,77 @@
+// Closed-form FSK error model — the analytic half of the hybrid fleet
+// engine (paper section 8's metro-scale story). Uncontested links never
+// touch the signal-level PHY: their outcome comes from the classical
+// noncoherent-FSK error curves, driven by the same link-budget SNR the
+// scene would have realized, through a small calibration fitted ONCE
+// against the PHY demodulator and pinned by regression test.
+//
+// Model:
+//  * 100 bps is binary noncoherent orthogonal FSK:  Pb = 1/2 exp(-g/2).
+//  * 1.6 / 3.2 kbps are FDM-4FSK — each tone group is an independent 4-ary
+//    noncoherent orthogonal decision:
+//      Ps = sum_{k=1..3} (-1)^{k+1} C(3,k)/(k+1) exp(-g k/(k+1)),
+//      Pb = (2/3) Ps.
+//  * Rayleigh fading replaces every exp(-a g) by its Rayleigh average
+//    1 / (1 + a g_bar)  (E[exp(-a g)] over an exponential g).
+// The effective symbol SNR g absorbs everything between the in-channel
+// carrier-to-noise ratio and the demodulator's decision statistic (FM noise
+// quieting, audio filtering, the FDM power split, timing search) through the
+// per-rate linear map  g_db = offset + slope * snr_db  — the calibration.
+#pragma once
+
+#include <cstddef>
+
+#include "tag/fsk.h"
+
+namespace fmbs::rx {
+
+/// Per-rate map from in-channel SNR (dB, sideband power over the 200 kHz
+/// channel noise) to the demodulator's effective symbol SNR (dB).
+struct AnalyticFskCalibration {
+  double gamma_offset_db = 0.0;
+  double gamma_slope = 1.0;
+  /// Residual SNR-independent error floor the demodulator exhibits even on a
+  /// saturated-clean link (timing-search edge effects at the highest rate);
+  /// 0 for rates whose floor is unmeasurable.
+  double ber_floor = 0.0;
+};
+
+/// The pinned calibration constants for a rate (fitted against the PHY
+/// demodulator by `bench_fleet_capacity --calibrate`; see README).
+AnalyticFskCalibration analytic_fsk_calibration(tag::DataRate rate);
+
+/// Raw error curve: BER at effective symbol SNR `gamma_s` (linear power
+/// ratio), before any calibration. Monotone decreasing in gamma_s.
+double analytic_fsk_ber_at_gamma(double gamma_s, tag::DataRate rate,
+                                 bool rayleigh_fading = false);
+
+/// Inverse of the AWGN curve: the effective symbol SNR (linear) that
+/// produces `ber` (clamped inside (0, max)). Used by the calibration fit.
+double analytic_fsk_gamma_from_ber(double ber, tag::DataRate rate);
+
+/// Calibrated BER of one link at an in-channel SNR (dB). `rayleigh_fading`
+/// selects the Rayleigh-averaged curve for links with a fading process.
+double analytic_fsk_ber(double snr_db, tag::DataRate rate,
+                        bool rayleigh_fading = false);
+
+/// Deterministic burst outcome mirroring rx::BurstReport's packet
+/// accounting: a packet is delivered iff its expected all-bits-correct
+/// probability (1-ber)^bits reaches 1/2, and a delivered packet counts all
+/// its bits (a ragged final packet only its own). Deterministic by design —
+/// the analytic path must be bit-identical at any thread count, and at the
+/// SNRs where the outcome is genuinely coin-flip the hybrid classifier has
+/// already routed the link to the PHY.
+struct AnalyticBurstReport {
+  double ber = 0.0;
+  std::size_t packets = 0;
+  std::size_t packets_ok = 0;
+  std::size_t bits_delivered = 0;
+  double per = 0.0;
+};
+
+AnalyticBurstReport analytic_fsk_burst(double snr_db, tag::DataRate rate,
+                                       std::size_t num_bits,
+                                       std::size_t packet_bits,
+                                       bool rayleigh_fading = false);
+
+}  // namespace fmbs::rx

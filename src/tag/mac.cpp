@@ -28,6 +28,38 @@ const char* to_string(MacKind kind) {
   return "?";
 }
 
+const char* to_string(Vulnerability v) {
+  switch (v) {
+    case Vulnerability::kClear:
+      return "clear";
+    case Vulnerability::kGraze:
+      return "graze";
+    case Vulnerability::kCollision:
+      return "collision";
+  }
+  return "?";
+}
+
+Vulnerability classify_vulnerability(const BurstWindow& mine,
+                                     const BurstWindow& other,
+                                     double symbol_seconds) {
+  const double lo = mine.start_seconds;
+  const double hi = mine.start_seconds + mine.burst_seconds;
+  // Payload-on-payload contact decides certain collisions...
+  const double pp = std::min(hi, other.start_seconds + other.burst_seconds) -
+                    std::max(lo, other.start_seconds);
+  // ...while any contact with the other switch's on-air window (payload
+  // plus guards, whose carrier interferes like payload does) rules out a
+  // certain delivery.
+  const double po =
+      std::min(hi, other.start_seconds + other.burst_seconds +
+                       other.guard_seconds) -
+      std::max(lo, other.start_seconds - other.guard_seconds);
+  if (po <= 0.0) return Vulnerability::kClear;
+  if (pp >= symbol_seconds) return Vulnerability::kCollision;
+  return Vulnerability::kGraze;
+}
+
 double slotted_start(double nominal_start_seconds, double slot_seconds) {
   if (slot_seconds <= 0.0) {
     throw std::invalid_argument("slotted_start: slot pitch must be > 0");

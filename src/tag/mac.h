@@ -88,6 +88,35 @@ using ChannelSenseFn =
 /// Next slot boundary at or after `nominal_start_seconds` for a pitch.
 double slotted_start(double nominal_start_seconds, double slot_seconds);
 
+/// Analytic verdict for one burst against one same-channel neighbor.
+/// Ordered by severity so a reduction over many neighbors is std::max.
+enum class Vulnerability {
+  kClear = 0,      ///< no contact at all — certain delivery
+  kGraze = 1,      ///< sub-symbol or guard-only contact — PHY-ambiguous
+  kCollision = 2,  ///< >= one symbol of payload-on-payload — certain loss
+};
+
+const char* to_string(Vulnerability v);
+
+/// A committed burst as the vulnerability rule sees it: payload span plus
+/// the switch-on guard during which the tag's carrier is already on the air.
+struct BurstWindow {
+  double start_seconds = 0.0;  ///< payload start
+  double burst_seconds = 0.0;  ///< payload on-air time
+  double guard_seconds = 0.0;  ///< switch-on guard on either side
+};
+
+/// The ALOHA vulnerability rule, split by what actually touches `mine`'s
+/// payload: `other`'s payload overlapping it by a symbol or more is a
+/// certain collision; no contact at all (not even `other`'s switch-on
+/// guard) is a certain delivery; anything between is a graze whose outcome
+/// only the PHY can call. `symbol_seconds` is one FDM-FSK symbol at
+/// `mine`'s data rate. Both the scenario-vs-analytic cross-check and the
+/// fleet engine's contention classifier share this one rule.
+Vulnerability classify_vulnerability(const BurstWindow& mine,
+                                     const BurstWindow& other,
+                                     double symbol_seconds);
+
 /// Resolves every attempt's actual start time within [0, window_seconds].
 ///
 /// Pure-ALOHA and slotted-ALOHA attempts commit immediately (slotted after

@@ -17,6 +17,7 @@
 
 #include "core/aloha.h"
 #include "core/scenario.h"
+#include "tag/mac.h"
 
 namespace fmbs::core {
 namespace {
@@ -83,27 +84,19 @@ PhyAloha run_phy_aloha(bool slotted, double window_seconds,
   const ScenarioResult result = ScenarioEngine({.keep_captures = false}).run(sc);
   EXPECT_EQ(result.best_per_tag.size(), num_attempts);
 
-  // The analytic vulnerability rule, split by what actually touches the
-  // payload: another tag's payload overlapping mine by a symbol or more is
-  // a certain collision; no contact at all (not even the other switch's
-  // carrier guard) is a certain delivery; anything between is a graze whose
-  // outcome the analytic model cannot call.
-  auto contact_of = [&](std::size_t i) {
-    double payload_vs_payload = 0.0;
-    double payload_vs_onair = 0.0;
-    const double lo_i = starts[i];
-    const double hi_i = starts[i] + kFrameSeconds;
+  // The analytic vulnerability rule, shared with the fleet engine's
+  // contention classifier (tag::classify_vulnerability): the worst verdict
+  // against any neighbor decides the burst.
+  auto verdict_of = [&](std::size_t i) {
+    const tag::BurstWindow mine{starts[i], kFrameSeconds, kGuardSeconds};
+    tag::Vulnerability worst = tag::Vulnerability::kClear;
     for (std::size_t j = 0; j < starts.size(); ++j) {
       if (j == i) continue;
-      const double pp = std::min(hi_i, starts[j] + kFrameSeconds) -
-                        std::max(lo_i, starts[j]);
-      const double po =
-          std::min(hi_i, starts[j] + kFrameSeconds + kGuardSeconds) -
-          std::max(lo_i, starts[j] - kGuardSeconds);
-      payload_vs_payload = std::max(payload_vs_payload, pp);
-      payload_vs_onair = std::max(payload_vs_onair, po);
+      const tag::BurstWindow other{starts[j], kFrameSeconds, kGuardSeconds};
+      worst = std::max(
+          worst, tag::classify_vulnerability(mine, other, kSymbolSeconds));
     }
-    return std::pair<double, double>(payload_vs_payload, payload_vs_onair);
+    return worst;
   };
 
   PhyAloha out;
@@ -111,14 +104,15 @@ PhyAloha run_phy_aloha(bool slotted, double window_seconds,
   for (const TagLinkReport& link : result.best_per_tag) {
     const bool delivered = link.burst.packets_ok == link.burst.packets;
     if (delivered) ++out.successes;
-    const auto [pp, po] = contact_of(link.tag_index);
-    if (po > 0.0 && pp < kSymbolSeconds) {
+    const tag::Vulnerability v = verdict_of(link.tag_index);
+    if (v == tag::Vulnerability::kGraze) {
       ++out.marginal;  // grazing: either outcome is physical
       continue;
     }
-    EXPECT_EQ(delivered, po <= 0.0)
+    EXPECT_EQ(delivered, v == tag::Vulnerability::kClear)
         << "attempt " << link.tag_index << " start "
-        << sc.tags[link.tag_index].start_seconds << " payload overlap " << pp
+        << sc.tags[link.tag_index].start_seconds << " verdict "
+        << tag::to_string(v)
         << ": PHY disagrees with the ALOHA vulnerability rule";
   }
   const double frames = window_seconds / kFrameSeconds;

@@ -265,5 +265,51 @@ TEST(MacSlottedAloha, ThroughputPeaksNearGOfOne) {
   EXPECT_NEAR(s_peak, core::aloha_theoretical_throughput(1.0, true), 0.06);
 }
 
+// ---- The shared vulnerability predicate -------------------------------------
+// classify_vulnerability is the one rule both the ALOHA cross-check test and
+// the fleet engine's contention classifier apply: clear / graze / collision
+// against a neighbor's on-air window.
+
+TEST(MacVulnerability, ClassifiesTheThreeRegimes) {
+  const double sym = 0.005;
+  const BurstWindow mine{1.0, 0.06, 0.01};
+  // Other's on-air window ends exactly at my payload start: clear.
+  EXPECT_EQ(classify_vulnerability(mine, {0.93, 0.06, 0.01}, sym),
+            Vulnerability::kClear);
+  // Guard-only contact (payload gap smaller than the guard): graze.
+  EXPECT_EQ(classify_vulnerability(mine, {0.935, 0.06, 0.01}, sym),
+            Vulnerability::kGraze);
+  // Sub-symbol payload overlap: still a graze.
+  EXPECT_EQ(classify_vulnerability(mine, {1.0 - 0.06 + 0.002, 0.06, 0.01}, sym),
+            Vulnerability::kGraze);
+  // Two full symbols of payload overlap (comfortably past the one-symbol
+  // threshold, away from float round-off): collision.
+  EXPECT_EQ(
+      classify_vulnerability(mine, {1.0 - 0.06 + 2.0 * sym, 0.06, 0.01}, sym),
+      Vulnerability::kCollision);
+  // Total overlap: collision.
+  EXPECT_EQ(classify_vulnerability(mine, mine, sym), Vulnerability::kCollision);
+}
+
+TEST(MacVulnerability, IsSymmetricInTheCollisionRegime) {
+  // Payload-vs-payload overlap is symmetric, so two equal-guard bursts
+  // always agree on kCollision; the graze band need not be symmetric (the
+  // guard contact is mine-payload vs other-window).
+  const double sym = 0.005;
+  const BurstWindow a{0.0, 0.08, 0.01};
+  const BurstWindow b{0.05, 0.08, 0.01};
+  EXPECT_EQ(classify_vulnerability(a, b, sym), Vulnerability::kCollision);
+  EXPECT_EQ(classify_vulnerability(b, a, sym), Vulnerability::kCollision);
+}
+
+TEST(MacVulnerability, OrderingSupportsWorstOfReduction) {
+  // The enum is ordered so std::max over neighbors is "the worst verdict".
+  EXPECT_LT(Vulnerability::kClear, Vulnerability::kGraze);
+  EXPECT_LT(Vulnerability::kGraze, Vulnerability::kCollision);
+  EXPECT_STREQ(to_string(Vulnerability::kClear), "clear");
+  EXPECT_STREQ(to_string(Vulnerability::kGraze), "graze");
+  EXPECT_STREQ(to_string(Vulnerability::kCollision), "collision");
+}
+
 }  // namespace
 }  // namespace fmbs::tag
