@@ -563,10 +563,19 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
     tp.last_sensed_dbm = d.last_sensed_dbm;
     if (d.transmitted &&
         d.start_seconds + tp.burst_seconds > total_seconds + 1e-9) {
-      // Pure/slotted starts are pure functions of the config, so this is a
-      // configuration error (carrier sense silently gives up instead).
-      throw std::invalid_argument("ScenarioEngine: tag \"" + sc.tags[i].name +
-                                  "\" burst does not fit the scenario");
+      if (attempts[a].nominal_start_seconds + tp.burst_seconds >
+          total_seconds + 1e-9) {
+        // The burst could never have fit at its requested start — a
+        // configuration error regardless of MAC policy.
+        throw std::invalid_argument("ScenarioEngine: tag \"" + sc.tags[i].name +
+                                    "\" burst does not fit the scenario");
+      }
+      // The burst fit where the user asked for it, but the MAC (slot
+      // quantization) pushed it past the run boundary: it would be truncated
+      // on the air, so it is never sent — excluded from the scene and from
+      // goodput consistently by every engine that consumes this plan, the
+      // same way carrier sense silently gives up.
+      tp.transmitted = false;
     }
   }
 
@@ -656,6 +665,69 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   return plan;
 }
 
+ScenePruning resolve_scene_pruning(const Scenario& sc, const ScenarioPlan& plan,
+                                   SceneRendering mode) {
+  // What must actually be synthesized, from the channel plan and capture
+  // logic alone (everything here is a pure function of configuration — no
+  // rendered signal is consulted, so the decision is cheap and
+  // deterministic):
+  //   * a tag is needed when one of its backscatter channels (channels_of,
+  //     evaluated against its per-segment selected station) falls within
+  //     kSceneNeighborhoodHz of some receiver's tuned channel;
+  //   * a station is needed when its carrier falls within that margin of
+  //     some receiver's tune, or when a needed tag selects it in any segment
+  //     (the reflection carries the station's modulation);
+  //   * station 0 is always needed — it is the scene center the legacy
+  //     `station` field and single-station power semantics hang off.
+  // Everything needed is synthesized for ALL receivers: pruning decides what
+  // enters the scene, never per-receiver superposition lists, so dense mode
+  // (every flag forced on) reproduces the historical engine exactly.
+  ScenePruning pr;
+  pr.station_needed.assign(plan.num_stations, 1);
+  pr.tag_needed.assign(sc.tags.size(), 1);
+  if (mode != SceneRendering::kSparse) return pr;
+  const std::vector<std::vector<int>>& sel = plan.selected_station;
+  auto near_some_receiver = [&](double channel_hz) {
+    for (const ScenarioReceiver& rx : sc.receivers) {
+      if (std::abs(channel_hz - rx.tune_offset_hz) <=
+          kSceneNeighborhoodHz + 1e-6) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t s = 1; s < plan.num_stations; ++s) {
+    pr.station_needed[s] = near_some_receiver(plan.station_offset[s]) ? 1 : 0;
+  }
+  for (std::size_t t = 0; t < sc.tags.size(); ++t) {
+    pr.tag_needed[t] = 0;
+    // A burst the MAC never let on the air reflects nothing — skip its
+    // waveform (and don't force its stations) no matter how audible its
+    // channel would have been.
+    if (!plan.tags[t].transmitted) continue;
+    for (std::size_t k = 0; k < plan.num_segments && !pr.tag_needed[t]; ++k) {
+      double ch[2];
+      const int n = tag_backscatter_channels(
+          sc.tags[t],
+          plan.multi
+              ? plan.station_offset[static_cast<std::size_t>(sel[k][t])]
+              : 0.0,
+          ch);
+      for (int c = 0; c < n; ++c) {
+        if (near_some_receiver(ch[c])) {
+          pr.tag_needed[t] = 1;
+          break;
+        }
+      }
+    }
+    if (!pr.tag_needed[t]) continue;
+    for (std::size_t k = 0; k < plan.num_segments; ++k) {
+      pr.station_needed[static_cast<std::size_t>(sel[k][t])] = 1;
+    }
+  }
+  return pr;
+}
+
 ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   // Everything decided before a sample exists — validation, timeline,
   // geometry, station selection, the MAC schedule, the link tables — lives
@@ -734,59 +806,11 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     st.bits = tag::random_bits(t.num_bits, tp.content_seed);
   }
 
-  // ---- Demand-driven scene pruning. ----------------------------------------
-  // What must actually be synthesized, from the channel plan and capture
-  // logic alone (everything here is a pure function of configuration — no
-  // rendered signal is consulted, so the decision is cheap and
-  // deterministic):
-  //   * a tag is needed when one of its backscatter channels (channels_of,
-  //     evaluated against its per-segment selected station) falls within
-  //     kSceneNeighborhoodHz of some receiver's tuned channel;
-  //   * a station is needed when its carrier falls within that margin of
-  //     some receiver's tune, or when a needed tag selects it in any segment
-  //     (the reflection carries the station's modulation);
-  //   * station 0 is always needed — it is the scene center the legacy
-  //     `station` field and single-station power semantics hang off.
-  // Everything needed is synthesized for ALL receivers: pruning decides what
-  // enters the scene, never per-receiver superposition lists, so dense mode
-  // (every flag forced on) reproduces the historical engine exactly.
-  const bool sparse = config_.scene_rendering == SceneRendering::kSparse;
-  std::vector<char> station_needed(num_stations, 1);
-  std::vector<char> tag_needed(sc.tags.size(), 1);
-  if (sparse) {
-    auto near_some_receiver = [&](double channel_hz) {
-      for (const ScenarioReceiver& rx : sc.receivers) {
-        if (std::abs(channel_hz - rx.tune_offset_hz) <=
-            kSceneNeighborhoodHz + 1e-6) {
-          return true;
-        }
-      }
-      return false;
-    };
-    for (std::size_t s = 1; s < num_stations; ++s) {
-      station_needed[s] = near_some_receiver(station_offset[s]) ? 1 : 0;
-    }
-    for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-      tag_needed[t] = 0;
-      for (std::size_t k = 0; k < num_segments && !tag_needed[t]; ++k) {
-        double ch[2];
-        const int n = tag_backscatter_channels(
-            sc.tags[t],
-            multi ? station_offset[static_cast<std::size_t>(sel[k][t])] : 0.0,
-            ch);
-        for (int c = 0; c < n; ++c) {
-          if (near_some_receiver(ch[c])) {
-            tag_needed[t] = 1;
-            break;
-          }
-        }
-      }
-      if (!tag_needed[t]) continue;
-      for (std::size_t k = 0; k < num_segments; ++k) {
-        station_needed[static_cast<std::size_t>(sel[k][t])] = 1;
-      }
-    }
-  }
+  // ---- Demand-driven scene pruning (shared with the streaming engine). -----
+  const ScenePruning pruning =
+      resolve_scene_pruning(sc, plan, config_.scene_rendering);
+  const std::vector<char>& station_needed = pruning.station_needed;
+  const std::vector<char>& tag_needed = pruning.tag_needed;
   for (std::size_t s = 1; s < num_stations; ++s) {
     if (!station_needed[s]) continue;
     result.station_renders[s] = scope.render(sc.stations[s].config, total_seconds);

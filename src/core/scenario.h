@@ -317,6 +317,11 @@ struct SceneRenderStats {
   /// length is not a whole number of streaming blocks, else zero). The old
   /// engine instead copied and padded every station render.
   std::size_t scene_scratch_bytes = 0;
+  /// Peak bytes of streaming-engine buffering (ring slots, per-tag burst
+  /// waveforms, decode windows, pilot decision buffers, loop-mode station
+  /// blocks). 0 under the batch engine. Independent of run duration — the
+  /// O(1)-memory guarantee the soak tests pin.
+  std::size_t streaming_peak_buffer_bytes = 0;
 };
 
 /// Full scenario outcome.
@@ -447,6 +452,19 @@ struct ScenarioPlan {
 /// the complete MAC resolution — carrier-sense tags listen against the same
 /// analytic channel model the engine uses — without synthesizing a sample.
 ScenarioPlan resolve_scenario_plan(const Scenario& scenario);
+
+/// Demand-driven scene pruning verdicts (see SceneRendering::kSparse): which
+/// stations and tags must actually be synthesized. A pure function of the
+/// scenario and its plan, factored out so the batch and streaming engines
+/// prune identically. Under kDense every flag is set.
+struct ScenePruning {
+  std::vector<char> station_needed;  ///< parallel to the scene's stations
+  std::vector<char> tag_needed;      ///< parallel to Scenario::tags
+};
+
+ScenePruning resolve_scene_pruning(const Scenario& scenario,
+                                   const ScenarioPlan& plan,
+                                   SceneRendering mode);
 
 /// Engine options.
 struct ScenarioEngineConfig {

@@ -1,0 +1,127 @@
+// Fixed-capacity single-producer / multi-consumer ring of reusable slots —
+// the backbone of the streaming scenario engine (core::StreamingEngine). The
+// producer renders RF blocks into recycled slot buffers; every consumer sees
+// every published slot exactly once, in order, and a slot is reused only
+// after the slowest consumer has released it (backpressure). All
+// synchronization is mutex + condvar: slot ownership transfers through the
+// lock, so the producer-written buffers are safely visible to consumers
+// (TSan-clean by construction).
+//
+// Lifecycle:
+//   * producer: acquire() -> fill slot -> publish(), repeated; finish() when
+//     the stream ends (consumers drain the residual published slots, then
+//     acquire() returns nullptr);
+//   * consumer k: consumer_acquire(k) -> read slot -> consumer_release(k);
+//   * stop() aborts mid-stream from either side: every blocked or future
+//     acquire returns nullptr immediately.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace fmbs::dsp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer(std::size_t capacity, std::size_t num_consumers)
+      : slots_(capacity), tails_(num_consumers, 0) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer: capacity must be > 0");
+    }
+    if (num_consumers == 0) {
+      throw std::invalid_argument("RingBuffer: need at least one consumer");
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t num_consumers() const { return tails_.size(); }
+
+  /// Next reusable slot to fill. Blocks while the ring is full (the slowest
+  /// consumer still owns the oldest slot). Returns nullptr after stop().
+  T* producer_acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_.wait(lock,
+                [&] { return stopped_ || head_ - min_tail() < slots_.size(); });
+    if (stopped_) return nullptr;
+    return &slots_[head_ % slots_.size()];
+  }
+
+  /// Publishes the slot returned by the last producer_acquire().
+  void producer_publish() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++head_;
+    }
+    data_.notify_all();
+  }
+
+  /// Next unread slot for consumer `k`, in publish order. Blocks while the
+  /// ring is empty for this consumer. Returns nullptr once the producer has
+  /// finished and every published slot was consumed, or after stop().
+  T* consumer_acquire(std::size_t k) {
+    std::unique_lock<std::mutex> lock(mu_);
+    data_.wait(lock,
+               [&] { return stopped_ || finished_ || tails_[k] < head_; });
+    if (stopped_) return nullptr;
+    if (tails_[k] == head_) return nullptr;  // finished and drained
+    return &slots_[tails_[k] % slots_.size()];
+  }
+
+  /// Releases the slot returned by the last consumer_acquire(k).
+  void consumer_release(std::size_t k) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++tails_[k];
+    }
+    space_.notify_one();
+  }
+
+  /// Producer-side end of stream: consumers drain what is published, then
+  /// their acquires return nullptr.
+  void finish() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_ = true;
+    }
+    data_.notify_all();
+  }
+
+  /// Aborts the stream from either side: every blocked and future acquire
+  /// (producer or consumer) returns nullptr immediately.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    space_.notify_all();
+    data_.notify_all();
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopped_;
+  }
+
+ private:
+  std::size_t min_tail() const {
+    std::size_t m = std::numeric_limits<std::size_t>::max();
+    for (const std::size_t t : tails_) m = t < m ? t : m;
+    return m;
+  }
+
+  std::vector<T> slots_;
+  std::vector<std::size_t> tails_;  // consumed count per consumer
+  std::size_t head_ = 0;            // published count
+  bool finished_ = false;
+  bool stopped_ = false;
+  mutable std::mutex mu_;
+  std::condition_variable space_;
+  std::condition_variable data_;
+};
+
+}  // namespace fmbs::dsp

@@ -153,6 +153,16 @@ RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate) {
       dsp::fir_design_lowpass(101, 2400.0 / sample_rate));
   dsp::cvec base = lp.process(z);
 
+  return decode_rds_baseband(base, sample_rate);
+}
+
+RdsDecodeResult decode_rds_baseband(std::span<const dsp::cfloat> base,
+                                    double sample_rate) {
+  RdsDecodeResult result;
+  if (base.empty()) return result;
+  const double bit_period = sample_rate / kRdsBitRateHz;
+  if (static_cast<double>(base.size()) < 8.0 * bit_period) return result;
+
   // 2) Phase estimate: 0.5 arg E[z^2].
   std::complex<double> acc{0.0, 0.0};
   for (const auto& v : base) {

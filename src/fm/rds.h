@@ -86,4 +86,13 @@ struct RdsDecodeResult {
 /// Demodulates and decodes RDS from a composite MPX signal.
 RdsDecodeResult decode_rds(std::span<const float> mpx, double sample_rate);
 
+/// Decodes RDS from an already-downconverted 57 kHz baseband (the output of
+/// decode_rds's front end: mix by -57 kHz, 2.4 kHz low-pass, full rate).
+/// This is the global half of the decoder — phase estimate, symbol-timing
+/// search, differential decode, block sync — split out so a streaming front
+/// end (rx::RdsStreamDecoder) can filter block by block and run these
+/// stages once at window close, byte-identical to the one-shot decode_rds.
+RdsDecodeResult decode_rds_baseband(std::span<const dsp::cfloat> base,
+                                    double sample_rate);
+
 }  // namespace fmbs::fm

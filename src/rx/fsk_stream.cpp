@@ -1,0 +1,34 @@
+#include "rx/fsk_stream.h"
+
+#include <algorithm>
+
+namespace fmbs::rx {
+
+StreamingBurstDemodulator::StreamingBurstDemodulator(
+    const BurstSpec& burst, double sample_rate, std::size_t capture_samples)
+    : burst_(burst),
+      sample_rate_(sample_rate),
+      bounds_(burst_window_bounds(burst, sample_rate, capture_samples)) {
+  window_.reserve(bounds_.length);
+}
+
+void StreamingBurstDemodulator::push(std::span<const float> audio) {
+  const std::size_t lo = bounds_.begin;
+  const std::size_t hi = bounds_.begin + bounds_.length;
+  const std::size_t block_lo = cursor_;
+  const std::size_t block_hi = cursor_ + audio.size();
+  cursor_ = block_hi;
+  if (block_hi <= lo || block_lo >= hi) return;
+  const std::size_t from = std::max(block_lo, lo);
+  const std::size_t to = std::min(block_hi, hi);
+  window_.insert(window_.end(), audio.begin() + (from - block_lo),
+                 audio.begin() + (to - block_lo));
+  collected_ += to - from;
+}
+
+BurstReport StreamingBurstDemodulator::finish() const {
+  return score_burst_window(audio::MonoBuffer(window_, sample_rate_), burst_,
+                            bounds_.valid);
+}
+
+}  // namespace fmbs::rx

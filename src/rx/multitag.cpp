@@ -5,39 +5,34 @@
 
 namespace fmbs::rx {
 
-namespace {
+BurstWindowBounds burst_window_bounds(const BurstSpec& burst,
+                                      double sample_rate,
+                                      std::size_t capture_samples) {
+  BurstWindowBounds bounds;
+  const double fs = sample_rate;
+  bounds.begin = static_cast<std::size_t>(
+      std::llround(std::max(burst.start_seconds, 0.0) * fs));
+  const double payload_seconds = static_cast<double>(burst.bits.size()) /
+                                 tag::bits_per_second(burst.rate);
+  const auto want = static_cast<std::size_t>(
+      (payload_seconds + kBurstTailSlackSeconds) * fs);
+  bounds.valid = bounds.begin < capture_samples;
+  bounds.length =
+      bounds.valid ? std::min(want, capture_samples - bounds.begin) : 0;
+  return bounds;
+}
 
-/// Audio kept past the nominal payload end: covers the pipeline group delay
-/// plus the timing search window of the demodulator.
-constexpr double kTailSlackSeconds = 0.05;
-
-}  // namespace
-
-BurstReport demodulate_burst(const audio::MonoBuffer& capture,
-                             const BurstSpec& burst) {
+BurstReport score_burst_window(const audio::MonoBuffer& window,
+                               const BurstSpec& burst, bool window_valid) {
   BurstReport report;
   const std::size_t num_bits = burst.bits.size();
   const std::size_t packet_bits =
       burst.packet_bits > 0 ? std::min(burst.packet_bits, num_bits) : num_bits;
 
-  const double fs = capture.sample_rate;
-  const auto start = static_cast<std::size_t>(
-      std::llround(std::max(burst.start_seconds, 0.0) * fs));
-  const double payload_seconds =
-      static_cast<double>(num_bits) / tag::bits_per_second(burst.rate);
-  const auto want = static_cast<std::size_t>(
-      (payload_seconds + kTailSlackSeconds) * fs);
-
-  if (start >= capture.size() || num_bits == 0) {
+  if (!window_valid || num_bits == 0) {
     // Nothing demodulable: every expected bit counts as lost.
     report.ber = compare_bits(burst.bits, {});
   } else {
-    const std::size_t len = std::min(want, capture.size() - start);
-    const audio::MonoBuffer window(
-        std::vector<float>(
-            capture.samples.begin() + static_cast<std::ptrdiff_t>(start),
-            capture.samples.begin() + static_cast<std::ptrdiff_t>(start + len)),
-        fs);
     const FskDemodResult demod = demodulate_fsk(window, burst.rate, num_bits);
     report.mean_confidence = demod.mean_confidence;
     report.ber = compare_bits(burst.bits, demod.bits);
@@ -66,6 +61,23 @@ BurstReport demodulate_burst(const audio::MonoBuffer& capture,
                                static_cast<double>(report.packets)
                    : 0.0;
   return report;
+}
+
+BurstReport demodulate_burst(const audio::MonoBuffer& capture,
+                             const BurstSpec& burst) {
+  const double fs = capture.sample_rate;
+  const BurstWindowBounds bounds =
+      burst_window_bounds(burst, fs, capture.size());
+  audio::MonoBuffer window({}, fs);
+  if (bounds.valid) {
+    window = audio::MonoBuffer(
+        std::vector<float>(
+            capture.samples.begin() + static_cast<std::ptrdiff_t>(bounds.begin),
+            capture.samples.begin() +
+                static_cast<std::ptrdiff_t>(bounds.begin + bounds.length)),
+        fs);
+  }
+  return score_burst_window(window, burst, bounds.valid);
 }
 
 std::vector<BurstReport> demodulate_bursts(const audio::MonoBuffer& capture,

@@ -35,6 +35,34 @@ struct BurstReport {
   double mean_confidence = 0.0; // demodulator decision margin
 };
 
+/// Audio kept past the nominal payload end: covers the pipeline group delay
+/// plus the timing search window of the demodulator.
+inline constexpr double kBurstTailSlackSeconds = 0.05;
+
+/// Where a burst's demodulation window sits inside a capture of
+/// `capture_samples` at `sample_rate`: `[begin, begin + length)`, clamped to
+/// the capture. `valid` is false when the burst starts past the end of the
+/// capture (nothing demodulable — every expected bit counts as lost). Pure
+/// arithmetic, shared by the one-shot router and the streaming collector so
+/// both slice bit-identical windows.
+struct BurstWindowBounds {
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  bool valid = false;
+};
+
+BurstWindowBounds burst_window_bounds(const BurstSpec& burst,
+                                      double sample_rate,
+                                      std::size_t capture_samples);
+
+/// Scores an already-extracted burst window (exactly the samples
+/// demodulate_burst slices out of the capture via burst_window_bounds).
+/// `window_valid` false marks a fully out-of-range burst: every expected bit
+/// is an error and no packet is delivered. Shared by demodulate_burst and
+/// the streaming rx::StreamingBurstDemodulator.
+BurstReport score_burst_window(const audio::MonoBuffer& window,
+                               const BurstSpec& burst, bool window_valid);
+
 /// Demodulates one burst from the capture. The window starts exactly at
 /// `start_seconds` (the transmitter-side lead-in convention) and extends a
 /// slack past the payload to cover the pipeline group delay. Bursts that

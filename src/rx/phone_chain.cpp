@@ -9,8 +9,6 @@
 
 namespace fmbs::rx {
 
-namespace {
-
 // Butterworth Q values for a cascade of second-order sections.
 std::vector<dsp::BiquadCoeffs> butterworth_lowpass(double cutoff_norm, int order) {
   if (order < 2 || order % 2 != 0) {
@@ -26,6 +24,8 @@ std::vector<dsp::BiquadCoeffs> butterworth_lowpass(double cutoff_norm, int order
   }
   return sections;
 }
+
+namespace {
 
 std::vector<float> process_channel(const std::vector<float>& in, double rate,
                                    const PhoneChainConfig& cfg,

@@ -6,10 +6,19 @@
 // gain control whose behaviour cooperative backscatter must calibrate out.
 #pragma once
 
+#include <vector>
+
 #include "audio/audio_buffer.h"
 #include "dsp/agc.h"
+#include "dsp/iir.h"
 
 namespace fmbs::rx {
+
+/// Butterworth low-pass as cascaded second-order sections (even order >= 2;
+/// throws otherwise). Exposed so the streaming device chain builds the same
+/// cascade the one-shot chain uses.
+std::vector<dsp::BiquadCoeffs> butterworth_lowpass(double cutoff_norm,
+                                                   int order);
 
 /// Phone chain options.
 struct PhoneChainConfig {

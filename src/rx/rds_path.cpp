@@ -7,20 +7,8 @@
 
 namespace fmbs::rx {
 
-RdsLinkReport decode_rds_link(std::span<const float> mpx, double sample_rate,
-                              double start_seconds, double duration_seconds) {
+RdsLinkReport rds_link_report_from(const fm::RdsDecodeResult& decoded) {
   RdsLinkReport report;
-  if (mpx.empty() || sample_rate <= 0.0) return report;
-  const std::size_t begin = std::min(
-      mpx.size(),
-      static_cast<std::size_t>(std::max(0.0, start_seconds) * sample_rate));
-  std::size_t length = mpx.size() - begin;
-  if (duration_seconds >= 0.0) {
-    length = std::min(
-        length, static_cast<std::size_t>(duration_seconds * sample_rate));
-  }
-  const fm::RdsDecodeResult decoded =
-      fm::decode_rds(mpx.subspan(begin, length), sample_rate);
   report.synced = decoded.synced;
   report.blocks_ok = decoded.blocks_ok;
   report.blocks_failed = decoded.blocks_failed;
@@ -32,6 +20,21 @@ RdsLinkReport decode_rds_link(std::span<const float> mpx, double sample_rate,
   report.ps_name = decoded.ps_name;
   report.radiotext = decoded.radiotext;
   return report;
+}
+
+RdsLinkReport decode_rds_link(std::span<const float> mpx, double sample_rate,
+                              double start_seconds, double duration_seconds) {
+  if (mpx.empty() || sample_rate <= 0.0) return RdsLinkReport{};
+  const std::size_t begin = std::min(
+      mpx.size(),
+      static_cast<std::size_t>(std::max(0.0, start_seconds) * sample_rate));
+  std::size_t length = mpx.size() - begin;
+  if (duration_seconds >= 0.0) {
+    length = std::min(
+        length, static_cast<std::size_t>(duration_seconds * sample_rate));
+  }
+  return rds_link_report_from(
+      fm::decode_rds(mpx.subspan(begin, length), sample_rate));
 }
 
 }  // namespace fmbs::rx

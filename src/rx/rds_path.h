@@ -11,6 +11,10 @@
 #include <span>
 #include <string>
 
+namespace fmbs::fm {
+struct RdsDecodeResult;
+}  // namespace fmbs::fm
+
 namespace fmbs::rx {
 
 /// Decode statistics of one RDS source recovered from a receiver's
@@ -36,5 +40,10 @@ struct RdsLinkReport {
 RdsLinkReport decode_rds_link(std::span<const float> mpx, double sample_rate,
                               double start_seconds = 0.0,
                               double duration_seconds = -1.0);
+
+/// Converts a raw decoder result into link statistics (BLER pinned to 1.0
+/// when no block was ever checked). Shared by the one-shot decode_rds_link
+/// and the streaming rx::RdsStreamDecoder.
+RdsLinkReport rds_link_report_from(const fm::RdsDecodeResult& decoded);
 
 }  // namespace fmbs::rx

@@ -1,0 +1,154 @@
+// dsp::RingBuffer backpressure and shutdown semantics, exercised with real
+// threads (this binary runs in the `threaded` ctest lane and under TSan in
+// CI): a producer must block — not drop or overwrite — when the slowest
+// consumer lags by a full ring; residual blocks drain after finish(); and a
+// mid-stream stop() unblocks everyone with no deadlock.
+#include "dsp/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fmbs::dsp {
+namespace {
+
+TEST(RingBuffer, RejectsDegenerateShapes) {
+  EXPECT_THROW(RingBuffer<int>(0, 1), std::invalid_argument);
+  EXPECT_THROW(RingBuffer<int>(4, 0), std::invalid_argument);
+}
+
+TEST(RingBuffer, SingleThreadedFifoOrder) {
+  RingBuffer<int> ring(4, 1);
+  for (int v = 0; v < 3; ++v) {
+    int* slot = ring.producer_acquire();
+    ASSERT_NE(slot, nullptr);
+    *slot = v * 10;
+    ring.producer_publish();
+  }
+  ring.finish();
+  for (int v = 0; v < 3; ++v) {
+    int* slot = ring.consumer_acquire(0);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(*slot, v * 10);
+    ring.consumer_release(0);
+  }
+  EXPECT_EQ(ring.consumer_acquire(0), nullptr);  // finished and drained
+}
+
+TEST(RingBuffer, ProducerBlocksOnSlowConsumer) {
+  // Ring of 2: the producer may run at most 2 blocks ahead. A deliberately
+  // slow consumer forces the producer to wait; every published value still
+  // arrives exactly once, in order.
+  constexpr std::size_t kCapacity = 2;
+  constexpr int kBlocks = 50;
+  RingBuffer<int> ring(kCapacity, 1);
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+  std::atomic<int> max_lead{0};
+
+  std::thread producer([&] {
+    for (int v = 0; v < kBlocks; ++v) {
+      int* slot = ring.producer_acquire();
+      ASSERT_NE(slot, nullptr);
+      *slot = v;
+      ring.producer_publish();
+      produced.fetch_add(1);
+      const int lead = produced.load() - consumed.load();
+      int seen = max_lead.load();
+      while (lead > seen && !max_lead.compare_exchange_weak(seen, lead)) {
+      }
+    }
+    ring.finish();
+  });
+
+  std::vector<int> received;
+  while (int* slot = ring.consumer_acquire(0)) {
+    received.push_back(*slot);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    consumed.fetch_add(1);
+    ring.consumer_release(0);
+  }
+  producer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kBlocks));
+  for (int v = 0; v < kBlocks; ++v) EXPECT_EQ(received[static_cast<std::size_t>(v)], v);
+  // Backpressure held: the producer never ran more than capacity + the one
+  // in-flight block ahead of the consumer.
+  EXPECT_LE(max_lead.load(), static_cast<int>(kCapacity) + 1);
+}
+
+TEST(RingBuffer, FinishDrainsResidualBlocksToEveryConsumer) {
+  // Producer publishes a few blocks and finishes while consumers haven't
+  // started: each consumer must still see every block, then get nullptr.
+  constexpr std::size_t kConsumers = 3;
+  RingBuffer<int> ring(8, kConsumers);
+  for (int v = 0; v < 5; ++v) {
+    int* slot = ring.producer_acquire();
+    ASSERT_NE(slot, nullptr);
+    *slot = v;
+    ring.producer_publish();
+  }
+  ring.finish();
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<int>> got(kConsumers);
+  threads.reserve(kConsumers);
+  for (std::size_t k = 0; k < kConsumers; ++k) {
+    threads.emplace_back([&, k] {
+      while (int* slot = ring.consumer_acquire(k)) {
+        got[k].push_back(*slot);
+        ring.consumer_release(k);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t k = 0; k < kConsumers; ++k) {
+    ASSERT_EQ(got[k].size(), 5U) << "consumer " << k;
+    for (int v = 0; v < 5; ++v) EXPECT_EQ(got[k][static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(RingBuffer, StopUnblocksProducerAndConsumers) {
+  // A full ring (producer blocked) and an empty follow-up acquire (consumer
+  // blocked) must both return nullptr promptly after stop() — the clean
+  // mid-stream teardown path the streaming engine uses on worker failure.
+  RingBuffer<int> ring(1, 2);
+  int* slot = ring.producer_acquire();
+  ASSERT_NE(slot, nullptr);
+  *slot = 7;
+  ring.producer_publish();
+
+  std::atomic<bool> producer_returned{false};
+  std::thread producer([&] {
+    int* blocked = ring.producer_acquire();  // ring full: blocks until stop
+    EXPECT_EQ(blocked, nullptr);
+    producer_returned.store(true);
+  });
+  std::thread consumer0([&] {
+    // Drains the one block, then blocks on the next acquire until stop.
+    // Consumer 1 never consumes, so the ring stays full and the producer
+    // stays blocked too — stop() is the only way out for everyone.
+    int* first = ring.consumer_acquire(0);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(*first, 7);
+    ring.consumer_release(0);
+    int* second = ring.consumer_acquire(0);
+    EXPECT_EQ(second, nullptr);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(producer_returned.load());
+  ring.stop();
+  producer.join();
+  consumer0.join();
+  EXPECT_TRUE(ring.stopped());
+  EXPECT_EQ(ring.consumer_acquire(1), nullptr);  // stopped beats pending data
+}
+
+}  // namespace
+}  // namespace fmbs::dsp

@@ -1,0 +1,107 @@
+// StereoStreamDecoder vs decode_stereo: the block-fed decoder must emit the
+// one-shot decoder's audio bit for bit — any block size, any split — as long
+// as its decision window covers the capture. This is the per-receiver
+// equivalence the streaming scenario engine's golden tests rest on.
+#include "fm/stereo_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "audio/tone.h"
+#include "fm/mpx.h"
+#include "fm/stereo_decoder.h"
+
+namespace fmbs::fm {
+namespace {
+
+using audio::make_tone;
+using audio::MonoBuffer;
+using audio::StereoBuffer;
+
+dsp::rvec test_mpx(bool stereo, double seconds = 0.5) {
+  const MonoBuffer l = make_tone(1000.0, 0.6, seconds, kAudioRate);
+  const MonoBuffer r = make_tone(3000.0, 0.6, seconds, kAudioRate);
+  MpxConfig cfg;
+  cfg.stereo = stereo;
+  return compose_mpx(StereoBuffer(l.samples, r.samples, kAudioRate), cfg);
+}
+
+void expect_stream_matches_one_shot(const dsp::rvec& mpx,
+                                    const StereoDecoderConfig& cfg,
+                                    std::size_t block,
+                                    double decision_window_seconds = -1.0) {
+  SCOPED_TRACE("block=" + std::to_string(block));
+  const StereoDecodeResult one_shot = decode_stereo(mpx, cfg);
+
+  StereoStreamDecoder stream(cfg, mpx.size(), decision_window_seconds);
+  dsp::rvec left;
+  dsp::rvec right;
+  for (std::size_t i = 0; i < mpx.size(); i += block) {
+    const std::size_t n = std::min(block, mpx.size() - i);
+    stream.push(std::span<const float>(mpx.data() + i, n), left, right);
+  }
+  stream.finish(left, right);
+
+  EXPECT_EQ(stream.stereo_mode(), one_shot.pilot_detected);
+  EXPECT_EQ(stream.pilot_snr_db(), one_shot.pilot_snr_db);
+  ASSERT_EQ(left.size(), one_shot.audio.left.size());
+  ASSERT_EQ(right.size(), one_shot.audio.right.size());
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    ASSERT_EQ(left[i], one_shot.audio.left[i]) << "left sample " << i;
+    ASSERT_EQ(right[i], one_shot.audio.right[i]) << "right sample " << i;
+  }
+}
+
+TEST(StereoStream, BlockFedMatchesOneShotStereo) {
+  const dsp::rvec mpx = test_mpx(true);
+  // Prime, tiny, block-aligned and whole-capture splits all hit the same
+  // samples through the same state machines.
+  expect_stream_matches_one_shot(mpx, StereoDecoderConfig{}, 7919);
+  expect_stream_matches_one_shot(mpx, StereoDecoderConfig{}, 24000);
+  expect_stream_matches_one_shot(mpx, StereoDecoderConfig{}, mpx.size());
+}
+
+TEST(StereoStream, BlockFedMatchesOneShotMonoFallback) {
+  const dsp::rvec mpx = test_mpx(false);  // no pilot: decoder stays mono
+  expect_stream_matches_one_shot(mpx, StereoDecoderConfig{}, 7919);
+}
+
+TEST(StereoStream, ForceMonoMatches) {
+  const dsp::rvec mpx = test_mpx(true);
+  StereoDecoderConfig cfg;
+  cfg.force_mono = true;
+  expect_stream_matches_one_shot(mpx, cfg, 10007);
+}
+
+TEST(StereoStream, DeemphasisMatches) {
+  const dsp::rvec mpx = test_mpx(true);
+  StereoDecoderConfig cfg;
+  cfg.deemphasis = true;
+  expect_stream_matches_one_shot(mpx, cfg, 7919);
+}
+
+TEST(StereoStream, DecisionWindowCoveringCaptureMatches) {
+  const dsp::rvec mpx = test_mpx(true);
+  // Window (10 s) far exceeds the 0.5 s capture: clamped to the capture, so
+  // the decision is made from exactly what the one-shot decoder sees.
+  expect_stream_matches_one_shot(mpx, StereoDecoderConfig{}, 7919, 10.0);
+}
+
+TEST(StereoStream, BoundedDecisionWindowIsBoundedMemory) {
+  const dsp::rvec mpx = test_mpx(true, 1.0);
+  StereoStreamDecoder stream(StereoDecoderConfig{}, mpx.size(), 0.25);
+  EXPECT_EQ(stream.decision_buffer_bytes(),
+            static_cast<std::size_t>(0.25 * kMpxRate) * sizeof(float));
+  dsp::rvec left;
+  dsp::rvec right;
+  stream.push(mpx, left, right);
+  stream.finish(left, right);
+  // The pilot is strong throughout, so the bounded decision agrees with the
+  // whole-capture one, and the full audio stream still comes out.
+  EXPECT_TRUE(stream.stereo_mode());
+  EXPECT_EQ(left.size(), mpx.size() / 5);
+}
+
+}  // namespace
+}  // namespace fmbs::fm

@@ -1,0 +1,199 @@
+// Streaming-vs-batch equivalence over the six golden scenarios: the
+// producer/consumer streaming pipeline (core::StreamingEngine) must
+// reproduce the batch engine's decoded outcomes *exactly* — station
+// selection and handoffs, MAC schedules, every link's bit errors, PER, RDS
+// text and goodput, at 1, 2 and 8 consumer threads. The streaming engine
+// re-renders the very same scene through the very same DSP state machines,
+// just block by block with bounded buffering, so the comparison is
+// EXPECT_EQ, not EXPECT_NEAR: a single flipped bit anywhere means some
+// streaming decoder's state diverged from its one-shot twin and is a bug.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/streaming.h"
+#include "golden_scenarios.h"
+
+namespace fmbs::golden {
+namespace {
+
+void expect_same_link(const core::TagLinkReport& stream,
+                      const core::TagLinkReport& batch,
+                      const std::string& where) {
+  EXPECT_EQ(stream.tag_index, batch.tag_index) << where;
+  EXPECT_EQ(stream.receiver_index, batch.receiver_index) << where;
+  EXPECT_EQ(stream.burst.ber.bit_errors, batch.burst.ber.bit_errors) << where;
+  EXPECT_EQ(stream.burst.ber.bits_compared, batch.burst.ber.bits_compared)
+      << where;
+  EXPECT_EQ(stream.burst.ber.ber, batch.burst.ber.ber) << where;
+  EXPECT_EQ(stream.burst.packets, batch.burst.packets) << where;
+  EXPECT_EQ(stream.burst.packets_ok, batch.burst.packets_ok) << where;
+  EXPECT_EQ(stream.burst.bits_delivered, batch.burst.bits_delivered) << where;
+  EXPECT_EQ(stream.burst.per, batch.burst.per) << where;
+  EXPECT_EQ(stream.burst.mean_confidence, batch.burst.mean_confidence)
+      << where;
+  EXPECT_EQ(stream.backscatter_rx_power_dbm, batch.backscatter_rx_power_dbm)
+      << where;
+  EXPECT_EQ(stream.goodput_bps, batch.goodput_bps) << where;
+  ASSERT_EQ(stream.rds.has_value(), batch.rds.has_value()) << where;
+  if (stream.rds.has_value()) {
+    EXPECT_EQ(stream.rds->synced, batch.rds->synced) << where;
+    EXPECT_EQ(stream.rds->blocks_ok, batch.rds->blocks_ok) << where;
+    EXPECT_EQ(stream.rds->blocks_failed, batch.rds->blocks_failed) << where;
+    EXPECT_EQ(stream.rds->bler, batch.rds->bler) << where;
+    EXPECT_EQ(stream.rds->ps_name, batch.rds->ps_name) << where;
+    EXPECT_EQ(stream.rds->radiotext, batch.rds->radiotext) << where;
+  }
+}
+
+void expect_equivalent(const core::Scenario& sc, std::size_t consumer_threads) {
+  SCOPED_TRACE(sc.name + " @" + std::to_string(consumer_threads) + " threads");
+  const core::ScenarioResult batch =
+      core::ScenarioEngine({.keep_captures = false}).run(sc);
+  core::StreamingConfig cfg;
+  cfg.consumer_threads = consumer_threads;
+  const core::ScenarioResult stream = core::StreamingEngine(cfg).run(sc);
+
+  // Identical demand-driven pruning decisions (shared resolve_scene_pruning).
+  EXPECT_EQ(stream.scene.stations_total, batch.scene.stations_total);
+  EXPECT_EQ(stream.scene.stations_rendered, batch.scene.stations_rendered);
+  EXPECT_EQ(stream.scene.tags_total, batch.scene.tags_total);
+  EXPECT_EQ(stream.scene.tags_rendered, batch.scene.tags_rendered);
+  EXPECT_EQ(stream.scene.scene_scratch_bytes, batch.scene.scene_scratch_bytes);
+  // Only the streaming engine reports bounded buffering; batch has none.
+  EXPECT_GT(stream.scene.streaming_peak_buffer_bytes, 0U);
+  EXPECT_EQ(batch.scene.streaming_peak_buffer_bytes, 0U);
+
+  // Geometry and handoffs.
+  EXPECT_EQ(stream.selected_station, batch.selected_station);
+  ASSERT_EQ(stream.segments.size(), batch.segments.size());
+  for (std::size_t k = 0; k < stream.segments.size(); ++k) {
+    EXPECT_EQ(stream.segments[k].start_seconds,
+              batch.segments[k].start_seconds) << k;
+    EXPECT_EQ(stream.segments[k].end_seconds, batch.segments[k].end_seconds)
+        << k;
+    EXPECT_EQ(stream.segments[k].selected_station,
+              batch.segments[k].selected_station) << k;
+  }
+
+  // MAC outcomes come from the shared plan; they must agree to the bit.
+  ASSERT_EQ(stream.mac.size(), batch.mac.size());
+  for (std::size_t t = 0; t < stream.mac.size(); ++t) {
+    EXPECT_EQ(stream.mac[t].transmitted, batch.mac[t].transmitted) << t;
+    EXPECT_EQ(stream.mac[t].deferrals, batch.mac[t].deferrals) << t;
+    EXPECT_EQ(stream.mac[t].start_seconds, batch.mac[t].start_seconds) << t;
+    EXPECT_EQ(stream.mac[t].last_sensed_dbm, batch.mac[t].last_sensed_dbm)
+        << t;
+  }
+
+  // Every decoded link, at every receiver, in the same order.
+  ASSERT_EQ(stream.receivers.size(), batch.receivers.size());
+  for (std::size_t r = 0; r < stream.receivers.size(); ++r) {
+    const auto& sr = stream.receivers[r];
+    const auto& br = batch.receivers[r];
+    ASSERT_EQ(sr.links.size(), br.links.size()) << "receiver " << r;
+    for (std::size_t l = 0; l < sr.links.size(); ++l) {
+      expect_same_link(sr.links[l], br.links[l],
+                       "receiver " + std::to_string(r) + " link " +
+                           std::to_string(l));
+    }
+    ASSERT_EQ(sr.station_rds.has_value(), br.station_rds.has_value())
+        << "receiver " << r;
+    if (sr.station_rds.has_value()) {
+      EXPECT_EQ(sr.station_rds->synced, br.station_rds->synced) << r;
+      EXPECT_EQ(sr.station_rds->blocks_ok, br.station_rds->blocks_ok) << r;
+      EXPECT_EQ(sr.station_rds->bler, br.station_rds->bler) << r;
+      EXPECT_EQ(sr.station_rds->ps_name, br.station_rds->ps_name) << r;
+      EXPECT_EQ(sr.station_rds->radiotext, br.station_rds->radiotext) << r;
+    }
+  }
+
+  // Best-link selection and the headline aggregate.
+  ASSERT_EQ(stream.best_per_tag.size(), batch.best_per_tag.size());
+  for (std::size_t i = 0; i < stream.best_per_tag.size(); ++i) {
+    expect_same_link(stream.best_per_tag[i], batch.best_per_tag[i],
+                     "best_per_tag " + std::to_string(i));
+  }
+  EXPECT_EQ(stream.aggregate_goodput_bps, batch.aggregate_goodput_bps);
+}
+
+void expect_equivalent_all_thread_counts(const core::Scenario& sc) {
+  expect_equivalent(sc, 1);
+  expect_equivalent(sc, 2);
+  expect_equivalent(sc, 8);
+}
+
+TEST(StreamingEquivalence, SoloPoster) {
+  expect_equivalent_all_thread_counts(solo_poster());
+}
+TEST(StreamingEquivalence, CityDisjoint) {
+  expect_equivalent_all_thread_counts(city_disjoint());
+}
+TEST(StreamingEquivalence, AlohaBurst) {
+  expect_equivalent_all_thread_counts(aloha_burst());
+}
+TEST(StreamingEquivalence, TwoStationCity) {
+  expect_equivalent_all_thread_counts(two_station_city());
+}
+TEST(StreamingEquivalence, MobileHandoff) {
+  expect_equivalent_all_thread_counts(mobile_handoff());
+}
+TEST(StreamingEquivalence, RdsCity) {
+  expect_equivalent_all_thread_counts(rds_city());
+}
+
+// Live events must agree with the assembled result: every decoded link
+// surfaces exactly once through on_link, and the event payload carries the
+// same scores the final report does.
+TEST(StreamingEquivalence, LiveEventsMatchAssembledResult) {
+  const core::Scenario sc = city_disjoint();
+  std::vector<core::StreamingLinkEvent> events;
+  std::mutex mu;
+  core::StreamingConfig cfg;
+  cfg.consumer_threads = 2;
+  cfg.on_link = [&](const core::StreamingLinkEvent& ev) {
+    const std::lock_guard<std::mutex> lock(mu);
+    events.push_back(ev);
+  };
+  const core::ScenarioResult result = core::StreamingEngine(cfg).run(sc);
+
+  std::size_t total_links = 0;
+  std::size_t station_rds = 0;
+  for (const auto& rr : result.receivers) {
+    total_links += rr.links.size();
+    station_rds += rr.station_rds.has_value() ? 1U : 0U;
+  }
+  EXPECT_EQ(events.size(), total_links + station_rds);
+  for (const auto& ev : events) {
+    EXPECT_GT(ev.stream_seconds, 0.0);
+    if (ev.kind == core::StreamingLinkEvent::Kind::kStationRds) {
+      ASSERT_TRUE(ev.link.rds.has_value());
+      const auto& rr = result.receivers.at(ev.receiver_index);
+      ASSERT_TRUE(rr.station_rds.has_value());
+      EXPECT_EQ(ev.link.rds->ps_name, rr.station_rds->ps_name);
+      continue;
+    }
+    // Find the matching assembled link.
+    const auto& rr = result.receivers.at(ev.receiver_index);
+    bool found = false;
+    for (const auto& link : rr.links) {
+      if (link.tag_index != ev.tag_index) continue;
+      const bool is_rds = link.rds.has_value();
+      if (is_rds != (ev.kind == core::StreamingLinkEvent::Kind::kRdsBurst)) {
+        continue;
+      }
+      found = true;
+      EXPECT_EQ(ev.link.burst.ber.ber, link.burst.ber.ber);
+      EXPECT_EQ(ev.link.goodput_bps, link.goodput_bps);
+      break;
+    }
+    EXPECT_TRUE(found) << "event for tag " << ev.tag_index << " receiver "
+                       << ev.receiver_index << " has no assembled link";
+  }
+}
+
+}  // namespace
+}  // namespace fmbs::golden
