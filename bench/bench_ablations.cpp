@@ -25,15 +25,15 @@ namespace {
 
 double tone_snr_for_subcarrier(const tag::SubcarrierConfig& subcarrier) {
   core::ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   core::SystemConfig cfg = core::make_system(point);
   cfg.station.program.genre = audio::ProgramGenre::kSilence;
   cfg.station.program.stereo = false;
   cfg.tag.subcarrier = subcarrier;
   const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
   const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
-  const auto sim = core::simulate(cfg, bb, 1.0);
+  const auto sim = core::simulate(cfg, bb, units::Seconds{1.0});
   const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
   return dsp::tone_snr_db(
       std::span<const float>(sim.backscatter_rx.mono.samples)
@@ -95,8 +95,8 @@ int main() {
     const auto bers =
         runner.map(plans, [](const std::pair<tag::DataRate, double>& plan) {
           core::ExperimentPoint point;
-          point.tag_power_dbm = -58.0;
-          point.distance_feet = 16.0;
+          point.tag_power = units::Dbm{-58.0};
+          point.distance = units::Feet{16.0};
           point.genre = audio::ProgramGenre::kNews;
           return core::run_overlay_ber(point, plan.first, 640).ber;
         });
@@ -117,8 +117,8 @@ int main() {
         audio::ProgramGenre::kPop, audio::ProgramGenre::kRock};
     const auto bers = runner.map(genres, [](const audio::ProgramGenre& genre) {
       core::ExperimentPoint point;
-      point.tag_power_dbm = -58.0;
-      point.distance_feet = 16.0;
+      point.tag_power = units::Dbm{-58.0};
+      point.distance = units::Feet{16.0};
       point.genre = genre;
       return core::run_overlay_ber(point, tag::DataRate::k1600bps, 480).ber;
     });
@@ -137,8 +137,8 @@ int main() {
     const std::vector<bool> emphasis_options{false, true};
     const auto bers = runner.map(emphasis_options, [](const bool& emphasis) {
       core::ExperimentPoint point;
-      point.tag_power_dbm = -58.0;
-      point.distance_feet = 16.0;
+      point.tag_power = units::Dbm{-58.0};
+      point.distance = units::Feet{16.0};
       point.genre = audio::ProgramGenre::kMixed;
       core::SystemConfig cfg = core::make_system(point);
       cfg.station.preemphasis = emphasis;
@@ -147,7 +147,7 @@ int main() {
       const auto wave = tag::modulate_fsk(bits, tag::DataRate::k1600bps,
                                           fm::kAudioRate);
       const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
-      const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.15);
+      const auto sim = core::simulate(cfg, bb, units::Seconds{wave.duration_seconds() + 0.15});
       const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
                                             tag::DataRate::k1600bps, bits.size());
       return rx::compare_bits(bits, demod.bits).ber;
@@ -170,8 +170,8 @@ int main() {
         tag::FecScheme::kConvolutionalK7};
     const auto bers = runner.map(schemes, [](const tag::FecScheme& scheme) {
       core::ExperimentPoint point;
-      point.tag_power_dbm = -60.0;
-      point.distance_feet = 14.0;
+      point.tag_power = units::Dbm{-60.0};
+      point.distance = units::Feet{14.0};
       point.genre = audio::ProgramGenre::kNews;
       return core::run_overlay_ber_coded(point, tag::DataRate::k1600bps, 512,
                                          scheme).ber;
@@ -192,8 +192,8 @@ int main() {
           core::AlohaConfig cfg;
           cfg.num_tags = static_cast<std::size_t>(pop.first);
           cfg.num_channels = static_cast<std::size_t>(pop.second);
-          cfg.per_tag_rate_hz = 0.05;
-          cfg.duration_seconds = 20000.0;
+          cfg.per_tag_rate = units::Hertz{0.05};
+          cfg.duration = units::Seconds{20000.0};
           return core::simulate_aloha(cfg);
         });
     std::printf("%-10s %12s %12s %14s\n", "tags", "channels", "throughput",
@@ -209,9 +209,9 @@ int main() {
   std::printf("%-34s %12s %12s\n", "source", "duty cycle", "eff. bps@3.2k");
   {
     core::HarvestConfig rf;
-    rf.rf_power_dbm = -20.0;
+    rf.rf_power = units::Dbm{-20.0};
     core::HarvestConfig sun;
-    sun.rf_power_dbm = -40.0;
+    sun.rf_power = units::Dbm{-40.0};
     sun.solar_area_cm2 = 4.0;
     sun.solar_irradiance_uw_per_cm2 = 10000.0;  // direct sun
     const auto results = runner.map(

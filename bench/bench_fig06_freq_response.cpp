@@ -14,8 +14,8 @@ int main() {
 
   const auto make_point = [](double) {
     core::ExperimentPoint point;
-    point.tag_power_dbm = -20.0;
-    point.distance_feet = 4.0;
+    point.tag_power = units::Dbm{-20.0};
+    point.distance = units::Feet{4.0};
     return point;
   };
   core::SweepRunner runner;
@@ -23,13 +23,13 @@ int main() {
       {
           {"mono_band", make_point,
            [](const core::ExperimentPoint& pt, double tone_hz) {
-             return core::run_tone_snr(pt, tone_hz, /*stereo_band=*/false, 1.0);
+             return core::run_tone_snr(pt, units::Hertz{tone_hz}, /*stereo_band=*/false, units::Seconds{1.0});
            }},
           // The stereo (L-R) path only carries audio content up to 15 kHz;
           // the tone itself must stay in band after DSB modulation at 38 kHz.
           {"stereo_band", make_point,
            [](const core::ExperimentPoint& pt, double tone_hz) {
-             return core::run_tone_snr(pt, tone_hz, /*stereo_band=*/true, 1.0);
+             return core::run_tone_snr(pt, units::Hertz{tone_hz}, /*stereo_band=*/true, units::Seconds{1.0});
            }},
       },
       tones_hz);

@@ -27,16 +27,16 @@ fmbs::core::Scenario tone_scenario(double power_dbm, double distance_ft) {
   // Fig. 6/7 methodology: "an FM station transmitting no audio information".
   sc.station.program.genre = audio::ProgramGenre::kSilence;
   sc.station.program.stereo = false;
-  sc.settle_seconds = 0.0;
-  sc.duration_seconds = kDuration;
+  sc.settle = units::Seconds{0.0};
+  sc.duration = units::Seconds{kDuration};
 
   core::ScenarioTag t;
   t.name = "tone-tag";
   t.custom_baseband = tag::compose_overlay_baseband(
       audio::make_tone(kToneHz, 1.0, kDuration, fm::kAudioRate),
       core::kOverlayLevel);
-  t.tag_power_dbm = power_dbm;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{power_dbm};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
   return sc;

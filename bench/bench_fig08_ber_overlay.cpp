@@ -22,15 +22,15 @@ fmbs::core::Scenario ber_scenario(double power_dbm, double distance_ft,
   sc.seed = 0;          // derived per grid cell by the sweep seed policy
   sc.station.seed = 0;  // pinned sweep-wide: one shared station render
   sc.station.program.genre = audio::ProgramGenre::kNews;
-  sc.duration_seconds =
-      static_cast<double>(bits) / tag::bits_per_second(rate) + 0.15;
+  sc.duration = units::Seconds{
+      static_cast<double>(bits) / tag::bits_per_second(rate) + 0.15};
 
   core::ScenarioTag t;
   t.name = "tag";
   t.rate = rate;
   t.num_bits = bits;
-  t.tag_power_dbm = power_dbm;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{power_dbm};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
   return sc;

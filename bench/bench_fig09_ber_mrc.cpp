@@ -47,19 +47,19 @@ core::Scenario mrc_scenario(std::size_t reps, double distance_ft) {
   sc.seed = 0;          // derived per grid cell by the sweep seed policy
   sc.station.seed = 0;  // pinned sweep-wide: one shared station render
   sc.station.program.genre = audio::ProgramGenre::kNews;
-  sc.settle_seconds = 0.0;  // the lead-in lives inside the custom baseband
+  sc.settle = units::Seconds{0.0};  // the lead-in lives inside the custom baseband
 
   const audio::MonoBuffer all =
       repeated_payload(cell_bits(reps, distance_ft), reps);
-  sc.duration_seconds = all.duration_seconds() + kSettleSeconds + 0.15;
+  sc.duration = units::Seconds{all.duration_seconds() + kSettleSeconds + 0.15};
 
   core::ScenarioTag t;
   t.name = "mrc-tag";
   t.custom_baseband = tag::compose_overlay_baseband(
       audio::concat(audio::make_silence(kSettleSeconds, fm::kAudioRate), all),
       core::kOverlayLevel);
-  t.tag_power_dbm = -40.0;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{-40.0};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
   return sc;

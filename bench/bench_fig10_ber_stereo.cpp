@@ -36,12 +36,12 @@ core::Scenario stereo_scenario(std::size_t plan, tag::DataRate rate,
   sc.station.seed = 0;  // pinned sweep-wide: one shared station render
   sc.station.program.genre = audio::ProgramGenre::kNews;
   sc.station.program.stereo = true;  // news broadcasting in stereo
-  sc.settle_seconds = 0.0;  // the lead-in lives inside the custom baseband
+  sc.settle = units::Seconds{0.0};  // the lead-in lives inside the custom baseband
 
   const audio::MonoBuffer wave = audio::concat(
       audio::make_silence(kSettleSeconds, fm::kAudioRate),
       tag::modulate_fsk(cell_bits(plan, distance_ft), rate, fm::kAudioRate));
-  sc.duration_seconds = wave.duration_seconds() + 0.15;
+  sc.duration = units::Seconds{wave.duration_seconds() + 0.15};
 
   core::ScenarioTag t;
   t.name = "data-tag";
@@ -50,8 +50,8 @@ core::Scenario stereo_scenario(std::size_t plan, tag::DataRate rate,
   t.custom_baseband =
       stereo ? tag::compose_stereo_baseband(wave, /*insert_pilot=*/false)
              : tag::compose_overlay_baseband(wave, core::kOverlayLevel);
-  t.tag_power_dbm = -30.0;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{-30.0};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
   return sc;

@@ -17,13 +17,13 @@ int main() {
     rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
                     [p](double d) {
                       core::ExperimentPoint point;
-                      point.tag_power_dbm = p;
-                      point.distance_feet = d;
+                      point.tag_power = units::Dbm{p};
+                      point.distance = units::Feet{d};
                       point.genre = audio::ProgramGenre::kNews;
                       return point;
                     },
                     [](const core::ExperimentPoint& pt, double) {
-                      return core::run_cooperative_pesq(pt, 2.5);
+                      return core::run_cooperative_pesq(pt, units::Seconds{2.5});
                     }});
   }
   core::SweepRunner runner;

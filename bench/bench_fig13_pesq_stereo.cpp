@@ -31,14 +31,14 @@ int main() {
       rows.push_back({std::to_string(static_cast<int>(p)) + "dBm",
                       [p, &sub](double d) {
                         core::ExperimentPoint point;
-                        point.tag_power_dbm = p;
-                        point.distance_feet = d;
+                        point.tag_power = units::Dbm{p};
+                        point.distance = units::Feet{d};
                         point.genre = audio::ProgramGenre::kNews;
                         point.stereo_station = sub.stereo_station;
                         return point;
                       },
                       [](const core::ExperimentPoint& pt, double) {
-                        return core::run_stereo_pesq(pt, 2.5);
+                        return core::run_stereo_pesq(pt, units::Seconds{2.5});
                       }});
     }
     const auto series = runner.run_grid(rows, distances_ft);

@@ -33,14 +33,14 @@ core::Scenario car_scenario(double power_dbm, double distance_ft,
   sc.station.seed = 0;  // pinned sweep-wide: one shared station render
   sc.station.program.genre = genre;
   sc.station.program.stereo = false;
-  sc.settle_seconds = 0.0;
-  sc.duration_seconds = duration;
+  sc.settle = units::Seconds{0.0};
+  sc.duration = units::Seconds{duration};
 
   core::ScenarioTag t;
   t.name = "poster";
   t.custom_baseband = baseband;
-  t.tag_power_dbm = power_dbm;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{power_dbm};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::car_listening_to(sc.tags[0].subcarrier));
   return sc;

@@ -83,13 +83,13 @@ std::vector<FleetSlot> gateway_slots(
     if (std::abs(c) > core::kMaxStationOffsetHz) continue;
     double min_dist = 1e12;
     for (const auto& st : stations) {
-      min_dist = std::min(min_dist, std::abs(c - st.offset_hz));
+      min_dist = std::min(min_dist, std::abs(c - st.offset.raw()));
     }
     if (min_dist < fm::kChannelSpacingHz - 1e-6) continue;
     FleetSlot slot;
     slot.offset_hz = c;
     for (std::size_t s = 0; s < stations.size(); ++s) {
-      const double shift = c - stations[s].offset_hz;
+      const double shift = c - stations[s].offset.raw();
       if (std::abs(shift) >= 400e3 - 1e-6 && std::abs(shift) <= 1000e3 + 1e-6) {
         slot.feeders.push_back(s);
       }
@@ -121,7 +121,7 @@ core::Scenario fleet_scenario(const std::vector<core::ScenarioStation>& band,
             std::to_string(num_tags);
   sc.stations = band;
   sc.seed = seed;
-  sc.duration_seconds = duration;
+  sc.duration = units::Seconds{duration};
 
   const double burst_seconds =
       tag::fsk_burst_seconds(kBurstBits, tag::DataRate::k1600bps, fm::kMpxRate);
@@ -134,15 +134,15 @@ core::Scenario fleet_scenario(const std::vector<core::ScenarioStation>& band,
     core::ScenarioTag t;
     t.name = "tag" + std::to_string(i);
     t.station_index = static_cast<int>(s);
-    t.subcarrier.shift_hz = slot.offset_hz - sc.stations[s].offset_hz;
+    t.subcarrier.shift = units::Hertz{slot.offset_hz - sc.stations[s].offset.raw()};
     t.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = kBurstBits;
     t.packet_bits = kPacketBits;
     // Poster-to-gateway walk-up distances vary a little, so same-slot
     // bursts arrive at distinct powers (4..8 ft).
-    t.distance_override_feet = 4.0 + static_cast<double>(i % 5);
-    t.start_seconds = at(rng);
+    t.distance_override = units::Feet{4.0 + static_cast<double>(i % 5)};
+    t.start = units::Seconds{at(rng)};
     if (slotted) t.mac.kind = tag::MacKind::kSlottedAloha;
     sc.tags.push_back(std::move(t));
   }
@@ -150,7 +150,7 @@ core::Scenario fleet_scenario(const std::vector<core::ScenarioStation>& band,
     core::ScenarioReceiver phone;
     phone.name = "gateway@" + std::to_string(slot.offset_hz / 1e3) + "kHz";
     phone.kind = core::ReceiverKind::kPhone;
-    phone.tune_offset_hz = slot.offset_hz;
+    phone.tune_offset = units::Hertz{slot.offset_hz};
     sc.receivers.push_back(std::move(phone));
   }
   return sc;
@@ -174,14 +174,14 @@ std::pair<double, double> phy_ber_point(tag::DataRate rate, double distance_ft,
   t.name = "cal-tag";
   t.rate = rate;
   t.num_bits = num_bits;
-  t.tag_power_dbm = -30.0;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{-30.0};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(t);
-  sc.duration_seconds =
+  sc.duration = units::Seconds{
       tag::fsk_burst_seconds(num_bits, rate, fm::kMpxRate) + 4.0 * core::kBurstGuardSeconds +
-      0.1;
+      0.1};
   core::ScenarioReceiver rx = core::phone_listening_to(t.subcarrier);
-  if (!std::isnan(noise_dbm_override)) rx.noise_dbm_200khz = noise_dbm_override;
+  if (!std::isnan(noise_dbm_override)) rx.noise_200khz = units::Dbm{noise_dbm_override};
   sc.receivers.push_back(rx);
 
   const core::ScenarioResult result =
@@ -191,7 +191,7 @@ std::pair<double, double> phy_ber_point(tag::DataRate rate, double distance_ft,
   }
   const core::TagLinkReport& link = result.best_per_tag.front();
   const double snr_db = link.backscatter_rx_power_dbm -
-                        core::receiver_noise_floor_dbm(sc.receivers[0]);
+                        core::receiver_noise_floor(sc.receivers[0]).raw();
   return {snr_db, link.burst.ber.ber};
 }
 
@@ -218,7 +218,7 @@ int run_calibrate() {
         spec.rate, 4.0, spec.bits, 11,
         std::numeric_limits<double>::quiet_NaN());
     const double p_rx_dbm =
-        snr_ref + channel::ReceiverNoise::kPhoneDbmPer200kHz;
+        snr_ref + channel::ReceiverNoise::kPhonePer200kHz.raw();
     std::cout << "    reference: p_rx=" << p_rx_dbm << "dBm snr=" << snr_ref
               << "dB ber=" << ber_ref << "\n";
     // Coarse above the knee (floor estimation), fine through it: the

@@ -96,7 +96,7 @@ void BM_PolyphaseDecimator(benchmark::State& state) {
 BENCHMARK(BM_PolyphaseDecimator);
 
 void BM_FmModulator(benchmark::State& state) {
-  fm::FmModulator mod(fm::kMaxDeviationHz, fm::kMpxRate);
+  fm::FmModulator mod( units::Hertz{fm::kMaxDeviationHz}, fm::kMpxRate);
   const auto tone = audio::make_tone(1000.0, 0.8, 0.1, fm::kMpxRate);
   for (auto _ : state) {
     auto iq = mod.process(tone.samples);
@@ -108,8 +108,8 @@ void BM_FmModulator(benchmark::State& state) {
 BENCHMARK(BM_FmModulator);
 
 void BM_QuadratureDemodulator(benchmark::State& state) {
-  fm::FmModulator mod(fm::kMaxDeviationHz, fm::kMpxRate);
-  fm::QuadratureDemodulator demod(fm::kMaxDeviationHz, fm::kMpxRate);
+  fm::FmModulator mod( units::Hertz{fm::kMaxDeviationHz}, fm::kMpxRate);
+  fm::QuadratureDemodulator demod( units::Hertz{fm::kMaxDeviationHz}, fm::kMpxRate);
   const auto tone = audio::make_tone(1000.0, 0.8, 0.1, fm::kMpxRate);
   const auto iq = mod.process(tone.samples);
   for (auto _ : state) {
@@ -145,7 +145,7 @@ void BM_Tuner(benchmark::State& state) {
 BENCHMARK(BM_Tuner);
 
 void BM_AwgnSource(benchmark::State& state) {
-  channel::AwgnSource src(-90.0, 200000.0, 2400000.0, 7);
+  channel::AwgnSource src( units::Dbm{-90.0}, units::Hertz{200000.0}, 2400000.0, 7);
   dsp::cvec block(240000);
   for (auto _ : state) {
     src.add_to(block);
@@ -184,9 +184,9 @@ void BM_StationCacheHit(benchmark::State& state) {
   cache.clear();
   fm::StationConfig cfg;
   cfg.seed = 424242;
-  (void)cache.render(cfg, 0.5);  // warm
+  (void)cache.render(cfg, units::Seconds{0.5});  // warm
   for (auto _ : state) {
-    auto signal = cache.render(cfg, 0.5);
+    auto signal = cache.render(cfg, units::Seconds{0.5});
     benchmark::DoNotOptimize(signal.get());
   }
   cache.clear();
@@ -203,7 +203,7 @@ void BM_EndToEndSimulationSecond(benchmark::State& state) {
   const auto tone = audio::make_tone(1000.0, 1.0, 1.0, fm::kAudioRate);
   const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
   for (auto _ : state) {
-    auto sim = core::simulate(cfg, bb, 1.0);
+    auto sim = core::simulate(cfg, bb, units::Seconds{1.0});
     benchmark::DoNotOptimize(sim.backscatter_rx.mono.samples.data());
   }
   fm::StationCache::instance().set_enabled(true);

@@ -27,7 +27,7 @@ int main() {
   core::SweepRunner runner;
   const auto totals = runner.map(shifts_hz, [](const double& f) {
     PowerModelConfig cfg;
-    cfg.subcarrier_hz = f;
+    cfg.subcarrier = units::Hertz{f};
     return tag_power(cfg).total_uw;
   });
   std::printf("%-14s %12s\n", "f_back (kHz)", "total (uW)");

@@ -24,13 +24,13 @@ core::Scenario rds_scenario(double distance_ft, bool car) {
   sc.station.seed = 0;  // pinned sweep-wide: one shared station render
   sc.station.program.genre = audio::ProgramGenre::kNews;
   sc.station.program.stereo = false;
-  sc.duration_seconds = 0.75;  // 8 RadioText groups at 1187.5 bps ~ 0.70 s
+  sc.duration = units::Seconds{0.75};  // 8 RadioText groups at 1187.5 bps ~ 0.70 s
 
   core::ScenarioTag t;
   t.name = "ad-poster";
   t.rds_radiotext = kAdText;
-  t.tag_power_dbm = -35.0;  // low-power poster: the knee lands mid-grid
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{-35.0};  // low-power poster: the knee lands mid-grid
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(car ? core::car_listening_to(sc.tags[0].subcarrier)
                              : core::phone_listening_to(sc.tags[0].subcarrier));

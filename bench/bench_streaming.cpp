@@ -94,7 +94,7 @@ core::Scenario city_scene(double duration_seconds) {
   core::Scenario sc;
   sc.name = "boston-streaming";
   sc.stations = boston_band();
-  sc.duration_seconds = duration_seconds;
+  sc.duration = units::Seconds{duration_seconds};
   sc.seed = 20170327;
 
   // A gateway slot one full channel spacing clear of every licensed carrier
@@ -103,7 +103,7 @@ core::Scenario city_scene(double duration_seconds) {
   for (double c = 400e3; c <= 1000e3 + 1.0; c += 100e3) {
     double min_dist = 1e12;
     for (const auto& st : sc.stations) {
-      min_dist = std::min(min_dist, std::abs(c - st.offset_hz));
+      min_dist = std::min(min_dist, std::abs(c - st.offset.raw()));
     }
     if (min_dist >= fm::kChannelSpacingHz - 1e-6) {
       slot_hz = c;
@@ -116,28 +116,28 @@ core::Scenario city_scene(double duration_seconds) {
     core::ScenarioTag t;
     t.name = "poster" + std::to_string(i);
     t.station_index = 0;
-    t.subcarrier.shift_hz = slot_hz;
+    t.subcarrier.shift = units::Hertz{slot_hz};
     t.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 128;
     t.packet_bits = 64;
-    t.distance_override_feet = 4.0 + 2.0 * static_cast<double>(i);
+    t.distance_override = units::Feet{4.0 + 2.0 * static_cast<double>(i)};
     // Both bursts inside the first 1.2 s so the same scene works from the
     // sub-horizon smoke run up to the 120 s soak point.
-    t.start_seconds = 0.3 + 0.7 * static_cast<double>(i);
+    t.start = units::Seconds{0.3 + 0.7 * static_cast<double>(i)};
     sc.tags.push_back(std::move(t));
   }
 
   core::ScenarioReceiver phone;
   phone.name = "gateway";
   phone.kind = core::ReceiverKind::kPhone;
-  phone.tune_offset_hz = slot_hz;
+  phone.tune_offset = units::Hertz{slot_hz};
   sc.receivers.push_back(std::move(phone));
 
   core::ScenarioReceiver car;
   car.name = "car";
   car.kind = core::ReceiverKind::kCar;
-  car.tune_offset_hz = 0.0;
+  car.tune_offset = units::Hertz{0.0};
   sc.receivers.push_back(std::move(car));
   return sc;
 }

@@ -33,8 +33,8 @@ std::vector<core::ExperimentPoint> make_grid() {
   for (const double p : powers_dbm) {
     for (const double d : distances_ft) {
       core::ExperimentPoint point;
-      point.tag_power_dbm = p;
-      point.distance_feet = d;
+      point.tag_power = units::Dbm{p};
+      point.distance = units::Feet{d};
       point.genre = audio::ProgramGenre::kNews;
       points.push_back(point);
     }

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   core::Scenario sc;
   sc.name = "city_block";
   sc.seed = 49;
-  sc.duration_seconds = 0.4;
+  sc.duration = units::Seconds{0.4};
   sc.stations = std::move(scene.stations);
 
   std::printf("%s FM band around %.1f MHz: %zu co-resident stations in the "
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
               sc.stations.size());
   for (const auto& st : sc.stations) {
     std::printf("  %-18s %+6.0f kHz  %6.1f dBm\n", st.name.c_str(),
-                st.offset_hz / 1000.0, st.power_dbm);
+                st.offset.raw() / 1000.0, st.power.raw());
   }
 
   // ---- Survey-driven channel choice for the posters. -----------------------
@@ -106,8 +106,8 @@ int main(int argc, char** argv) {
   auto ambient_on = [&sc](double offset_hz) {
     double worst = -110.0;
     for (const auto& st : sc.stations) {
-      if (std::abs(st.offset_hz - offset_hz) < fm::kChannelSpacingHz / 2.0) {
-        worst = std::max(worst, st.power_dbm);
+      if (std::abs(st.offset.raw() - offset_hz) < fm::kChannelSpacingHz / 2.0) {
+        worst = std::max(worst, st.power.raw());
       }
     }
     return worst;
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Candidate> candidates;
   for (const auto& a : plan) {
-    candidates.push_back({a, ambient_on(a.subcarrier.shift_hz)});
+    candidates.push_back({a, ambient_on(a.subcarrier.shift.raw())});
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Candidate& a, const Candidate& b) {
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
   for (const auto& c : candidates) {
     const bool usable = c.ambient_dbm < kQuietThresholdDbm;
     std::printf("  %+5.0f kHz  ambient %6.1f dBm  %s\n",
-                c.assignment.subcarrier.shift_hz / 1000.0, c.ambient_dbm,
+                c.assignment.subcarrier.shift.raw() / 1000.0, c.ambient_dbm,
                 usable ? "clear" : "occupied -> skipped");
     if (usable) quiet.push_back(c);
   }
@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
   std::printf("\ncity block: %zu posters on the %zu clean channels, "
               "%zu receivers, %zu ambient stations, %.1f s\n\n",
               sc.tags.size(), quiet.size(), sc.receivers.size(),
-              sc.stations.size(), sc.duration_seconds);
+              sc.stations.size(), sc.duration.raw());
 
   const core::ScenarioResult result = core::ScenarioEngine().run(sc);
 
@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
   for (const core::TagLinkReport& link : result.best_per_tag) {
     const core::ScenarioTag& t = sc.tags[link.tag_index];
     std::printf("%-18s %+7.0fkHz %8.1f %5zu/%-3zu %5.2f %7.0fbps %8s\n",
-                t.name.c_str(), t.subcarrier.shift_hz / 1000.0,
+                t.name.c_str(), t.subcarrier.shift.raw() / 1000.0,
                 link.backscatter_rx_power_dbm, link.burst.ber.bit_errors,
                 link.burst.ber.bits_compared, link.burst.per, link.goodput_bps,
                 sc.receivers[link.receiver_index].kind == core::ReceiverKind::kCar
@@ -242,8 +242,8 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   for (std::size_t i = 0; i < by_power.size(); ++i) by_power[i] = i;
   std::stable_sort(by_power.begin(), by_power.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return scene.stations[a].power_dbm >
-                            scene.stations[b].power_dbm;
+                     return scene.stations[a].power.raw() >
+                            scene.stations[b].power.raw();
                    });
   if (by_power.size() < 2) {
     std::printf("walk mode needs at least two scene stations\n");
@@ -259,17 +259,17 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   // channel before the coverage boundary (which a larger gap pushes east)
   // is crossed.
   const double max_gap_db = rds ? 2.0 : 4.0;
-  if (east.power_dbm < west.power_dbm - max_gap_db) {
+  if (east.power.raw() < west.power.raw() - max_gap_db) {
     std::printf("(east anchor %s raised %.1f dB so the walk crosses the "
                 "coverage boundary mid-block)\n",
                 east.name.c_str(),
-                west.power_dbm - max_gap_db - east.power_dbm);
-    east.power_dbm = west.power_dbm - max_gap_db;
+                west.power.raw() - max_gap_db - east.power.raw());
+    east.power = units::Dbm{west.power.raw() - max_gap_db};
   }
   std::printf("anchors: %-18s west end  %6.1f dBm\n         %-18s east end  "
               "%6.1f dBm\n",
-              west.name.c_str(), west.power_dbm, east.name.c_str(),
-              east.power_dbm);
+              west.name.c_str(), west.power.raw(), east.name.c_str(),
+              east.power.raw());
 
   // ---- The walk scenario. --------------------------------------------------
   // The RDS walk is longer (the RadioText burst alone is ~0.7 s) and starts
@@ -278,13 +278,13 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   core::Scenario sc;
   sc.name = rds ? "city_rds" : "city_walk";
   sc.seed = 50;
-  sc.duration_seconds = rds ? 1.4 : 0.8;
-  sc.timeline.segment_seconds = 0.1;  // 0.1 s geometry re-evaluation
+  sc.duration = units::Seconds{rds ? 1.4 : 0.8};
+  sc.timeline.segment = units::Seconds{0.1};  // 0.1 s geometry re-evaluation
   sc.stations = std::move(scene.stations);
 
   core::ScenarioTag courier;
   courier.name = rds ? "courier ad-poster" : "courier badge";
-  courier.subcarrier.shift_hz = 600e3;
+  courier.subcarrier.shift = units::Hertz{600e3};
   if (rds) {
     courier.rds_radiotext = kAdText;  // 8 groups at 1187.5 bps ~ 0.70 s
     courier.position = {-40.0, 0.0};
@@ -296,8 +296,8 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
     courier.position = {-30.0, 0.0};
     courier.waypoints = {{30.0, 0.0}};  // across the block
   }
-  courier.distance_override_feet = 4.0;  // the phone walks along
-  courier.start_seconds = 0.03;
+  courier.distance_override = units::Feet{4.0};  // the phone walks along
+  courier.start = units::Seconds{0.03};
   courier.mac.kind = tag::MacKind::kCarrierSense;
 
   core::ScenarioTag poster;  // fixed neighbor contending on the same channel
@@ -306,15 +306,15 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
   poster.rate = tag::DataRate::k1600bps;
   poster.num_bits = 128;
   poster.position = {-25.0, 2.0};
-  poster.distance_override_feet = 10.0;
-  poster.start_seconds = 0.0;  // pure ALOHA: bursts right away
+  poster.distance_override = units::Feet{10.0};
+  poster.start = units::Seconds{0.0};  // pure ALOHA: bursts right away
   sc.tags = {courier, poster};
 
   // The pedestrian's phone walks with the courier, tuned to the west
   // anchor's backscatter channel (where the deferred burst goes out).
   core::ScenarioReceiver phone;
   phone.name = "pedestrian phone";
-  phone.tune_offset_hz = west.offset_hz + courier.subcarrier.shift_hz;
+  phone.tune_offset = units::Hertz{west.offset.raw() + courier.subcarrier.shift.raw()};
   phone.position = {courier.position.x_m, 1.0};
   phone.waypoints = {{courier.waypoints[0].x_m, 1.0}};
   sc.receivers = {phone};
@@ -323,7 +323,7 @@ int run_walk_mode(const fmbs::survey::CitySpectrum& city, int listen_channel,
     // RDS radio in the scene displays is the survey-derived PS name.
     core::ScenarioReceiver parked;
     parked.name = "parked radio";
-    parked.tune_offset_hz = west.offset_hz;
+    parked.tune_offset = units::Hertz{west.offset.raw()};
     parked.position = {-35.0, 3.0};
     sc.receivers.push_back(std::move(parked));
   }

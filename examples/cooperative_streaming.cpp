@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
 
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
-  point.tag_power_dbm = -35.0;
-  point.distance_feet = 6.0;
+  point.tag_power = units::Dbm{-35.0};
+  point.distance = units::Feet{6.0};
   core::SystemConfig cfg = core::make_system(point);
   cfg.capture_ambient_receiver = true;  // phone 1
   cfg.phone.enable_agc = true;          // the problem the pilot calibrates out
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   std::puts("simulating two phones next to the poster...");
   const core::SimulationResult sim =
-      core::simulate(cfg, bb, seconds + pilot.preamble_seconds + 0.2);
+      core::simulate(cfg, bb, units::Seconds{seconds + pilot.preamble_seconds + 0.2});
 
   rx::CooperativeConfig coop;
   coop.pilot = pilot;

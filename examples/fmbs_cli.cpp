@@ -44,8 +44,8 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
 
 core::ExperimentPoint make_point(const std::map<std::string, std::string>& flags) {
   core::ExperimentPoint point;
-  point.tag_power_dbm = flag_or(flags, "power", -30.0);
-  point.distance_feet = flag_or(flags, "distance", 4.0);
+  point.tag_power = units::Dbm{flag_or(flags, "power", -30.0)};
+  point.distance = units::Feet{flag_or(flags, "distance", 4.0)};
   point.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 1.0));
   const std::string genre = flag_or(flags, "genre", std::string("news"));
   if (genre == "news") point.genre = audio::ProgramGenre::kNews;
@@ -69,9 +69,9 @@ int cmd_tone(const std::map<std::string, std::string>& flags) {
   const core::ExperimentPoint point = make_point(flags);
   const double freq = flag_or(flags, "freq", 1000.0);
   const bool stereo = flag_or(flags, "band", std::string("mono")) == "stereo";
-  const double snr = core::run_tone_snr(point, freq, stereo, 1.0);
+  const double snr = core::run_tone_snr(point, units::Hertz{freq}, stereo, units::Seconds{1.0});
   std::printf("tone %.0f Hz @ %.0f dBm, %.0f ft (%s band): SNR %.1f dB\n", freq,
-              point.tag_power_dbm, point.distance_feet,
+              point.tag_power.raw(), point.distance.raw(),
               stereo ? "stereo" : "mono", snr);
   return 0;
 }
@@ -99,8 +99,8 @@ int cmd_ber(const std::map<std::string, std::string>& flags) {
     r = core::run_overlay_ber(point, rate, bits);
   }
   std::printf("%s %s @ %.0f dBm, %.0f ft: BER %.4f (%zu/%zu errors)\n",
-              technique.c_str(), tag::to_string(rate), point.tag_power_dbm,
-              point.distance_feet, r.ber, r.bit_errors, r.bits_compared);
+              technique.c_str(), tag::to_string(rate), point.tag_power.raw(),
+              point.distance.raw(), r.ber, r.bit_errors, r.bits_compared);
   return 0;
 }
 
@@ -110,14 +110,14 @@ int cmd_pesq(const std::map<std::string, std::string>& flags) {
       flag_or(flags, "technique", std::string("overlay"));
   double score = 0.0;
   if (technique == "coop") {
-    score = core::run_cooperative_pesq(point, 2.5);
+    score = core::run_cooperative_pesq(point, units::Seconds{2.5});
   } else if (technique == "stereo") {
-    score = core::run_stereo_pesq(point, 2.5);
+    score = core::run_stereo_pesq(point, units::Seconds{2.5});
   } else {
-    score = core::run_overlay_pesq(point, 2.5);
+    score = core::run_overlay_pesq(point, units::Seconds{2.5});
   }
   std::printf("%s audio @ %.0f dBm, %.0f ft: PESQ-like %.2f\n",
-              technique.c_str(), point.tag_power_dbm, point.distance_feet, score);
+              technique.c_str(), point.tag_power.raw(), point.distance.raw(), score);
   return 0;
 }
 
@@ -135,7 +135,7 @@ int cmd_plan(const std::map<std::string, std::string>& flags) {
     }
     const auto choice = survey::choose_backscatter_shift(city, best_channel);
     tag::PowerModelConfig pm;
-    pm.subcarrier_hz = std::abs(choice.shift_hz);
+    pm.subcarrier = units::Hertz{std::abs(choice.shift_hz)};
     const auto power = tag::tag_power(pm);
     std::printf("%s: ride %.1f MHz (%.1f dBm), backscatter to %.1f MHz "
                 "(f_back %+.0f kHz), tag draws %.2f uW\n",

@@ -18,8 +18,8 @@ int main() {
   // 1. Describe the scene: program genre, power at the tag, tag->phone range.
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
-  point.tag_power_dbm = -35.0;  // typical urban ambient power (paper Fig. 2)
-  point.distance_feet = 6.0;
+  point.tag_power = units::Dbm{-35.0};  // typical urban ambient power (paper Fig. 2)
+  point.distance = units::Feet{6.0};
   core::SystemConfig cfg = core::make_system(point);
 
   // 2. Build the tag's transmission: frame the message, modulate 2-FSK.
@@ -36,9 +36,9 @@ int main() {
 
   // 3. Run the physical simulation.
   const double duration = waveform.duration_seconds() + 0.2;
-  const core::SimulationResult sim = core::simulate(cfg, tag_baseband, duration);
+  const core::SimulationResult sim = core::simulate(cfg, tag_baseband, units::Seconds{duration});
   std::printf("scene: backscatter reaches the phone at %.1f dBm (budget %+.1f dB)\n",
-              sim.backscatter_rx_power_dbm, sim.budget.backscatter_gain_db);
+              sim.backscatter_rx_power_dbm, sim.budget.backscatter_gain.raw());
 
   // 4. Decode on the phone: FM audio out -> FSK demod -> frame decode.
   const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,

@@ -51,7 +51,7 @@ using namespace fmbs;
 core::Scenario city_scene(double duration_seconds) {
   core::Scenario sc;
   sc.name = "radio-server";
-  sc.duration_seconds = duration_seconds;
+  sc.duration = units::Seconds{duration_seconds};
   sc.seed = 7337;
   sc.station.program.stereo = false;
   sc.station.rds_level = 0.05;
@@ -60,9 +60,9 @@ core::Scenario city_scene(double duration_seconds) {
   core::ScenarioTag rt;
   rt.name = "poster-rt";
   rt.rds_radiotext = "FMBS DEMO RT";
-  rt.start_seconds = 0.3;
-  rt.tag_power_dbm = -25.0;
-  rt.distance_override_feet = 4.0;
+  rt.start = units::Seconds{0.3};
+  rt.tag_power = units::Dbm{-25.0};
+  rt.distance_override = units::Feet{4.0};
   sc.tags.push_back(rt);
 
   for (std::size_t k = 0; 1.0 + 7.0 * static_cast<double>(k) + 0.2 <=
@@ -73,9 +73,9 @@ core::Scenario city_scene(double duration_seconds) {
     t.name = "poster" + std::to_string(k);
     t.num_bits = 64;
     t.packet_bits = 32;
-    t.start_seconds = 1.0 + 7.0 * static_cast<double>(k);
-    t.tag_power_dbm = -25.0;
-    t.distance_override_feet = 4.0;
+    t.start = units::Seconds{1.0 + 7.0 * static_cast<double>(k)};
+    t.tag_power = units::Dbm{-25.0};
+    t.distance_override = units::Feet{4.0};
     sc.tags.push_back(std::move(t));
   }
 
@@ -83,7 +83,7 @@ core::Scenario city_scene(double duration_seconds) {
   core::ScenarioReceiver car;
   car.name = "car";
   car.kind = core::ReceiverKind::kCar;
-  car.tune_offset_hz = 0.0;  // the broadcast itself (default is the
+  car.tune_offset = units::Hertz{0.0};  // the broadcast itself (default is the
                              // backscatter channel)
   sc.receivers.push_back(std::move(car));
   return sc;

@@ -32,8 +32,8 @@ bool stream_vitals(channel::Mobility mobility, const char* label,
                    const Vitals& vitals) {
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
-  point.tag_power_dbm = -37.5;  // outdoor ambient level (paper section 6.2)
-  point.distance_feet = 2.0;    // shirt to pocket/hand
+  point.tag_power = units::Dbm{-37.5};  // outdoor ambient level (paper section 6.2)
+  point.distance = units::Feet{2.0};    // shirt to pocket/hand
   core::SystemConfig cfg = core::make_system(point);
   cfg.tag.antenna = tag::tshirt_meander_antenna(/*worn=*/true);
   cfg.scene.fading = channel::fading_for_mobility(mobility);
@@ -41,7 +41,7 @@ bool stream_vitals(channel::Mobility mobility, const char* label,
   const auto bits = tag::encode_frame(pack(vitals));
   const auto wave = tag::modulate_fsk(bits, tag::DataRate::k100bps, fm::kAudioRate);
   const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
-  const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.2);
+  const auto sim = core::simulate(cfg, bb, units::Seconds{wave.duration_seconds() + 0.2});
 
   const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
                                         tag::DataRate::k100bps, bits.size());

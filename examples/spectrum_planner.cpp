@@ -42,7 +42,7 @@ int main() {
     if (plan.choice.target_channel < 0) return plan;
     plan.usable = true;
     tag::PowerModelConfig pm;
-    pm.subcarrier_hz = std::abs(plan.choice.shift_hz);
+    pm.subcarrier = units::Hertz{std::abs(plan.choice.shift_hz)};
     plan.power = tag::tag_power(pm);
     plan.life = tag::battery_life(plan.power.total_uw, 225.0);
     return plan;
@@ -67,8 +67,8 @@ int main() {
   std::puts("\nverifying a 600 kHz shift end-to-end at -35 dBm, 8 ft...");
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
-  point.tag_power_dbm = -35.0;
-  point.distance_feet = 8.0;
+  point.tag_power = units::Dbm{-35.0};
+  point.distance = units::Feet{8.0};
   const auto ber = core::run_overlay_ber(point, tag::DataRate::k100bps, 160);
   std::printf("100 bps BER: %.4f over %zu bits %s\n", ber.ber,
               ber.bits_compared, ber.ber < 0.01 ? "(link healthy)" : "(marginal)");

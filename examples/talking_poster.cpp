@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   // poster, user ~10 ft away with headphones.
   core::ExperimentPoint point;
   point.genre = audio::ProgramGenre::kNews;
-  point.tag_power_dbm = -37.0;
-  point.distance_feet = 10.0;
+  point.tag_power = units::Dbm{-37.0};
+  point.distance = units::Feet{10.0};
   core::SystemConfig cfg = core::make_system(point);
   cfg.tag.antenna = tag::poster_dipole_antenna();  // the 40"x60" prototype
 
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               cfg.tag.antenna.name.c_str(), music_seconds, bits.size());
 
   const core::SimulationResult sim =
-      core::simulate(cfg, baseband, content.duration_seconds() + 0.2);
+      core::simulate(cfg, baseband, units::Seconds{content.duration_seconds() + 0.2});
 
   // The phone hears the composite: station news + poster music/packet.
   audio::write_wav(out_dir + "/talking_poster_received.wav",

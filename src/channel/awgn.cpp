@@ -7,14 +7,14 @@
 
 namespace fmbs::channel {
 
-AwgnSource::AwgnSource(double noise_dbm_in_ref_bw, double reference_bandwidth_hz,
+AwgnSource::AwgnSource(units::Dbm noise_in_ref_bw, units::Hertz reference_bandwidth,
                        double sample_rate, std::uint64_t seed)
     : rng_(seed), dist_(0.0F, 1.0F) {
-  if (reference_bandwidth_hz <= 0.0 || sample_rate <= 0.0) {
+  if (reference_bandwidth.raw() <= 0.0 || sample_rate <= 0.0) {
     throw std::invalid_argument("AwgnSource: bad bandwidth or rate");
   }
-  const double ref_power = dsp::watts_from_dbm(noise_dbm_in_ref_bw);
-  variance_ = ref_power * sample_rate / reference_bandwidth_hz;
+  const double ref_power = noise_in_ref_bw.to_watts().raw();
+  variance_ = ref_power * sample_rate / reference_bandwidth.raw();
   sigma_per_component_ = static_cast<float>(std::sqrt(variance_ / 2.0));
 }
 

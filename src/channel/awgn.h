@@ -6,6 +6,7 @@
 #include <random>
 #include <span>
 
+#include "core/units.h"
 #include "dsp/types.h"
 
 namespace fmbs::channel {
@@ -13,10 +14,10 @@ namespace fmbs::channel {
 /// Streaming complex AWGN source.
 class AwgnSource {
  public:
-  /// noise_dbm_in_ref_bw: noise power within reference_bandwidth_hz.
+  /// noise_in_ref_bw: noise power within reference_bandwidth.
   /// sample_rate: simulation rate; the generated noise is white across the
   /// whole rate, so total noise power is scaled by sample_rate / ref_bw.
-  AwgnSource(double noise_dbm_in_ref_bw, double reference_bandwidth_hz,
+  AwgnSource(units::Dbm noise_in_ref_bw, units::Hertz reference_bandwidth,
              double sample_rate, std::uint64_t seed);
 
   /// Adds noise in place.

@@ -3,32 +3,31 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "channel/units.h"
 #include "dsp/math_util.h"
 
 namespace fmbs::channel {
 
-FadingConfig fading_for_mobility(Mobility mobility, double carrier_hz) {
+FadingConfig fading_for_mobility(Mobility mobility, units::Hertz carrier) {
   FadingConfig cfg;
-  cfg.carrier_hz = carrier_hz;
+  cfg.carrier = carrier;
   switch (mobility) {
     case Mobility::kStanding:
       cfg.speed_mps = 0.05;  // breathing / small sway
-      cfg.rician_k_db = 18.0;
-      cfg.shadow_sigma_db = 0.5;
-      cfg.shadow_rate_hz = 0.3;
+      cfg.rician_k = units::Db{18.0};
+      cfg.shadow_sigma = units::Db{0.5};
+      cfg.shadow_rate = units::Hertz{0.3};
       break;
     case Mobility::kWalking:
       cfg.speed_mps = 1.0;  // paper: 1 m/s
-      cfg.rician_k_db = 5.0;
-      cfg.shadow_sigma_db = 5.5;  // arm-swing blockage of the worn antenna
-      cfg.shadow_rate_hz = 1.6;   // stride rate
+      cfg.rician_k = units::Db{5.0};
+      cfg.shadow_sigma = units::Db{5.5};  // arm-swing blockage of the worn antenna
+      cfg.shadow_rate = units::Hertz{1.6};  // stride rate
       break;
     case Mobility::kRunning:
       cfg.speed_mps = 2.2;  // paper: 2.2 m/s
-      cfg.rician_k_db = 2.0;
-      cfg.shadow_sigma_db = 7.5;
-      cfg.shadow_rate_hz = 2.8;
+      cfg.rician_k = units::Db{2.0};
+      cfg.shadow_sigma = units::Db{7.5};
+      cfg.shadow_rate = units::Hertz{2.8};
       break;
   }
   return cfg;
@@ -38,18 +37,18 @@ FadingProcess::FadingProcess(const FadingConfig& config, double sample_rate,
                              std::uint64_t seed)
     : sample_rate_(sample_rate), rng_(seed) {
   if (sample_rate <= 0.0) throw std::invalid_argument("FadingProcess: bad rate");
-  if (config.speed_mps <= 0.0 && config.shadow_sigma_db <= 0.0) {
+  if (config.speed_mps <= 0.0 && config.shadow_sigma.raw() <= 0.0) {
     static_ = true;
     return;
   }
   static_ = false;
 
-  const double k_linear = dsp::power_ratio_from_db(config.rician_k_db);
+  const double k_linear = config.rician_k.power_ratio();
   los_amplitude_ = std::sqrt(k_linear / (k_linear + 1.0));
   scatter_amplitude_ = std::sqrt(1.0 / (k_linear + 1.0));
 
   const double doppler_hz =
-      config.speed_mps / wavelength_m(config.carrier_hz);
+      config.speed_mps / config.carrier.wavelength().raw();
   constexpr std::size_t kNumPaths = 12;
   std::uniform_real_distribution<double> uni(0.0, dsp::kTwoPi);
   phase_.resize(kNumPaths);
@@ -62,12 +61,12 @@ FadingProcess::FadingProcess(const FadingConfig& config, double sample_rate,
     gain_cos_[i] = uni(rng_);
   }
 
-  shadow_sigma_db_ = config.shadow_sigma_db;
+  shadow_sigma_db_ = config.shadow_sigma.raw();
   // Update shadowing at ~100 Hz rather than per sample; exponential
   // autocorrelation with the configured rate.
   shadow_interval_ = static_cast<std::size_t>(std::max(1.0, sample_rate / 100.0));
   const double update_rate = sample_rate / static_cast<double>(shadow_interval_);
-  shadow_alpha_ = std::exp(-config.shadow_rate_hz / update_rate);
+  shadow_alpha_ = std::exp(-config.shadow_rate.raw() / update_rate);
 }
 
 dsp::cfloat FadingProcess::next(std::size_t stride) {

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/units.h"
 #include "dsp/types.h"
 
 namespace fmbs::channel {
@@ -19,16 +20,17 @@ enum class Mobility { kStanding, kWalking, kRunning };
 
 /// Fading process parameters.
 struct FadingConfig {
-  double carrier_hz = 94.9e6;
-  double speed_mps = 0.0;          // body speed; 0 = static
-  double rician_k_db = 25.0;       // LOS-to-scatter ratio
-  double shadow_sigma_db = 0.0;    // slow body-shadowing std-dev
-  double shadow_rate_hz = 0.6;     // shadowing innovation rate
+  units::Hertz carrier{94.9e6};
+  double speed_mps = 0.0;           // body speed; 0 = static
+  units::Db rician_k{25.0};         // LOS-to-scatter ratio
+  units::Db shadow_sigma{0.0};      // slow body-shadowing std-dev
+  units::Hertz shadow_rate{0.6};    // shadowing innovation rate
 };
 
 /// Preset for a mobility class: standing (static), walking (1 m/s, paper),
 /// running (2.2 m/s, paper).
-FadingConfig fading_for_mobility(Mobility mobility, double carrier_hz = 94.9e6);
+FadingConfig fading_for_mobility(Mobility mobility,
+                                 units::Hertz carrier = units::Hertz{94.9e6});
 
 /// Sum-of-sinusoids (Jakes-style) Rician fading generator producing a
 /// complex gain per sample. Deterministic per seed.

@@ -9,36 +9,44 @@
 // the band-limited square-wave synthesis carries the 4/pi fundamental
 // explicitly, so this budget handles only (delta Gamma / 2), antenna gains
 // and free-space propagation.
+//
+// Every quantity is strongly typed (core/units.h): powers are units::Dbm or
+// units::Watts, gains units::Db, ranges units::Meters — a feet-for-meters or
+// dB-for-dBm swap does not compile.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+
+#include "core/units.h"
 
 namespace fmbs::channel {
 
-/// Free-space path loss (dB, positive) between isotropic antennas.
-double friis_path_loss_db(double distance_m, double frequency_hz);
+/// Free-space path loss (positive gain value) between isotropic antennas.
+/// Throws std::invalid_argument on a non-positive distance or frequency.
+units::Db friis_path_loss(units::Meters distance, units::Hertz frequency);
 
-/// Two-ray ground-reflection path loss (dB): direct + ground-bounced rays
+/// Two-ray ground-reflection path loss: direct + ground-bounced rays
 /// interfere, producing the ripple-then-d^4 falloff of near-ground outdoor
-/// links (posters at a bus stop, a phone in a hand). Heights in meters.
-double two_ray_path_loss_db(double distance_m, double frequency_hz,
-                            double tx_height_m, double rx_height_m);
+/// links (posters at a bus stop, a phone in a hand).
+units::Db two_ray_path_loss(units::Meters distance, units::Hertz frequency,
+                            units::Meters tx_height, units::Meters rx_height);
 
 /// Link-budget inputs.
 struct LinkBudgetConfig {
-  double carrier_hz = 94.9e6;       // the paper's deployed station
-  double tag_antenna_gain_db = 2.15;  // half-wave dipole poster
-  double rx_antenna_gain_db = -3.0;   // headphone-wire antenna (phones)
+  units::Hertz carrier{94.9e6};        // the paper's deployed station
+  units::Db tag_antenna_gain{2.15};    // half-wave dipole poster
+  units::Db rx_antenna_gain{-3.0};     // headphone-wire antenna (phones)
   /// |delta Gamma| / 2: differential reflection amplitude of the switch
   /// between its open and short states (1.0 = ideal).
   double reflection_amplitude = 0.8;
-  /// Extra implementation loss (cable, polarization mismatch), dB.
-  double implementation_loss_db = 2.0;
+  /// Extra implementation loss (cable, polarization mismatch).
+  units::Db implementation_loss{2.0};
   /// Use the two-ray ground-reflection model instead of free space for the
   /// tag-to-receiver segment (heights below).
   bool use_two_ray = false;
-  double tag_height_m = 1.5;  // poster on a bus-stop wall
-  double rx_height_m = 1.2;   // phone in a hand
+  units::Meters tag_height{1.5};  // poster on a bus-stop wall
+  units::Meters rx_height{1.2};   // phone in a hand
 };
 
 /// Computed scene gains.
@@ -46,19 +54,20 @@ struct LinkBudget {
   /// Amplitude scale applied to the tag-reflected wave as it arrives at the
   /// receiver (relative to a unit-power incident wave at the tag).
   double backscatter_amplitude = 0.0;
-  /// Same quantity in power dB (for reporting).
-  double backscatter_gain_db = 0.0;
+  /// Same quantity as a power gain (for reporting).
+  units::Db backscatter_gain{0.0};
   /// Amplitude scale of the direct station signal at the receiver.
   double direct_amplitude = 0.0;
 };
 
 /// Builds the scene gains from the paper's two sweep knobs.
-/// `tag_power_dbm` — ambient FM power at the tag; `direct_power_dbm` — power
-/// of the (unshifted) station at the receiver (the paper keeps the receiver
-/// and tag equidistant from the transmitter, so this defaults to the same
-/// value when NaN); `tag_rx_distance_m` — tag-to-receiver range.
-LinkBudget compute_link_budget(double tag_power_dbm, double direct_power_dbm,
-                               double tag_rx_distance_m,
+/// `tag_power` — ambient FM power at the tag; `direct_power` — power of the
+/// (unshifted) station at the receiver (the paper keeps the receiver and tag
+/// equidistant from the transmitter, so std::nullopt defaults to the same
+/// value); `tag_rx_distance` — tag-to-receiver range.
+LinkBudget compute_link_budget(units::Dbm tag_power,
+                               std::optional<units::Dbm> direct_power,
+                               units::Meters tag_rx_distance,
                                const LinkBudgetConfig& config = {});
 
 /// A priced tag-to-receiver reflection path: the link budget plus the
@@ -70,28 +79,28 @@ LinkBudget compute_link_budget(double tag_power_dbm, double direct_power_dbm,
 struct BackscatterPath {
   LinkBudget budget;
   /// In-channel power of one backscatter sideband at the receiver.
-  double sideband_watts = 0.0;
-  double sideband_power_dbm = 0.0;
+  units::Watts sideband{0.0};
+  units::Dbm sideband_power{units::kFloorDb};
 };
 
 /// compute_link_budget plus the single-sideband power split. This is the one
 /// shared pricing of a reflection; the scenario engine's carrier-sense
 /// oracle, its per-segment link tables and the fleet engine's analytic chain
 /// all go through it instead of repeating the (2/pi)^2 arithmetic.
-BackscatterPath compute_backscatter_path(double tag_power_dbm,
-                                         double direct_power_dbm,
-                                         double tag_rx_distance_m,
+BackscatterPath compute_backscatter_path(units::Dbm tag_power,
+                                         std::optional<units::Dbm> direct_power,
+                                         units::Meters tag_rx_distance,
                                          const LinkBudgetConfig& config = {});
 
-/// Receiver noise floor (dBm in the 200 kHz FM channel) for a given receiver
+/// Receiver noise floor (within the 200 kHz FM channel) for a given receiver
 /// class. These lump LNA noise figure and antenna inefficiency and are
 /// calibrated so the end-to-end ranges match the paper (phones: Fig. 7/8,
 /// cars: Fig. 14 working to 60 ft).
 struct ReceiverNoise {
   /// Smartphone with headphone-cable antenna.
-  static constexpr double kPhoneDbmPer200kHz = -93.0;
+  static constexpr units::Dbm kPhonePer200kHz{-93.0};
   /// Car receiver with proper whip antenna and ground plane.
-  static constexpr double kCarDbmPer200kHz = -98.0;
+  static constexpr units::Dbm kCarPer200kHz{-98.0};
 };
 
 }  // namespace fmbs::channel

@@ -8,12 +8,14 @@
 namespace fmbs::core {
 
 AlohaResult simulate_aloha(const AlohaConfig& config) {
-  if (config.num_tags == 0 || config.frame_seconds <= 0.0 ||
-      config.duration_seconds <= 0.0 || config.num_channels == 0) {
+  const double frame_seconds = config.frame.raw();
+  const double duration_seconds = config.duration.raw();
+  if (config.num_tags == 0 || frame_seconds <= 0.0 ||
+      duration_seconds <= 0.0 || config.num_channels == 0) {
     throw std::invalid_argument("simulate_aloha: bad parameters");
   }
   std::mt19937_64 rng(config.seed);
-  std::exponential_distribution<double> next_gap(config.per_tag_rate_hz);
+  std::exponential_distribution<double> next_gap(config.per_tag_rate.raw());
 
   struct Tx {
     double start;
@@ -23,10 +25,10 @@ AlohaResult simulate_aloha(const AlohaConfig& config) {
   for (std::size_t tag = 0; tag < config.num_tags; ++tag) {
     const std::size_t channel = tag % config.num_channels;
     double t = next_gap(rng);
-    while (t < config.duration_seconds) {
+    while (t < duration_seconds) {
       double start = t;
       if (config.slotted) {
-        start = std::ceil(start / config.frame_seconds) * config.frame_seconds;
+        start = std::ceil(start / frame_seconds) * frame_seconds;
       }
       transmissions.push_back({start, channel});
       t += next_gap(rng);
@@ -37,12 +39,12 @@ AlohaResult simulate_aloha(const AlohaConfig& config) {
 
   AlohaResult result;
   result.attempts = transmissions.size();
-  // Slotted starts are k * frame_seconds in floating point, so the gap
+  // Slotted starts are k * frame in floating point, so the gap
   // between adjacent slots can round to just under frame_seconds (0.08 is
   // not binary-representable); without the epsilon the scan would count
   // adjacent slots as collisions and slotted success would collapse toward
   // e^{-3G} instead of e^{-G}.
-  const double vulnerable = config.frame_seconds * (1.0 - 1e-9);
+  const double vulnerable = frame_seconds * (1.0 - 1e-9);
   for (std::size_t i = 0; i < transmissions.size(); ++i) {
     bool collided = false;
     // Conflicts only within the same channel and within +-frame time.
@@ -67,7 +69,7 @@ AlohaResult simulate_aloha(const AlohaConfig& config) {
     if (!collided) ++result.successes;
   }
 
-  const double frames = config.duration_seconds / config.frame_seconds;
+  const double frames = duration_seconds / frame_seconds;
   result.throughput = static_cast<double>(result.successes) /
                       (frames * static_cast<double>(config.num_channels));
   result.success_probability =

@@ -8,14 +8,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.h"
+
 namespace fmbs::core {
 
 /// Aloha simulation parameters.
 struct AlohaConfig {
   std::size_t num_tags = 10;
-  double frame_seconds = 0.5;       // one backscatter packet
-  double per_tag_rate_hz = 0.2;     // Poisson transmission attempts per tag
-  double duration_seconds = 3600.0; // simulated time
+  units::Seconds frame{0.5};        // one backscatter packet
+  units::Hertz per_tag_rate{0.2};   // Poisson transmission attempts per tag
+  units::Seconds duration{3600.0};  // simulated time
   bool slotted = false;
   std::size_t num_channels = 1;     // tags hash onto distinct f_back values
   std::uint64_t seed = 7;

@@ -3,7 +3,6 @@
 // scene between them, and the receiving device.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <optional>
 
@@ -32,15 +31,15 @@ struct TagConfig {
 
 /// Radio scene: the paper's two sweep knobs plus noise/fading.
 struct SceneConfig {
-  /// Ambient FM power measured at the tag (dBm) — the paper's power knob.
-  double tag_power_dbm = -30.0;
-  /// Power of the unshifted station at the receiver; NaN = same as at the
+  /// Ambient FM power measured at the tag — the paper's power knob.
+  units::Dbm tag_power{-30.0};
+  /// Power of the unshifted station at the receiver; unset = same as at the
   /// tag (the paper keeps both devices equidistant from the transmitter).
-  double direct_power_dbm = NAN;
-  /// Tag-to-receiver distance (feet) — the paper's distance knob.
-  double tag_rx_distance_feet = 4.0;
-  /// Receiver noise floor, dBm in the 200 kHz channel.
-  double rx_noise_dbm_200khz = channel::ReceiverNoise::kPhoneDbmPer200kHz;
+  std::optional<units::Dbm> direct_power;
+  /// Tag-to-receiver distance — the paper's distance knob.
+  units::Feet tag_rx_distance{4.0};
+  /// Receiver noise floor in the 200 kHz channel.
+  units::Dbm rx_noise_200khz = channel::ReceiverNoise::kPhonePer200kHz;
   channel::LinkBudgetConfig link;
   std::optional<channel::FadingConfig> fading;
   std::uint64_t noise_seed = 42;

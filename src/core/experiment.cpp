@@ -60,45 +60,48 @@ SystemConfig make_system(const ExperimentPoint& point) {
   cfg.station.program.genre = point.genre;
   cfg.station.program.stereo = point.stereo_station;
   cfg.station.seed = point.station_seed != 0 ? point.station_seed : point.seed;
-  cfg.scene.tag_power_dbm = point.tag_power_dbm;
-  cfg.scene.tag_rx_distance_feet = point.distance_feet;
+  cfg.scene.tag_power = point.tag_power;
+  cfg.scene.tag_rx_distance = point.distance;
   cfg.scene.noise_seed = point.seed + kNoiseSeedOffset;
   cfg.receiver = point.receiver;
   if (point.receiver == ReceiverKind::kCar) {
-    cfg.scene.rx_noise_dbm_200khz = channel::ReceiverNoise::kCarDbmPer200kHz;
-    cfg.scene.link.rx_antenna_gain_db = tag::car_whip_antenna().effective_gain_db();
+    cfg.scene.rx_noise_200khz = channel::ReceiverNoise::kCarPer200kHz;
+    cfg.scene.link.rx_antenna_gain =
+        units::Db{tag::car_whip_antenna().effective_gain_db()};
     cfg.stereo_decoder.force_mono = true;  // car stereo used as plain mono
     // Car ranges (20-80 ft) run near the ground where the two-ray d^4
     // falloff dominates (poster at 5 ft per the paper, whip on the car
     // body); phones operate inside the two-ray crossover so free space
     // suffices there.
     cfg.scene.link.use_two_ray = true;
-    cfg.scene.link.tag_height_m = 1.52;  // paper: poster mounted 5 ft up
-    cfg.scene.link.rx_height_m = 1.5;
+    cfg.scene.link.tag_height = units::Meters{1.52};  // poster mounted 5 ft up
+    cfg.scene.link.rx_height = units::Meters{1.5};
   } else {
-    cfg.scene.link.rx_antenna_gain_db =
-        tag::headphone_antenna().effective_gain_db();
+    cfg.scene.link.rx_antenna_gain =
+        units::Db{tag::headphone_antenna().effective_gain_db()};
   }
   return cfg;
 }
 
-double run_tone_snr(const ExperimentPoint& point, double tone_hz,
-                    bool stereo_band, double duration_seconds) {
+double run_tone_snr(const ExperimentPoint& point, units::Hertz tone,
+                    bool stereo_band, units::Seconds duration) {
+  const double tone_hz = tone.raw();
+  const double duration_seconds = duration.raw();
   SystemConfig cfg = make_system(point);
   // Fig. 6 methodology: "we simulate an FM station transmitting no audio
   // information (FM_audio = 0, a single tone at fc)".
   cfg.station.program.genre = audio::ProgramGenre::kSilence;
   cfg.station.program.stereo = false;
 
-  const audio::MonoBuffer tone =
+  const audio::MonoBuffer tone_wave =
       audio::make_tone(tone_hz, 1.0, duration_seconds, fm::kAudioRate);
   dsp::rvec bb;
   if (stereo_band) {
-    bb = tag::compose_stereo_baseband(tone, /*insert_pilot=*/true);
+    bb = tag::compose_stereo_baseband(tone_wave, /*insert_pilot=*/true);
   } else {
-    bb = tag::compose_overlay_baseband(tone, kOverlayLevel);
+    bb = tag::compose_overlay_baseband(tone_wave, kOverlayLevel);
   }
-  const SimulationResult sim = simulate(cfg, bb, duration_seconds);
+  const SimulationResult sim = simulate(cfg, bb, duration);
 
   const audio::MonoBuffer& measured =
       stereo_band ? sim.backscatter_rx.stereo.side() : sim.backscatter_rx.mono;
@@ -132,7 +135,8 @@ rx::BerResult run_overlay_ber(const ExperimentPoint& point, tag::DataRate rate,
       tag::modulate_fsk(bits, rate, fm::kAudioRate));
   const dsp::rvec bb = tag::compose_overlay_baseband(wave, kOverlayLevel);
   const SimulationResult sim = simulate(
-      cfg, bb, duration_for_bits(rate, num_bits) + kSettleSeconds);
+      cfg, bb,
+      units::Seconds{duration_for_bits(rate, num_bits) + kSettleSeconds});
   return demodulate_and_compare(drop_lead_in(sim.backscatter_rx.mono), bits, rate);
 }
 
@@ -150,7 +154,7 @@ rx::BerResult run_overlay_ber_mrc(const ExperimentPoint& point, tag::DataRate ra
   const dsp::rvec bb =
       tag::compose_overlay_baseband(with_lead_in(all), kOverlayLevel);
   const SimulationResult sim =
-      simulate(cfg, bb, payload_seconds + kSettleSeconds + 0.15);
+      simulate(cfg, bb, units::Seconds{payload_seconds + kSettleSeconds + 0.15});
 
   // Trim the padding tail so the N segments tile exactly, then combine.
   audio::MonoBuffer mono = drop_lead_in(sim.backscatter_rx.mono);
@@ -176,7 +180,8 @@ rx::BerResult run_overlay_ber_coded(const ExperimentPoint& point,
       with_lead_in(tag::modulate_fsk(coded, rate, fm::kAudioRate));
   const dsp::rvec bb = tag::compose_overlay_baseband(wave, kOverlayLevel);
   const SimulationResult sim = simulate(
-      cfg, bb, duration_for_bits(rate, coded.size()) + kSettleSeconds);
+      cfg, bb,
+      units::Seconds{duration_for_bits(rate, coded.size()) + kSettleSeconds});
   const rx::FskDemodResult demod = rx::demodulate_fsk(
       drop_lead_in(sim.backscatter_rx.mono), rate, coded.size());
   const auto decoded = tag::fec_decode(demod.bits, scheme, payload_bits);
@@ -193,7 +198,8 @@ rx::BerResult run_stereo_ber(const ExperimentPoint& point, tag::DataRate rate,
       tag::modulate_fsk(bits, rate, fm::kAudioRate));
   const dsp::rvec bb = tag::compose_stereo_baseband(wave, insert_pilot);
   const SimulationResult sim = simulate(
-      cfg, bb, duration_for_bits(rate, num_bits) + kSettleSeconds);
+      cfg, bb,
+      units::Seconds{duration_for_bits(rate, num_bits) + kSettleSeconds});
   // The receiver outputs L and R; recover the stereo stream as (L-R)/2.
   const audio::MonoBuffer side = sim.backscatter_rx.stereo.side();
   return demodulate_and_compare(drop_lead_in(side), bits, rate);
@@ -210,28 +216,33 @@ audio::MonoBuffer tag_speech(double duration_seconds, std::uint64_t seed) {
 
 }  // namespace
 
-double run_overlay_pesq(const ExperimentPoint& point, double duration_seconds) {
+double run_overlay_pesq(const ExperimentPoint& point, units::Seconds duration) {
+  const double duration_seconds = duration.raw();
   SystemConfig cfg = make_system(point);
   const audio::MonoBuffer speech =
       tag_speech(duration_seconds, point.seed + kContentSeedOffset);
   const dsp::rvec bb = tag::compose_overlay_baseband(speech, kOverlayLevel);
-  const SimulationResult sim = simulate(cfg, bb, duration_seconds + 0.1);
+  const SimulationResult sim =
+      simulate(cfg, bb, units::Seconds{duration_seconds + 0.1});
   return audio::pesq_like(speech, sim.backscatter_rx.mono);
 }
 
-double run_stereo_pesq(const ExperimentPoint& point, double duration_seconds) {
+double run_stereo_pesq(const ExperimentPoint& point, units::Seconds duration) {
+  const double duration_seconds = duration.raw();
   SystemConfig cfg = make_system(point);
   const bool insert_pilot = !point.stereo_station;
   const audio::MonoBuffer speech =
       tag_speech(duration_seconds, point.seed + kContentSeedOffset);
   const dsp::rvec bb = tag::compose_stereo_baseband(speech, insert_pilot);
-  const SimulationResult sim = simulate(cfg, bb, duration_seconds + 0.1);
+  const SimulationResult sim =
+      simulate(cfg, bb, units::Seconds{duration_seconds + 0.1});
   const audio::MonoBuffer side = sim.backscatter_rx.stereo.side();
   return audio::pesq_like(speech, side);
 }
 
 double run_cooperative_pesq(const ExperimentPoint& point,
-                            double duration_seconds) {
+                            units::Seconds duration) {
+  const double duration_seconds = duration.raw();
   SystemConfig cfg = make_system(point);
   cfg.capture_ambient_receiver = true;
   // Exercise the receiver-side problem the technique solves: hardware gain
@@ -249,8 +260,9 @@ double run_cooperative_pesq(const ExperimentPoint& point,
       tag_speech(duration_seconds, point.seed + kContentSeedOffset);
   const dsp::rvec bb =
       tag::compose_cooperative_baseband(speech, kOverlayLevel, pilot);
-  const SimulationResult sim =
-      simulate(cfg, bb, duration_seconds + pilot.preamble_seconds + 0.1);
+  const SimulationResult sim = simulate(
+      cfg, bb,
+      units::Seconds{duration_seconds + pilot.preamble_seconds + 0.1});
   if (!sim.ambient_rx) {
     throw std::logic_error("run_cooperative_pesq: missing ambient capture");
   }
@@ -267,8 +279,8 @@ rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
   ExperimentPoint point;
   // Paper section 6.2: outdoor ambient level of -35 to -40 dBm, phone worn
   // close to the shirt.
-  point.tag_power_dbm = -37.5;
-  point.distance_feet = 3.0;
+  point.tag_power = units::Dbm{-37.5};
+  point.distance = units::Feet{3.0};
   point.genre = audio::ProgramGenre::kNews;
   point.seed = seed;
   point.station_seed = station_seed;
@@ -277,7 +289,7 @@ rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
   // On-body operation adds absorption and detuning beyond the antenna's own
   // efficiency: the link runs with little margin, which is exactly why the
   // paper measures visible BER here.
-  cfg.scene.link.implementation_loss_db = 13.0;
+  cfg.scene.link.implementation_loss = units::Db{13.0};
   cfg.scene.fading = channel::fading_for_mobility(mobility);
 
   const auto bits = tag::random_bits(num_bits, seed + kContentSeedOffset);
@@ -288,7 +300,7 @@ rx::BerResult run_fabric_ber(channel::Mobility mobility, tag::DataRate rate,
   const dsp::rvec bb =
       tag::compose_overlay_baseband(with_lead_in(all), kOverlayLevel);
   const SimulationResult sim =
-      simulate(cfg, bb, payload_seconds + kSettleSeconds + 0.15);
+      simulate(cfg, bb, units::Seconds{payload_seconds + kSettleSeconds + 0.15});
 
   audio::MonoBuffer combined = drop_lead_in(sim.backscatter_rx.mono);
   if (mrc_repetitions > 1) {

@@ -25,8 +25,8 @@ inline constexpr double kOverlayLevel = 0.95;
 
 /// Common experiment knobs (one struct so benches read like the paper).
 struct ExperimentPoint {
-  double tag_power_dbm = -30.0;
-  double distance_feet = 4.0;
+  units::Dbm tag_power{-30.0};
+  units::Feet distance{4.0};
   audio::ProgramGenre genre = audio::ProgramGenre::kNews;
   bool stereo_station = true;
   ReceiverKind receiver = ReceiverKind::kPhone;
@@ -45,8 +45,9 @@ SystemConfig make_system(const ExperimentPoint& point);
 /// Backscatters a single tone over an unmodulated carrier and returns the
 /// received audio SNR (dB) — the paper's Fig. 6 ratio P_tone / (P_band -
 /// P_tone). stereo_band places the tone in the L-R stream (with pilot).
-double run_tone_snr(const ExperimentPoint& point, double tone_hz,
-                    bool stereo_band = false, double duration_seconds = 1.5);
+double run_tone_snr(const ExperimentPoint& point, units::Hertz tone,
+                    bool stereo_band = false,
+                    units::Seconds duration = units::Seconds{1.5});
 
 // ---- Data (Fig. 8 / Fig. 9 / Fig. 10 / Fig. 17b) ---------------------------
 
@@ -75,14 +76,16 @@ rx::BerResult run_overlay_ber_coded(const ExperimentPoint& point,
 
 /// Overlay audio: tag speech over the station program; returns the
 /// PESQ-like score of the received mono audio against the tag's speech.
-double run_overlay_pesq(const ExperimentPoint& point, double duration_seconds = 3.0);
+double run_overlay_pesq(const ExperimentPoint& point,
+                        units::Seconds duration = units::Seconds{3.0});
 
 /// Stereo audio backscatter PESQ (Fig. 13a/b depending on stereo_station).
-double run_stereo_pesq(const ExperimentPoint& point, double duration_seconds = 3.0);
+double run_stereo_pesq(const ExperimentPoint& point,
+                       units::Seconds duration = units::Seconds{3.0});
 
 /// Cooperative backscatter PESQ: two phones, MIMO cancellation (Fig. 12).
 double run_cooperative_pesq(const ExperimentPoint& point,
-                            double duration_seconds = 3.0);
+                            units::Seconds duration = units::Seconds{3.0});
 
 // ---- Smart fabric (Fig. 17b) ----------------------------------------------
 

@@ -34,7 +34,8 @@ struct BurstInfo {
   double start = 0.0;   ///< resolved payload start (settle included)
   double burst = 0.0;   ///< payload seconds
   std::size_t seg = 0;  ///< timeline segment of the burst midpoint
-  double ch[2] = {0.0, 0.0};  ///< backscatter channel(s), scene-absolute
+  units::Hertz ch[2] = {units::Hertz{0.0},
+                        units::Hertz{0.0}};  ///< backscatter channel(s)
   int nch = 0;
   bool rds = false;
   double symbol_seconds = 0.0;
@@ -104,8 +105,8 @@ std::vector<std::vector<Contact>> find_contacts(
   std::map<long long, std::vector<Entry>> bins;
   for (std::size_t i = 0; i < bursts.size(); ++i) {
     for (int c = 0; c < bursts[i].nch; ++c) {
-      const long long bin = std::llround(bursts[i].ch[c] / half);
-      bins[bin].push_back({bursts[i].start, bursts[i].ch[c], i});
+      const long long bin = std::llround(bursts[i].ch[c].raw() / half);
+      bins[bin].push_back({bursts[i].start, bursts[i].ch[c].raw(), i});
     }
   }
   std::map<long long, double> bin_max_burst;
@@ -125,10 +126,12 @@ std::vector<std::vector<Contact>> find_contacts(
     const BurstInfo& b = bursts[i];
     const double pay_lo = b.start;
     const double pay_hi = b.start + b.burst;
-    const tag::BurstWindow mine{b.start, b.burst, guard};
+    const tag::BurstWindow mine{units::Seconds{b.start},
+                                units::Seconds{b.burst},
+                                units::Seconds{guard}};
     std::vector<Contact>& out = contacts[i];
     for (int c = 0; c < b.nch; ++c) {
-      const long long bin = std::llround(b.ch[c] / half);
+      const long long bin = std::llround(b.ch[c].raw() / half);
       for (long long db = -1; db <= 1; ++db) {
         const auto it = bins.find(bin + db);
         if (it == bins.end()) continue;
@@ -141,11 +144,13 @@ std::vector<std::vector<Contact>> find_contacts(
             [](const Entry& a, double t) { return a.start < t; });
         for (; e != entries.end() && e->start < pay_hi + guard; ++e) {
           if (e->burst == i) continue;
-          if (std::abs(e->channel - b.ch[c]) >= half) continue;
+          if (std::abs(e->channel - b.ch[c].raw()) >= half) continue;
           const BurstInfo& o = bursts[e->burst];
-          const tag::BurstWindow other{o.start, o.burst, guard};
-          const tag::Vulnerability v =
-              tag::classify_vulnerability(mine, other, b.symbol_seconds);
+          const tag::BurstWindow other{units::Seconds{o.start},
+                                       units::Seconds{o.burst},
+                                       units::Seconds{guard}};
+          const tag::Vulnerability v = tag::classify_vulnerability(
+              mine, other, units::Seconds{b.symbol_seconds});
           if (v == tag::Vulnerability::kClear) continue;
           const double po = std::min(pay_hi, o.start + o.burst + guard) -
                             std::max(pay_lo, o.start - guard);
@@ -225,7 +230,8 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
         plan.multi ? plan.station_offset[static_cast<std::size_t>(
                          plan.selected_station[b.seg][i])]
                    : 0.0;
-    b.nch = tag_backscatter_channels(sc.tags[i], station_off, b.ch);
+    b.nch = tag_backscatter_channels(sc.tags[i], units::Hertz{station_off},
+                                    b.ch);
     b.rds = plan.tags[i].rds;
     b.symbol_seconds =
         b.rds ? 1.0 / fm::kRdsBitRateHz
@@ -239,13 +245,12 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
   // Links are laid out receiver-major like ScenarioResult, so best-link tie
   // breaking (first receiver wins) matches the signal-level engine.
   const double certain_loss_delta_db =
-      config_.capture_margin_db - config_.capture_ambiguity_band_db;
+      (config_.capture_margin - config_.capture_ambiguity_band).raw();
   std::vector<bool> burst_contested(bursts.size(), false);
   std::vector<PhyPair> phy_pairs;
   for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
     const ScenarioReceiver& rx = sc.receivers[r];
-    const double noise_watts =
-        dsp::watts_from_dbm(receiver_noise_floor_dbm(rx));
+    const double noise_watts = receiver_noise_floor(rx).to_watts().raw();
     for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
       const BurstInfo& b = bursts[bi];
       const ScenarioTag& t = sc.tags[b.tag];
@@ -253,7 +258,9 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
           plan.multi ? plan.station_offset[static_cast<std::size_t>(
                            plan.selected_station[b.seg][b.tag])]
                      : 0.0;
-      if (!tag_audible_at(t, station_off, rx.tune_offset_hz)) continue;
+      if (!tag_audible_at(t, units::Hertz{station_off}, rx.tune_offset)) {
+        continue;
+      }
 
       const double p_dbm = plan.rx_power_dbm[b.seg][r][b.tag];
 
@@ -262,13 +269,16 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
       double interference_watts = 0.0;
       if (plan.multi) {
         for (std::size_t s = 0; s < sc.stations.size(); ++s) {
-          if (std::abs(plan.station_offset[s] - rx.tune_offset_hz) <
+          if (std::abs(plan.station_offset[s] - rx.tune_offset.raw()) <
               fm::kChannelSpacingHz / 2.0) {
-            interference_watts += dsp::watts_from_dbm(
-                station_power_at(sc.stations[s], plan.rx_pos[b.seg][r]));
+            interference_watts +=
+                station_power_at(sc.stations[s], plan.rx_pos[b.seg][r])
+                    .to_watts()
+                    .raw();
           }
         }
-      } else if (std::abs(rx.tune_offset_hz) < fm::kChannelSpacingHz / 2.0) {
+      } else if (std::abs(rx.tune_offset.raw()) <
+                 fm::kChannelSpacingHz / 2.0) {
         interference_watts += dsp::watts_from_dbm(plan.receiver_direct_dbm[r]);
       }
 
@@ -281,7 +291,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
       for (const Contact& c : contacts[bi]) {
         const BurstInfo& o = bursts[c.other];
         const double delta = p_dbm - plan.rx_power_dbm[o.seg][r][o.tag];
-        if (delta >= config_.capture_margin_db) {
+        if (delta >= config_.capture_margin.raw()) {
           interference_watts +=
               c.overlap_weight *
               dsp::watts_from_dbm(plan.rx_power_dbm[o.seg][r][o.tag]);
@@ -302,7 +312,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
       link.snr_db = 10.0 * std::log10(dsp::watts_from_dbm(p_dbm) /
                                       (noise_watts + interference_watts));
       link.latency_seconds =
-          (b.start - (sc.settle_seconds + t.start_seconds)) + b.burst;
+          (b.start - (sc.settle.raw() + t.start.raw())) + b.burst;
       if (certain_loss) {
         // The colliding interferer is too close in power for capture: every
         // packet sees at least a symbol of comparable-power co-channel
@@ -323,7 +333,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
         link.delivered = rep.packets_ok == rep.packets;
         link.bits_delivered = rep.bits_delivered;
         link.goodput_bps =
-            static_cast<double>(rep.bits_delivered) / sc.duration_seconds;
+            static_cast<double>(rep.bits_delivered) / sc.duration.raw();
       }
       result.links.push_back(link);
     }
@@ -367,7 +377,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
     }
     window_begin = std::max(0.0, window_begin - kBurstGuardSeconds);
     window_end += kBurstGuardSeconds + kSubsceneTailSeconds;
-    const double quantum = std::max(config_.subscene_quantum_seconds, 1e-3);
+    const double quantum = std::max(config_.subscene_quantum.raw(), 1e-3);
     const double duration =
         std::ceil((window_end - window_begin) / quantum) * quantum;
     const std::size_t segm =
@@ -376,8 +386,8 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
     Scenario sub;
     sub.name = sc.name + "#cluster" + std::to_string(ordinal);
     sub.seed = derive_seed(sc.seed, kFleetSubsceneStream + ordinal);
-    sub.settle_seconds = kSubsceneSettleSeconds;
-    sub.duration_seconds = duration;
+    sub.settle = units::Seconds{kSubsceneSettleSeconds};
+    sub.duration = units::Seconds{duration};
     sub.station = sc.station;
     sub.stations = sc.stations;
     for (std::size_t r : cluster_rx) {
@@ -388,7 +398,9 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
       // Pin the legacy NaN policy's outcome: the sub-scene sees only a
       // subset of tags, so re-deriving "strongest tag's ambient" could
       // drift from the parent scene.
-      if (!plan.multi) rr.direct_power_dbm = plan.receiver_direct_dbm[r];
+      if (!plan.multi) {
+        rr.direct_power = units::Dbm{plan.receiver_direct_dbm[r]};
+      }
       sub.receivers.push_back(std::move(rr));
     }
     for (std::size_t m : members) {
@@ -396,7 +408,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
       ScenarioTag tt = sc.tags[b.tag];
       // The MAC already resolved: replay the burst at its resolved start
       // (relative to the cluster window) under plain ALOHA.
-      tt.start_seconds = b.start - window_begin;
+      tt.start = units::Seconds{b.start - window_begin};
       tt.mac = tag::MacConfig{};
       tt.position = plan.tag_pos[b.seg][b.tag];
       tt.waypoints.clear();
@@ -430,7 +442,7 @@ FleetResult FleetEngine::run(const Scenario& sc) const {
         link.ber = l.burst.ber.ber;
         link.bits_delivered = l.burst.bits_delivered;
         link.goodput_bps = static_cast<double>(l.burst.bits_delivered) /
-                           sc.duration_seconds;
+                           sc.duration.raw();
         link.delivered =
             l.rds ? (l.rds->synced && l.rds->bler == 0.0)
                   : (l.burst.packets > 0 &&

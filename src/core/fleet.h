@@ -80,19 +80,19 @@ struct FleetStats {
 };
 
 struct FleetEngineConfig {
-  /// Power advantage (dB, at the receiver) at or above which this link
+  /// Power advantage (at the receiver) at or above which this link
   /// captures over an interfering burst: the interferer folds into the SINR
   /// instead of forcing a PHY render. 18 dB keeps the folded term a <2%
   /// noise-power perturbation.
-  double capture_margin_db = 18.0;
+  units::Db capture_margin{18.0};
   /// Width of the ambiguous band below the capture margin. A payload
   /// collision whose power gap falls inside
   /// (margin - band, margin) could go either way -> PHY; at or below
   /// margin - band the loss is certain -> analytic.
-  double capture_ambiguity_band_db = 6.0;
+  units::Db capture_ambiguity_band{6.0};
   /// Sub-scene durations round up to this quantum so collision clusters of
   /// similar span share one fm::StationCache render per station.
-  double subscene_quantum_seconds = 0.25;
+  units::Seconds subscene_quantum{0.25};
   /// Engine options for the PHY sub-scenes (keep_captures is forced off).
   ScenarioEngineConfig phy;
 };

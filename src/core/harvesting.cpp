@@ -14,7 +14,7 @@ DutyCycleResult sustainable_duty_cycle(const HarvestConfig& config,
     throw std::invalid_argument("sustainable_duty_cycle: bad tag power");
   }
   DutyCycleResult out;
-  const double rf_in_uw = dsp::watts_from_dbm(config.rf_power_dbm) * 1e6;
+  const double rf_in_uw = config.rf_power.to_watts().raw() * 1e6;
   out.harvested_uw = rf_in_uw * config.rf_efficiency +
                      config.solar_area_cm2 * config.solar_irradiance_uw_per_cm2 *
                          config.solar_efficiency;

@@ -6,13 +6,15 @@
 // effective data rate.
 #pragma once
 
+#include "core/units.h"
+
 namespace fmbs::core {
 
 /// Harvesting source model.
 struct HarvestConfig {
-  /// Ambient RF power available at the antenna (dBm) — e.g. -20 dBm near a
+  /// Ambient RF power available at the antenna — e.g. -20 dBm near a
   /// strong FM station.
-  double rf_power_dbm = -20.0;
+  units::Dbm rf_power{-20.0};
   /// RF-harvester conversion efficiency at that input level.
   double rf_efficiency = 0.2;
   /// Solar cell area (cm^2) and irradiance (uW/cm^2; ~100 for indoor,

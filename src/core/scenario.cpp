@@ -10,7 +10,6 @@
 #include "audio/tone.h"
 #include "channel/awgn.h"
 #include "channel/superpose.h"
-#include "channel/units.h"
 #include "dsp/fir.h"
 #include "dsp/math_util.h"
 #include "dsp/nco.h"
@@ -42,11 +41,11 @@ constexpr double kRdsDecodeSlackSeconds = 0.02;
 
 double pair_distance_m(const ScenarioTag& tag, const ScenePosition& tag_at,
                        const ScenePosition& rx_at) {
-  if (!std::isnan(tag.distance_override_feet)) {
-    return channel::meters_from_feet(tag.distance_override_feet);
+  if (tag.distance_override) {
+    return tag.distance_override->to_meters().raw();
   }
   // Coincident positions (both entities left at the origin) degrade to the
-  // near-field bound inside friis_path_loss_db; just keep the value positive.
+  // near-field bound inside friis_path_loss; just keep the value positive.
   return std::max(1e-3, std::hypot(tag_at.x_m - rx_at.x_m,
                                    tag_at.y_m - rx_at.y_m));
 }
@@ -86,88 +85,91 @@ ScenePosition path_position(const ScenePosition& anchor,
   return {a.x_m + (b.x_m - a.x_m) * f, a.y_m + (b.y_m - a.y_m) * f};
 }
 
-double station_power_at(const ScenarioStation& station, const ScenePosition& at) {
-  if (!station.position) return station.power_dbm;  // far field: uniform
+units::Dbm station_power_at(const ScenarioStation& station,
+                            const ScenePosition& at) {
+  if (!station.position) return station.power;  // far field: uniform
   const double d_origin =
       std::max(1e-3, std::hypot(station.position->x_m, station.position->y_m));
   const double d_at = std::max(1e-3, std::hypot(station.position->x_m - at.x_m,
                                                 station.position->y_m - at.y_m));
-  // power_dbm is referenced at the scene origin; scale with free-space
+  // `power` is referenced at the scene origin; scale with free-space
   // distance from the transmitter.
-  return station.power_dbm + 20.0 * std::log10(d_origin / d_at);
+  return station.power + units::Db{20.0 * std::log10(d_origin / d_at)};
 }
 
-bool tag_audible_at(const ScenarioTag& tag, double station_offset_hz,
-                    double tune_offset_hz) {
+bool tag_audible_at(const ScenarioTag& tag, units::Hertz station_offset,
+                    units::Hertz tune_offset) {
   constexpr double kTol = 1.0;  // Hz; assignments come from shared constants
+  const double station_offset_hz = station_offset.raw();
+  const double tune_offset_hz = tune_offset.raw();
   if (tag.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
-    return std::abs(station_offset_hz + tag.subcarrier.shift_hz -
+    return std::abs(station_offset_hz + tag.subcarrier.shift.raw() -
                     tune_offset_hz) < kTol;
   }
   // Real square switches serve both signed copies of |f_back| around their
   // station's carrier; a receiver parked on the carrier itself hears the
   // station program, not tag data.
-  const double mag = std::abs(tag.subcarrier.shift_hz);
+  const double mag = std::abs(tag.subcarrier.shift.raw());
   const bool on_channel =
       std::abs(station_offset_hz + mag - tune_offset_hz) < kTol ||
       std::abs(station_offset_hz - mag - tune_offset_hz) < kTol;
   return on_channel && std::abs(tune_offset_hz - station_offset_hz) >= kTol;
 }
 
-double receiver_noise_floor_dbm(const ScenarioReceiver& rx) {
-  if (!std::isnan(rx.noise_dbm_200khz)) return rx.noise_dbm_200khz;
-  return rx.kind == ReceiverKind::kCar
-             ? channel::ReceiverNoise::kCarDbmPer200kHz
-             : channel::ReceiverNoise::kPhoneDbmPer200kHz;
+units::Dbm receiver_noise_floor(const ScenarioReceiver& rx) {
+  if (rx.noise_200khz) return *rx.noise_200khz;
+  return rx.kind == ReceiverKind::kCar ? channel::ReceiverNoise::kCarPer200kHz
+                                       : channel::ReceiverNoise::kPhonePer200kHz;
 }
 
-double receiver_antenna_gain_db(const ScenarioReceiver& rx) {
-  if (!std::isnan(rx.link.rx_antenna_gain_db)) return rx.link.rx_antenna_gain_db;
-  return rx.kind == ReceiverKind::kCar
-             ? tag::car_whip_antenna().effective_gain_db()
-             : tag::headphone_antenna().effective_gain_db();
+units::Db receiver_antenna_gain(const ScenarioReceiver& rx) {
+  if (rx.rx_antenna_gain) return *rx.rx_antenna_gain;
+  return units::Db{rx.kind == ReceiverKind::kCar
+                       ? tag::car_whip_antenna().effective_gain_db()
+                       : tag::headphone_antenna().effective_gain_db()};
 }
 
-int tag_backscatter_channels(const ScenarioTag& tag, double station_offset_hz,
-                             double out[2]) {
+int tag_backscatter_channels(const ScenarioTag& tag,
+                             units::Hertz station_offset,
+                             units::Hertz out[2]) {
   if (tag.subcarrier.mode == tag::SubcarrierMode::kSingleSideband) {
-    out[0] = station_offset_hz + tag.subcarrier.shift_hz;
+    out[0] = station_offset + tag.subcarrier.shift;
     return 1;
   }
-  const double mag = std::abs(tag.subcarrier.shift_hz);
-  out[0] = station_offset_hz + mag;
-  out[1] = station_offset_hz - mag;
+  const units::Hertz mag{std::abs(tag.subcarrier.shift.raw())};
+  out[0] = station_offset + mag;
+  out[1] = station_offset - mag;
   return 2;
 }
 
 ScenarioReceiver phone_listening_to(const tag::SubcarrierConfig& subcarrier) {
   ScenarioReceiver rx;
   rx.kind = ReceiverKind::kPhone;
-  rx.tune_offset_hz = subcarrier.shift_hz;
+  rx.tune_offset = subcarrier.shift;
   return rx;
 }
 
 ScenarioReceiver car_listening_to(const tag::SubcarrierConfig& subcarrier) {
   ScenarioReceiver rx;
   rx.kind = ReceiverKind::kCar;
-  rx.tune_offset_hz = subcarrier.shift_hz;
+  rx.tune_offset = subcarrier.shift;
   rx.stereo_decoder.force_mono = true;  // car stereo used as plain mono
   // Car ranges run near the ground where the two-ray d^4 falloff dominates
   // (see make_system's car branch).
   rx.link.use_two_ray = true;
-  rx.link.tag_height_m = 1.52;
-  rx.link.rx_height_m = 1.5;
+  rx.link.tag_height = units::Meters{1.52};
+  rx.link.rx_height = units::Meters{1.5};
   return rx;
 }
 
 Scenario scenario_from_system(const SystemConfig& config,
                               const dsp::rvec& tag_baseband,
-                              double duration_seconds) {
+                              units::Seconds duration) {
   Scenario sc;
   sc.name = "legacy-bridge";
   sc.station = config.station;
-  sc.settle_seconds = 0.0;
-  sc.duration_seconds = duration_seconds;
+  sc.settle = units::Seconds{0.0};
+  sc.duration = duration;
   sc.seed = config.scene.noise_seed;
 
   ScenarioTag t;
@@ -178,8 +180,8 @@ Scenario scenario_from_system(const SystemConfig& config,
   // engine zero-pads to the scene length); keep one explicit zero sample so
   // the engine does not mistake it for an FSK payload tag.
   t.custom_baseband = tag_baseband.empty() ? dsp::rvec(1, 0.0F) : tag_baseband;
-  t.tag_power_dbm = config.scene.tag_power_dbm;
-  t.distance_override_feet = config.scene.tag_rx_distance_feet;
+  t.tag_power = config.scene.tag_power;
+  t.distance_override = config.scene.tag_rx_distance;
   t.fading = config.scene.fading;
   t.fading_seed = config.scene.noise_seed + 1;  // simulate()'s fading stream
   sc.tags.push_back(std::move(t));
@@ -187,9 +189,9 @@ Scenario scenario_from_system(const SystemConfig& config,
   ScenarioReceiver rx;
   rx.name = "backscatter-rx";
   rx.kind = config.receiver;
-  rx.tune_offset_hz = config.tag.subcarrier.shift_hz;
-  rx.direct_power_dbm = config.scene.direct_power_dbm;
-  rx.noise_dbm_200khz = config.scene.rx_noise_dbm_200khz;
+  rx.tune_offset = config.tag.subcarrier.shift;
+  rx.direct_power = config.scene.direct_power;
+  rx.noise_200khz = config.scene.rx_noise_200khz;
   rx.link = config.scene.link;
   rx.noise_seed = config.scene.noise_seed;
   rx.phone = config.phone;
@@ -200,7 +202,7 @@ Scenario scenario_from_system(const SystemConfig& config,
   if (config.capture_ambient_receiver) {
     ScenarioReceiver amb = rx;
     amb.name = "ambient-rx";
-    amb.tune_offset_hz = 0.0;
+    amb.tune_offset = units::Hertz{0.0};
     amb.noise_seed = config.scene.noise_seed + 0x9e3779b9ULL;  // simulate()'s
     sc.receivers.push_back(std::move(amb));
   }
@@ -208,15 +210,15 @@ Scenario scenario_from_system(const SystemConfig& config,
 }
 
 SurveySceneReport stations_from_survey_report(
-    const survey::CitySpectrum& city, int listen_channel, double max_offset_hz,
-    std::uint64_t seed) {
+    const survey::CitySpectrum& city, int listen_channel,
+    units::Hertz max_offset, std::uint64_t seed) {
   if (listen_channel < 0 || listen_channel >= fm::kNumChannels) {
     throw std::invalid_argument("stations_from_survey: bad listen channel");
   }
   // A caller asking for a wider cap than the scene can hold is clamped to
   // the scene: a station past kMaxStationOffsetHz cannot be rendered without
   // aliasing its Carson band back into the scene.
-  const double cap = std::min(max_offset_hz, kMaxStationOffsetHz);
+  const double cap = std::min(max_offset.raw(), kMaxStationOffsetHz);
   // Genres cycle deterministically per channel (never silence: a detectable
   // station is on the air).
   static constexpr audio::ProgramGenre kGenres[] = {
@@ -266,8 +268,8 @@ SurveySceneReport stations_from_survey_report(
     std::snprintf(ps, sizeof(ps), "%s%05.1f", call.c_str(),
                   survey::channel_frequency_hz(ch) / 1e6);
     st.config.rds_ps_name = ps;  // e.g. "BOS098.5"
-    st.offset_hz = offset;
-    st.power_dbm = city.detectable_power_dbm[i];
+    st.offset = units::Hertz{offset};
+    st.power = units::Dbm{city.detectable_power_dbm[i]};
     report.stations.push_back(std::move(st));
   }
   if (report.stations.empty()) {
@@ -280,17 +282,17 @@ SurveySceneReport stations_from_survey_report(
   }
   std::sort(report.stations.begin(), report.stations.end(),
             [](const ScenarioStation& a, const ScenarioStation& b) {
-              const double am = std::abs(a.offset_hz);
-              const double bm = std::abs(b.offset_hz);
-              return am != bm ? am < bm : a.offset_hz < b.offset_hz;
+              const double am = std::abs(a.offset.raw());
+              const double bm = std::abs(b.offset.raw());
+              return am != bm ? am < bm : a.offset < b.offset;
             });
   return report;
 }
 
 std::vector<ScenarioStation> stations_from_survey(
-    const survey::CitySpectrum& city, int listen_channel, double max_offset_hz,
-    std::uint64_t seed) {
-  return stations_from_survey_report(city, listen_channel, max_offset_hz, seed)
+    const survey::CitySpectrum& city, int listen_channel,
+    units::Hertz max_offset, std::uint64_t seed) {
+  return stations_from_survey_report(city, listen_channel, max_offset, seed)
       .stations;
 }
 
@@ -310,14 +312,17 @@ std::pair<double, double> ScenarioPlan::segment_bounds(std::size_t k) const {
 }
 
 ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
-  if (sc.duration_seconds <= 0.0) {
+  if (sc.duration.raw() <= 0.0) {
     throw std::invalid_argument("ScenarioEngine: duration must be > 0");
+  }
+  if (sc.settle.raw() < 0.0) {
+    throw std::invalid_argument("ScenarioEngine: negative settle window");
   }
   if (sc.receivers.empty()) {
     throw std::invalid_argument("ScenarioEngine: scenario needs a receiver");
   }
   ScenarioPlan plan;
-  plan.total_seconds = sc.settle_seconds + sc.duration_seconds;
+  plan.total_seconds = sc.settle.raw() + sc.duration.raw();
   const double total_seconds = plan.total_seconds;
 
   // ---- Timeline segmentation. ----------------------------------------------
@@ -325,7 +330,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   // per segment; the engines' streaming front ends run straight through
   // segment boundaries, so captures — and the bursts demodulated out of
   // them — are seam-free by construction.
-  const double seg_len = sc.timeline.segment_seconds;
+  const double seg_len = sc.timeline.segment.raw();
   if (seg_len < 0.0) {
     throw std::invalid_argument("ScenarioEngine: negative segment length");
   }
@@ -334,7 +339,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
     if (blocks < 1.0 - 1e-9 ||
         std::abs(blocks - std::round(blocks)) > 1e-6) {
       throw std::invalid_argument(
-          "ScenarioEngine: timeline segment_seconds must be a positive "
+          "ScenarioEngine: timeline segment must be a positive "
           "multiple of the 0.1 s streaming block");
     }
     plan.num_segments = static_cast<std::size_t>(
@@ -353,7 +358,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   plan.station_offset.assign(num_stations, 0.0);
   if (multi) {
     for (std::size_t s = 0; s < num_stations; ++s) {
-      plan.station_offset[s] = sc.stations[s].offset_hz;
+      plan.station_offset[s] = sc.stations[s].offset.raw();
       if (std::abs(plan.station_offset[s]) > kMaxStationOffsetHz + 1e-6) {
         throw std::invalid_argument(
             "ScenarioEngine: station \"" + sc.stations[s].name +
@@ -391,7 +396,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
     for (std::size_t t = 0; t < sc.tags.size(); ++t) {
       const ScenarioTag& tcfg = sc.tags[t];
       if (!multi) {
-        plan.tag_ambient_dbm[k][t] = tcfg.tag_power_dbm;
+        plan.tag_ambient_dbm[k][t] = tcfg.tag_power.raw();
         continue;
       }
       int chosen = tcfg.station_index;
@@ -404,7 +409,8 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
         // strongest at their location.
         double best = -1e18;
         for (std::size_t s = 0; s < num_stations; ++s) {
-          const double p = station_power_at(sc.stations[s], plan.tag_pos[k][t]);
+          const double p =
+              station_power_at(sc.stations[s], plan.tag_pos[k][t]).raw();
           if (p > best) {
             best = p;
             chosen = static_cast<int>(s);
@@ -414,7 +420,8 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
       plan.selected_station[k][t] = chosen;
       plan.tag_ambient_dbm[k][t] =
           station_power_at(sc.stations[static_cast<std::size_t>(chosen)],
-                           plan.tag_pos[k][t]);
+                           plan.tag_pos[k][t])
+              .raw();
     }
   }
 
@@ -436,7 +443,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
       tp.custom_baseband = true;
       continue;
     }
-    if (t.start_seconds < 0.0) {
+    if (t.start.raw() < 0.0) {
       throw std::invalid_argument("ScenarioEngine: tag \"" + t.name +
                                   "\" burst does not fit the scenario");
     }
@@ -479,9 +486,9 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
     // bursts both contend for the channel.
     if (plan.tags[i].custom_baseband) continue;
     tag::MacAttempt a;
-    a.nominal_start_seconds = sc.settle_seconds + sc.tags[i].start_seconds;
-    a.burst_seconds = plan.tags[i].burst_seconds;
-    a.guard_seconds = kBurstGuardSeconds;
+    a.nominal_start = units::Seconds{sc.settle.raw() + sc.tags[i].start.raw()};
+    a.burst = units::Seconds{plan.tags[i].burst_seconds};
+    a.guard = units::Seconds{kBurstGuardSeconds};
     a.config = sc.tags[i].mac;
     attempt_tag.push_back(i);
     attempts.push_back(a);
@@ -490,47 +497,50 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   // the tag's subcarrier channels, plus every committed neighbor burst that
   // couples into those channels, all evaluated with the segment's geometry.
   auto channels_of = [&](std::size_t t, std::size_t seg,
-                         double (&out)[2]) -> int {
-    const double off = multi ? plan.station_offset[static_cast<std::size_t>(
-                                   plan.selected_station[seg][t])]
-                             : 0.0;
+                         units::Hertz (&out)[2]) -> int {
+    const units::Hertz off{multi
+                               ? plan.station_offset[static_cast<std::size_t>(
+                                     plan.selected_station[seg][t])]
+                               : 0.0};
     return tag_backscatter_channels(sc.tags[t], off, out);
   };
-  auto sense_channel = [&](std::size_t attempt, double t0, double t1,
+  auto sense_channel = [&](std::size_t attempt, units::Seconds w_begin,
+                           units::Seconds w_end,
                            std::span<const tag::OnAirInterval> on_air) {
+    const double t0 = w_begin.raw();
+    const double t1 = w_end.raw();
     const std::size_t ti = attempt_tag[attempt];
     const std::size_t seg = plan.segment_of_time(0.5 * (t0 + t1));
     const ScenePosition& at = plan.tag_pos[seg][ti];
-    double ch_i[2];
+    units::Hertz ch_i[2];
     const int n_i = channels_of(ti, seg, ch_i);
     const double half = fm::kChannelSpacingHz / 2.0;
     double watts = 0.0;
     // Ambient stations occupying the sensed channel(s).
     for (std::size_t s = 0; s < num_stations; ++s) {
-      const double power =
+      const units::Dbm power =
           multi ? station_power_at(sc.stations[s], at)
-                : sc.tags[ti].tag_power_dbm;  // legacy: ambient at the tag
+                : sc.tags[ti].tag_power;  // legacy: ambient at the tag
       for (int c = 0; c < n_i; ++c) {
-        if (std::abs(plan.station_offset[s] - ch_i[c]) < half) {
-          watts += dsp::watts_from_dbm(power);
+        if (std::abs(plan.station_offset[s] - ch_i[c].raw()) < half) {
+          watts += power.to_watts().raw();
           break;
         }
       }
     }
     // Committed neighbor bursts on the air during the window.
     for (const tag::OnAirInterval& iv : on_air) {
-      if (std::min(t1, iv.end_seconds) - std::max(t0, iv.begin_seconds) <=
-          0.0) {
+      if (std::min(t1, iv.end.raw()) - std::max(t0, iv.begin.raw()) <= 0.0) {
         continue;
       }
       const std::size_t tj = attempt_tag[iv.attempt];
       if (tj == ti) continue;
-      double ch_j[2];
+      units::Hertz ch_j[2];
       const int n_j = channels_of(tj, seg, ch_j);
       bool couples = false;
       for (int a = 0; a < n_i && !couples; ++a) {
         for (int b = 0; b < n_j; ++b) {
-          if (std::abs(ch_i[a] - ch_j[b]) < half) {
+          if (std::abs(ch_i[a].raw() - ch_j[b].raw()) < half) {
             couples = true;
             break;
           }
@@ -538,32 +548,35 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
       }
       if (!couples) continue;
       channel::LinkBudgetConfig link;
-      link.tag_antenna_gain_db = sc.tags[tj].antenna.effective_gain_db();
-      link.rx_antenna_gain_db = sc.tags[ti].antenna.effective_gain_db();
+      link.tag_antenna_gain = units::Db{sc.tags[tj].antenna.effective_gain_db()};
+      link.rx_antenna_gain = units::Db{sc.tags[ti].antenna.effective_gain_db()};
       const double dist =
           std::max(1e-3, std::hypot(plan.tag_pos[seg][tj].x_m - at.x_m,
                                     plan.tag_pos[seg][tj].y_m - at.y_m));
-      watts += channel::compute_backscatter_path(plan.tag_ambient_dbm[seg][tj],
-                                                 plan.tag_ambient_dbm[seg][tj],
-                                                 dist, link)
-                   .sideband_watts;
+      watts += channel::compute_backscatter_path(
+                   units::Dbm{plan.tag_ambient_dbm[seg][tj]},
+                   units::Dbm{plan.tag_ambient_dbm[seg][tj]},
+                   units::Meters{dist}, link)
+                   .sideband.raw();
     }
-    return watts > 0.0 ? dsp::dbm_from_watts(watts)
-                       : -std::numeric_limits<double>::infinity();
+    return watts > 0.0
+               ? units::Watts{watts}.to_dbm()
+               : units::Dbm{-std::numeric_limits<double>::infinity()};
   };
   const std::vector<tag::MacDecision> schedule = tag::resolve_mac_schedule(
-      attempts, total_seconds, seg_len, sense_channel);
+      attempts, units::Seconds{total_seconds}, units::Seconds{seg_len},
+      sense_channel);
   for (std::size_t a = 0; a < schedule.size(); ++a) {
     const std::size_t i = attempt_tag[a];
     ScenarioTagPlan& tp = plan.tags[i];
     const tag::MacDecision& d = schedule[a];
     tp.transmitted = d.transmitted;
     tp.deferrals = d.deferrals;
-    tp.start_seconds = d.start_seconds;
-    tp.last_sensed_dbm = d.last_sensed_dbm;
+    tp.start_seconds = d.start.raw();
+    tp.last_sensed_dbm = d.last_sensed.raw();
     if (d.transmitted &&
-        d.start_seconds + tp.burst_seconds > total_seconds + 1e-9) {
-      if (attempts[a].nominal_start_seconds + tp.burst_seconds >
+        d.start.raw() + tp.burst_seconds > total_seconds + 1e-9) {
+      if (attempts[a].nominal_start.raw() + tp.burst_seconds >
           total_seconds + 1e-9) {
         // The burst could never have fit at its requested start — a
         // configuration error regardless of MAC policy.
@@ -583,10 +596,12 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
   if (!multi) {
     plan.receiver_direct_dbm.resize(sc.receivers.size());
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
-      double p = sc.receivers[r].direct_power_dbm;
-      if (std::isnan(p)) {
+      double p;
+      if (sc.receivers[r].direct_power) {
+        p = sc.receivers[r].direct_power->raw();
+      } else {
         p = -1e9;
-        for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power_dbm);
+        for (const ScenarioTag& t : sc.tags) p = std::max(p, t.tag_power.raw());
         if (sc.tags.empty()) p = -30.0;
       }
       plan.receiver_direct_dbm[r] = p;
@@ -620,37 +635,42 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
     for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
       const ScenarioReceiver& rx = sc.receivers[r];
       channel::LinkBudgetConfig link = rx.link;
-      link.rx_antenna_gain_db = receiver_antenna_gain_db(rx);
+      link.rx_antenna_gain = receiver_antenna_gain(rx);
       if (multi) {
         for (std::size_t s = 0; s < num_stations; ++s) {
-          plan.g_direct[k][r][s] =
-              static_cast<float>(std::sqrt(dsp::watts_from_dbm(
-                  station_power_at(sc.stations[s], plan.rx_pos[k][r]))));
+          plan.g_direct[k][r][s] = static_cast<float>(
+              std::sqrt(station_power_at(sc.stations[s], plan.rx_pos[k][r])
+                            .to_watts()
+                            .raw()));
         }
         for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-          link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+          link.tag_antenna_gain =
+              units::Db{sc.tags[t].antenna.effective_gain_db()};
           const channel::BackscatterPath path =
               channel::compute_backscatter_path(
-                  plan.tag_ambient_dbm[k][t], plan.tag_ambient_dbm[k][t],
-                  pair_distance_m(sc.tags[t], plan.tag_pos[k][t],
-                                  plan.rx_pos[k][r]),
+                  units::Dbm{plan.tag_ambient_dbm[k][t]},
+                  units::Dbm{plan.tag_ambient_dbm[k][t]},
+                  units::Meters{pair_distance_m(sc.tags[t], plan.tag_pos[k][t],
+                                                plan.rx_pos[k][r])},
                   link);
           plan.g_back[k][r][t] =
               static_cast<float>(path.budget.backscatter_amplitude);
-          plan.rx_power_dbm[k][r][t] = path.sideband_power_dbm;
+          plan.rx_power_dbm[k][r][t] = path.sideband_power.raw();
         }
         continue;
       }
       if (sc.tags.empty()) {
-        plan.g_direct[k][r][0] = static_cast<float>(
-            std::sqrt(dsp::watts_from_dbm(plan.receiver_direct_dbm[r])));
+        plan.g_direct[k][r][0] = static_cast<float>(std::sqrt(
+            units::Dbm{plan.receiver_direct_dbm[r]}.to_watts().raw()));
         continue;
       }
       for (std::size_t t = 0; t < sc.tags.size(); ++t) {
-        link.tag_antenna_gain_db = sc.tags[t].antenna.effective_gain_db();
+        link.tag_antenna_gain =
+            units::Db{sc.tags[t].antenna.effective_gain_db()};
         const channel::BackscatterPath path = channel::compute_backscatter_path(
-            sc.tags[t].tag_power_dbm, plan.receiver_direct_dbm[r],
-            pair_distance_m(sc.tags[t], plan.tag_pos[k][t], plan.rx_pos[k][r]),
+            sc.tags[t].tag_power, units::Dbm{plan.receiver_direct_dbm[r]},
+            units::Meters{pair_distance_m(sc.tags[t], plan.tag_pos[k][t],
+                                          plan.rx_pos[k][r])},
             link);
         plan.g_back[k][r][t] =
             static_cast<float>(path.budget.backscatter_amplitude);
@@ -658,7 +678,7 @@ ScenarioPlan resolve_scenario_plan(const Scenario& sc) {
           plan.g_direct[k][r][0] =
               static_cast<float>(path.budget.direct_amplitude);
         }
-        plan.rx_power_dbm[k][r][t] = path.sideband_power_dbm;
+        plan.rx_power_dbm[k][r][t] = path.sideband_power.raw();
       }
     }
   }
@@ -689,7 +709,7 @@ ScenePruning resolve_scene_pruning(const Scenario& sc, const ScenarioPlan& plan,
   const std::vector<std::vector<int>>& sel = plan.selected_station;
   auto near_some_receiver = [&](double channel_hz) {
     for (const ScenarioReceiver& rx : sc.receivers) {
-      if (std::abs(channel_hz - rx.tune_offset_hz) <=
+      if (std::abs(channel_hz - rx.tune_offset.raw()) <=
           kSceneNeighborhoodHz + 1e-6) {
         return true;
       }
@@ -706,15 +726,16 @@ ScenePruning resolve_scene_pruning(const Scenario& sc, const ScenarioPlan& plan,
     // channel would have been.
     if (!plan.tags[t].transmitted) continue;
     for (std::size_t k = 0; k < plan.num_segments && !pr.tag_needed[t]; ++k) {
-      double ch[2];
+      units::Hertz ch[2];
       const int n = tag_backscatter_channels(
           sc.tags[t],
-          plan.multi
-              ? plan.station_offset[static_cast<std::size_t>(sel[k][t])]
-              : 0.0,
+          units::Hertz{
+              plan.multi
+                  ? plan.station_offset[static_cast<std::size_t>(sel[k][t])]
+                  : 0.0},
           ch);
       for (int c = 0; c < n; ++c) {
-        if (near_some_receiver(ch[c])) {
+        if (near_some_receiver(ch[c].raw())) {
           pr.tag_needed[t] = 1;
           break;
         }
@@ -756,8 +777,8 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   // below knows which ones any receiver can actually hear.
   fm::StationCache::SceneScope scope(fm::StationCache::instance());
   result.station_renders.assign(num_stations, nullptr);
-  result.station_renders[0] =
-      scope.render(multi ? sc.stations[0].config : sc.station, total_seconds);
+  result.station_renders[0] = scope.render(
+      multi ? sc.stations[0].config : sc.station, units::Seconds{total_seconds});
   result.station = result.station_renders[0];
   const std::size_t station_len = result.station->iq.size();
   const std::size_t padded =
@@ -813,7 +834,8 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   const std::vector<char>& tag_needed = pruning.tag_needed;
   for (std::size_t s = 1; s < num_stations; ++s) {
     if (!station_needed[s]) continue;
-    result.station_renders[s] = scope.render(sc.stations[s].config, total_seconds);
+    result.station_renders[s] =
+        scope.render(sc.stations[s].config, units::Seconds{total_seconds});
     if (result.station_renders[s]->iq.size() != station_len) {
       throw std::logic_error("ScenarioEngine: station render length mismatch");
     }
@@ -908,10 +930,11 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
   std::vector<dsp::cvec> iq(sc.receivers.size());
   for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
     const ScenarioReceiver& rx = sc.receivers[r];
-    noise.emplace_back(receiver_noise_floor_dbm(rx), fm::kChannelSpacingHz,
-                       fm::kRfRate, plan.receiver_noise_seed[r]);
+    noise.emplace_back(receiver_noise_floor(rx),
+                       units::Hertz{fm::kChannelSpacingHz}, fm::kRfRate,
+                       plan.receiver_noise_seed[r]);
     rx::TunerConfig tuner_cfg;
-    tuner_cfg.offset_hz = rx.tune_offset_hz;
+    tuner_cfg.offset_hz = rx.tune_offset.raw();
     tuners.emplace_back(tuner_cfg);
     iq[r].reserve(padded);
   }
@@ -1039,8 +1062,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           tags[t].burst_start_seconds + 0.5 * tags[t].burst_seconds);
       if (!tag_audible_at(
               tcfg,
-              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
-              rx.tune_offset_hz)) {
+              units::Hertz{
+                  station_offset[static_cast<std::size_t>(sel[burst_seg][t])]},
+              rx.tune_offset)) {
         continue;
       }
       rx::BurstSpec burst;
@@ -1062,7 +1086,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       link.burst = reports[b];
       link.backscatter_rx_power_dbm = plan.rx_power_dbm[routed_seg[b]][r][t];
       link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
-                         sc.duration_seconds;
+                         sc.duration.raw();
       if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {
         best[t] = link;
         heard[t] = 1;
@@ -1082,8 +1106,9 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
           st.burst_start_seconds + 0.5 * st.burst_seconds);
       if (!tag_audible_at(
               sc.tags[t],
-              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
-              rx.tune_offset_hz)) {
+              units::Hertz{
+                  station_offset[static_cast<std::size_t>(sel[burst_seg][t])]},
+              rx.tune_offset)) {
         continue;
       }
       TagLinkReport link;
@@ -1096,7 +1121,7 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
       link.burst.bits_delivered = link.rds->blocks_ok * 16;
       link.backscatter_rx_power_dbm = plan.rx_power_dbm[burst_seg][r][t];
       link.goodput_bps = static_cast<double>(link.burst.bits_delivered) /
-                         sc.duration_seconds;
+                         sc.duration.raw();
       if (!heard[t] || link.burst.ber.ber < best[t].burst.ber.ber) {
         best[t] = link;
         heard[t] = 1;
@@ -1109,12 +1134,12 @@ ScenarioResult ScenarioEngine::run(const Scenario& sc) const {
     const fm::StationConfig* tuned_station = nullptr;
     if (multi) {
       for (std::size_t s = 0; s < num_stations; ++s) {
-        if (std::abs(station_offset[s] - rx.tune_offset_hz) < 1.0) {
+        if (std::abs(station_offset[s] - rx.tune_offset.raw()) < 1.0) {
           tuned_station = &sc.stations[s].config;
           break;
         }
       }
-    } else if (std::abs(rx.tune_offset_hz) < 1.0) {
+    } else if (std::abs(rx.tune_offset.raw()) < 1.0) {
       tuned_station = &sc.station;
     }
     if (tuned_station != nullptr && tuned_station->rds_level > 0.0) {

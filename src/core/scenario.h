@@ -13,7 +13,7 @@
 // Typical use:
 //
 //   core::Scenario sc;
-//   sc.duration_seconds = 0.5;
+//   sc.duration = units::Seconds{0.5};
 //   const auto plan = tag::plan_subcarrier_channels(4);
 //   for (int i = 0; i < 4; ++i) {
 //     core::ScenarioTag t;
@@ -78,11 +78,11 @@ struct ScenePosition {
 /// segment by segment. 0 keeps today's single frozen geometry for the whole
 /// run (bit-identical to the pre-timeline engine).
 struct ScenarioTimeline {
-  /// Segment length (seconds); 0 = one segment spanning the run. Must be a
+  /// Segment length; 0 = one segment spanning the run. Must be a
   /// whole number of 0.1 s streaming blocks: geometry switches apply at
   /// block boundaries, so a non-multiple would silently shift the segment
   /// grid — the engine rejects it instead.
-  double segment_seconds = 0.0;
+  units::Seconds segment{0.0};
 };
 
 /// Position along a waypoint path at time fraction `u` in [0, 1]: the path
@@ -113,10 +113,10 @@ inline constexpr double kSceneNeighborhoodHz = 2.0 * fm::kChannelSpacingHz;
 struct ScenarioStation {
   std::string name;
   fm::StationConfig config;
-  /// Carrier offset within the scene; |offset_hz| <= kMaxStationOffsetHz.
-  double offset_hz = 0.0;
-  /// Ambient power of this station at the scene origin (dBm).
-  double power_dbm = -30.0;
+  /// Carrier offset within the scene; |offset| <= kMaxStationOffsetHz.
+  units::Hertz offset{0.0};
+  /// Ambient power of this station at the scene origin.
+  units::Dbm power{-30.0};
   /// Transmitter position; unset = far field (the station is equally strong
   /// everywhere in the scene). When set, the ambient power scales with
   /// free-space distance relative to the origin — what makes per-tag
@@ -124,9 +124,10 @@ struct ScenarioStation {
   std::optional<ScenePosition> position;
 };
 
-/// Ambient power (dBm) of `station` at scene position `at` (see
+/// Ambient power of `station` at scene position `at` (see
 /// ScenarioStation::position).
-double station_power_at(const ScenarioStation& station, const ScenePosition& at);
+units::Dbm station_power_at(const ScenarioStation& station,
+                            const ScenePosition& at);
 
 /// One backscatter tag in the scenario.
 struct ScenarioTag {
@@ -142,12 +143,12 @@ struct ScenarioTag {
   /// Burst start relative to the end of the scenario settle window. The tag
   /// switch runs only while its burst is on the air (an idle tag reflects
   /// nothing), which is what makes ALOHA collisions physical.
-  double start_seconds = 0.0;
+  units::Seconds start{0.0};
   /// ...or an RDS RadioText payload (the paper's headline demo: a poster
   /// pushing "SIMPLY THREE - TICKETS 50% OFF" onto any RDS radio display).
   /// A non-empty string switches the tag into RDS data mode: the text is
   /// compiled via fm::make_radiotext_groups -> tag::compose_rds_baseband
-  /// and transmitted as one burst starting at `start_seconds` — MAC-aware
+  /// and transmitted as one burst starting at `start` — MAC-aware
   /// (carrier sense defers it like an FSK burst) and colliding physically
   /// in the 57 kHz band of its backscatter channel. The burst lasts
   /// ceil((chars+1)/4) * 104 / 1187.5 seconds and must fit the scenario.
@@ -164,10 +165,10 @@ struct ScenarioTag {
   dsp::rvec custom_baseband;
 
   // Link budget inputs.
-  /// Ambient FM power at this tag (dBm) in a single-station scene. In a
+  /// Ambient FM power at this tag in a single-station scene. In a
   /// multi-station scene the value is ignored — the power is derived from
   /// the selected station via station_power_at.
-  double tag_power_dbm = -30.0;
+  units::Dbm tag_power{-30.0};
   /// Station this tag backscatters in a multi-station scene: -1 selects the
   /// strongest ambient station at the tag's position (the paper's posters
   /// reflect whichever signal is strongest); an explicit index pins it.
@@ -179,7 +180,7 @@ struct ScenarioTag {
   /// timeline segment, so a walking tag's strongest station changes along
   /// the path — a mid-run handoff between stations.
   std::vector<ScenePosition> waypoints;
-  /// Medium access: how `start_seconds` maps to the actual burst start
+  /// Medium access: how `start` maps to the actual burst start
   /// (pure ALOHA transmits at the nominal time — today's behavior; slotted
   /// ALOHA quantizes to slot boundaries; carrier sense listens per segment
   /// and defers while its channel is busy). Custom-baseband tags are on the
@@ -187,8 +188,8 @@ struct ScenarioTag {
   tag::MacConfig mac;
   /// When set, overrides the geometric tag-to-receiver distance for every
   /// receiver (the paper's single-knob experiments; also the bit-identity
-  /// bridge from SceneConfig::tag_rx_distance_feet).
-  double distance_override_feet = std::numeric_limits<double>::quiet_NaN();
+  /// bridge from SceneConfig::tag_rx_distance).
+  std::optional<units::Feet> distance_override;
   std::optional<channel::FadingConfig> fading;
 
   /// Content / fading seeds; unset = derived from Scenario::seed and the
@@ -204,32 +205,28 @@ struct ScenarioReceiver {
   /// Channel the receiver tunes to, as an offset from the scene center (a
   /// tag's channel is its station's offset plus the subcarrier shift; 0
   /// listens to the station at the scene center).
-  double tune_offset_hz = fm::kDefaultBackscatterShiftHz;
+  units::Hertz tune_offset{fm::kDefaultBackscatterShiftHz};
   ScenePosition position;
   /// Waypoint path, like ScenarioTag::waypoints (a pedestrian's phone walks
   /// with its owner; link budgets re-evaluate per timeline segment).
   std::vector<ScenePosition> waypoints;
   /// Power of the unshifted station at the receiver in a single-station
-  /// scene; NaN = the strongest tag's ambient power (the paper keeps devices
-  /// equidistant from the transmitter). Multi-station scenes derive every
-  /// station's power at the receiver from station_power_at instead.
-  double direct_power_dbm = std::numeric_limits<double>::quiet_NaN();
-  /// Receiver noise floor (dBm / 200 kHz); NaN = the kind's default.
-  double noise_dbm_200khz = std::numeric_limits<double>::quiet_NaN();
+  /// scene; unset = the strongest tag's ambient power (the paper keeps
+  /// devices equidistant from the transmitter). Multi-station scenes derive
+  /// every station's power at the receiver from station_power_at instead.
+  std::optional<units::Dbm> direct_power;
+  /// Receiver noise floor per 200 kHz; unset = the kind's default.
+  std::optional<units::Dbm> noise_200khz;
+  /// Receive antenna gain override; unset = the kind's default antenna
+  /// (see receiver_antenna_gain).
+  std::optional<units::Db> rx_antenna_gain;
   /// Propagation/link template for tag paths into this receiver; the engine
-  /// fills the per-tag antenna gain. rx_antenna_gain_db of NaN = the kind's
-  /// default antenna.
-  channel::LinkBudgetConfig link = default_link_config();
+  /// fills the per-tag antenna gain from `rx_antenna_gain`.
+  channel::LinkBudgetConfig link;
   std::optional<std::uint64_t> noise_seed;  // unset = derived
   rx::PhoneChainConfig phone;
   rx::CabinConfig cabin;
   fm::StereoDecoderConfig stereo_decoder;
-
-  static channel::LinkBudgetConfig default_link_config() {
-    channel::LinkBudgetConfig link;
-    link.rx_antenna_gain_db = std::numeric_limits<double>::quiet_NaN();
-    return link;
-  }
 };
 
 /// A complete multi-entity deployment inside one RF scene.
@@ -245,13 +242,13 @@ struct Scenario {
   std::vector<ScenarioTag> tags;
   std::vector<ScenarioReceiver> receivers;
   /// Scenario length after the settle window; tag bursts must fit inside.
-  double duration_seconds = 0.5;
+  units::Seconds duration{0.5};
   /// Timeline segmentation (mobility, handoff, carrier sense). The default
   /// single segment is bit-identical to the pre-timeline engine.
   ScenarioTimeline timeline;
   /// Receiver warm-up before any burst starts (filters, AGC, pilot
   /// tracking), matching the experiment harness's lead-in convention.
-  double settle_seconds = 0.08;
+  units::Seconds settle{0.08};
   /// Root for every derived per-entity seed. 0 is the "derive me" sentinel
   /// used by run_scenario_sweep's seed policy; a scenario run directly
   /// through ScenarioEngine::run keeps whatever is set here.
@@ -374,19 +371,20 @@ enum class SceneRendering {
 // ScenarioEngine and the hybrid FleetEngine share one resolution
 // bit-identically.
 
-/// Effective noise floor (dBm / 200 kHz) of a receiver: the explicit value
+/// Effective noise floor (per 200 kHz) of a receiver: the explicit value
 /// when set, else the kind's default.
-double receiver_noise_floor_dbm(const ScenarioReceiver& rx);
+units::Dbm receiver_noise_floor(const ScenarioReceiver& rx);
 
-/// Effective receive antenna gain (dB): the explicit value when set, else
-/// the kind's default antenna.
-double receiver_antenna_gain_db(const ScenarioReceiver& rx);
+/// Effective receive antenna gain: the explicit value when set, else the
+/// kind's default antenna.
+units::Db receiver_antenna_gain(const ScenarioReceiver& rx);
 
 /// The channel(s) `tag` occupies when reflecting a station whose carrier
-/// sits at `station_offset_hz`: an SSB tag shifts one copy, a real square
+/// sits at `station_offset`: an SSB tag shifts one copy, a real square
 /// switch mirrors two. Fills out[0..n) and returns n (1 or 2).
-int tag_backscatter_channels(const ScenarioTag& tag, double station_offset_hz,
-                             double out[2]);
+int tag_backscatter_channels(const ScenarioTag& tag,
+                             units::Hertz station_offset,
+                             units::Hertz out[2]);
 
 /// One tag's pre-render decisions.
 struct ScenarioTagPlan {
@@ -500,17 +498,17 @@ class ScenarioEngine {
   ScenarioEngineConfig config_;
 };
 
-/// True when a receiver tuned at `tune_offset_hz` (scene-absolute) hears the
-/// channel of a tag backscattering the station at `station_offset_hz`: a
+/// True when a receiver tuned at `tune_offset` (scene-absolute) hears the
+/// channel of a tag backscattering the station at `station_offset`: a
 /// real square-wave switch serves station_offset +- |f_back| (mirror
 /// copies), SSB only station_offset + f_back; a receiver on the station
 /// carrier itself hears the station, not tag data.
-bool tag_audible_at(const ScenarioTag& tag, double station_offset_hz,
-                    double tune_offset_hz);
+bool tag_audible_at(const ScenarioTag& tag, units::Hertz station_offset,
+                    units::Hertz tune_offset);
 
 /// Single-station shorthand (station at the scene center).
-inline bool tag_audible_at(const ScenarioTag& tag, double tune_offset_hz) {
-  return tag_audible_at(tag, 0.0, tune_offset_hz);
+inline bool tag_audible_at(const ScenarioTag& tag, units::Hertz tune_offset) {
+  return tag_audible_at(tag, units::Hertz{0.0}, tune_offset);
 }
 
 /// A phone receiver tuned to a planned subcarrier channel.
@@ -526,11 +524,11 @@ ScenarioReceiver car_listening_to(const tag::SubcarrierConfig& subcarrier);
 /// bit-identical to core::simulate(config, baseband, duration).
 Scenario scenario_from_system(const SystemConfig& config,
                               const dsp::rvec& tag_baseband,
-                              double duration_seconds);
+                              units::Seconds duration);
 
 /// Builds a multi-station scene from a surveyed city's band occupancy
 /// (survey::SpectrumDb, paper Fig. 4): every detectable channel within
-/// `max_offset_hz` of `listen_channel` becomes a ScenarioStation at its real
+/// `max_offset` of `listen_channel` becomes a ScenarioStation at its real
 /// 200 kHz-raster offset carrying its surveyed street-level ambient power;
 /// program genre, stereo flag, content seed, RDS injection level and PS
 /// name (derived from the city and channel frequency, e.g. "BOS098.5") vary
@@ -542,7 +540,8 @@ Scenario scenario_from_system(const SystemConfig& config,
 /// "legacy single-station mode" to the engine).
 std::vector<ScenarioStation> stations_from_survey(
     const survey::CitySpectrum& city, int listen_channel,
-    double max_offset_hz = kMaxStationOffsetHz, std::uint64_t seed = 1);
+    units::Hertz max_offset = units::Hertz{kMaxStationOffsetHz},
+    std::uint64_t seed = 1);
 
 /// stations_from_survey plus the stations it could NOT place: a surveyed
 /// channel whose carrier offset falls outside the ±1.2 MHz scene (or past
@@ -558,7 +557,8 @@ struct SurveySceneReport {
 
 SurveySceneReport stations_from_survey_report(
     const survey::CitySpectrum& city, int listen_channel,
-    double max_offset_hz = kMaxStationOffsetHz, std::uint64_t seed = 1);
+    units::Hertz max_offset = units::Hertz{kMaxStationOffsetHz},
+    std::uint64_t seed = 1);
 
 // ---- Scenario-level sweeps --------------------------------------------------
 

@@ -3,7 +3,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "channel/units.h"
 #include "core/scenario.h"
 #include "dsp/math_util.h"
 
@@ -27,8 +26,8 @@ ReceiverCapture finish_receiver_capture(const fm::ReceiverOutput& out,
 }
 
 SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseband,
-                          double duration_seconds) {
-  if (duration_seconds <= 0.0) {
+                          units::Seconds duration) {
+  if (duration.raw() <= 0.0) {
     throw std::invalid_argument("simulate: duration must be > 0");
   }
   // Thin bridge onto the one physics path: build the equivalent one-tag
@@ -36,7 +35,7 @@ SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseb
   // bit-identical to the historical hand-rolled simulator loop (verified by
   // tests/core/test_scenario_engine.cpp and the committed golden traces).
   ScenarioResult rendered = ScenarioEngine().run(
-      scenario_from_system(config, tag_baseband, duration_seconds));
+      scenario_from_system(config, tag_baseband, duration));
 
   SimulationResult result;
   result.station = std::move(rendered.station);
@@ -47,10 +46,10 @@ SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseb
 
   // Scene gains, reported exactly as the legacy simulator computed them.
   channel::LinkBudgetConfig link = config.scene.link;
-  link.tag_antenna_gain_db = config.tag.antenna.effective_gain_db();
+  link.tag_antenna_gain = units::Db{config.tag.antenna.effective_gain_db()};
   result.budget = channel::compute_link_budget(
-      config.scene.tag_power_dbm, config.scene.direct_power_dbm,
-      channel::meters_from_feet(config.scene.tag_rx_distance_feet), link);
+      config.scene.tag_power, config.scene.direct_power,
+      config.scene.tag_rx_distance.to_meters(), link);
   // In-channel backscatter power: one sideband of the square wave carries
   // (2/pi)^2 of the reflected power.
   const double g_back = result.budget.backscatter_amplitude;

@@ -51,7 +51,7 @@ struct SimulationResult {
 /// (see tag/baseband.h composers); it is zero-padded or truncated to the
 /// station duration. Throws std::invalid_argument on inconsistent rates.
 SimulationResult simulate(const SystemConfig& config, const dsp::rvec& tag_baseband,
-                          double duration_seconds);
+                          units::Seconds duration);
 
 /// Applies the receiving device's audio chain (phone record path or car
 /// cabin acoustics) to a raw FM receiver output. Shared by the single-tag

@@ -122,9 +122,9 @@ struct ReceiverStream {
   dsp::rvec left, right, mono;  // per-block audio scratch
 
   ReceiverStream(const fm::StereoDecoderConfig& stereo_cfg, std::size_t padded,
-                 double decision_window_seconds)
-      : demod(fm::kMaxDeviationHz, fm::kMpxRate),
-        stereo(stereo_cfg, padded, decision_window_seconds) {}
+                 units::Seconds decision_window)
+      : demod(units::Hertz{fm::kMaxDeviationHz}, fm::kMpxRate),
+        stereo(stereo_cfg, padded, decision_window) {}
 };
 
 /// Shared read-only context for the consumer threads.
@@ -143,7 +143,7 @@ void finalize_fsk(const StreamContext& ctx, ReceiverStream& rs,
   c.link.backscatter_rx_power_dbm =
       (*ctx.plan).rx_power_dbm[c.seg][rs.index][c.tag];
   c.link.goodput_bps = static_cast<double>(c.link.burst.bits_delivered) /
-                       ctx.sc->duration_seconds;
+                       ctx.sc->duration.raw();
   c.done = true;
   if (*ctx.on_link) {
     StreamingLinkEvent ev;
@@ -167,7 +167,7 @@ void finalize_rds(const StreamContext& ctx, ReceiverStream& rs,
   c.link.backscatter_rx_power_dbm =
       (*ctx.plan).rx_power_dbm[c.seg][rs.index][c.tag];
   c.link.goodput_bps = static_cast<double>(c.link.burst.bits_delivered) /
-                       ctx.sc->duration_seconds;
+                       ctx.sc->duration.raw();
   c.done = true;
   if (*ctx.on_link) {
     StreamingLinkEvent ev;
@@ -259,9 +259,9 @@ StreamingEngine::StreamingEngine(StreamingConfig config)
   if (config_.ring_blocks == 0) {
     throw std::invalid_argument("StreamingEngine: ring_blocks must be > 0");
   }
-  if (config_.station_horizon_seconds <= 0.0) {
+  if (config_.station_horizon.raw() <= 0.0) {
     throw std::invalid_argument(
-        "StreamingEngine: station_horizon_seconds must be > 0");
+        "StreamingEngine: station_horizon must be > 0");
   }
 }
 
@@ -288,12 +288,13 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
   // Runs within the horizon use one exact full-run render per station — the
   // batch engine's source signals, bit for bit. Longer runs render the
   // horizon once and loop it.
-  const bool loop_mode = total_seconds > config_.station_horizon_seconds;
+  const bool loop_mode = total_seconds > config_.station_horizon.raw();
   const double render_seconds =
-      loop_mode ? config_.station_horizon_seconds : total_seconds;
+      loop_mode ? config_.station_horizon.raw() : total_seconds;
   result.station_renders.assign(num_stations, nullptr);
   result.station_renders[0] =
-      scope.render(multi ? sc.stations[0].config : sc.station, render_seconds);
+      scope.render(multi ? sc.stations[0].config : sc.station,
+                   units::Seconds{render_seconds});
   result.station = result.station_renders[0];
   const std::size_t content_len = result.station->iq.size();
   const std::size_t run_len =
@@ -319,7 +320,7 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
   for (std::size_t s = 1; s < num_stations; ++s) {
     if (!station_needed[s]) continue;
     result.station_renders[s] =
-        scope.render(sc.stations[s].config, render_seconds);
+        scope.render(sc.stations[s].config, units::Seconds{render_seconds});
     if (result.station_renders[s]->iq.size() != content_len) {
       throw std::logic_error("StreamingEngine: station render length mismatch");
     }
@@ -419,8 +420,8 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
       src.mixer.emplace(station_offset[s], fm::kRfRate);
     }
     if (loop_mode) {
-      const double deviation =
-          multi ? sc.stations[s].config.deviation_hz : sc.station.deviation_hz;
+      const units::Hertz deviation =
+          multi ? sc.stations[s].config.deviation : sc.station.deviation;
       src.loop_mod.emplace(deviation, fm::kMpxRate);
     }
   }
@@ -434,16 +435,17 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
   std::size_t decode_buffer_bytes = 0;
   for (std::size_t r = 0; r < sc.receivers.size(); ++r) {
     const ScenarioReceiver& rx = sc.receivers[r];
-    noise.emplace_back(receiver_noise_floor_dbm(rx), fm::kChannelSpacingHz,
-                       fm::kRfRate, plan.receiver_noise_seed[r]);
+    noise.emplace_back(receiver_noise_floor(rx),
+                       units::Hertz{fm::kChannelSpacingHz}, fm::kRfRate,
+                       plan.receiver_noise_seed[r]);
     rx::TunerConfig tuner_cfg;
-    tuner_cfg.offset_hz = rx.tune_offset_hz;
+    tuner_cfg.offset_hz = rx.tune_offset.raw();
     tuners.emplace_back(tuner_cfg);
 
     fm::StereoDecoderConfig sdc = rx.stereo_decoder;
     sdc.mpx_rate = fm::kMpxRate;
     streams[r] = std::make_unique<ReceiverStream>(
-        sdc, padded, config_.decision_window_seconds);
+        sdc, padded, config_.decision_window);
     ReceiverStream& rs = *streams[r];
     rs.index = r;
     if (rx.kind == ReceiverKind::kCar) {
@@ -465,8 +467,9 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
           tags[t].burst_start_seconds + 0.5 * tags[t].burst_seconds);
       if (!tag_audible_at(
               tcfg,
-              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
-              rx.tune_offset_hz)) {
+              units::Hertz{
+                  station_offset[static_cast<std::size_t>(sel[burst_seg][t])]},
+              rx.tune_offset)) {
         continue;
       }
       rx::BurstSpec burst;
@@ -488,8 +491,9 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
           st.burst_start_seconds + 0.5 * st.burst_seconds);
       if (!tag_audible_at(
               sc.tags[t],
-              station_offset[static_cast<std::size_t>(sel[burst_seg][t])],
-              rx.tune_offset_hz)) {
+              units::Hertz{
+                  station_offset[static_cast<std::size_t>(sel[burst_seg][t])]},
+              rx.tune_offset)) {
         continue;
       }
       rs.rds.push_back(RdsCollector{
@@ -503,12 +507,12 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
     const fm::StationConfig* tuned_station = nullptr;
     if (multi) {
       for (std::size_t s = 0; s < num_stations; ++s) {
-        if (std::abs(station_offset[s] - rx.tune_offset_hz) < 1.0) {
+        if (std::abs(station_offset[s] - rx.tune_offset.raw()) < 1.0) {
           tuned_station = &sc.stations[s].config;
           break;
         }
       }
-    } else if (std::abs(rx.tune_offset_hz) < 1.0) {
+    } else if (std::abs(rx.tune_offset.raw()) < 1.0) {
       tuned_station = &sc.station;
     }
     if (tuned_station != nullptr && tuned_station->rds_level > 0.0) {
@@ -518,9 +522,9 @@ ScenarioResult StreamingEngine::run(const Scenario& sc) const {
       // is reached within the first period — where the streamed content is
       // bit-exact — rather than diluted with seam garbage.
       const double station_window =
-          loop_mode ? std::min(config_.decision_window_seconds,
-                               config_.station_horizon_seconds)
-                    : config_.decision_window_seconds;
+          loop_mode ? std::min(config_.decision_window.raw(),
+                               config_.station_horizon.raw())
+                    : config_.decision_window.raw();
       rs.station_rds.emplace(fm::kMpxRate, padded, 0.0, -1.0, station_window);
     }
 

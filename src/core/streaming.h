@@ -13,9 +13,9 @@
 // thread count. Two documented divergences exist only on runs longer than
 // the configured bounds, which no golden reaches:
 //   * global decisions (stereo pilot detect, the tuned station's whole-run
-//     RDS decode) are made from the first `decision_window_seconds` of the
+//     RDS decode) are made from the first `decision_window` of the
 //     run instead of all of it;
-//   * station program content loops every `station_horizon_seconds` once the
+//   * station program content loops every `station_horizon` once the
 //     run outgrows the horizon (phase-continuous IQ via a persistent
 //     per-station FmModulator), so a 10-minute soak run costs the memory of
 //     a 2 s render.
@@ -60,11 +60,11 @@ struct StreamingConfig {
   /// Station render horizon. Runs no longer than this use one exact render
   /// per station (bit-identical to the batch engine); longer runs render the
   /// horizon once and loop its MPX through a persistent modulator.
-  double station_horizon_seconds = 2.0;
+  units::Seconds station_horizon{2.0};
   /// Bound on the buffered global decisions (stereo pilot detect; the tuned
   /// station's capture-wide RDS window). <= 0 buffers the whole run, exactly
   /// like the batch engine — and unbounded memory on long runs.
-  double decision_window_seconds = 4.0;
+  units::Seconds decision_window{4.0};
   /// Demand-driven (kSparse) vs exhaustive (kDense) scene synthesis, exactly
   /// as in ScenarioEngineConfig.
   SceneRendering scene_rendering = SceneRendering::kSparse;

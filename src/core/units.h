@@ -1,0 +1,430 @@
+// Compile-time unit safety: zero-overhead strong types for every physical
+// quantity the simulation moves around — carrier/offset frequencies, dB
+// gains, dBm/watt powers, durations, distances (the paper reports feet, the
+// physics runs in meters) and sample bookkeeping. A dBm-where-dB or
+// feet-where-meters swap is a *type error*, not a silently-wrong link
+// budget.
+//
+// Design rules:
+//  * Each type wraps exactly one double (static_assert-pinned to
+//    sizeof(double); trivially copyable) and every operation is constexpr —
+//    the types erase to plain double arithmetic at -O0 already.
+//  * Construction is explicit; there is no implicit conversion from or to
+//    double. The escape hatch is .raw(), for the DSP layer's untyped math
+//    and for printing.
+//  * Only dimensionally meaningful arithmetic exists. Linear quantities
+//    (Hertz, Watts, Seconds, Meters, Feet, SampleRate) add/subtract among
+//    themselves and scale by dimensionless doubles. Logarithmic quantities
+//    compose the way link budgets do:
+//        Dbm + Db -> Dbm        (gain applied to a power level)
+//        Dbm - Dbm -> Db        (a power ratio)
+//        Db  + Db  -> Db
+//    while Dbm + Dbm does not compile (adding two absolute power levels in
+//    log space is meaningless).
+//  * Validation at construction: every type rejects NaN. Linear quantities
+//    also reject +-inf. Db/Dbm allow -inf — zero watts is a legitimate
+//    power (a silent channel measures -inf dBm) — but reject +inf. These
+//    are assert()s: free in release builds, fatal in the Debug CI lane.
+//  * Conversions carry the one blessed implementation of the project's
+//    magic constants (0.3048 m/ft, c = 299792458 m/s, the dBm reference
+//    milliwatt and its -300 dB clamp — see dsp/math_util.h, whose scalar
+//    helpers delegate here).
+//
+// Quickstart (user-defined literals live in fmbs::units::literals):
+//
+//   using namespace fmbs::units::literals;
+//   units::Hertz carrier = 100.5_mhz;
+//   units::Dbm power = -35.0_dbm;
+//   units::Seconds dur = 0.1_s;
+//   units::Meters range = (20.0_ft).to_meters();
+//   units::Dbm at_rx = power + units::Db{-12.0};   // gain composes
+//   double for_dsp = at_rx.raw();                  // escape hatch
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace fmbs::units {
+
+inline constexpr double kMetersPerFoot = 0.3048;
+inline constexpr double kSpeedOfLight = 299792458.0;  // m/s
+/// Clamp for log-scale conversions of non-positive linear power, matching
+/// dsp::math_util's historical floor so migrated results stay bit-identical.
+inline constexpr double kFloorDb = -300.0;
+
+namespace detail {
+
+/// True for every value a linear physical quantity may hold.
+constexpr bool finite(double v) { return v == v && v <= 1.79769313486231571e308 && v >= -1.79769313486231571e308; }
+/// True for every value a logarithmic quantity may hold (-inf = zero power).
+constexpr bool not_nan_nor_posinf(double v) { return v == v && v <= 1.79769313486231571e308; }
+
+/// Round-to-nearest (ties away from zero), constexpr counterpart of
+/// std::llround for the Seconds * SampleRate -> SampleCount rule.
+constexpr std::int64_t llround_constexpr(double v) {
+  return v >= 0.0 ? static_cast<std::int64_t>(v + 0.5)
+                  : -static_cast<std::int64_t>(-v + 0.5);
+}
+
+}  // namespace detail
+
+/// CRTP base for the linear quantities: one double, explicit construction,
+/// same-type additive arithmetic, dimensionless scaling, full comparisons.
+template <class Derived>
+class LinearUnit {
+ public:
+  constexpr LinearUnit() = default;
+  constexpr explicit LinearUnit(double value) : value_(value) {
+    assert(detail::finite(value_) && "unit value must be finite");
+  }
+
+  /// The untyped value — the escape hatch into the DSP layer's math.
+  constexpr double raw() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.raw() + b.raw()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.raw() - b.raw()};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.raw()}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.raw() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{s * a.raw()};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.raw() / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.raw() / b.raw();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.raw() == b.raw();
+  }
+  friend constexpr bool operator!=(Derived a, Derived b) {
+    return a.raw() != b.raw();
+  }
+  friend constexpr bool operator<(Derived a, Derived b) {
+    return a.raw() < b.raw();
+  }
+  friend constexpr bool operator<=(Derived a, Derived b) {
+    return a.raw() <= b.raw();
+  }
+  friend constexpr bool operator>(Derived a, Derived b) {
+    return a.raw() > b.raw();
+  }
+  friend constexpr bool operator>=(Derived a, Derived b) {
+    return a.raw() >= b.raw();
+  }
+  constexpr Derived& operator+=(Derived b) {
+    value_ += b.raw();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value_ -= b.raw();
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Meters;
+class Watts;
+class SampleCount;
+
+/// A frequency (carrier, subcarrier offset, deviation, bandwidth, rate of a
+/// slow process). Negative values are meaningful — a backscatter shift below
+/// the station is a negative offset.
+class Hertz : public LinearUnit<Hertz> {
+ public:
+  using LinearUnit::LinearUnit;
+  /// Free-space wavelength. Asserts a positive frequency — wavelength of DC
+  /// or of a negative "frequency" is a bug at the call site (offsets may be
+  /// negative; carriers may not).
+  constexpr Meters wavelength() const;
+};
+
+/// A relative power gain/loss in decibels.
+class Db {
+ public:
+  constexpr Db() = default;
+  constexpr explicit Db(double value) : value_(value) {
+    assert(detail::not_nan_nor_posinf(value_) && "dB value must not be NaN/+inf");
+  }
+  constexpr double raw() const { return value_; }
+
+  friend constexpr Db operator+(Db a, Db b) { return Db{a.raw() + b.raw()}; }
+  friend constexpr Db operator-(Db a, Db b) { return Db{a.raw() - b.raw()}; }
+  friend constexpr Db operator-(Db a) { return Db{-a.raw()}; }
+  friend constexpr Db operator*(Db a, double s) { return Db{a.raw() * s}; }
+  friend constexpr Db operator*(double s, Db a) { return Db{s * a.raw()}; }
+  friend constexpr bool operator==(Db a, Db b) { return a.raw() == b.raw(); }
+  friend constexpr bool operator!=(Db a, Db b) { return a.raw() != b.raw(); }
+  friend constexpr bool operator<(Db a, Db b) { return a.raw() < b.raw(); }
+  friend constexpr bool operator<=(Db a, Db b) { return a.raw() <= b.raw(); }
+  friend constexpr bool operator>(Db a, Db b) { return a.raw() > b.raw(); }
+  friend constexpr bool operator>=(Db a, Db b) { return a.raw() >= b.raw(); }
+
+  /// Linear power ratio of this gain.
+  constexpr double power_ratio() const { return std::pow(10.0, value_ / 10.0); }
+  /// Linear amplitude ratio of this gain (20 log10 convention).
+  constexpr double amplitude_ratio() const {
+    return std::pow(10.0, value_ / 20.0);
+  }
+  /// Gain of a linear power ratio; non-positive clamps at the -300 dB floor.
+  static constexpr Db from_power_ratio(double ratio) {
+    return Db{ratio <= 0.0 ? kFloorDb : 10.0 * std::log10(ratio)};
+  }
+  /// Gain of a linear amplitude ratio (20 log10); clamps like power_ratio.
+  static constexpr Db from_amplitude_ratio(double ratio) {
+    return Db{ratio <= 0.0 ? kFloorDb : 20.0 * std::log10(ratio)};
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// An absolute power level in dB-milliwatts. -inf is a silent channel.
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double value) : value_(value) {
+    assert(detail::not_nan_nor_posinf(value_) && "dBm value must not be NaN/+inf");
+  }
+  constexpr double raw() const { return value_; }
+
+  /// Applying a gain to a power level keeps it a power level.
+  friend constexpr Dbm operator+(Dbm a, Db b) { return Dbm{a.raw() + b.raw()}; }
+  friend constexpr Dbm operator+(Db a, Dbm b) { return Dbm{a.raw() + b.raw()}; }
+  friend constexpr Dbm operator-(Dbm a, Db b) { return Dbm{a.raw() - b.raw()}; }
+  /// The difference of two power levels is a ratio — a gain.
+  friend constexpr Db operator-(Dbm a, Dbm b) { return Db{a.raw() - b.raw()}; }
+  /// Sign flip of the level value (what makes `-35.0_dbm` parse; negating a
+  /// dBm literal is a notation, not a physical operation).
+  friend constexpr Dbm operator-(Dbm a) { return Dbm{-a.raw()}; }
+  friend constexpr bool operator==(Dbm a, Dbm b) { return a.raw() == b.raw(); }
+  friend constexpr bool operator!=(Dbm a, Dbm b) { return a.raw() != b.raw(); }
+  friend constexpr bool operator<(Dbm a, Dbm b) { return a.raw() < b.raw(); }
+  friend constexpr bool operator<=(Dbm a, Dbm b) { return a.raw() <= b.raw(); }
+  friend constexpr bool operator>(Dbm a, Dbm b) { return a.raw() > b.raw(); }
+  friend constexpr bool operator>=(Dbm a, Dbm b) { return a.raw() >= b.raw(); }
+
+  constexpr Watts to_watts() const;
+
+ private:
+  double value_ = 0.0;
+};
+
+/// An absolute power in watts (the physics' linear domain).
+class Watts : public LinearUnit<Watts> {
+ public:
+  using LinearUnit::LinearUnit;
+  /// dBm of this power; non-positive clamps at -300 dBm (matching the
+  /// historical dsp::dbm_from_watts floor).
+  constexpr Dbm to_dbm() const {
+    return Dbm{raw() <= 0.0 ? kFloorDb : 10.0 * std::log10(raw() / 1e-3)};
+  }
+};
+
+constexpr Watts Dbm::to_watts() const {
+  return Watts{1e-3 * std::pow(10.0, value_ / 10.0)};
+}
+
+/// Samples per second of one of the simulation's fixed rates.
+class SampleRate : public LinearUnit<SampleRate> {
+ public:
+  using LinearUnit::LinearUnit;
+};
+
+/// A duration (or absolute time within a render window).
+class Seconds : public LinearUnit<Seconds> {
+ public:
+  using LinearUnit::LinearUnit;
+  /// Seconds -> whole samples at a rate, by the project's rounding rule:
+  /// round to nearest, ties away from zero (std::llround), the convention
+  /// the scenario engine's block math uses.
+  constexpr SampleCount samples_at(SampleRate rate) const;
+};
+
+class Feet;
+
+/// A distance in meters — the unit the physics runs in.
+class Meters : public LinearUnit<Meters> {
+ public:
+  using LinearUnit::LinearUnit;
+  constexpr Feet to_feet() const;
+};
+
+/// A distance in feet — the unit the paper reports.
+class Feet : public LinearUnit<Feet> {
+ public:
+  using LinearUnit::LinearUnit;
+  constexpr Meters to_meters() const { return Meters{raw() * kMetersPerFoot}; }
+};
+
+constexpr Feet Meters::to_feet() const { return Feet{raw() / kMetersPerFoot}; }
+
+constexpr Meters Hertz::wavelength() const {
+  assert(raw() > 0.0 && "wavelength of a non-positive frequency");
+  return Meters{kSpeedOfLight / raw()};
+}
+
+/// A whole number of samples.
+class SampleCount {
+ public:
+  constexpr SampleCount() = default;
+  constexpr explicit SampleCount(std::int64_t value) : value_(value) {}
+  constexpr std::int64_t raw() const { return value_; }
+  /// Back to a duration at a rate.
+  constexpr Seconds at(SampleRate rate) const {
+    return Seconds{static_cast<double>(value_) / rate.raw()};
+  }
+  friend constexpr SampleCount operator+(SampleCount a, SampleCount b) {
+    return SampleCount{a.raw() + b.raw()};
+  }
+  friend constexpr SampleCount operator-(SampleCount a, SampleCount b) {
+    return SampleCount{a.raw() - b.raw()};
+  }
+  friend constexpr bool operator==(SampleCount a, SampleCount b) {
+    return a.raw() == b.raw();
+  }
+  friend constexpr bool operator!=(SampleCount a, SampleCount b) {
+    return a.raw() != b.raw();
+  }
+  friend constexpr bool operator<(SampleCount a, SampleCount b) {
+    return a.raw() < b.raw();
+  }
+  friend constexpr bool operator<=(SampleCount a, SampleCount b) {
+    return a.raw() <= b.raw();
+  }
+  friend constexpr bool operator>(SampleCount a, SampleCount b) {
+    return a.raw() > b.raw();
+  }
+  friend constexpr bool operator>=(SampleCount a, SampleCount b) {
+    return a.raw() >= b.raw();
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+constexpr SampleCount Seconds::samples_at(SampleRate rate) const {
+  return SampleCount{detail::llround_constexpr(raw() * rate.raw())};
+}
+
+/// Seconds * SampleRate -> whole samples (the project's llround rule).
+constexpr SampleCount operator*(Seconds s, SampleRate r) {
+  return s.samples_at(r);
+}
+constexpr SampleCount operator*(SampleRate r, Seconds s) {
+  return s.samples_at(r);
+}
+
+// ---- User-defined literals --------------------------------------------------
+
+namespace literals {
+
+constexpr Hertz operator""_hz(long double v) {
+  return Hertz{static_cast<double>(v)};
+}
+constexpr Hertz operator""_hz(unsigned long long v) {
+  return Hertz{static_cast<double>(v)};
+}
+constexpr Hertz operator""_khz(long double v) {
+  return Hertz{static_cast<double>(v) * 1e3};
+}
+constexpr Hertz operator""_khz(unsigned long long v) {
+  return Hertz{static_cast<double>(v) * 1e3};
+}
+constexpr Hertz operator""_mhz(long double v) {
+  return Hertz{static_cast<double>(v) * 1e6};
+}
+constexpr Hertz operator""_mhz(unsigned long long v) {
+  return Hertz{static_cast<double>(v) * 1e6};
+}
+constexpr Db operator""_db(long double v) { return Db{static_cast<double>(v)}; }
+constexpr Db operator""_db(unsigned long long v) {
+  return Db{static_cast<double>(v)};
+}
+constexpr Dbm operator""_dbm(long double v) {
+  return Dbm{static_cast<double>(v)};
+}
+constexpr Dbm operator""_dbm(unsigned long long v) {
+  return Dbm{static_cast<double>(v)};
+}
+constexpr Watts operator""_w(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_mw(long double v) {
+  return Watts{static_cast<double>(v) * 1e-3};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_ms(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-3};
+}
+constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Feet operator""_ft(long double v) {
+  return Feet{static_cast<double>(v)};
+}
+constexpr Feet operator""_ft(unsigned long long v) {
+  return Feet{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+// ---- Compile-time self-checks ----------------------------------------------
+// Zero overhead: every type is exactly one double (SampleCount: one int64).
+
+static_assert(sizeof(Hertz) == sizeof(double));
+static_assert(sizeof(Db) == sizeof(double));
+static_assert(sizeof(Dbm) == sizeof(double));
+static_assert(sizeof(Watts) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(Feet) == sizeof(double));
+static_assert(sizeof(SampleRate) == sizeof(double));
+static_assert(sizeof(SampleCount) == sizeof(std::int64_t));
+
+namespace detail {
+using namespace literals;
+
+// Log-domain composition behaves like a link budget.
+static_assert((-30.0_dbm + Db{10.0}).raw() == -20.0);
+static_assert((-20.0_dbm - (-30.0_dbm)).raw() == 10.0);
+// dBm <-> watts: 0 dBm is one milliwatt, exactly.
+static_assert((0.0_dbm).to_watts() == Watts{1e-3});
+static_assert(Watts{1e-3}.to_dbm().raw() == 0.0);
+static_assert(Watts{0.0}.to_dbm().raw() == kFloorDb);
+// Feet <-> meters round-trips through the one 0.3048 constant.
+static_assert((1.0_ft).to_meters().raw() == kMetersPerFoot);
+static_assert((20.0_ft).to_meters().to_feet() == 20.0_ft);
+// Wavelength at the paper's deployed station is ~3.16 m.
+static_assert((94.9_mhz).wavelength().raw() > 3.15 &&
+              (94.9_mhz).wavelength().raw() < 3.17);
+// The sample rule: round to nearest, ties away from zero.
+static_assert(0.1_s * SampleRate{240000.0} == SampleCount{24000});
+static_assert(Seconds{1.0 / 3.0} * SampleRate{3.0} == SampleCount{1});
+// Frequency scaling through the MHz literal is exact.
+static_assert(100.5_mhz == Hertz{100.5e6});
+}  // namespace detail
+
+}  // namespace units
+
+// The types read naturally from every layer as units::X; benches/tests pull
+// in the literals with `using namespace fmbs::units::literals`.
+namespace units = fmbs::units;

@@ -3,31 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/units.h"
+
 namespace fmbs::dsp {
 
-namespace {
-constexpr double kFloorDb = -300.0;
-}  // namespace
+// The scalar dB/dBm helpers delegate to the strong-type layer so the
+// formulas (and the -300 dB floor) exist exactly once in the codebase.
 
 double db_from_power_ratio(double ratio) {
-  if (ratio <= 0.0) return kFloorDb;
-  return 10.0 * std::log10(ratio);
+  return units::Db::from_power_ratio(ratio).raw();
 }
 
-double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+double power_ratio_from_db(double db) { return units::Db{db}.power_ratio(); }
 
 double db_from_amplitude_ratio(double ratio) {
-  if (ratio <= 0.0) return kFloorDb;
-  return 20.0 * std::log10(ratio);
+  return units::Db::from_amplitude_ratio(ratio).raw();
 }
 
-double amplitude_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+double amplitude_ratio_from_db(double db) {
+  return units::Db{db}.amplitude_ratio();
+}
 
-double watts_from_dbm(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+double watts_from_dbm(double dbm) { return units::Dbm{dbm}.to_watts().raw(); }
 
 double dbm_from_watts(double watts) {
-  if (watts <= 0.0) return kFloorDb;
-  return 10.0 * std::log10(watts / 1e-3);
+  return units::Watts{watts}.to_dbm().raw();
 }
 
 double sinc(double x) {

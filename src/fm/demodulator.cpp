@@ -7,12 +7,12 @@
 
 namespace fmbs::fm {
 
-QuadratureDemodulator::QuadratureDemodulator(double deviation_hz,
+QuadratureDemodulator::QuadratureDemodulator(units::Hertz deviation,
                                              double sample_rate) {
-  if (deviation_hz <= 0.0 || sample_rate <= 0.0) {
+  if (deviation.raw() <= 0.0 || sample_rate <= 0.0) {
     throw std::invalid_argument("QuadratureDemodulator: bad parameters");
   }
-  gain_ = sample_rate / (dsp::kTwoPi * deviation_hz);
+  gain_ = sample_rate / (dsp::kTwoPi * deviation.raw());
 }
 
 dsp::rvec QuadratureDemodulator::process(std::span<const dsp::cfloat> iq) {

@@ -7,16 +7,17 @@
 
 #include <span>
 
+#include "core/units.h"
 #include "dsp/types.h"
 #include "fm/constants.h"
 
 namespace fmbs::fm {
 
 /// Streaming quadrature discriminator. Output is normalized so that a
-/// transmitter deviation of `deviation_hz` yields unit-amplitude MPX.
+/// transmitter deviation of `deviation` yields unit-amplitude MPX.
 class QuadratureDemodulator {
  public:
-  QuadratureDemodulator(double deviation_hz, double sample_rate);
+  QuadratureDemodulator(units::Hertz deviation, double sample_rate);
 
   /// Demodulates a block of IQ into composite baseband samples.
   dsp::rvec process(std::span<const dsp::cfloat> iq);

@@ -14,8 +14,8 @@ double alpha_for(double tau_seconds, double sample_rate) {
 }
 }  // namespace
 
-DeEmphasis::DeEmphasis(double tau_seconds, double sample_rate)
-    : alpha_(alpha_for(tau_seconds, sample_rate)) {}
+DeEmphasis::DeEmphasis(units::Seconds tau, double sample_rate)
+    : alpha_(alpha_for(tau.raw(), sample_rate)) {}
 
 float DeEmphasis::process_sample(float x) {
   state_ += alpha_ * (static_cast<double>(x) - state_);
@@ -30,8 +30,8 @@ std::vector<float> DeEmphasis::process(std::span<const float> in) {
 
 void DeEmphasis::reset() { state_ = 0.0; }
 
-PreEmphasis::PreEmphasis(double tau_seconds, double sample_rate)
-    : alpha_(alpha_for(tau_seconds, sample_rate)) {}
+PreEmphasis::PreEmphasis(units::Seconds tau, double sample_rate)
+    : alpha_(alpha_for(tau.raw(), sample_rate)) {}
 
 float PreEmphasis::process_sample(float x) {
   // Invert y[n] = y[n-1] + alpha (x[n] - y[n-1]):

@@ -6,12 +6,14 @@
 #include <span>
 #include <vector>
 
+#include "core/units.h"
+
 namespace fmbs::fm {
 
 /// First-order de-emphasis: H(z) matching the RC low-pass 1/(1 + s tau).
 class DeEmphasis {
  public:
-  DeEmphasis(double tau_seconds, double sample_rate);
+  DeEmphasis(units::Seconds tau, double sample_rate);
   float process_sample(float x);
   std::vector<float> process(std::span<const float> in);
   void reset();
@@ -25,7 +27,7 @@ class DeEmphasis {
 /// approximation), implemented as a one-zero/one-pole shelf.
 class PreEmphasis {
  public:
-  PreEmphasis(double tau_seconds, double sample_rate);
+  PreEmphasis(units::Seconds tau, double sample_rate);
   float process_sample(float x);
   std::vector<float> process(std::span<const float> in);
   void reset();

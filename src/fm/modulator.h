@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "core/units.h"
 #include "dsp/nco.h"
 #include "dsp/types.h"
 #include "fm/constants.h"
@@ -12,12 +13,12 @@
 namespace fmbs::fm {
 
 /// Streaming FM modulator at a fixed sample rate. Input MPX samples are
-/// expected in [-1, 1]; full scale maps to +-deviation_hz.
+/// expected in [-1, 1]; full scale maps to +-deviation.
 class FmModulator {
  public:
-  FmModulator(double deviation_hz, double sample_rate);
+  FmModulator(units::Hertz deviation, double sample_rate);
 
-  double deviation_hz() const { return deviation_hz_; }
+  units::Hertz deviation() const { return units::Hertz{deviation_hz_}; }
 
   /// Modulates a block of composite baseband into unit-amplitude IQ.
   dsp::cvec process(std::span<const float> mpx);

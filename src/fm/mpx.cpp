@@ -41,8 +41,8 @@ dsp::rvec compose_mpx(const audio::StereoBuffer& program, const MpxConfig& confi
   std::vector<float> left = program.left;
   std::vector<float> right = program.right;
   if (config.preemphasis) {
-    PreEmphasis pe_l(kDeemphasisSeconds, program.sample_rate);
-    PreEmphasis pe_r(kDeemphasisSeconds, program.sample_rate);
+    PreEmphasis pe_l(units::Seconds{kDeemphasisSeconds}, program.sample_rate);
+    PreEmphasis pe_r(units::Seconds{kDeemphasisSeconds}, program.sample_rate);
     left = pe_l.process(left);
     right = pe_r.process(right);
   }

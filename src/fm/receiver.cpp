@@ -9,7 +9,7 @@ namespace fmbs::fm {
 ReceiverOutput receive_fm(std::span<const dsp::cfloat> iq,
                           const ReceiverConfig& config) {
   if (iq.empty()) throw std::invalid_argument("receive_fm: empty input");
-  QuadratureDemodulator demod(config.deviation_hz, config.sample_rate);
+  QuadratureDemodulator demod(config.deviation, config.sample_rate);
   ReceiverOutput out;
   out.mpx = demod.process(iq);
 

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "audio/audio_buffer.h"
+#include "core/units.h"
 #include "dsp/types.h"
 #include "fm/constants.h"
 #include "fm/stereo_decoder.h"
@@ -14,7 +15,7 @@ namespace fmbs::fm {
 
 /// Receiver options.
 struct ReceiverConfig {
-  double deviation_hz = kMaxDeviationHz;
+  units::Hertz deviation{kMaxDeviationHz};
   double sample_rate = kMpxRate;  // IQ input rate (post-tuner)
   StereoDecoderConfig stereo;
 };

@@ -11,18 +11,18 @@ StationCache& StationCache::instance() {
 }
 
 StationCache::Key StationCache::make_key(const StationConfig& config,
-                                         double duration_seconds) {
+                                         units::Seconds duration) {
   Key key;
   key.genre = static_cast<int>(config.program.genre);
   key.stereo = config.program.stereo;
   key.stereo_width = config.program.stereo_width;
   key.ambience_level = config.program.ambience_level;
-  key.deviation_hz = config.deviation_hz;
+  key.deviation_hz = config.deviation.raw();
   key.rds_level = config.rds_level;
   key.rds_ps_name = config.rds_ps_name;
   key.preemphasis = config.preemphasis;
   key.seed = config.seed;
-  key.duration_seconds = duration_seconds;
+  key.duration_seconds = duration.raw();
   return key;
 }
 
@@ -40,12 +40,12 @@ bool StationCache::evict_one_locked() {
 }
 
 std::shared_ptr<const StationSignal> StationCache::render(
-    const StationConfig& config, double duration_seconds) {
-  return render_impl(config, duration_seconds, nullptr);
+    const StationConfig& config, units::Seconds duration) {
+  return render_impl(config, duration, nullptr);
 }
 
 std::shared_ptr<const StationSignal> StationCache::render_impl(
-    const StationConfig& config, double duration_seconds, SceneScope* scope) {
+    const StationConfig& config, units::Seconds duration, SceneScope* scope) {
   Key key;
   std::shared_future<std::shared_ptr<const StationSignal>> future;
   std::promise<std::shared_ptr<const StationSignal>> promise;
@@ -55,9 +55,9 @@ std::shared_ptr<const StationSignal> StationCache::render_impl(
     if (!enabled_) {
       lock.unlock();
       return std::make_shared<const StationSignal>(
-          render_station(config, duration_seconds));
+          render_station(config, duration));
     }
-    key = make_key(config, duration_seconds);
+    key = make_key(config, duration);
     ++tick_;
     for (Entry& entry : entries_) {
       if (entry.key == key) {
@@ -91,7 +91,7 @@ std::shared_ptr<const StationSignal> StationCache::render_impl(
     // same-key callers block on the shared future instead of re-rendering.
     try {
       promise.set_value(std::make_shared<const StationSignal>(
-          render_station(config, duration_seconds)));
+          render_station(config, duration)));
     } catch (...) {
       promise.set_exception(std::current_exception());
       // Drop the poisoned entry so later calls retry rather than rethrowing
@@ -136,8 +136,8 @@ StationCache::SceneScope::~SceneScope() {
 }
 
 std::shared_ptr<const StationSignal> StationCache::SceneScope::render(
-    const StationConfig& config, double duration_seconds) {
-  return cache_.render_impl(config, duration_seconds, this);
+    const StationConfig& config, units::Seconds duration) {
+  return cache_.render_impl(config, duration, this);
 }
 
 void StationCache::set_enabled(bool enabled) {

@@ -42,7 +42,7 @@ class StationCache {
   /// this thread exactly once per key while the entry stays resident. When
   /// the cache is disabled every call renders fresh.
   std::shared_ptr<const StationSignal> render(const StationConfig& config,
-                                              double duration_seconds);
+                                              units::Seconds duration);
 
   /// Enables/disables caching globally (enabled by default). Disabling does
   /// not drop resident entries; call clear() for that.
@@ -90,10 +90,10 @@ class StationCache {
     int pins = 0;
   };
 
-  static Key make_key(const StationConfig& config, double duration_seconds);
+  static Key make_key(const StationConfig& config, units::Seconds duration);
 
   std::shared_ptr<const StationSignal> render_impl(const StationConfig& config,
-                                                   double duration_seconds,
+                                                   units::Seconds duration,
                                                    SceneScope* scope);
   /// Evicts the least-recently-used unpinned entry; false when all pinned.
   bool evict_one_locked();
@@ -124,7 +124,7 @@ class StationCache::SceneScope {
 
   /// Renders (config, duration) through the cache and pins the entry.
   std::shared_ptr<const StationSignal> render(const StationConfig& config,
-                                              double duration_seconds);
+                                              units::Seconds duration);
 
  private:
   friend class StationCache;

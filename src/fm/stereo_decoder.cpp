@@ -54,7 +54,7 @@ StereoDecodeResult decode_stereo(std::span<const float> mpx,
                          1e-30))
           : dsp::quantile(window_snr, 0.5);
   const bool stereo_mode = !config.force_mono &&
-                           result.pilot_snr_db >= config.pilot_detect_threshold_db;
+                           result.pilot_snr_db >= config.pilot_detect_threshold.raw();
   result.pilot_detected = stereo_mode;
 
   // ---- Mono path: L+R below 15 kHz. ----
@@ -125,8 +125,8 @@ StereoDecodeResult decode_stereo(std::span<const float> mpx,
   std::vector<float> right = dec_r.process(right_mpx);
 
   if (config.deemphasis) {
-    DeEmphasis de_l(kDeemphasisSeconds, config.audio_rate);
-    DeEmphasis de_r(kDeemphasisSeconds, config.audio_rate);
+    DeEmphasis de_l(units::Seconds{kDeemphasisSeconds}, config.audio_rate);
+    DeEmphasis de_r(units::Seconds{kDeemphasisSeconds}, config.audio_rate);
     left = de_l.process(left);
     right = de_r.process(right);
   }

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "audio/audio_buffer.h"
+#include "core/units.h"
 #include "dsp/types.h"
 #include "fm/constants.h"
 
@@ -23,9 +24,9 @@ struct StereoDecoderConfig {
   double mpx_rate = kMpxRate;
   double audio_rate = kAudioRate;
   double program_level = kProgramLevel;
-  /// Pilot detection: required power ratio (dB) of the 19 kHz bin over the
+  /// Pilot detection: required power ratio of the 19 kHz bin over the
   /// adjacent noise bins. Below this the decoder stays in mono mode.
-  double pilot_detect_threshold_db = 16.0;
+  units::Db pilot_detect_threshold{16.0};
   /// Force mono decoding regardless of pilot (car radios in mono mode, and
   /// the paper's mono-only experiments).
   bool force_mono = false;

@@ -15,8 +15,9 @@ constexpr std::size_t kChannelFilterTaps = 127;  // odd -> integer group delay
 
 StereoStreamDecoder::StereoStreamDecoder(const StereoDecoderConfig& config,
                                          std::size_t total_mpx_samples,
-                                         double decision_window_seconds)
+                                         units::Seconds decision_window)
     : cfg_(config), total_(total_mpx_samples) {
+  const double decision_window_seconds = decision_window.raw();
   const double rate = cfg_.mpx_rate;
   const double audio_ratio = rate / cfg_.audio_rate;
   decim_ = static_cast<std::size_t>(audio_ratio + 0.5);
@@ -66,7 +67,7 @@ void StereoStreamDecoder::decide() {
                          1e-30))
           : dsp::quantile(window_snr, 0.5);
   stereo_mode_ =
-      !cfg_.force_mono && pilot_snr_db_ >= cfg_.pilot_detect_threshold_db;
+      !cfg_.force_mono && pilot_snr_db_ >= cfg_.pilot_detect_threshold.raw();
 
   mono_lp_.emplace(
       dsp::fir_design_lowpass(kChannelFilterTaps, kMonoAudioHiHz / rate));
@@ -86,8 +87,8 @@ void StereoStreamDecoder::decide() {
   dec_l_.emplace(audio_taps, decim_);
   dec_r_.emplace(audio_taps, decim_);
   if (cfg_.deemphasis) {
-    de_l_.emplace(kDeemphasisSeconds, cfg_.audio_rate);
-    de_r_.emplace(kDeemphasisSeconds, cfg_.audio_rate);
+    de_l_.emplace(units::Seconds{kDeemphasisSeconds}, cfg_.audio_rate);
+    de_r_.emplace(units::Seconds{kDeemphasisSeconds}, cfg_.audio_rate);
   }
   decided_ = true;
 }

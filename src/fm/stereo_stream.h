@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/units.h"
 #include "dsp/fir.h"
 #include "dsp/iir.h"
 #include "dsp/types.h"
@@ -32,13 +33,13 @@ namespace fmbs::fm {
 class StereoStreamDecoder {
  public:
   /// `total_mpx_samples` — the capture length, known up front by the
-  /// streaming engine. `decision_window_seconds` bounds the pilot decision
+  /// streaming engine. `decision_window` bounds the pilot decision
   /// (<= 0 uses the whole capture, exactly like the one-shot decoder); the
   /// window is clamped to the capture, so short runs always decide from
   /// everything the one-shot decoder would see.
   StereoStreamDecoder(const StereoDecoderConfig& config,
                       std::size_t total_mpx_samples,
-                      double decision_window_seconds = -1.0);
+                      units::Seconds decision_window = units::Seconds{-1.0});
 
   /// Consumes the next MPX block; appends any newly decoded audio.
   void push(std::span<const float> mpx, dsp::rvec& left, dsp::rvec& right);

@@ -7,13 +7,13 @@
 
 namespace fmbs::fm {
 
-StationSignal render_station(const StationConfig& config, double duration_seconds) {
-  if (duration_seconds <= 0.0) {
+StationSignal render_station(const StationConfig& config, units::Seconds duration) {
+  if (duration.raw() <= 0.0) {
     throw std::invalid_argument("render_station: duration must be > 0");
   }
   StationSignal out;
   out.sample_rate = kMpxRate;
-  out.program = audio::render_program(config.program, duration_seconds,
+  out.program = audio::render_program(config.program, duration.raw(),
                                       kAudioRate, config.seed);
 
   MpxConfig mpx_cfg;
@@ -27,7 +27,7 @@ StationSignal render_station(const StationConfig& config, double duration_second
   }
   out.mpx = compose_mpx(out.program, mpx_cfg, rds_bits);
 
-  FmModulator mod(config.deviation_hz, kMpxRate);
+  FmModulator mod(config.deviation, kMpxRate);
   out.iq = mod.process(out.mpx);
   return out;
 }

@@ -8,6 +8,7 @@
 
 #include "audio/audio_buffer.h"
 #include "audio/program.h"
+#include "core/units.h"
 #include "dsp/types.h"
 #include "fm/constants.h"
 #include "fm/mpx.h"
@@ -18,7 +19,7 @@ namespace fmbs::fm {
 struct StationConfig {
   audio::ProgramConfig program;
   /// Frequency deviation; the paper uses the maximum allowed 75 kHz.
-  double deviation_hz = kMaxDeviationHz;
+  units::Hertz deviation{kMaxDeviationHz};
   /// RDS injection (0 disables). PS name is broadcast as group 0A.
   double rds_level = 0.0;
   std::string rds_ps_name = "FMBSCTTR";
@@ -36,8 +37,8 @@ struct StationSignal {
   double sample_rate = kMpxRate;
 };
 
-/// Renders `duration_seconds` of a station's transmission at the MPX rate.
+/// Renders `duration` of a station's transmission at the MPX rate.
 /// The IQ is unit amplitude; the RF scene applies transmit power.
-StationSignal render_station(const StationConfig& config, double duration_seconds);
+StationSignal render_station(const StationConfig& config, units::Seconds duration);
 
 }  // namespace fmbs::fm

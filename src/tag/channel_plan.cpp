@@ -54,7 +54,7 @@ std::vector<ChannelAssignment> plan_subcarrier_channels(std::size_t num_tags,
   for (std::size_t i = 0; i < num_tags; ++i) {
     ChannelAssignment& a = plan[i];
     a.subcarrier.rf_rate = rf_rate;
-    a.subcarrier.shift_hz = channels[i % channels.size()];
+    a.subcarrier.shift = units::Hertz{channels[i % channels.size()]};
     a.subcarrier.mode = need_ssb ? SubcarrierMode::kSingleSideband
                                  : SubcarrierMode::kBandlimitedSquare;
     a.shared = i >= channels.size();

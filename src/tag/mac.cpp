@@ -42,37 +42,40 @@ const char* to_string(Vulnerability v) {
 
 Vulnerability classify_vulnerability(const BurstWindow& mine,
                                      const BurstWindow& other,
-                                     double symbol_seconds) {
-  const double lo = mine.start_seconds;
-  const double hi = mine.start_seconds + mine.burst_seconds;
+                                     units::Seconds symbol) {
+  const double lo = mine.start.raw();
+  const double hi = mine.start.raw() + mine.burst.raw();
   // Payload-on-payload contact decides certain collisions...
-  const double pp = std::min(hi, other.start_seconds + other.burst_seconds) -
-                    std::max(lo, other.start_seconds);
+  const double pp = std::min(hi, other.start.raw() + other.burst.raw()) -
+                    std::max(lo, other.start.raw());
   // ...while any contact with the other switch's on-air window (payload
   // plus guards, whose carrier interferes like payload does) rules out a
   // certain delivery.
   const double po =
-      std::min(hi, other.start_seconds + other.burst_seconds +
-                       other.guard_seconds) -
-      std::max(lo, other.start_seconds - other.guard_seconds);
+      std::min(hi, other.start.raw() + other.burst.raw() +
+                       other.guard.raw()) -
+      std::max(lo, other.start.raw() - other.guard.raw());
   if (po <= 0.0) return Vulnerability::kClear;
-  if (pp >= symbol_seconds) return Vulnerability::kCollision;
+  if (pp >= symbol.raw()) return Vulnerability::kCollision;
   return Vulnerability::kGraze;
 }
 
-double slotted_start(double nominal_start_seconds, double slot_seconds) {
-  if (slot_seconds <= 0.0) {
+units::Seconds slotted_start(units::Seconds nominal_start,
+                             units::Seconds slot) {
+  if (slot.raw() <= 0.0) {
     throw std::invalid_argument("slotted_start: slot pitch must be > 0");
   }
-  const double slots = nominal_start_seconds / slot_seconds;
+  const double slots = nominal_start.raw() / slot.raw();
   // A nominal start already on a boundary keeps it (epsilon absorbs the
   // division round-off); anything later rounds up to the next slot.
-  return std::ceil(slots - kTimeEps) * slot_seconds;
+  return units::Seconds{std::ceil(slots - kTimeEps) * slot.raw()};
 }
 
 std::vector<MacDecision> resolve_mac_schedule(
-    std::span<const MacAttempt> attempts, double window_seconds,
-    double segment_seconds, const ChannelSenseFn& sense) {
+    std::span<const MacAttempt> attempts, units::Seconds window,
+    units::Seconds segment, const ChannelSenseFn& sense) {
+  const double window_seconds = window.raw();
+  const double segment_seconds = segment.raw();
   std::vector<MacDecision> decisions(attempts.size());
   std::vector<OnAirInterval> on_air;
   on_air.reserve(attempts.size());
@@ -90,17 +93,19 @@ std::vector<MacDecision> resolve_mac_schedule(
     MacDecision& d = decisions[i];
     switch (a.config.kind) {
       case MacKind::kPureAloha:
-        d.start_seconds = a.nominal_start_seconds;
-        on_air.push_back({i, d.start_seconds - a.guard_seconds,
-                          d.start_seconds + a.burst_seconds + a.guard_seconds});
+        d.start = a.nominal_start;
+        on_air.push_back(
+            {i, units::Seconds{d.start.raw() - a.guard.raw()},
+             units::Seconds{d.start.raw() + a.burst.raw() + a.guard.raw()}});
         break;
       case MacKind::kSlottedAloha: {
-        const double pitch = a.config.slot_seconds > 0.0
-                                 ? a.config.slot_seconds
-                                 : a.burst_seconds + 2.0 * a.guard_seconds;
-        d.start_seconds = slotted_start(a.nominal_start_seconds, pitch);
-        on_air.push_back({i, d.start_seconds - a.guard_seconds,
-                          d.start_seconds + a.burst_seconds + a.guard_seconds});
+        const units::Seconds pitch{a.config.slot.raw() > 0.0
+                                       ? a.config.slot.raw()
+                                       : a.burst.raw() + 2.0 * a.guard.raw()};
+        d.start = slotted_start(a.nominal_start, pitch);
+        on_air.push_back(
+            {i, units::Seconds{d.start.raw() - a.guard.raw()},
+             units::Seconds{d.start.raw() + a.burst.raw() + a.guard.raw()}});
         break;
       }
       case MacKind::kCarrierSense:
@@ -109,7 +114,7 @@ std::vector<MacDecision> resolve_mac_schedule(
               "resolve_mac_schedule: carrier sense needs a segmented "
               "timeline (segment_seconds > 0) to listen in");
         }
-        pending.push_back({i, a.nominal_start_seconds});
+        pending.push_back({i, a.nominal_start.raw()});
         break;
     }
   }
@@ -130,7 +135,7 @@ std::vector<MacDecision> resolve_mac_schedule(
       MacDecision& d = decisions[p.index];
       // Carrier sense never throws on fit: a burst that cannot fit the
       // window — nominally or after deferral — silently stays off the air.
-      if (p.candidate + a.burst_seconds > window_seconds + kTimeEps) {
+      if (p.candidate + a.burst.raw() > window_seconds + kTimeEps) {
         d.transmitted = false;
         continue;
       }
@@ -143,16 +148,17 @@ std::vector<MacDecision> resolve_mac_schedule(
           seg == 0 ? 0.0 : (static_cast<double>(seg) - 1.0) * segment_seconds;
       const double w1 =
           seg == 0 ? now : static_cast<double>(seg) * segment_seconds;
-      d.last_sensed_dbm =
-          w1 > w0 ? sense(p.index, w0, w1, on_air)
-                  : -std::numeric_limits<double>::infinity();
+      d.last_sensed =
+          w1 > w0 ? sense(p.index, units::Seconds{w0}, units::Seconds{w1},
+                          on_air)
+                  : units::Dbm{-std::numeric_limits<double>::infinity()};
 
-      if (d.last_sensed_dbm <= a.config.cs_threshold_dbm) {
-        d.start_seconds = now;
+      if (d.last_sensed <= a.config.cs_threshold) {
+        d.start = units::Seconds{now};
         d.transmitted = true;
         committed_this_round.push_back(
-            {p.index, now - a.guard_seconds,
-             now + a.burst_seconds + a.guard_seconds});
+            {p.index, units::Seconds{now - a.guard.raw()},
+             units::Seconds{now + a.burst.raw() + a.guard.raw()}});
         continue;
       }
       ++d.deferrals;
@@ -161,7 +167,7 @@ std::vector<MacDecision> resolve_mac_schedule(
         continue;
       }
       p.candidate = (static_cast<double>(seg) + 1.0) * segment_seconds;
-      if (p.candidate + a.burst_seconds > window_seconds + kTimeEps) {
+      if (p.candidate + a.burst.raw() > window_seconds + kTimeEps) {
         d.transmitted = false;  // the deferred burst no longer fits the run
         continue;
       }

@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "core/units.h"
+
 namespace fmbs::tag {
 
 enum class MacKind { kPureAloha, kSlottedAloha, kCarrierSense };
@@ -36,14 +38,14 @@ const char* to_string(MacKind kind);
 /// Per-tag medium-access policy.
 struct MacConfig {
   MacKind kind = MacKind::kPureAloha;
-  /// Slotted-ALOHA slot pitch (seconds); 0 derives it from the burst:
+  /// Slotted-ALOHA slot pitch; 0 derives it from the burst:
   /// payload + both switch-on guards, so one burst fills one slot exactly.
-  double slot_seconds = 0.0;
-  /// Carrier-sense busy threshold (dBm): defer while the sensed in-channel
+  units::Seconds slot{0.0};
+  /// Carrier-sense busy threshold: defer while the sensed in-channel
   /// power over the preceding segment exceeds this. The default sits well
   /// above receiver noise floors and well below a same-channel neighbor
   /// burst at city ranges.
-  double cs_threshold_dbm = -70.0;
+  units::Dbm cs_threshold{-70.0};
   /// Carrier-sense gives up (the burst is never sent) after this many
   /// deferrals — a bounded listen-before-talk, not an infinite backoff.
   std::size_t max_deferrals = 64;
@@ -52,41 +54,41 @@ struct MacConfig {
 /// One intended transmission entering MAC resolution. Times are absolute
 /// within the rendered window (settle included), like the engine's blocks.
 struct MacAttempt {
-  double nominal_start_seconds = 0.0;  ///< requested payload start
-  double burst_seconds = 0.0;          ///< payload on-air time
-  double guard_seconds = 0.0;          ///< switch-on guard on either side
+  units::Seconds nominal_start{0.0};  ///< requested payload start
+  units::Seconds burst{0.0};          ///< payload on-air time
+  units::Seconds guard{0.0};          ///< switch-on guard on either side
   MacConfig config;
 };
 
 /// The resolved outcome of one attempt.
 struct MacDecision {
   /// Actual payload start (meaningful only when transmitted).
-  double start_seconds = 0.0;
+  units::Seconds start{0.0};
   std::size_t deferrals = 0;
   bool transmitted = true;
   /// What the final carrier-sense measured (-inf for non-CS policies and
   /// for empty sense windows).
-  double last_sensed_dbm = -std::numeric_limits<double>::infinity();
+  units::Dbm last_sensed{-std::numeric_limits<double>::infinity()};
 };
 
 /// A committed transmission's switch-on window (payload plus guards) as
 /// seen by carrier sensing.
 struct OnAirInterval {
   std::size_t attempt = 0;
-  double begin_seconds = 0.0;
-  double end_seconds = 0.0;
+  units::Seconds begin{0.0};
+  units::Seconds end{0.0};
 };
 
-/// Channel-sense oracle: in-band power (dBm) observed by `attempt`'s tag in
+/// Channel-sense oracle: in-band power observed by `attempt`'s tag in
 /// its own subcarrier channel over [t0, t1), given the transmissions
 /// committed so far. The caller owns the physics (geometry, link budgets,
-/// channel overlap); return -inf for a silent channel.
-using ChannelSenseFn =
-    std::function<double(std::size_t attempt, double t0, double t1,
-                         std::span<const OnAirInterval> on_air)>;
+/// channel overlap); return -inf dBm for a silent channel.
+using ChannelSenseFn = std::function<units::Dbm(
+    std::size_t attempt, units::Seconds t0, units::Seconds t1,
+    std::span<const OnAirInterval> on_air)>;
 
-/// Next slot boundary at or after `nominal_start_seconds` for a pitch.
-double slotted_start(double nominal_start_seconds, double slot_seconds);
+/// Next slot boundary at or after `nominal_start` for a pitch.
+units::Seconds slotted_start(units::Seconds nominal_start, units::Seconds slot);
 
 /// Analytic verdict for one burst against one same-channel neighbor.
 /// Ordered by severity so a reduction over many neighbors is std::max.
@@ -101,9 +103,9 @@ const char* to_string(Vulnerability v);
 /// A committed burst as the vulnerability rule sees it: payload span plus
 /// the switch-on guard during which the tag's carrier is already on the air.
 struct BurstWindow {
-  double start_seconds = 0.0;  ///< payload start
-  double burst_seconds = 0.0;  ///< payload on-air time
-  double guard_seconds = 0.0;  ///< switch-on guard on either side
+  units::Seconds start{0.0};  ///< payload start
+  units::Seconds burst{0.0};  ///< payload on-air time
+  units::Seconds guard{0.0};  ///< switch-on guard on either side
 };
 
 /// The ALOHA vulnerability rule, split by what actually touches `mine`'s
@@ -115,9 +117,9 @@ struct BurstWindow {
 /// fleet engine's contention classifier share this one rule.
 Vulnerability classify_vulnerability(const BurstWindow& mine,
                                      const BurstWindow& other,
-                                     double symbol_seconds);
+                                     units::Seconds symbol);
 
-/// Resolves every attempt's actual start time within [0, window_seconds].
+/// Resolves every attempt's actual start time within [0, window].
 ///
 /// Pure-ALOHA and slotted-ALOHA attempts commit immediately (slotted after
 /// quantization); their fit inside the window is the caller's contract to
@@ -133,10 +135,10 @@ Vulnerability classify_vulnerability(const BurstWindow& mine,
 ///
 /// Deterministic: no randomness, no dependence on container ordering
 /// beyond attempt indices. Throws std::invalid_argument when a
-/// carrier-sense attempt is given a non-positive segment_seconds (LBT needs
+/// carrier-sense attempt is given a non-positive segment (LBT needs
 /// a timeline to listen in).
 std::vector<MacDecision> resolve_mac_schedule(
-    std::span<const MacAttempt> attempts, double window_seconds,
-    double segment_seconds, const ChannelSenseFn& sense);
+    std::span<const MacAttempt> attempts, units::Seconds window,
+    units::Seconds segment, const ChannelSenseFn& sense);
 
 }  // namespace fmbs::tag

@@ -5,13 +5,13 @@
 namespace fmbs::tag {
 
 PowerBreakdown tag_power(const PowerModelConfig& config) {
-  if (config.subcarrier_hz <= 0.0) {
+  if (config.subcarrier.raw() <= 0.0) {
     throw std::invalid_argument("tag_power: bad subcarrier frequency");
   }
   PowerBreakdown out;
   out.baseband_uw = config.baseband_uw;
   // Dynamic power ~ C V^2 f: linear in the switching frequency.
-  const double f_scale = config.subcarrier_hz / 600e3;
+  const double f_scale = config.subcarrier.raw() / 600e3;
   out.modulator_uw = config.modulator_uw_at_600k * f_scale;
   out.switch_uw = config.switch_uw_at_600k * f_scale;
   out.total_uw = out.baseband_uw + out.modulator_uw + out.switch_uw;

@@ -10,12 +10,14 @@
 // this model uses to extrapolate to other subcarrier shifts.
 #pragma once
 
+#include "core/units.h"
+
 namespace fmbs::tag {
 
 /// Power model inputs.
 struct PowerModelConfig {
-  double subcarrier_hz = 600e3;   // f_back
-  double deviation_hz = 75e3;
+  units::Hertz subcarrier{600e3};  // f_back
+  units::Hertz deviation{75e3};
   double baseband_uw = 1.00;      // state machine (rate independent here)
   double modulator_uw_at_600k = 9.94;
   double switch_uw_at_600k = 0.13;

@@ -37,15 +37,15 @@ SubcarrierGenerator::SubcarrierGenerator(const SubcarrierConfig& config)
     : cfg_(config),
       up_factor_(compute_up_factor(config)),
       interpolator_(make_interpolator(up_factor_)) {
-  if (cfg_.shift_hz == 0.0 || cfg_.deviation_hz <= 0.0) {
+  if (cfg_.shift.raw() == 0.0 || cfg_.deviation.raw() <= 0.0) {
     throw std::invalid_argument("SubcarrierGenerator: bad shift or deviation");
   }
-  if (std::abs(cfg_.shift_hz) + cfg_.deviation_hz >= cfg_.rf_rate / 2.0) {
+  if (std::abs(cfg_.shift.raw()) + cfg_.deviation.raw() >= cfg_.rf_rate / 2.0) {
     throw std::invalid_argument("SubcarrierGenerator: subcarrier exceeds Nyquist");
   }
   // Highest instantaneous frequency of harmonic k is roughly
   // k (|shift| + deviation + baseband bandwidth); keep it below 0.48 fs.
-  const double top = std::abs(cfg_.shift_hz) + cfg_.deviation_hz + 58000.0;
+  const double top = std::abs(cfg_.shift.raw()) + cfg_.deviation.raw() + 58000.0;
   int k_max = 1;
   while ((k_max + 2) * top < 0.48 * cfg_.rf_rate) k_max += 2;
   if (cfg_.mode == SubcarrierMode::kBandlimitedSquare) {
@@ -63,8 +63,8 @@ dsp::cvec SubcarrierGenerator::process(std::span<const float> baseband) {
   // The accumulated phase follows the signed shift: for real square waves
   // cos() makes the sign irrelevant (both +-|f_back| copies exist), while
   // the SSB exponential rotates toward the requested side.
-  const double base_step = dsp::kTwoPi * cfg_.shift_hz / cfg_.rf_rate;
-  const double dev_step = dsp::kTwoPi * cfg_.deviation_hz / cfg_.rf_rate;
+  const double base_step = dsp::kTwoPi * cfg_.shift.raw() / cfg_.rf_rate;
+  const double dev_step = dsp::kTwoPi * cfg_.deviation.raw() / cfg_.rf_rate;
 
   // Optional DCO quantization: the IC's capacitor bank realizes 2^bits
   // discrete frequencies across [shift - dev, shift + dev].

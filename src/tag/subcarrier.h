@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 
+#include "core/units.h"
 #include "dsp/fir.h"
 #include "dsp/nco.h"
 #include "dsp/types.h"
@@ -38,8 +39,8 @@ struct SubcarrierConfig {
   /// f_back. May be negative (backscatter to a channel *below* the station):
   /// a real square wave produces copies at +-|f_back| anyway, and in SSB
   /// mode the rotation direction follows the sign.
-  double shift_hz = fm::kDefaultBackscatterShiftHz;
-  double deviation_hz = fm::kMaxDeviationHz;  // df (max legal, as in paper)
+  units::Hertz shift{fm::kDefaultBackscatterShiftHz};
+  units::Hertz deviation{fm::kMaxDeviationHz};  // df (max legal, as in paper)
   SubcarrierMode mode = SubcarrierMode::kBandlimitedSquare;
   /// Highest odd harmonic to synthesize in kBandlimitedSquare mode;
   /// 0 = every harmonic that fits below Nyquist.

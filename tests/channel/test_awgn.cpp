@@ -11,7 +11,7 @@ namespace {
 
 TEST(Awgn, VarianceMatchesSpec) {
   // -90 dBm in 200 kHz at a 2.4 MHz rate -> total power -90 + 10log10(12).
-  AwgnSource src(-90.0, 200000.0, 2400000.0, 1);
+  AwgnSource src( units::Dbm{-90.0}, units::Hertz{200000.0}, 2400000.0, 1);
   const double expected = dsp::watts_from_dbm(-90.0) * 12.0;
   EXPECT_NEAR(src.variance(), expected, expected * 1e-9);
 
@@ -24,7 +24,7 @@ TEST(Awgn, VarianceMatchesSpec) {
 }
 
 TEST(Awgn, AddsToExistingSignal) {
-  AwgnSource src(-60.0, 200000.0, 2400000.0, 2);
+  AwgnSource src( units::Dbm{-60.0}, units::Hertz{200000.0}, 2400000.0, 2);
   dsp::cvec block(1000, dsp::cfloat(1.0F, 0.0F));
   src.add_to(block);
   double mean_re = 0.0;
@@ -33,9 +33,9 @@ TEST(Awgn, AddsToExistingSignal) {
 }
 
 TEST(Awgn, DeterministicPerSeed) {
-  AwgnSource a(-80.0, 200000.0, 2400000.0, 7);
-  AwgnSource b(-80.0, 200000.0, 2400000.0, 7);
-  AwgnSource c(-80.0, 200000.0, 2400000.0, 8);
+  AwgnSource a( units::Dbm{-80.0}, units::Hertz{200000.0}, 2400000.0, 7);
+  AwgnSource b( units::Dbm{-80.0}, units::Hertz{200000.0}, 2400000.0, 7);
+  AwgnSource c( units::Dbm{-80.0}, units::Hertz{200000.0}, 2400000.0, 8);
   dsp::cvec x(64), y(64), z(64);
   a.add_to(x);
   b.add_to(y);
@@ -45,7 +45,7 @@ TEST(Awgn, DeterministicPerSeed) {
 }
 
 TEST(Awgn, ZeroMeanComplexAndBalanced) {
-  AwgnSource src(-70.0, 200000.0, 2400000.0, 3);
+  AwgnSource src( units::Dbm{-70.0}, units::Hertz{200000.0}, 2400000.0, 3);
   dsp::cvec block(100000);
   src.add_to(block);
   double re = 0.0, im = 0.0, re2 = 0.0, im2 = 0.0;
@@ -63,8 +63,8 @@ TEST(Awgn, ZeroMeanComplexAndBalanced) {
 }
 
 TEST(Awgn, Validation) {
-  EXPECT_THROW(AwgnSource(-90.0, 0.0, 2.4e6, 1), std::invalid_argument);
-  EXPECT_THROW(AwgnSource(-90.0, 2e5, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(AwgnSource( units::Dbm{-90.0}, units::Hertz{0.0}, 2.4e6, 1), std::invalid_argument);
+  EXPECT_THROW(AwgnSource( units::Dbm{-90.0}, units::Hertz{2e5}, 0.0, 1), std::invalid_argument);
 }
 
 }  // namespace

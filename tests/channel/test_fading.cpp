@@ -12,7 +12,7 @@ namespace {
 TEST(Fading, StaticConfigIsIdentity) {
   FadingConfig cfg;
   cfg.speed_mps = 0.0;
-  cfg.shadow_sigma_db = 0.0;
+  cfg.shadow_sigma = units::Db{0.0};
   FadingProcess p(cfg, 48000.0, 1);
   EXPECT_TRUE(p.is_static());
   dsp::cvec block(100, dsp::cfloat(0.5F, -0.5F));
@@ -23,7 +23,7 @@ TEST(Fading, StaticConfigIsIdentity) {
 
 TEST(Fading, UnitMeanPower) {
   FadingConfig cfg = fading_for_mobility(Mobility::kWalking);
-  cfg.shadow_sigma_db = 0.0;  // isolate the Rician part
+  cfg.shadow_sigma = units::Db{0.0};  // isolate the Rician part
   FadingProcess p(cfg, 10000.0, 2);
   double acc = 0.0;
   const int n = 200000;
@@ -50,8 +50,8 @@ TEST(Fading, DopplerRateScalesWithSpeed) {
   auto variation = [&](double speed) {
     FadingConfig cfg;
     cfg.speed_mps = speed;
-    cfg.rician_k_db = -20.0;  // nearly pure scatter to expose Doppler
-    cfg.shadow_sigma_db = 0.0;
+    cfg.rician_k = units::Db{-20.0};  // nearly pure scatter to expose Doppler
+    cfg.shadow_sigma = units::Db{0.0};
     FadingProcess p(cfg, rate, 4);
     dsp::cfloat prev = p.next();
     double acc = 0.0;
@@ -67,7 +67,7 @@ TEST(Fading, DopplerRateScalesWithSpeed) {
 
 TEST(Fading, StrideAdvancesTime) {
   FadingConfig cfg = fading_for_mobility(Mobility::kRunning);
-  cfg.shadow_sigma_db = 0.0;
+  cfg.shadow_sigma = units::Db{0.0};
   FadingProcess a(cfg, 10000.0, 5);
   FadingProcess b(cfg, 10000.0, 5);
   // a: 100 unit steps; b: one stride-100 step — same point of the process.
@@ -85,7 +85,7 @@ TEST(Fading, MobilityPresetsOrdered) {
   EXPECT_LT(walking.speed_mps, running.speed_mps);
   EXPECT_NEAR(walking.speed_mps, 1.0, 1e-9);   // paper: 1 m/s
   EXPECT_NEAR(running.speed_mps, 2.2, 1e-9);   // paper: 2.2 m/s
-  EXPECT_GT(standing.rician_k_db, running.rician_k_db);
+  EXPECT_GT(standing.rician_k.raw(), running.rician_k.raw());
 }
 
 TEST(Fading, DeterministicPerSeed) {

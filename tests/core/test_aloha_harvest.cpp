@@ -9,9 +9,9 @@ namespace {
 TEST(Aloha, LowLoadNearlyAlwaysSucceeds) {
   AlohaConfig cfg;
   cfg.num_tags = 2;
-  cfg.per_tag_rate_hz = 0.01;
-  cfg.frame_seconds = 0.5;
-  cfg.duration_seconds = 20000.0;
+  cfg.per_tag_rate = units::Hertz{0.01};
+  cfg.frame = units::Seconds{0.5};
+  cfg.duration = units::Seconds{20000.0};
   const AlohaResult r = simulate_aloha(cfg);
   EXPECT_GT(r.success_probability, 0.97);
 }
@@ -19,9 +19,9 @@ TEST(Aloha, LowLoadNearlyAlwaysSucceeds) {
 TEST(Aloha, MatchesPureAlohaTheory) {
   AlohaConfig cfg;
   cfg.num_tags = 20;
-  cfg.frame_seconds = 0.5;
-  cfg.per_tag_rate_hz = 0.05;  // G = 20*0.05*0.5 = 0.5
-  cfg.duration_seconds = 40000.0;
+  cfg.frame = units::Seconds{0.5};
+  cfg.per_tag_rate = units::Hertz{0.05};  // G = 20*0.05*0.5 = 0.5
+  cfg.duration = units::Seconds{40000.0};
   const AlohaResult r = simulate_aloha(cfg);
   const double expected = aloha_theoretical_throughput(r.offered_load, false);
   EXPECT_NEAR(r.throughput, expected, 0.05);
@@ -30,9 +30,9 @@ TEST(Aloha, MatchesPureAlohaTheory) {
 TEST(Aloha, SlottedDoublesPeakThroughput) {
   AlohaConfig cfg;
   cfg.num_tags = 40;
-  cfg.frame_seconds = 0.5;
-  cfg.per_tag_rate_hz = 0.05;  // G = 1.0
-  cfg.duration_seconds = 20000.0;
+  cfg.frame = units::Seconds{0.5};
+  cfg.per_tag_rate = units::Hertz{0.05};  // G = 1.0
+  cfg.duration = units::Seconds{20000.0};
   cfg.slotted = false;
   const AlohaResult pure = simulate_aloha(cfg);
   cfg.slotted = true;
@@ -45,9 +45,9 @@ TEST(Aloha, MultipleChannelsReduceCollisions) {
   // backscattered signals lie in different unused FM bands".
   AlohaConfig cfg;
   cfg.num_tags = 40;
-  cfg.frame_seconds = 0.5;
-  cfg.per_tag_rate_hz = 0.1;
-  cfg.duration_seconds = 10000.0;
+  cfg.frame = units::Seconds{0.5};
+  cfg.per_tag_rate = units::Hertz{0.1};
+  cfg.duration = units::Seconds{10000.0};
   cfg.num_channels = 1;
   const AlohaResult one = simulate_aloha(cfg);
   cfg.num_channels = 8;
@@ -69,7 +69,7 @@ TEST(Aloha, Validation) {
 
 TEST(Harvest, StrongRfSustainsContinuousOperation) {
   HarvestConfig cfg;
-  cfg.rf_power_dbm = -10.0;  // 100 uW at the antenna
+  cfg.rf_power = units::Dbm{-10.0};  // 100 uW at the antenna
   cfg.rf_efficiency = 0.3;   // 30 uW harvested > 11.07 uW load
   const DutyCycleResult r = sustainable_duty_cycle(cfg);
   EXPECT_NEAR(r.sustainable_duty_cycle, 1.0, 1e-9);
@@ -78,7 +78,7 @@ TEST(Harvest, StrongRfSustainsContinuousOperation) {
 
 TEST(Harvest, WeakRfForcesDutyCycling) {
   HarvestConfig cfg;
-  cfg.rf_power_dbm = -20.0;  // 10 uW in
+  cfg.rf_power = units::Dbm{-20.0};  // 10 uW in
   cfg.rf_efficiency = 0.2;   // 2 uW harvested
   const DutyCycleResult r = sustainable_duty_cycle(cfg);
   EXPECT_GT(r.sustainable_duty_cycle, 0.1);
@@ -88,7 +88,7 @@ TEST(Harvest, WeakRfForcesDutyCycling) {
 
 TEST(Harvest, SolarDominatesOutdoors) {
   HarvestConfig rf_only;
-  rf_only.rf_power_dbm = -30.0;
+  rf_only.rf_power = units::Dbm{-30.0};
   HarvestConfig with_solar = rf_only;
   with_solar.solar_area_cm2 = 4.0;
   with_solar.solar_irradiance_uw_per_cm2 = 100.0;  // indoor light
@@ -100,7 +100,7 @@ TEST(Harvest, SolarDominatesOutdoors) {
 
 TEST(Harvest, NoHarvestMeansNoDuty) {
   HarvestConfig cfg;
-  cfg.rf_power_dbm = -60.0;
+  cfg.rf_power = units::Dbm{-60.0};
   cfg.rf_efficiency = 0.05;
   const DutyCycleResult r = sustainable_duty_cycle(cfg);
   EXPECT_NEAR(r.sustainable_duty_cycle, 0.0, 1e-6);

@@ -9,54 +9,54 @@ namespace {
 
 TEST(MakeSystem, PhoneDefaults) {
   ExperimentPoint point;
-  point.tag_power_dbm = -42.0;
-  point.distance_feet = 7.0;
+  point.tag_power = units::Dbm{-42.0};
+  point.distance = units::Feet{7.0};
   const SystemConfig cfg = make_system(point);
-  EXPECT_EQ(cfg.scene.tag_power_dbm, -42.0);
-  EXPECT_EQ(cfg.scene.tag_rx_distance_feet, 7.0);
+  EXPECT_EQ(cfg.scene.tag_power.raw(), -42.0);
+  EXPECT_EQ(cfg.scene.tag_rx_distance.raw(), 7.0);
   EXPECT_EQ(cfg.receiver, ReceiverKind::kPhone);
-  EXPECT_EQ(cfg.scene.rx_noise_dbm_200khz,
-            channel::ReceiverNoise::kPhoneDbmPer200kHz);
+  EXPECT_EQ(cfg.scene.rx_noise_200khz.raw(),
+            channel::ReceiverNoise::kPhonePer200kHz.raw());
 }
 
 TEST(MakeSystem, CarOverrides) {
   ExperimentPoint point;
   point.receiver = ReceiverKind::kCar;
   const SystemConfig cfg = make_system(point);
-  EXPECT_EQ(cfg.scene.rx_noise_dbm_200khz,
-            channel::ReceiverNoise::kCarDbmPer200kHz);
+  EXPECT_EQ(cfg.scene.rx_noise_200khz.raw(),
+            channel::ReceiverNoise::kCarPer200kHz.raw());
   EXPECT_TRUE(cfg.stereo_decoder.force_mono);
-  EXPECT_GT(cfg.scene.link.rx_antenna_gain_db, 0.0);
+  EXPECT_GT(cfg.scene.link.rx_antenna_gain.raw(), 0.0);
 }
 
 TEST(ToneSnr, StrongCloseToneIsClean) {
   ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 4.0;
-  const double snr = run_tone_snr(point, 1000.0, false, 0.8);
+  point.tag_power = units::Dbm{-20.0};
+  point.distance = units::Feet{4.0};
+  const double snr = run_tone_snr(point, units::Hertz{1000.0}, false, units::Seconds{0.8});
   EXPECT_GT(snr, 25.0);
 }
 
 TEST(ToneSnr, StereoBandToneDecodes) {
   ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 4.0;
-  const double snr = run_tone_snr(point, 2000.0, true, 0.8);
+  point.tag_power = units::Dbm{-20.0};
+  point.distance = units::Feet{4.0};
+  const double snr = run_tone_snr(point, units::Hertz{2000.0}, true, units::Seconds{0.8});
   EXPECT_GT(snr, 15.0);
 }
 
 TEST(OverlayBer, CleanAtStrongPower) {
   ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   const auto ber = run_overlay_ber(point, tag::DataRate::k1600bps, 320);
   EXPECT_LT(ber.ber, 0.01);
 }
 
 TEST(OverlayBerMrc, CombiningHelpsAtWeakPower) {
   ExperimentPoint point;
-  point.tag_power_dbm = -55.0;
-  point.distance_feet = 10.0;
+  point.tag_power = units::Dbm{-55.0};
+  point.distance = units::Feet{10.0};
   point.genre = audio::ProgramGenre::kRock;  // hostile interference
   const auto plain = run_overlay_ber(point, tag::DataRate::k1600bps, 240);
   const auto mrc = run_overlay_ber_mrc(point, tag::DataRate::k1600bps, 240, 3);
@@ -71,8 +71,8 @@ TEST(OverlayBerMrc, Validation) {
 
 TEST(StereoBer, NewsStationStereoStreamWorks) {
   ExperimentPoint point;
-  point.tag_power_dbm = -25.0;
-  point.distance_feet = 2.0;
+  point.tag_power = units::Dbm{-25.0};
+  point.distance = units::Feet{2.0};
   point.genre = audio::ProgramGenre::kNews;
   point.stereo_station = true;
   const auto ber = run_stereo_ber(point, tag::DataRate::k1600bps, 240);

@@ -35,7 +35,7 @@ Scenario spread_scenario(std::uint64_t seed) {
   sc.station.program.stereo = false;
   sc.station.seed = 5;
   sc.seed = seed;
-  sc.duration_seconds = 0.2;
+  sc.duration = units::Seconds{0.2};
   const auto plan = tag::plan_subcarrier_channels(3);
   // Two saturated-clean links and one hopeless one (-85 dBm is far below
   // the demodulator's sync cliff, so PHY and analytic both sit at chance
@@ -49,9 +49,9 @@ Scenario spread_scenario(std::uint64_t seed) {
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = kBits;
     t.packet_bits = 32;
-    t.tag_power_dbm = powers[i];
-    t.distance_override_feet = 4.0;
-    t.start_seconds = 0.02;
+    t.tag_power = units::Dbm{powers[i]};
+    t.distance_override = units::Feet{4.0};
+    t.start = units::Seconds{0.02};
     sc.tags.push_back(std::move(t));
     sc.receivers.push_back(phone_listening_to(plan[i].subcarrier));
   }
@@ -67,16 +67,16 @@ Scenario collision_scenario(std::uint64_t seed, double second_start) {
   sc.station.program.stereo = false;
   sc.station.seed = 5;
   sc.seed = seed;
-  sc.duration_seconds = 0.45;
+  sc.duration = units::Seconds{0.45};
   for (std::size_t i = 0; i < 3; ++i) {
     ScenarioTag t;
     t.name = "tag" + std::to_string(i);
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = kBits;
     t.packet_bits = 32;
-    t.tag_power_dbm = -25.0;
-    t.distance_override_feet = 3.0;
-    t.start_seconds = i == 0 ? 0.0 : (i == 1 ? second_start : 0.3);
+    t.tag_power = units::Dbm{-25.0};
+    t.distance_override = units::Feet{3.0};
+    t.start = units::Seconds{i == 0 ? 0.0 : (i == 1 ? second_start : 0.3)};
     sc.tags.push_back(std::move(t));
   }
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
@@ -208,7 +208,7 @@ TEST(FleetEngine, FleetSweepBitIdenticalAcrossThreads) {
     for (std::uint64_t k = 0; k < 3; ++k) {
       Scenario spread = spread_scenario(0);  // seed derived by the policy
       spread.name += "-" + std::to_string(k);
-      spread.tags[0].tag_power_dbm = -30.0 - static_cast<double>(k);
+      spread.tags[0].tag_power = units::Dbm{-30.0 - static_cast<double>(k)};
       sweep.push_back(std::move(spread));
       // Include a graze point so sub-scene rendering is inside the
       // bit-identity contract, not just the analytic path.

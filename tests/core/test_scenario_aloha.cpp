@@ -66,15 +66,15 @@ PhyAloha run_phy_aloha(bool slotted, double window_seconds,
   sc.station.program.stereo = false;
   sc.station.seed = seed;
   sc.seed = seed;
-  sc.duration_seconds = window_seconds;
+  sc.duration = units::Seconds{window_seconds};
   for (std::size_t i = 0; i < num_attempts; ++i) {
     ScenarioTag t;
     t.name = "attempt" + std::to_string(i);
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = kBitsPerFrame;
-    t.tag_power_dbm = -25.0;
-    t.distance_override_feet = 3.0;
-    t.start_seconds = starts[i];
+    t.tag_power = units::Dbm{-25.0};
+    t.distance_override = units::Feet{3.0};
+    t.start = units::Seconds{starts[i]};
     sc.tags.push_back(std::move(t));
   }
   sc.receivers.push_back(
@@ -88,13 +88,15 @@ PhyAloha run_phy_aloha(bool slotted, double window_seconds,
   // contention classifier (tag::classify_vulnerability): the worst verdict
   // against any neighbor decides the burst.
   auto verdict_of = [&](std::size_t i) {
-    const tag::BurstWindow mine{starts[i], kFrameSeconds, kGuardSeconds};
+    const tag::BurstWindow mine{units::Seconds{starts[i]}, units::Seconds{kFrameSeconds},
+                                units::Seconds{kGuardSeconds}};
     tag::Vulnerability worst = tag::Vulnerability::kClear;
     for (std::size_t j = 0; j < starts.size(); ++j) {
       if (j == i) continue;
-      const tag::BurstWindow other{starts[j], kFrameSeconds, kGuardSeconds};
+      const tag::BurstWindow other{units::Seconds{starts[j]}, units::Seconds{kFrameSeconds},
+                                   units::Seconds{kGuardSeconds}};
       worst = std::max(
-          worst, tag::classify_vulnerability(mine, other, kSymbolSeconds));
+          worst, tag::classify_vulnerability(mine, other, units::Seconds{kSymbolSeconds}));
     }
     return worst;
   };
@@ -111,7 +113,7 @@ PhyAloha run_phy_aloha(bool slotted, double window_seconds,
     }
     EXPECT_EQ(delivered, v == tag::Vulnerability::kClear)
         << "attempt " << link.tag_index << " start "
-        << sc.tags[link.tag_index].start_seconds << " verdict "
+        << sc.tags[link.tag_index].start.raw() << " verdict "
         << tag::to_string(v)
         << ": PHY disagrees with the ALOHA vulnerability rule";
   }
@@ -147,10 +149,10 @@ TEST(ScenarioAloha, PureAlohaMediumLoadMatchesAnalyticAndMonteCarlo) {
   // simulations of one MAC must tell the same story.
   AlohaConfig mc;
   mc.num_tags = 15;
-  mc.frame_seconds = kFrameSeconds;
-  mc.duration_seconds = 3600.0;
-  mc.per_tag_rate_hz = phy.offered_load / (mc.frame_seconds *
-                                           static_cast<double>(mc.num_tags));
+  mc.frame = units::Seconds{kFrameSeconds};
+  mc.duration = units::Seconds{3600.0};
+  mc.per_tag_rate = units::Hertz{phy.offered_load / (mc.frame.raw() *
+                                           static_cast<double>(mc.num_tags))};
   const AlohaResult ref = simulate_aloha(mc);
   EXPECT_NEAR(phy.success_probability, ref.success_probability,
               tolerance(ref.success_probability, phy.attempts, phy.marginal));

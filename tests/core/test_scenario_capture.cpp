@@ -22,7 +22,7 @@ Scenario near_far_scenario(double strong_dbm, double weak_dbm) {
   sc.station.program.stereo = false;
   sc.station.seed = 71;
   sc.seed = 71;
-  sc.duration_seconds = 0.35;
+  sc.duration = units::Seconds{0.35};
   const double powers[2] = {strong_dbm, weak_dbm};
   for (int i = 0; i < 2; ++i) {
     ScenarioTag t;
@@ -30,9 +30,9 @@ Scenario near_far_scenario(double strong_dbm, double weak_dbm) {
     t.rate = tag::DataRate::k1600bps;  // robust solo at either power
     t.num_bits = 128;
     t.packet_bits = 64;
-    t.tag_power_dbm = powers[i];
-    t.distance_override_feet = 3.0;
-    t.start_seconds = 0.0;  // fully overlapping bursts, one channel
+    t.tag_power = units::Dbm{powers[i]};
+    t.distance_override = units::Feet{3.0};
+    t.start = units::Seconds{0.0};  // fully overlapping bursts, one channel
     sc.tags.push_back(std::move(t));
   }
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));

@@ -26,8 +26,8 @@ TEST(ScenarioEngine, SingleTagBitIdenticalToSimulator) {
   cfg.station.program.genre = audio::ProgramGenre::kNews;
   cfg.station.program.stereo = false;
   cfg.station.seed = 5;
-  cfg.scene.tag_power_dbm = -35.0;
-  cfg.scene.tag_rx_distance_feet = 6.0;
+  cfg.scene.tag_power = units::Dbm{-35.0};
+  cfg.scene.tag_rx_distance = units::Feet{6.0};
   cfg.scene.noise_seed = 99;
 
   const double duration = 0.4;
@@ -35,9 +35,9 @@ TEST(ScenarioEngine, SingleTagBitIdenticalToSimulator) {
       audio::make_tone(3000.0, 0.8, duration, fm::kAudioRate);
   const dsp::rvec bb = tag::compose_overlay_baseband(tone, kOverlayLevel);
 
-  const SimulationResult legacy = simulate(cfg, bb, duration);
+  const SimulationResult legacy = simulate(cfg, bb, units::Seconds{duration});
   const ScenarioResult sc =
-      ScenarioEngine().run(scenario_from_system(cfg, bb, duration));
+      ScenarioEngine().run(scenario_from_system(cfg, bb, units::Seconds{duration}));
 
   ASSERT_EQ(sc.receivers.size(), 1U);
   const audio::MonoBuffer& a = legacy.backscatter_rx.mono;
@@ -69,9 +69,9 @@ TEST(ScenarioEngine, BridgeCarriesAmbientReceiverAndFading) {
       audio::make_tone(2000.0, 0.8, duration, fm::kAudioRate);
   const dsp::rvec bb = tag::compose_overlay_baseband(tone, kOverlayLevel);
 
-  const SimulationResult legacy = simulate(cfg, bb, duration);
+  const SimulationResult legacy = simulate(cfg, bb, units::Seconds{duration});
   const ScenarioResult sc =
-      ScenarioEngine().run(scenario_from_system(cfg, bb, duration));
+      ScenarioEngine().run(scenario_from_system(cfg, bb, units::Seconds{duration}));
 
   ASSERT_TRUE(legacy.ambient_rx.has_value());
   ASSERT_EQ(sc.receivers.size(), 2U);
@@ -98,7 +98,7 @@ Scenario disjoint_scenario(std::size_t num_tags) {
   sc.station.program.stereo = false;
   sc.station.seed = 33;
   sc.seed = 33;
-  sc.duration_seconds = 0.25;
+  sc.duration = units::Seconds{0.25};
   const auto plan = tag::plan_subcarrier_channels(num_tags);
   for (std::size_t i = 0; i < num_tags; ++i) {
     ScenarioTag t;
@@ -106,8 +106,8 @@ Scenario disjoint_scenario(std::size_t num_tags) {
     t.subcarrier = plan[i].subcarrier;
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 96;
-    t.tag_power_dbm = -35.0;
-    t.distance_override_feet = 6.0;
+    t.tag_power = units::Dbm{-35.0};
+    t.distance_override = units::Feet{6.0};
     sc.tags.push_back(std::move(t));
     sc.receivers.push_back(phone_listening_to(plan[i].subcarrier));
   }
@@ -151,19 +151,19 @@ TEST(ScenarioEngine, SameChannelOverlapCollidesAndStaggerRecovers) {
   sc.station.program.stereo = false;
   sc.station.seed = 21;  // a quiet program stretch under the burst window
   sc.seed = 21;
-  sc.duration_seconds = 0.35;
+  sc.duration = units::Seconds{0.35};
   for (int i = 0; i < 2; ++i) {
     ScenarioTag t;
     t.name = i == 0 ? "a" : "b";
     t.rate = tag::DataRate::k1600bps;  // robust solo at this power/range
     t.num_bits = 128;
-    t.tag_power_dbm = -20.0;
-    t.distance_override_feet = 3.0;
-    t.start_seconds = 0.0;  // fully overlapping bursts
+    t.tag_power = units::Dbm{-20.0};
+    t.distance_override = units::Feet{3.0};
+    t.start = units::Seconds{0.0};  // fully overlapping bursts
     sc.tags.push_back(std::move(t));
   }
   ScenarioReceiver rx;
-  rx.tune_offset_hz = sc.tags[0].subcarrier.shift_hz;
+  rx.tune_offset = units::Hertz{sc.tags[0].subcarrier.shift.raw()};
   sc.receivers.push_back(rx);
 
   const ScenarioEngine engine;
@@ -177,7 +177,7 @@ TEST(ScenarioEngine, SameChannelOverlapCollidesAndStaggerRecovers) {
 
   // Stagger the second tag clear of the first: both decode cleanly.
   Scenario staggered = sc;
-  staggered.tags[1].start_seconds = 0.15;  // 128 bits @ 1.6 kbps = 80 ms
+  staggered.tags[1].start = units::Seconds{0.15};  // 128 bits @ 1.6 kbps = 80 ms
   const ScenarioResult apart = engine.run(staggered);
   ASSERT_EQ(apart.best_per_tag.size(), 2U);
   for (const auto& link : apart.best_per_tag) {
@@ -197,7 +197,7 @@ TEST(ChannelPlan, DisjointUpToCapacityThenShared) {
   for (const auto& a : four) {
     EXPECT_EQ(a.subcarrier.mode, tag::SubcarrierMode::kBandlimitedSquare);
     EXPECT_FALSE(a.shared);
-    EXPECT_GE(std::abs(a.subcarrier.shift_hz), 400000.0);
+    EXPECT_GE(std::abs(a.subcarrier.shift.raw()), 400000.0);
   }
 
   const auto eight = tag::plan_subcarrier_channels(8);
@@ -205,7 +205,7 @@ TEST(ChannelPlan, DisjointUpToCapacityThenShared) {
   for (const auto& a : eight) {
     EXPECT_EQ(a.subcarrier.mode, tag::SubcarrierMode::kSingleSideband);
     EXPECT_FALSE(a.shared);
-    shifts.insert(a.subcarrier.shift_hz);
+    shifts.insert(a.subcarrier.shift.raw());
   }
   EXPECT_EQ(shifts.size(), 8U);  // all distinct signed channels
 
@@ -213,24 +213,24 @@ TEST(ChannelPlan, DisjointUpToCapacityThenShared) {
   EXPECT_FALSE(ten[7].shared);
   EXPECT_TRUE(ten[8].shared);  // band full: round-robin reuse
   EXPECT_TRUE(ten[9].shared);
-  EXPECT_EQ(ten[8].subcarrier.shift_hz, ten[0].subcarrier.shift_hz);
+  EXPECT_EQ(ten[8].subcarrier.shift.raw(), ten[0].subcarrier.shift.raw());
 
   EXPECT_THROW(tag::plan_subcarrier_channels(0), std::invalid_argument);
 }
 
 TEST(ChannelPlan, AudibilityFollowsWaveformMirrors) {
   ScenarioTag square;
-  square.subcarrier.shift_hz = 600000.0;
+  square.subcarrier.shift = units::Hertz{600000.0};
   square.subcarrier.mode = tag::SubcarrierMode::kBandlimitedSquare;
-  EXPECT_TRUE(tag_audible_at(square, 600000.0));
-  EXPECT_TRUE(tag_audible_at(square, -600000.0));  // mirror copy
-  EXPECT_FALSE(tag_audible_at(square, 400000.0));
-  EXPECT_FALSE(tag_audible_at(square, 0.0));  // ambient rx hears no tag data
+  EXPECT_TRUE(tag_audible_at(square, units::Hertz{600000.0}));
+  EXPECT_TRUE(tag_audible_at(square, units::Hertz{-600000.0}));  // mirror copy
+  EXPECT_FALSE(tag_audible_at(square, units::Hertz{400000.0}));
+  EXPECT_FALSE(tag_audible_at(square, units::Hertz{0.0}));  // ambient rx hears no tag data
 
   ScenarioTag ssb = square;
   ssb.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
-  EXPECT_TRUE(tag_audible_at(ssb, 600000.0));
-  EXPECT_FALSE(tag_audible_at(ssb, -600000.0));  // mirror suppressed
+  EXPECT_TRUE(tag_audible_at(ssb, units::Hertz{600000.0}));
+  EXPECT_FALSE(tag_audible_at(ssb, units::Hertz{-600000.0}));  // mirror suppressed
 }
 
 // ---- Multi-station scenes ---------------------------------------------------
@@ -240,8 +240,8 @@ ScenarioStation make_station(const std::string& name, double offset_hz,
                              audio::ProgramGenre genre) {
   ScenarioStation st;
   st.name = name;
-  st.offset_hz = offset_hz;
-  st.power_dbm = power_dbm;
+  st.offset = units::Hertz{offset_hz};
+  st.power = units::Dbm{power_dbm};
   st.config.program.genre = genre;
   st.config.program.stereo = false;
   st.config.seed = seed;
@@ -252,16 +252,17 @@ TEST(ScenarioMultiStation, StationPowerFollowsGeometry) {
   ScenarioStation far = make_station("far", 0.0, -30.0, 1,
                                      audio::ProgramGenre::kNews);
   // Far field: uniform everywhere.
-  EXPECT_DOUBLE_EQ(station_power_at(far, {0.0, 0.0}), -30.0);
-  EXPECT_DOUBLE_EQ(station_power_at(far, {500.0, -200.0}), -30.0);
+  EXPECT_DOUBLE_EQ(station_power_at(far, {0.0, 0.0}).raw(), -30.0);
+  EXPECT_DOUBLE_EQ(station_power_at(far, {500.0, -200.0}).raw(), -30.0);
 
   ScenarioStation near = far;
   near.position = ScenePosition{100.0, 0.0};
   // At the origin the reference power holds; half the distance = +6 dB.
-  EXPECT_NEAR(station_power_at(near, {0.0, 0.0}), -30.0, 1e-12);
-  EXPECT_NEAR(station_power_at(near, {50.0, 0.0}), -30.0 + 20.0 * std::log10(2.0),
+  EXPECT_NEAR(station_power_at(near, {0.0, 0.0}).raw(), -30.0, 1e-12);
+  EXPECT_NEAR(station_power_at(near, {50.0, 0.0}).raw(),
+              -30.0 + 20.0 * std::log10(2.0),
               1e-9);
-  EXPECT_LT(station_power_at(near, {-100.0, 0.0}), -36.0);
+  EXPECT_LT(station_power_at(near, {-100.0, 0.0}).raw(), -36.0);
 }
 
 TEST(ScenarioMultiStation, TagsSelectTheStrongestStation) {
@@ -274,8 +275,8 @@ TEST(ScenarioMultiStation, TagsSelectTheStrongestStation) {
       make_station("east", 800e3, -30.0, 92, audio::ProgramGenre::kPop);
   b.position = ScenePosition{60.0, 0.0};
   sc.stations = {a, b};
-  sc.settle_seconds = 0.0;
-  sc.duration_seconds = 0.05;
+  sc.settle = units::Seconds{0.0};
+  sc.duration = units::Seconds{0.05};
   for (const double x : {-10.0, 10.0}) {
     ScenarioTag t;
     t.name = x < 0 ? "west-tag" : "east-tag";
@@ -313,13 +314,13 @@ TEST(ScenarioMultiStation, DisjointStationsSuperposeWithinTunerLeakage) {
   both.name = "two-station";
   both.seed = 61;
   both.stations = {a, b};
-  both.duration_seconds = 0.25;
+  both.duration = units::Seconds{0.25};
   ScenarioTag t;
   t.name = "tag";
-  t.subcarrier.shift_hz = 400e3;  // station A's tag, channel at +400 kHz
+  t.subcarrier.shift = units::Hertz{400e3};  // station A's tag, channel at +400 kHz
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 96;
-  t.distance_override_feet = 4.0;
+  t.distance_override = units::Feet{4.0};
   t.seed = 777;  // pinned so the solo run reuses the same content
   both.tags = {t};
   ScenarioReceiver rx_tag = phone_listening_to(t.subcarrier);
@@ -327,7 +328,7 @@ TEST(ScenarioMultiStation, DisjointStationsSuperposeWithinTunerLeakage) {
   rx_tag.noise_seed = 5001;
   ScenarioReceiver rx_b;
   rx_b.name = "b-rx";
-  rx_b.tune_offset_hz = b.offset_hz;  // parked on station B's carrier
+  rx_b.tune_offset = units::Hertz{b.offset.raw()};  // parked on station B's carrier
   rx_b.noise_seed = 5002;
   both.receivers = {rx_tag, rx_b};
 
@@ -383,19 +384,19 @@ TEST(ScenarioMultiStation, DisjointStationsSuperposeWithinTunerLeakage) {
 
 TEST(ScenarioMultiStation, AudibilityFollowsTheStationOffset) {
   ScenarioTag square;
-  square.subcarrier.shift_hz = 600e3;
+  square.subcarrier.shift = units::Hertz{600e3};
   square.subcarrier.mode = tag::SubcarrierMode::kBandlimitedSquare;
   // Station at -800 kHz: mirror channels land at -200 kHz and -1.4 MHz.
-  EXPECT_TRUE(tag_audible_at(square, -800e3, -200e3));
-  EXPECT_TRUE(tag_audible_at(square, -800e3, -1400e3));
-  EXPECT_FALSE(tag_audible_at(square, -800e3, 600e3));
-  EXPECT_FALSE(tag_audible_at(square, -800e3, -800e3));  // the carrier itself
+  EXPECT_TRUE(tag_audible_at(square, units::Hertz{-800e3}, units::Hertz{-200e3}));
+  EXPECT_TRUE(tag_audible_at(square, units::Hertz{-800e3}, units::Hertz{-1400e3}));
+  EXPECT_FALSE(tag_audible_at(square, units::Hertz{-800e3}, units::Hertz{600e3}));
+  EXPECT_FALSE(tag_audible_at(square, units::Hertz{-800e3}, units::Hertz{-800e3}));  // the carrier itself
 
   ScenarioTag ssb = square;
   ssb.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
-  ssb.subcarrier.shift_hz = -600e3;
-  EXPECT_TRUE(tag_audible_at(ssb, 800e3, 200e3));
-  EXPECT_FALSE(tag_audible_at(ssb, 800e3, 1400e3));  // mirror suppressed
+  ssb.subcarrier.shift = units::Hertz{-600e3};
+  EXPECT_TRUE(tag_audible_at(ssb, units::Hertz{800e3}, units::Hertz{200e3}));
+  EXPECT_FALSE(tag_audible_at(ssb, units::Hertz{800e3}, units::Hertz{1400e3}));  // mirror suppressed
 }
 
 TEST(ScenarioMultiStation, StationsFromSurveyMapTheNeighborhood) {
@@ -408,20 +409,20 @@ TEST(ScenarioMultiStation, StationsFromSurveyMapTheNeighborhood) {
   // Channel 90 is 8.2 MHz up-band: outside the 2.4 MHz scene.
   ASSERT_EQ(stations.size(), 4U);
   // Sorted by |offset|: the listen channel itself is station 0.
-  EXPECT_DOUBLE_EQ(stations[0].offset_hz, 0.0);
-  EXPECT_DOUBLE_EQ(stations[0].power_dbm, -25.0);
-  EXPECT_DOUBLE_EQ(stations[1].offset_hz, -200e3);
-  EXPECT_DOUBLE_EQ(stations[1].power_dbm, -50.0);
-  EXPECT_DOUBLE_EQ(stations[2].offset_hz, 400e3);
-  EXPECT_DOUBLE_EQ(stations[3].offset_hz, 800e3);
+  EXPECT_DOUBLE_EQ(stations[0].offset.raw(), 0.0);
+  EXPECT_DOUBLE_EQ(stations[0].power.raw(), -25.0);
+  EXPECT_DOUBLE_EQ(stations[1].offset.raw(), -200e3);
+  EXPECT_DOUBLE_EQ(stations[1].power.raw(), -50.0);
+  EXPECT_DOUBLE_EQ(stations[2].offset.raw(), 400e3);
+  EXPECT_DOUBLE_EQ(stations[3].offset.raw(), 800e3);
   // Distinct deterministic content per channel.
   std::set<std::uint64_t> seeds;
   for (const auto& st : stations) seeds.insert(st.config.seed);
   EXPECT_EQ(seeds.size(), stations.size());
   // A tighter cap trims the scene.
-  EXPECT_EQ(stations_from_survey(city, 49, 300e3).size(), 2U);
+  EXPECT_EQ(stations_from_survey(city, 49, units::Hertz{300e3}).size(), 2U);
   // An empty scene is a misconfiguration, not legacy single-station mode.
-  EXPECT_THROW(stations_from_survey(city, 0, 100e3), std::invalid_argument);
+  EXPECT_THROW(stations_from_survey(city, 0, units::Hertz{100e3}), std::invalid_argument);
 }
 
 // Regression: a surveyed channel outside the scene bandwidth must never be
@@ -441,15 +442,15 @@ TEST(ScenarioMultiStation, SurveyReportsTheStationsItCannotPlace) {
 
   // A caller-supplied cap wider than the scene clamps to the scene: the
   // strong out-of-scene station stays excluded, never aliased in.
-  const SurveySceneReport wide = stations_from_survey_report(city, 49, 100e6);
+  const SurveySceneReport wide = stations_from_survey_report(city, 49, units::Hertz{100e6});
   EXPECT_EQ(wide.stations.size(), 4U);
   EXPECT_EQ(wide.warnings.size(), 1U);
   for (const ScenarioStation& st : wide.stations) {
-    EXPECT_LE(std::abs(st.offset_hz), kMaxStationOffsetHz);
+    EXPECT_LE(std::abs(st.offset.raw()), kMaxStationOffsetHz);
   }
   // Every scene the report builds is one the engine accepts (nothing inside
   // can trip the engine's own offset validation).
-  const SurveySceneReport tight = stations_from_survey_report(city, 49, 300e3);
+  const SurveySceneReport tight = stations_from_survey_report(city, 49, units::Hertz{300e3});
   EXPECT_EQ(tight.stations.size(), 2U);
   EXPECT_EQ(tight.warnings.size(), 3U);  // channels 51, 53 and 90 trimmed
 
@@ -465,10 +466,10 @@ TEST(ScenarioEngine, RejectsInconsistentScenarios) {
   EXPECT_THROW(engine.run(sc), std::invalid_argument);  // no receivers
 
   sc.receivers.emplace_back();
-  sc.duration_seconds = 0.0;
+  sc.duration = units::Seconds{0.0};
   EXPECT_THROW(engine.run(sc), std::invalid_argument);
 
-  sc.duration_seconds = 0.1;
+  sc.duration = units::Seconds{0.1};
   ScenarioTag t;
   t.num_bits = 6400;  // 2 s at 3.2 kbps cannot fit in 0.1 s
   t.rate = tag::DataRate::k3200bps;
@@ -492,6 +493,36 @@ TEST(ScenarioEngine, RejectsInconsistentScenarios) {
   pinned.station_index = 3;
   bad_index.tags.push_back(std::move(pinned));
   EXPECT_THROW(engine.run(bad_index), std::invalid_argument);
+}
+
+// Unit validation at the config boundary: durations and windows that the
+// strong types can represent but the engine cannot honor are rejected before
+// any rendering starts (previously a negative settle silently corrupted the
+// timeline; a zero duration divided the goodput by zero).
+TEST(ScenarioEngine, RejectsNonPositiveDurationAndNegativeSettle) {
+  Scenario base;
+  base.receivers.emplace_back();
+  base.stations.push_back(make_station("st", 0.0, -30.0, 1,
+                                       audio::ProgramGenre::kSilence));
+
+  Scenario zero_duration = base;
+  zero_duration.duration = units::Seconds{0.0};
+  EXPECT_THROW(resolve_scenario_plan(zero_duration), std::invalid_argument);
+
+  Scenario negative_duration = base;
+  negative_duration.duration = units::Seconds{-0.5};
+  EXPECT_THROW(resolve_scenario_plan(negative_duration), std::invalid_argument);
+
+  Scenario negative_settle = base;
+  negative_settle.duration = units::Seconds{0.2};
+  negative_settle.settle = units::Seconds{-0.05};
+  EXPECT_THROW(resolve_scenario_plan(negative_settle), std::invalid_argument);
+
+  // The same shape with a legal settle resolves fine.
+  Scenario ok = base;
+  ok.duration = units::Seconds{0.2};
+  ok.settle = units::Seconds{0.05};
+  EXPECT_NO_THROW(resolve_scenario_plan(ok));
 }
 
 }  // namespace

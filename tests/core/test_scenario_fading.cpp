@@ -22,15 +22,15 @@ Scenario fading_scenario(double segment_seconds) {
   sc.station.program.genre = audio::ProgramGenre::kSilence;
   sc.station.program.stereo = false;
   sc.station.seed = 91;
-  sc.duration_seconds = 0.2;
-  sc.timeline.segment_seconds = segment_seconds;
+  sc.duration = units::Seconds{0.2};
+  sc.timeline.segment = units::Seconds{segment_seconds};
 
   ScenarioTag t;
   t.name = "walker";
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 96;
-  t.tag_power_dbm = -25.0;
-  t.distance_override_feet = 4.0;
+  t.tag_power = units::Dbm{-25.0};
+  t.distance_override = units::Feet{4.0};
   t.fading = channel::fading_for_mobility(channel::Mobility::kWalking);
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));

@@ -45,20 +45,20 @@ Scenario static_two_station_scene() {
   Scenario sc;
   sc.name = "static-scene";
   sc.seed = 71;
-  sc.duration_seconds = 0.3;
+  sc.duration = units::Seconds{0.3};
   ScenarioStation west;
   west.name = "west";
   west.config.program.genre = audio::ProgramGenre::kNews;
   west.config.program.stereo = false;
   west.config.seed = 71;
-  west.power_dbm = -28.0;
+  west.power = units::Dbm{-28.0};
   west.position = ScenePosition{-60.0, 0.0};
   ScenarioStation east = west;
   east.name = "east";
   east.config.program.genre = audio::ProgramGenre::kPop;
   east.config.seed = 72;
-  east.offset_hz = 800e3;
-  east.power_dbm = -30.0;
+  east.offset = units::Hertz{800e3};
+  east.power = units::Dbm{-30.0};
   east.position = ScenePosition{60.0, 0.0};
   sc.stations = {west, east};
 
@@ -77,7 +77,7 @@ Scenario static_two_station_scene() {
 TEST(ScenarioTimeline, SegmentingAStaticSceneIsBitIdentical) {
   const Scenario flat = static_two_station_scene();
   Scenario segmented = flat;
-  segmented.timeline.segment_seconds = 0.1;
+  segmented.timeline.segment = units::Seconds{0.1};
 
   const ScenarioEngine engine;
   const ScenarioResult a = engine.run(flat);
@@ -106,12 +106,12 @@ TEST(ScenarioTimeline, SegmentingAStaticSceneIsBitIdentical) {
 TEST(ScenarioTimeline, WalkingTagHandsOffBetweenStations) {
   Scenario sc = static_two_station_scene();
   sc.name = "walking";
-  sc.duration_seconds = 0.4;  // 0.48 s total -> 5 segments
-  sc.timeline.segment_seconds = 0.1;
+  sc.duration = units::Seconds{0.4};  // 0.48 s total -> 5 segments
+  sc.timeline.segment = units::Seconds{0.1};
   sc.tags[0].position = {-20.0, 0.0};
   sc.tags[0].waypoints = {{20.0, 0.0}};  // west side to east side
-  sc.tags[0].distance_override_feet = 4.0;  // constant link, moving selection
-  sc.tags[0].start_seconds = 0.0;           // burst while still west-side
+  sc.tags[0].distance_override = units::Feet{4.0};  // constant link, moving selection
+  sc.tags[0].start = units::Seconds{0.0};           // burst while still west-side
 
   const ScenarioResult r = ScenarioEngine().run(sc);
   ASSERT_EQ(r.segments.size(), 5U);
@@ -143,16 +143,16 @@ TEST(ScenarioTimeline, BurstSpanningASegmentBoundaryDecodesSeamFree) {
   sc.station.program.stereo = false;
   sc.station.seed = 81;
   sc.seed = 81;
-  sc.duration_seconds = 0.4;
-  sc.timeline.segment_seconds = 0.1;
+  sc.duration = units::Seconds{0.4};
+  sc.timeline.segment = units::Seconds{0.1};
   ScenarioTag t;
   t.name = "walker";
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 128;  // 80 ms: starts in one segment, ends in the next
-  t.tag_power_dbm = -25.0;
+  t.tag_power = units::Dbm{-25.0};
   t.position = {0.0, 0.0};
   t.waypoints = {{1.5, 0.0}};
-  t.start_seconds = 0.05;  // absolute 0.13 -> payload spans the 0.2 s boundary
+  t.start = units::Seconds{0.05};  // absolute 0.13 -> payload spans the 0.2 s boundary
   sc.tags.push_back(std::move(t));
   ScenarioReceiver rx = phone_listening_to(sc.tags[0].subcarrier);
   rx.position = {0.6, 0.9};
@@ -173,8 +173,8 @@ Scenario contention_scene(tag::MacKind second_tag_mac) {
   sc.station.program.stereo = false;
   sc.station.seed = 41;
   sc.seed = 41;
-  sc.duration_seconds = 0.45;
-  sc.timeline.segment_seconds = 0.1;
+  sc.duration = units::Seconds{0.45};
+  sc.timeline.segment = units::Seconds{0.1};
   const double starts[2] = {0.0, 0.03};  // overlapping nominal bursts
   for (int i = 0; i < 2; ++i) {
     ScenarioTag t;
@@ -183,10 +183,10 @@ Scenario contention_scene(tag::MacKind second_tag_mac) {
     t.name.assign(1, i == 0 ? 'a' : 'b');
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 128;  // 80 ms on the air
-    t.tag_power_dbm = -25.0;
-    t.distance_override_feet = 3.0;
+    t.tag_power = units::Dbm{-25.0};
+    t.distance_override = units::Feet{3.0};
     t.position = {static_cast<double>(i), 0.0};  // 1 m apart: B hears A
-    t.start_seconds = starts[i];
+    t.start = units::Seconds{starts[i]};
     if (i == 1) t.mac.kind = second_tag_mac;
     sc.tags.push_back(std::move(t));
   }
@@ -226,16 +226,16 @@ TEST(ScenarioMac, SlottedAlohaQuantizesTheStartInsideTheEngine) {
   sc.station.program.stereo = false;
   sc.station.seed = 43;
   sc.seed = 43;
-  sc.duration_seconds = 0.4;
+  sc.duration = units::Seconds{0.4};
   ScenarioTag t;
   t.name = "s";
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 96;
-  t.tag_power_dbm = -25.0;
-  t.distance_override_feet = 3.0;
-  t.start_seconds = 0.0;  // nominal absolute start 0.08 (the settle window)
+  t.tag_power = units::Dbm{-25.0};
+  t.distance_override = units::Feet{3.0};
+  t.start = units::Seconds{0.0};  // nominal absolute start 0.08 (the settle window)
   t.mac.kind = tag::MacKind::kSlottedAloha;
-  t.mac.slot_seconds = 0.15;
+  t.mac.slot = units::Seconds{0.15};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
 
@@ -268,16 +268,16 @@ TEST(ScenarioTimeline, RejectsBadSegmentLengthsAndTimelessCarrierSense) {
   const ScenarioEngine engine;
   Scenario sc = contention_scene(tag::MacKind::kPureAloha);
 
-  sc.timeline.segment_seconds = 0.05;  // below the 0.1 s streaming block
+  sc.timeline.segment = units::Seconds{0.05};  // below the 0.1 s streaming block
   EXPECT_THROW(engine.run(sc), std::invalid_argument);
-  sc.timeline.segment_seconds = 0.15;  // not a block multiple
+  sc.timeline.segment = units::Seconds{0.15};  // not a block multiple
   EXPECT_THROW(engine.run(sc), std::invalid_argument);
-  sc.timeline.segment_seconds = -0.1;
+  sc.timeline.segment = units::Seconds{-0.1};
   EXPECT_THROW(engine.run(sc), std::invalid_argument);
 
   // Carrier sense with no timeline cannot listen to anything.
   Scenario cs = contention_scene(tag::MacKind::kCarrierSense);
-  cs.timeline.segment_seconds = 0.0;
+  cs.timeline.segment = units::Seconds{0.0};
   EXPECT_THROW(engine.run(cs), std::invalid_argument);
 }
 

@@ -76,7 +76,7 @@ Scenario six_station_scene() {
   Scenario sc;
   sc.name = "memory_probe";
   sc.seed = 11;
-  sc.duration_seconds = 0.2;  // 0.28 s total: NOT a whole number of blocks
+  sc.duration = units::Seconds{0.2};  // 0.28 s total: NOT a whole number of blocks
   const double offsets[6] = {0.0, 200e3, -600e3, 600e3, -1000e3, 1000e3};
   for (int s = 0; s < 6; ++s) {
     ScenarioStation st;
@@ -84,18 +84,18 @@ Scenario six_station_scene() {
     st.config.program.genre = audio::ProgramGenre::kNews;
     st.config.program.stereo = false;
     st.config.seed = 100 + static_cast<std::uint64_t>(s);
-    st.offset_hz = offsets[s];
-    st.power_dbm = -28.0 - s;
+    st.offset = units::Hertz{offsets[s]};
+    st.power = units::Dbm{-28.0 - s};
     sc.stations.push_back(st);
   }
   ScenarioTag t;
   t.name = "poster";
   t.station_index = 0;
-  t.subcarrier.shift_hz = 100e3;  // tune at +100 kHz: only 0 / 200 kHz near
+  t.subcarrier.shift = units::Hertz{100e3};  // tune at +100 kHz: only 0 / 200 kHz near
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 128;
   t.packet_bits = 64;
-  t.distance_override_feet = 4.0;
+  t.distance_override = units::Feet{4.0};
   sc.tags.push_back(t);
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
   return sc;
@@ -152,7 +152,7 @@ TEST(ScenarioMemory, SparseRunPeakStaysBounded) {
 
 TEST(ScenarioMemory, WholeBlockRunNeedsNoScratch) {
   Scenario sc = six_station_scene();
-  sc.duration_seconds = 0.22;  // 0.3 s total = exactly 3 streaming blocks
+  sc.duration = units::Seconds{0.22};  // 0.3 s total = exactly 3 streaming blocks
   const ScenarioResult result =
       ScenarioEngine({.keep_captures = false}).run(sc);
   EXPECT_EQ(result.scene.scene_scratch_bytes, 0U);

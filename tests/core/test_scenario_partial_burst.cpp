@@ -19,16 +19,16 @@ Scenario partial_burst_scene(double tag_start_seconds,
                              tag::MacKind mac = tag::MacKind::kSlottedAloha) {
   Scenario sc;
   sc.name = "partial_burst";
-  sc.duration_seconds = 0.5;  // plus 0.08 s settle: 0.58 s total
+  sc.duration = units::Seconds{0.5};  // plus 0.08 s settle: 0.58 s total
   sc.station.program.stereo = false;
   ScenarioTag tag;
   tag.name = "late";
   tag.num_bits = 64;
-  tag.tag_power_dbm = -25.0;
-  tag.distance_override_feet = 4.0;
-  tag.start_seconds = tag_start_seconds;
+  tag.tag_power = units::Dbm{-25.0};
+  tag.distance_override = units::Feet{4.0};
+  tag.start = units::Seconds{tag_start_seconds};
   tag.mac.kind = mac;
-  tag.mac.slot_seconds = 0.2;
+  tag.mac.slot = units::Seconds{0.2};
   sc.tags.push_back(tag);
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
   return sc;

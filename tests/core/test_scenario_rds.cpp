@@ -20,13 +20,13 @@ Scenario radiotext_scenario(const std::string& text) {
   sc.station.program.genre = audio::ProgramGenre::kSilence;
   sc.station.program.stereo = false;
   sc.station.seed = 71;
-  sc.duration_seconds = 0.35;
+  sc.duration = units::Seconds{0.35};
 
   ScenarioTag t;
   t.name = "ad-poster";
   t.rds_radiotext = text;
-  t.tag_power_dbm = -25.0;
-  t.distance_override_feet = 4.0;
+  t.tag_power = units::Dbm{-25.0};
+  t.distance_override = units::Feet{4.0};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
   return sc;
@@ -58,11 +58,11 @@ TEST(ScenarioRds, StationPsRecoveredOnTunedChannel) {
   sc.station.seed = 73;
   sc.station.rds_level = 0.06;
   sc.station.rds_ps_name = "CITYRADI";
-  sc.duration_seconds = 0.45;  // >= 4 PS groups plus sync slack
+  sc.duration = units::Seconds{0.45};  // >= 4 PS groups plus sync slack
 
   ScenarioReceiver radio;
   radio.name = "radio";
-  radio.tune_offset_hz = 0.0;  // parked on the station carrier
+  radio.tune_offset = units::Hertz{0.0};  // parked on the station carrier
   sc.receivers.push_back(std::move(radio));
 
   const ScenarioResult result = ScenarioEngine().run(sc);
@@ -83,24 +83,24 @@ TEST(ScenarioRds, RdsBurstDefersUnderCarrierSense) {
   sc.station.program.genre = audio::ProgramGenre::kSilence;
   sc.station.program.stereo = false;
   sc.station.seed = 79;
-  sc.duration_seconds = 0.6;
-  sc.timeline.segment_seconds = 0.1;
+  sc.duration = units::Seconds{0.6};
+  sc.timeline.segment = units::Seconds{0.1};
 
   ScenarioTag neighbor;
   neighbor.name = "fsk-neighbor";
   neighbor.rate = tag::DataRate::k1600bps;
   neighbor.num_bits = 96;
-  neighbor.tag_power_dbm = -25.0;
-  neighbor.distance_override_feet = 4.0;
-  neighbor.start_seconds = 0.0;
+  neighbor.tag_power = units::Dbm{-25.0};
+  neighbor.distance_override = units::Feet{4.0};
+  neighbor.start = units::Seconds{0.0};
   sc.tags.push_back(std::move(neighbor));
 
   ScenarioTag ad;
   ad.name = "ad-poster";
   ad.rds_radiotext = "GO!";  // 1 group, ~0.09 s burst
-  ad.tag_power_dbm = -25.0;
-  ad.distance_override_feet = 4.0;
-  ad.start_seconds = 0.0;
+  ad.tag_power = units::Dbm{-25.0};
+  ad.distance_override = units::Feet{4.0};
+  ad.start = units::Seconds{0.0};
   ad.mac.kind = tag::MacKind::kCarrierSense;
   sc.tags.push_back(std::move(ad));
 

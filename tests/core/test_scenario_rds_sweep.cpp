@@ -26,20 +26,20 @@ Scenario sweep_point(double distance_ft) {
   sc.station.seed = 5;
   sc.station.rds_level = 0.05;
   sc.station.rds_ps_name = "SWEEPFMX";
-  sc.duration_seconds = 0.75;  // 8 RadioText groups at 1187.5 bps
+  sc.duration = units::Seconds{0.75};  // 8 RadioText groups at 1187.5 bps
 
   ScenarioTag t;
   t.name = "ad-poster";
   t.rds_radiotext = kAdText;
-  t.tag_power_dbm = -35.0;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{-35.0};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
   // A radio parked on the station carrier itself: the ambient channel's
   // own RDS (PS name) rides the same scene render.
   ScenarioReceiver parked;
   parked.name = "parked-radio";
-  parked.tune_offset_hz = 0.0;
+  parked.tune_offset = units::Hertz{0.0};
   sc.receivers.push_back(std::move(parked));
   return sc;
 }

@@ -48,8 +48,8 @@ void expect_quiet_pad(std::uint64_t seed) {
   SCOPED_TRACE(seed);
   Scenario sc;
   sc.name = "pad-seam";
-  sc.settle_seconds = 0.08;
-  sc.duration_seconds = 0.1;  // total 0.18 s = 1.8 blocks -> 0.02 s of pad
+  sc.settle = units::Seconds{0.08};
+  sc.duration = units::Seconds{0.1};  // total 0.18 s = 1.8 blocks -> 0.02 s of pad
   sc.seed = seed;
   sc.station.seed = seed;
   sc.station.program.genre = audio::ProgramGenre::kNews;
@@ -57,15 +57,15 @@ void expect_quiet_pad(std::uint64_t seed) {
 
   ScenarioReceiver rx;
   rx.name = "monitor";
-  rx.tune_offset_hz = 0.0;       // parked on the station carrier itself
-  rx.noise_dbm_200khz = -150.0;  // essentially noiseless: isolate the seam
+  rx.tune_offset = units::Hertz{0.0};       // parked on the station carrier itself
+  rx.noise_200khz = units::Dbm{-150.0};  // essentially noiseless: isolate the seam
   sc.receivers.push_back(rx);
 
   const ScenarioResult result = ScenarioEngine().run(sc);
   ASSERT_EQ(result.receivers.size(), 1U);
   const auto& mpx = result.receivers[0].capture.fm.mpx;
 
-  const double total = sc.settle_seconds + sc.duration_seconds;
+  const double total = sc.settle.raw() + sc.duration.raw();
   const auto seam =
       static_cast<std::size_t>(std::llround(total * fm::kMpxRate));
   ASSERT_GT(mpx.size(), seam + 500) << "capture should extend into the pad";

@@ -22,13 +22,13 @@ Scenario one_tag_scenario(double power_dbm, double distance_ft) {
   sc.station.seed = 0;  // pinned sweep-wide: one shared render
   sc.station.program.genre = audio::ProgramGenre::kNews;
   sc.station.program.stereo = false;
-  sc.duration_seconds = 0.1;
+  sc.duration = units::Seconds{0.1};
   ScenarioTag t;
   t.name = "tag";
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 64;
-  t.tag_power_dbm = power_dbm;
-  t.distance_override_feet = distance_ft;
+  t.tag_power = units::Dbm{power_dbm};
+  t.distance_override = units::Feet{distance_ft};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
   return sc;
@@ -119,8 +119,8 @@ TEST(ScenarioSweep, RepeatedMultiStationSweepHitsAtLeastMisses) {
     for (int s = 0; s < 3; ++s) {
       ScenarioStation st;
       st.name = "st" + std::to_string(s);
-      st.offset_hz = s * 400e3;
-      st.power_dbm = -30.0 - s;
+      st.offset = units::Hertz{s * 400e3};
+      st.power = units::Dbm{-30.0 - s};
       st.config.program.genre = audio::ProgramGenre::kSilence;
       st.config.program.stereo = false;
       st.config.seed = 0;  // pinned sweep-wide by the seed policy
@@ -155,13 +155,13 @@ Scenario segmented_mobile_scene(double walk_span_m) {
   Scenario sc;
   sc.name = "segmented-point";
   sc.seed = 0;  // derived per point by the seed policy
-  sc.duration_seconds = 0.4;
-  sc.timeline.segment_seconds = 0.1;
+  sc.duration = units::Seconds{0.4};
+  sc.timeline.segment = units::Seconds{0.1};
   for (int s = 0; s < 2; ++s) {
     ScenarioStation st;
     st.name = s == 0 ? "west" : "east";
-    st.offset_hz = s * 800e3;
-    st.power_dbm = s == 0 ? -28.0 : -30.0;
+    st.offset = units::Hertz{s * 800e3};
+    st.power = units::Dbm{s == 0 ? -28.0 : -30.0};
     st.position = ScenePosition{s == 0 ? -60.0 : 60.0, 0.0};
     st.config.program.genre = audio::ProgramGenre::kNews;
     st.config.program.stereo = false;
@@ -174,7 +174,7 @@ Scenario segmented_mobile_scene(double walk_span_m) {
   t.num_bits = 96;
   t.position = {-walk_span_m, 0.0};
   t.waypoints = {{walk_span_m, 0.0}};
-  t.distance_override_feet = 4.0;
+  t.distance_override = units::Feet{4.0};
   t.mac.kind = tag::MacKind::kCarrierSense;
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(phone_listening_to(sc.tags[0].subcarrier));
@@ -235,8 +235,8 @@ Scenario pruned_city_scene(double distance_ft) {
   for (int s = 0; s < 5; ++s) {
     ScenarioStation st;
     st.name = "st" + std::to_string(s);
-    st.offset_hz = offsets[s];
-    st.power_dbm = -28.0 - s;
+    st.offset = units::Hertz{offsets[s]};
+    st.power = units::Dbm{-28.0 - s};
     st.config.program.genre = audio::ProgramGenre::kNews;
     st.config.program.stereo = false;
     st.config.seed = 0;  // pinned sweep-wide by the seed policy

@@ -18,7 +18,7 @@ namespace {
 Scenario soak_scene(double duration_seconds) {
   Scenario sc;
   sc.name = "soak";
-  sc.duration_seconds = duration_seconds;
+  sc.duration = units::Seconds{duration_seconds};
   sc.station.program.stereo = false;
   sc.station.rds_level = 0.04;
   sc.station.rds_ps_name = "SOAKTEST";

@@ -89,8 +89,8 @@ TEST(SweepRunner, GridIsBitIdenticalAcrossThreadCounts) {
         for (const double p : powers) {
           for (const double d : distances) {
             ExperimentPoint point;
-            point.tag_power_dbm = p;
-            point.distance_feet = d;
+            point.tag_power = units::Dbm{p};
+            point.distance = units::Feet{d};
             points.push_back(point);
           }
         }
@@ -121,12 +121,12 @@ TEST(SweepRunner, RunGridShapesSeries) {
         std::to_string(static_cast<int>(p)) + "dBm",
         [p](double x) {
           ExperimentPoint point;
-          point.tag_power_dbm = p;
-          point.distance_feet = x;
+          point.tag_power = units::Dbm{p};
+          point.distance = units::Feet{x};
           return point;
         },
         [](const ExperimentPoint& pt, double x) {
-          return pt.tag_power_dbm * 1000.0 + x;  // cheap, order-revealing
+          return pt.tag_power.raw() * 1000.0 + x;  // cheap, order-revealing
         }});
   }
   const auto series = runner.run_grid(rows, {1.0, 2.0, 3.0});
@@ -147,8 +147,8 @@ TEST(StationCache, CachedRenderEqualsFreshRender) {
   config.seed = 1234;
   const double duration = 0.3;
 
-  const auto cached = cache.render(config, duration);
-  const fm::StationSignal fresh = fm::render_station(config, duration);
+  const auto cached = cache.render(config, units::Seconds{duration});
+  const fm::StationSignal fresh = fm::render_station(config, units::Seconds{duration});
 
   ASSERT_EQ(cached->iq.size(), fresh.iq.size());
   for (std::size_t i = 0; i < fresh.iq.size(); ++i) {
@@ -167,15 +167,15 @@ TEST(StationCache, SecondLookupHitsAndSharesTheRender) {
 
   fm::StationConfig config;
   config.seed = 777;
-  const auto first = cache.render(config, 0.2);
-  const auto second = cache.render(config, 0.2);
+  const auto first = cache.render(config, units::Seconds{0.2});
+  const auto second = cache.render(config, units::Seconds{0.2});
   EXPECT_EQ(first.get(), second.get());  // literally the same render
   EXPECT_EQ(cache.stats().misses, 1U);
   EXPECT_EQ(cache.stats().hits, 1U);
 
   // A different seed is a different station: no false sharing.
   config.seed = 778;
-  const auto third = cache.render(config, 0.2);
+  const auto third = cache.render(config, units::Seconds{0.2});
   EXPECT_NE(first.get(), third.get());
   EXPECT_EQ(cache.stats().misses, 2U);
 }
@@ -187,8 +187,8 @@ TEST(StationCache, DisabledCacheRendersFreshEveryTime) {
   cache.set_enabled(false);
   fm::StationConfig config;
   config.seed = 9;
-  const auto a = cache.render(config, 0.2);
-  const auto b = cache.render(config, 0.2);
+  const auto a = cache.render(config, units::Seconds{0.2});
+  const auto b = cache.render(config, units::Seconds{0.2});
   cache.set_enabled(true);
   EXPECT_NE(a.get(), b.get());
   EXPECT_EQ(cache.stats().hits, 0U);
@@ -205,11 +205,11 @@ TEST(StationCache, EvictsLeastRecentlyUsed) {
   cache.set_capacity(1);
   fm::StationConfig config;
   config.seed = 1;
-  (void)cache.render(config, 0.2);  // miss
+  (void)cache.render(config, units::Seconds{0.2});  // miss
   config.seed = 2;
-  (void)cache.render(config, 0.2);  // miss, evicts seed 1
+  (void)cache.render(config, units::Seconds{0.2});  // miss, evicts seed 1
   config.seed = 1;
-  (void)cache.render(config, 0.2);  // miss again
+  (void)cache.render(config, units::Seconds{0.2});  // miss again
   EXPECT_EQ(cache.stats().misses, 3U);
   EXPECT_EQ(cache.stats().hits, 0U);
   cache.set_capacity(original_capacity);

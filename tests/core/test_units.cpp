@@ -1,0 +1,132 @@
+// The strong-type layer's contract, proven twice over:
+//  * at compile time — the dimensional identities the link budget leans on
+//    are static_asserts, so a regression in units.h refuses to build;
+//  * at run time — the migrated channel API reproduces the exact values the
+//    raw-double implementation produced before the migration (pinned below),
+//    so the types are provably zero-cost in the only sense that matters.
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <type_traits>
+
+#include "channel/link_budget.h"
+#include "fm/constants.h"
+#include "tag/fsk.h"
+
+namespace fmbs {
+namespace {
+
+using namespace fmbs::units::literals;
+
+// ---- Compile-time identities ------------------------------------------------
+
+// dBm <-> watts round-trips exactly at the milliwatt reference, and the
+// non-positive-power clamp matches the historical dsp floor.
+static_assert((0.0_dbm).to_watts() == units::Watts{1e-3});
+static_assert(units::Watts{1e-3}.to_dbm() == 0.0_dbm);
+static_assert((10.0_dbm).to_watts() == units::Watts{1e-2});
+static_assert(units::Watts{0.0}.to_dbm().raw() == units::kFloorDb);
+
+// Log-domain composition is link-budget arithmetic: applying a gain to a
+// level yields a level; differencing two levels yields a gain.
+static_assert(-30.0_dbm + units::Db{10.0} == -20.0_dbm);
+static_assert(-30.0_dbm - units::Db{3.0} == -33.0_dbm);
+static_assert((-20.0_dbm) - (-30.0_dbm) == 10.0_db);
+static_assert(std::is_same_v<decltype(units::Dbm{} + units::Db{}), units::Dbm>);
+static_assert(std::is_same_v<decltype(units::Dbm{} - units::Dbm{}), units::Db>);
+
+// Feet <-> meters is an exact inverse pair through the single 0.3048.
+static_assert((1.0_ft).to_meters() == units::Meters{units::kMetersPerFoot});
+static_assert((4.0_ft).to_meters().to_feet() == 4.0_ft);
+static_assert((0.3048_m).to_feet().raw() == 1.0);
+
+// Wavelength carries the one speed-of-light constant.
+static_assert((100.0_mhz).wavelength() == units::Meters{299792458.0 / 100e6});
+
+// Seconds * SampleRate -> whole samples, round-to-nearest ties-away — the
+// same convention fsk_burst_seconds uses for whole-symbol rounding (checked
+// against the real function in the runtime section below).
+static_assert(0.1_s * units::SampleRate{240000.0} == units::SampleCount{24000});
+static_assert(units::Seconds{2.5} * units::SampleRate{1.0} ==
+              units::SampleCount{3});
+static_assert(units::Seconds{-2.5} * units::SampleRate{1.0} ==
+              units::SampleCount{-3});
+static_assert(units::SampleCount{24000}.at(units::SampleRate{240000.0}) ==
+              0.1_s);
+
+// UDL scaling is exact.
+static_assert(100.5_mhz == units::Hertz{100.5e6});
+static_assert(600.0_khz == units::Hertz{600e3});
+static_assert(2.0_mw == units::Watts{2e-3});
+static_assert(10.0_ms == units::Seconds{0.01});
+
+// ---- Runtime: migrated link budget vs pre-migration pins --------------------
+
+// Values produced by the raw-double implementation at the paper's phone
+// operating point (-30 dBm at the tag, direct = tag power, 4 ft range)
+// immediately before the strong-type migration. The migrated API must
+// reproduce them bit-for-bit: EXPECT_EQ, no tolerance.
+TEST(UnitsMigration, LinkBudgetMatchesPreMigrationPins) {
+  const channel::LinkBudget b = channel::compute_link_budget(
+      -30.0_dbm, -30.0_dbm, units::Feet{4.0}.to_meters());
+  EXPECT_EQ(b.backscatter_amplitude, 0.00011881182297421541);
+  EXPECT_EQ(b.backscatter_gain.raw(), -18.502806810500864);
+  EXPECT_EQ(b.direct_amplitude, 0.001);
+}
+
+TEST(UnitsMigration, BackscatterPathMatchesPreMigrationPins) {
+  const channel::BackscatterPath p = channel::compute_backscatter_path(
+      -30.0_dbm, -30.0_dbm, units::Feet{4.0}.to_meters());
+  EXPECT_EQ(p.sideband.raw(), 5.7211003419339568e-09);
+  EXPECT_EQ(p.sideband_power.raw(), -52.425204351103915);
+}
+
+// The Seconds * SampleRate rounding rule is the same whole-symbol rounding
+// fsk_burst_seconds performs: burst duration times the rate is a whole
+// number of samples, and re-deriving it through the typed path agrees.
+TEST(UnitsMigration, SampleRuleMatchesFskBurstRounding) {
+  for (const auto rate : {tag::DataRate::k100bps, tag::DataRate::k1600bps,
+                          tag::DataRate::k3200bps}) {
+    for (const std::size_t bits : {1U, 7U, 96U, 1000U}) {
+      const units::Seconds burst{
+          tag::fsk_burst_seconds(bits, rate, fm::kMpxRate)};
+      const units::SampleCount n = burst * units::SampleRate{fm::kMpxRate};
+      // A whole-symbol burst is a whole number of samples: converting back
+      // reproduces the duration exactly (kMpxRate divides cleanly).
+      EXPECT_EQ(n.at(units::SampleRate{fm::kMpxRate}).raw(), burst.raw())
+          << "rate=" << static_cast<int>(rate) << " bits=" << bits;
+    }
+  }
+}
+
+// Watts round-trip at an arbitrary (non-reference) level is tight but not
+// exact — one pow/log10 pair — and the historical dsp floor caps the bottom.
+TEST(Units, DbmWattsRoundTrip) {
+  const units::Dbm p = -52.425204351103915_dbm;
+  EXPECT_NEAR(p.to_watts().to_dbm().raw(), p.raw(), 1e-12);
+  EXPECT_EQ(units::Watts{-1.0}.to_dbm().raw(), units::kFloorDb);
+}
+
+TEST(Units, DbLinearHelpers) {
+  EXPECT_NEAR(units::Db{3.0103}.power_ratio(), 2.0, 1e-4);
+  EXPECT_NEAR(units::Db{6.0206}.amplitude_ratio(), 2.0, 1e-4);
+  EXPECT_NEAR(units::Db::from_power_ratio(2.0).raw(), 3.0103, 1e-4);
+  EXPECT_EQ(units::Db::from_power_ratio(0.0).raw(), units::kFloorDb);
+  EXPECT_EQ(units::Db::from_amplitude_ratio(-1.0).raw(), units::kFloorDb);
+}
+
+// -inf dBm is a legitimate value (a silent channel) and composes sanely.
+TEST(Units, SilentChannelSentinel) {
+  const units::Dbm silent{-std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(silent.to_watts().raw(), 0.0);
+  EXPECT_LT(silent, -300.0_dbm);
+  EXPECT_EQ((silent + units::Db{40.0}).raw(),
+            -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace fmbs

@@ -215,8 +215,8 @@ dsp::cvec subcarrier_reference(const tag::SubcarrierConfig& cfg, int harmonics,
                                             0.45 / static_cast<double>(factor)),
       factor);
   const dsp::rvec up = interp.process(baseband);
-  const double base_step = dsp::kTwoPi * cfg.shift_hz / cfg.rf_rate;
-  const double dev_step = dsp::kTwoPi * cfg.deviation_hz / cfg.rf_rate;
+  const double base_step = dsp::kTwoPi * cfg.shift.raw() / cfg.rf_rate;
+  const double dev_step = dsp::kTwoPi * cfg.deviation.raw() / cfg.rf_rate;
   const double levels =
       cfg.dco_bits > 0 ? std::pow(2.0, cfg.dco_bits) - 1.0 : 0.0;
   dsp::PhaseAccumulator phase;
@@ -251,7 +251,7 @@ dsp::cvec subcarrier_reference(const tag::SubcarrierConfig& cfg, int harmonics,
 
 TEST(SimdKernels, SubcarrierSquarePinnedToScalarReference) {
   tag::SubcarrierConfig cfg;
-  cfg.shift_hz = 100000.0;  // low shift => several harmonics fit below Nyquist
+  cfg.shift = units::Hertz{100000.0};  // low shift => several harmonics fit below Nyquist
   cfg.dco_bits = 8;         // exercise the DCO quantization inside the loop
   tag::SubcarrierGenerator gen(cfg);
   ASSERT_GE(gen.harmonics_used(), 3) << "config should synthesize harmonics";

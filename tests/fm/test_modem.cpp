@@ -14,7 +14,7 @@ namespace {
 using audio::make_tone;
 
 TEST(FmModulator, UnitEnvelope) {
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto t = make_tone(1000.0, 0.8, 0.1, kMpxRate);
   const auto iq = mod.process(t.samples);
   for (const auto& v : iq) {
@@ -25,7 +25,7 @@ TEST(FmModulator, UnitEnvelope) {
 TEST(FmModulator, CarsonBandwidth) {
   // Eq. 1 + Carson's rule: a 15 kHz tone at full deviation occupies about
   // 2(75+15) = 180 kHz.
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto t = make_tone(15000.0, 1.0, 0.5, kMpxRate);
   const auto iq = mod.process(t.samples);
   // Measure occupied bandwidth from the complex spectrum: power outside
@@ -38,14 +38,14 @@ TEST(FmModulator, CarsonBandwidth) {
 }
 
 TEST(FmModulator, Validation) {
-  EXPECT_THROW(FmModulator(0.0, kMpxRate), std::invalid_argument);
-  EXPECT_THROW(FmModulator(75000.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(FmModulator(200000.0, 240000.0), std::invalid_argument);
+  EXPECT_THROW(FmModulator( units::Hertz{0.0}, kMpxRate), std::invalid_argument);
+  EXPECT_THROW(FmModulator( units::Hertz{75000.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(FmModulator( units::Hertz{200000.0}, 240000.0), std::invalid_argument);
 }
 
 TEST(FmModem, RoundTripRecoversBaseband) {
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
-  QuadratureDemodulator demod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
+  QuadratureDemodulator demod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto t = make_tone(7000.0, 0.7, 0.2, kMpxRate);
   const auto iq = mod.process(t.samples);
   const auto back = demod.process(iq);
@@ -62,11 +62,11 @@ TEST(FmModem, AmplitudeProportionalToDeviation) {
   // is scaled by the frequency deviation; larger frequency deviations result
   // in a louder audio signal."
   const auto t = make_tone(1000.0, 0.5, 0.1, kMpxRate);
-  FmModulator mod_full(75000.0, kMpxRate);
-  FmModulator mod_half(37500.0, kMpxRate);
+  FmModulator mod_full( units::Hertz{75000.0}, kMpxRate);
+  FmModulator mod_half( units::Hertz{37500.0}, kMpxRate);
   // Demodulate both with the same receiver assumption (75 kHz).
-  QuadratureDemodulator demod1(75000.0, kMpxRate);
-  QuadratureDemodulator demod2(75000.0, kMpxRate);
+  QuadratureDemodulator demod1( units::Hertz{75000.0}, kMpxRate);
+  QuadratureDemodulator demod2( units::Hertz{75000.0}, kMpxRate);
   const auto out_full = demod1.process(mod_full.process(t.samples));
   const auto out_half = demod2.process(mod_half.process(t.samples));
   const double rms_full = dsp::rms({out_full.data() + 100, out_full.size() - 100});
@@ -82,8 +82,8 @@ TEST(FmModem, FrequencyAdditionBecomesBasebandAddition) {
   const auto b = make_tone(9000.0, 0.3, 0.2, kMpxRate);
   std::vector<float> sum(a.size());
   for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a.samples[i] + b.samples[i];
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
-  QuadratureDemodulator demod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
+  QuadratureDemodulator demod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto back = demod.process(mod.process(sum));
   for (std::size_t i = 10; i < back.size(); ++i) {
     EXPECT_NEAR(back[i], sum[i - 1], 0.02F);
@@ -92,8 +92,8 @@ TEST(FmModem, FrequencyAdditionBecomesBasebandAddition) {
 
 TEST(FmModem, SurvivesPhaseRotation) {
   // A constant channel phase must not affect the demodulated audio.
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
-  QuadratureDemodulator demod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
+  QuadratureDemodulator demod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto t = make_tone(3000.0, 0.6, 0.1, kMpxRate);
   auto iq = mod.process(t.samples);
   const dsp::cfloat rot(std::cos(1.234F), std::sin(1.234F));
@@ -106,8 +106,8 @@ TEST(FmModem, SurvivesPhaseRotation) {
 
 TEST(FmModem, SurvivesAmplitudeScaling) {
   // FM is constant-envelope: receiver output is amplitude independent.
-  FmModulator mod(kMaxDeviationHz, kMpxRate);
-  QuadratureDemodulator demod(kMaxDeviationHz, kMpxRate);
+  FmModulator mod( units::Hertz{kMaxDeviationHz}, kMpxRate);
+  QuadratureDemodulator demod( units::Hertz{kMaxDeviationHz}, kMpxRate);
   const auto t = make_tone(3000.0, 0.6, 0.1, kMpxRate);
   auto iq = mod.process(t.samples);
   for (auto& v : iq) v *= 0.001F;
@@ -118,8 +118,8 @@ TEST(FmModem, SurvivesAmplitudeScaling) {
 }
 
 TEST(QuadratureDemodulator, Validation) {
-  EXPECT_THROW(QuadratureDemodulator(0.0, kMpxRate), std::invalid_argument);
-  EXPECT_THROW(QuadratureDemodulator(75000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(QuadratureDemodulator( units::Hertz{0.0}, kMpxRate), std::invalid_argument);
+  EXPECT_THROW(QuadratureDemodulator( units::Hertz{75000.0}, 0.0), std::invalid_argument);
 }
 
 }  // namespace

@@ -106,8 +106,8 @@ TEST(Mpx, ExtractMonoRecoversProgram) {
 
 TEST(Emphasis, PreThenDeIsIdentity) {
   const MonoBuffer t = make_tone(5000.0, 0.5, 0.2, kAudioRate);
-  PreEmphasis pre(kDeemphasisSeconds, kAudioRate);
-  DeEmphasis de(kDeemphasisSeconds, kAudioRate);
+  PreEmphasis pre( units::Seconds{kDeemphasisSeconds}, kAudioRate);
+  DeEmphasis de( units::Seconds{kDeemphasisSeconds}, kAudioRate);
   const auto boosted = pre.process(t.samples);
   const auto restored = de.process(boosted);
   for (std::size_t i = 100; i < restored.size(); ++i) {
@@ -116,7 +116,7 @@ TEST(Emphasis, PreThenDeIsIdentity) {
 }
 
 TEST(Emphasis, PreEmphasisBoostsTreble) {
-  PreEmphasis pre(kDeemphasisSeconds, kAudioRate);
+  PreEmphasis pre( units::Seconds{kDeemphasisSeconds}, kAudioRate);
   const MonoBuffer hi = make_tone(10000.0, 0.1, 0.2, kAudioRate);
   const auto boosted = pre.process(hi.samples);
   double in = 0.0, out = 0.0;
@@ -129,7 +129,7 @@ TEST(Emphasis, PreEmphasisBoostsTreble) {
 }
 
 TEST(Emphasis, DeEmphasisCutsTreble) {
-  DeEmphasis de(kDeemphasisSeconds, kAudioRate);
+  DeEmphasis de( units::Seconds{kDeemphasisSeconds}, kAudioRate);
   const MonoBuffer hi = make_tone(10000.0, 0.5, 0.2, kAudioRate);
   const auto cut = de.process(hi.samples);
   double in = 0.0, out = 0.0;

@@ -11,7 +11,7 @@ namespace {
 TEST(Station, RendersConsistentLengths) {
   StationConfig cfg;
   cfg.program.genre = audio::ProgramGenre::kNews;
-  const StationSignal sig = render_station(cfg, 1.0);
+  const StationSignal sig = render_station(cfg, units::Seconds{1.0});
   EXPECT_EQ(sig.iq.size(), static_cast<std::size_t>(kMpxRate));
   EXPECT_EQ(sig.mpx.size(), sig.iq.size());
   EXPECT_EQ(sig.program.size(), static_cast<std::size_t>(kAudioRate));
@@ -20,7 +20,7 @@ TEST(Station, RendersConsistentLengths) {
 TEST(Station, UnitEnvelope) {
   StationConfig cfg;
   cfg.program.genre = audio::ProgramGenre::kPop;
-  const StationSignal sig = render_station(cfg, 0.3);
+  const StationSignal sig = render_station(cfg, units::Seconds{0.3});
   for (std::size_t i = 0; i < sig.iq.size(); i += 101) {
     EXPECT_NEAR(std::abs(sig.iq[i]), 1.0F, 1e-4F);
   }
@@ -30,8 +30,8 @@ TEST(Station, DeterministicPerSeed) {
   StationConfig cfg;
   cfg.program.genre = audio::ProgramGenre::kRock;
   cfg.seed = 77;
-  const StationSignal a = render_station(cfg, 0.2);
-  const StationSignal b = render_station(cfg, 0.2);
+  const StationSignal a = render_station(cfg, units::Seconds{0.2});
+  const StationSignal b = render_station(cfg, units::Seconds{0.2});
   ASSERT_EQ(a.iq.size(), b.iq.size());
   for (std::size_t i = 0; i < a.iq.size(); i += 37) {
     EXPECT_EQ(a.iq[i], b.iq[i]);
@@ -40,8 +40,8 @@ TEST(Station, DeterministicPerSeed) {
 
 TEST(Station, Validation) {
   StationConfig cfg;
-  EXPECT_THROW(render_station(cfg, 0.0), std::invalid_argument);
-  EXPECT_THROW(render_station(cfg, -1.0), std::invalid_argument);
+  EXPECT_THROW(render_station(cfg, units::Seconds{0.0}), std::invalid_argument);
+  EXPECT_THROW(render_station(cfg, units::Seconds{-1.0}), std::invalid_argument);
 }
 
 TEST(StationToReceiver, FullLoopbackRecoversProgram) {
@@ -51,7 +51,7 @@ TEST(StationToReceiver, FullLoopbackRecoversProgram) {
   cfg.program.genre = audio::ProgramGenre::kNews;
   cfg.program.stereo = true;
   cfg.seed = 5;
-  const StationSignal sig = render_station(cfg, 2.0);
+  const StationSignal sig = render_station(cfg, units::Seconds{2.0});
 
   ReceiverConfig rcfg;
   const ReceiverOutput out = receive_fm(sig.iq, rcfg);
@@ -71,7 +71,7 @@ TEST(StationToReceiver, RdsRidesAlong) {
   cfg.program.genre = audio::ProgramGenre::kNews;
   cfg.rds_level = 0.08;
   cfg.rds_ps_name = "KKFM 923";
-  const StationSignal sig = render_station(cfg, 2.5);
+  const StationSignal sig = render_station(cfg, units::Seconds{2.5});
   ReceiverConfig rcfg;
   const ReceiverOutput out = receive_fm(sig.iq, rcfg);
   const auto rds = decode_rds(out.mpx, kMpxRate);

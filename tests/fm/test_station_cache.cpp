@@ -50,37 +50,37 @@ TEST_F(StationCacheScopeTest, PinnedSceneOverflowsInsteadOfThrashing) {
   {
     StationCache::SceneScope scope(cache_);
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-      (void)scope.render(station_with_seed(seed), 0.05);
+      (void)scope.render(station_with_seed(seed), units::Seconds{0.05});
     }
     EXPECT_EQ(cache_.stats().misses, 4U);
     // Every station of the scene is still resident despite capacity 2: the
     // second pass is all hits. An unpinned LRU-of-2 would re-render each.
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-      (void)scope.render(station_with_seed(seed), 0.05);
+      (void)scope.render(station_with_seed(seed), units::Seconds{0.05});
     }
     EXPECT_EQ(cache_.stats().misses, 4U);
     EXPECT_EQ(cache_.stats().hits, 4U);
   }
   // Scope gone: the cache shrinks back to capacity, keeping the most
   // recently used renders (seeds 3 and 4).
-  (void)cache_.render(station_with_seed(4), 0.05);
+  (void)cache_.render(station_with_seed(4), units::Seconds{0.05});
   EXPECT_EQ(cache_.stats().hits, 5U);
-  (void)cache_.render(station_with_seed(1), 0.05);
+  (void)cache_.render(station_with_seed(1), units::Seconds{0.05});
   EXPECT_EQ(cache_.stats().misses, 5U);
 }
 
 TEST_F(StationCacheScopeTest, PinsProtectAgainstConcurrentScenes) {
   cache_.set_capacity(1);
   StationCache::SceneScope scene_a(cache_);
-  (void)scene_a.render(station_with_seed(11), 0.05);
+  (void)scene_a.render(station_with_seed(11), units::Seconds{0.05});
   // A second scene (another sweep thread) floods the cache; the pinned
   // render must survive it.
   {
     StationCache::SceneScope scene_b(cache_);
     for (std::uint64_t seed = 21; seed <= 23; ++seed) {
-      (void)scene_b.render(station_with_seed(seed), 0.05);
+      (void)scene_b.render(station_with_seed(seed), units::Seconds{0.05});
     }
-    (void)scene_a.render(station_with_seed(11), 0.05);
+    (void)scene_a.render(station_with_seed(11), units::Seconds{0.05});
     EXPECT_EQ(cache_.stats().hits, 1U);  // still resident: no re-render
   }
 }
@@ -88,12 +88,12 @@ TEST_F(StationCacheScopeTest, PinsProtectAgainstConcurrentScenes) {
 TEST_F(StationCacheScopeTest, EvictOnExitDropsTheSceneEntries) {
   {
     StationCache::SceneScope scope(cache_, /*evict_on_exit=*/true);
-    (void)scope.render(station_with_seed(31), 0.05);
-    (void)scope.render(station_with_seed(32), 0.05);
+    (void)scope.render(station_with_seed(31), units::Seconds{0.05});
+    (void)scope.render(station_with_seed(32), units::Seconds{0.05});
   }
   EXPECT_EQ(cache_.stats().misses, 2U);
   // Dropped on exit: rendering again misses.
-  (void)cache_.render(station_with_seed(31), 0.05);
+  (void)cache_.render(station_with_seed(31), units::Seconds{0.05});
   EXPECT_EQ(cache_.stats().misses, 3U);
   EXPECT_EQ(cache_.stats().hits, 0U);
 }
@@ -101,22 +101,22 @@ TEST_F(StationCacheScopeTest, EvictOnExitDropsTheSceneEntries) {
 TEST_F(StationCacheScopeTest, SharedKeyStaysWhileAnotherScopeHoldsIt) {
   {
     StationCache::SceneScope keeper(cache_);
-    (void)keeper.render(station_with_seed(41), 0.05);
+    (void)keeper.render(station_with_seed(41), units::Seconds{0.05});
     {
       StationCache::SceneScope dropper(cache_, /*evict_on_exit=*/true);
-      (void)dropper.render(station_with_seed(41), 0.05);
+      (void)dropper.render(station_with_seed(41), units::Seconds{0.05});
     }
     // The dropper exits but the keeper still pins the entry.
-    (void)cache_.render(station_with_seed(41), 0.05);
+    (void)cache_.render(station_with_seed(41), units::Seconds{0.05});
     EXPECT_EQ(cache_.stats().misses, 1U);
     EXPECT_EQ(cache_.stats().hits, 2U);
   }
 }
 
 TEST_F(StationCacheScopeTest, ScopedRenderEqualsPlainRender) {
-  const auto plain = cache_.render(station_with_seed(51), 0.05);
+  const auto plain = cache_.render(station_with_seed(51), units::Seconds{0.05});
   StationCache::SceneScope scope(cache_);
-  const auto scoped = scope.render(station_with_seed(51), 0.05);
+  const auto scoped = scope.render(station_with_seed(51), units::Seconds{0.05});
   EXPECT_EQ(plain.get(), scoped.get());  // literally the same render
 }
 
@@ -137,7 +137,7 @@ TEST_F(StationCacheScopeTest, ConcurrentScopesPinAndEvictSafely) {
   cache_.set_enabled(false);
   std::vector<std::shared_ptr<const StationSignal>> reference;
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
-    reference.push_back(cache_.render(station_with_seed(seed + 1), kDuration));
+    reference.push_back(cache_.render(station_with_seed(seed + 1), units::Seconds{kDuration}));
   }
   cache_.set_enabled(true);
   cache_.reset_stats();
@@ -157,7 +157,7 @@ TEST_F(StationCacheScopeTest, ConcurrentScopesPinAndEvictSafely) {
         for (std::uint64_t k = 0; k < 3; ++k) {
           const std::uint64_t seed = (t + iter + k) % kSeeds;
           const auto signal =
-              scope.render(station_with_seed(seed + 1), kDuration);
+              scope.render(station_with_seed(seed + 1), units::Seconds{kDuration});
           const auto& expect = *reference[seed];
           if (signal == nullptr || signal->iq.size() != expect.iq.size() ||
               (!signal->iq.empty() && signal->iq[0] != expect.iq[0]) ||
@@ -167,8 +167,7 @@ TEST_F(StationCacheScopeTest, ConcurrentScopesPinAndEvictSafely) {
           }
         }
         // Unscoped renders from the same thread race the scopes' pins.
-        (void)cache_.render(station_with_seed((t + iter) % kSeeds + 1),
-                            kDuration);
+        (void)cache_.render(station_with_seed((t + iter) % kSeeds + 1), units::Seconds{kDuration});
       }
     });
   }
@@ -181,7 +180,7 @@ TEST_F(StationCacheScopeTest, ConcurrentScopesPinAndEvictSafely) {
   // a fresh scope normally.
   cache_.set_capacity(1);
   StationCache::SceneScope scope(cache_);
-  const auto after = scope.render(station_with_seed(1), kDuration);
+  const auto after = scope.render(station_with_seed(1), units::Seconds{kDuration});
   ASSERT_NE(after, nullptr);
   EXPECT_EQ(after->iq.size(), reference[0]->iq.size());
 }

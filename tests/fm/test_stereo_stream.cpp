@@ -34,7 +34,7 @@ void expect_stream_matches_one_shot(const dsp::rvec& mpx,
   SCOPED_TRACE("block=" + std::to_string(block));
   const StereoDecodeResult one_shot = decode_stereo(mpx, cfg);
 
-  StereoStreamDecoder stream(cfg, mpx.size(), decision_window_seconds);
+  StereoStreamDecoder stream(cfg, mpx.size(), units::Seconds{decision_window_seconds});
   dsp::rvec left;
   dsp::rvec right;
   for (std::size_t i = 0; i < mpx.size(); i += block) {
@@ -90,7 +90,7 @@ TEST(StereoStream, DecisionWindowCoveringCaptureMatches) {
 
 TEST(StereoStream, BoundedDecisionWindowIsBoundedMemory) {
   const dsp::rvec mpx = test_mpx(true, 1.0);
-  StereoStreamDecoder stream(StereoDecoderConfig{}, mpx.size(), 0.25);
+  StereoStreamDecoder stream(StereoDecoderConfig{}, mpx.size(), units::Seconds{0.25});
   EXPECT_EQ(stream.decision_buffer_bytes(),
             static_cast<std::size_t>(0.25 * kMpxRate) * sizeof(float));
   dsp::rvec left;

@@ -22,14 +22,14 @@ inline core::Scenario solo_poster() {
   sc.station.program.stereo = false;
   sc.station.seed = 21;
   sc.seed = 21;
-  sc.duration_seconds = 0.25;
+  sc.duration = units::Seconds{0.25};
   core::ScenarioTag t;
   t.name = "poster";
   t.rate = tag::DataRate::k1600bps;
   t.num_bits = 320;
   t.packet_bits = 80;
-  t.tag_power_dbm = -25.0;
-  t.distance_override_feet = 4.0;
+  t.tag_power = units::Dbm{-25.0};
+  t.distance_override = units::Feet{4.0};
   sc.tags.push_back(std::move(t));
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
   return sc;
@@ -44,7 +44,7 @@ inline core::Scenario city_disjoint() {
   sc.station.program.stereo = false;
   sc.station.seed = 23;
   sc.seed = 23;
-  sc.duration_seconds = 0.2;
+  sc.duration = units::Seconds{0.2};
   const auto plan = tag::plan_subcarrier_channels(4);
   for (std::size_t i = 0; i < 4; ++i) {
     core::ScenarioTag t;
@@ -53,8 +53,8 @@ inline core::Scenario city_disjoint() {
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 128;
     t.packet_bits = 64;
-    t.tag_power_dbm = -32.0;
-    t.distance_override_feet = 5.0;
+    t.tag_power = units::Dbm{-32.0};
+    t.distance_override = units::Feet{5.0};
     sc.tags.push_back(std::move(t));
   }
   sc.receivers.push_back(core::phone_listening_to(plan[0].subcarrier));
@@ -71,16 +71,16 @@ inline core::Scenario aloha_burst() {
   sc.station.program.stereo = false;
   sc.station.seed = 31;
   sc.seed = 31;
-  sc.duration_seconds = 0.3;
+  sc.duration = units::Seconds{0.3};
   const double starts[3] = {0.0, 0.02, 0.18};
   for (int i = 0; i < 3; ++i) {
     core::ScenarioTag t;
     t.name = "node" + std::to_string(i);
     t.rate = tag::DataRate::k1600bps;
     t.num_bits = 96;
-    t.tag_power_dbm = -25.0;
-    t.distance_override_feet = 3.0;
-    t.start_seconds = starts[i];
+    t.tag_power = units::Dbm{-25.0};
+    t.distance_override = units::Feet{3.0};
+    t.start = units::Seconds{starts[i]};
     sc.tags.push_back(std::move(t));
   }
   sc.receivers.push_back(core::phone_listening_to(sc.tags[0].subcarrier));
@@ -96,36 +96,36 @@ inline core::Scenario two_station_city() {
   core::Scenario sc;
   sc.name = "two_station_city";
   sc.seed = 37;
-  sc.duration_seconds = 0.25;
+  sc.duration = units::Seconds{0.25};
 
   core::ScenarioStation west;
   west.name = "west-news";
   west.config.program.genre = audio::ProgramGenre::kNews;
   west.config.program.stereo = false;
   west.config.seed = 37;
-  west.offset_hz = 0.0;
-  west.power_dbm = -28.0;
+  west.offset = units::Hertz{0.0};
+  west.power = units::Dbm{-28.0};
   west.position = core::ScenePosition{-60.0, 0.0};
   core::ScenarioStation east;
   east.name = "east-pop";
   east.config.program.genre = audio::ProgramGenre::kPop;
   east.config.program.stereo = false;
   east.config.seed = 38;
-  east.offset_hz = 800e3;
-  east.power_dbm = -30.0;
+  east.offset = units::Hertz{800e3};
+  east.power = units::Dbm{-30.0};
   east.position = core::ScenePosition{60.0, 0.0};
   sc.stations = {west, east};
 
   core::ScenarioTag poster_w;
   poster_w.name = "west-poster";
-  poster_w.subcarrier.shift_hz = 600e3;  // west channel: 0 + 600 kHz
+  poster_w.subcarrier.shift = units::Hertz{600e3};  // west channel: 0 + 600 kHz
   poster_w.rate = tag::DataRate::k1600bps;
   poster_w.num_bits = 192;
   poster_w.packet_bits = 96;
   poster_w.position = {-10.0, 0.0};
   core::ScenarioTag poster_e;
   poster_e.name = "east-poster";
-  poster_e.subcarrier.shift_hz = -600e3;  // east channel: 800 - 600 kHz
+  poster_e.subcarrier.shift = units::Hertz{-600e3};  // east channel: 800 - 600 kHz
   poster_e.subcarrier.mode = tag::SubcarrierMode::kSingleSideband;
   poster_e.rate = tag::DataRate::k1600bps;
   poster_e.num_bits = 192;
@@ -138,7 +138,7 @@ inline core::Scenario two_station_city() {
   phone_w.position = {-10.0, 1.5};
   core::ScenarioReceiver phone_e;
   phone_e.name = "phone-east";
-  phone_e.tune_offset_hz = east.offset_hz + poster_e.subcarrier.shift_hz;
+  phone_e.tune_offset = units::Hertz{east.offset.raw() + poster_e.subcarrier.shift.raw()};
   phone_e.position = {10.0, 1.5};
   sc.receivers = {phone_w, phone_e};
   return sc;
@@ -154,37 +154,37 @@ inline core::Scenario mobile_handoff() {
   core::Scenario sc;
   sc.name = "mobile_handoff";
   sc.seed = 53;
-  sc.duration_seconds = 0.4;
-  sc.timeline.segment_seconds = 0.1;  // 0.48 s total -> 5 segments
+  sc.duration = units::Seconds{0.4};
+  sc.timeline.segment = units::Seconds{0.1};  // 0.48 s total -> 5 segments
 
   core::ScenarioStation west;
   west.name = "west-news";
   west.config.program.genre = audio::ProgramGenre::kNews;
   west.config.program.stereo = false;
   west.config.seed = 53;
-  west.offset_hz = 0.0;
-  west.power_dbm = -28.0;
+  west.offset = units::Hertz{0.0};
+  west.power = units::Dbm{-28.0};
   west.position = core::ScenePosition{-60.0, 0.0};
   core::ScenarioStation east;
   east.name = "east-pop";
   east.config.program.genre = audio::ProgramGenre::kPop;
   east.config.program.stereo = false;
   east.config.seed = 54;
-  east.offset_hz = 800e3;
-  east.power_dbm = -30.0;
+  east.offset = units::Hertz{800e3};
+  east.power = units::Dbm{-30.0};
   east.position = core::ScenePosition{60.0, 0.0};
   sc.stations = {west, east};
 
   core::ScenarioTag walker;
   walker.name = "walker";
-  walker.subcarrier.shift_hz = 600e3;
+  walker.subcarrier.shift = units::Hertz{600e3};
   walker.rate = tag::DataRate::k1600bps;
   walker.num_bits = 128;
   walker.packet_bits = 64;
   walker.position = {-20.0, 0.0};
   walker.waypoints = {{20.0, 0.0}};  // west side to east side
-  walker.distance_override_feet = 4.0;  // constant link, moving selection
-  walker.start_seconds = 0.0;
+  walker.distance_override = units::Feet{4.0};  // constant link, moving selection
+  walker.start = units::Seconds{0.0};
   sc.tags = {walker};
 
   core::ScenarioReceiver phone =
@@ -204,7 +204,7 @@ inline core::Scenario rds_city() {
   core::Scenario sc;
   sc.name = "rds_city";
   sc.seed = 59;
-  sc.duration_seconds = 0.3;
+  sc.duration = units::Seconds{0.3};
   sc.station.program.genre = audio::ProgramGenre::kNews;
   sc.station.program.stereo = false;
   sc.station.seed = 59;
@@ -216,16 +216,16 @@ inline core::Scenario rds_city() {
   ad.name = "ad-poster";
   ad.subcarrier = plan[0].subcarrier;
   ad.rds_radiotext = "RDS CITY";  // 3 groups, ~0.26 s burst
-  ad.tag_power_dbm = -25.0;
-  ad.distance_override_feet = 4.0;
+  ad.tag_power = units::Dbm{-25.0};
+  ad.distance_override = units::Feet{4.0};
   core::ScenarioTag sign;
   sign.name = "fsk-sign";
   sign.subcarrier = plan[1].subcarrier;
   sign.rate = tag::DataRate::k1600bps;
   sign.num_bits = 128;
   sign.packet_bits = 64;
-  sign.tag_power_dbm = -25.0;
-  sign.distance_override_feet = 5.0;
+  sign.tag_power = units::Dbm{-25.0};
+  sign.distance_override = units::Feet{5.0};
   sc.tags = {ad, sign};
 
   sc.receivers.push_back(core::phone_listening_to(plan[0].subcarrier));

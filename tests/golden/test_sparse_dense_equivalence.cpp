@@ -137,19 +137,19 @@ TEST(SparseDenseEquivalence, FarStationsArePruned) {
   core::ScenarioStation center;
   center.name = "center";
   center.config = sc.station;
-  center.offset_hz = 0.0;
-  center.power_dbm = -28.0;
+  center.offset = units::Hertz{0.0};
+  center.power = units::Dbm{-28.0};
   core::ScenarioStation far_a;
   far_a.name = "far-a";
   far_a.config.program.genre = audio::ProgramGenre::kPop;
   far_a.config.program.stereo = false;
   far_a.config.seed = 91;
-  far_a.offset_hz = -800e3;
-  far_a.power_dbm = -30.0;
+  far_a.offset = units::Hertz{-800e3};
+  far_a.power = units::Dbm{-30.0};
   core::ScenarioStation far_b = far_a;
   far_b.name = "far-b";
   far_b.config.seed = 92;
-  far_b.offset_hz = -1000e3;
+  far_b.offset = units::Hertz{-1000e3};
   sc.stations = {center, far_a, far_b};
   // Pin the poster to the center station; add a second tag pinned to far-a
   // whose channel (-800k + 100k) no receiver tunes near.
@@ -157,7 +157,7 @@ TEST(SparseDenseEquivalence, FarStationsArePruned) {
   core::ScenarioTag ghost = sc.tags[0];
   ghost.name = "ghost";
   ghost.station_index = 1;
-  ghost.subcarrier.shift_hz = 100e3;
+  ghost.subcarrier.shift = units::Hertz{100e3};
   sc.tags.push_back(ghost);
 
   const core::ScenarioResult sparse =

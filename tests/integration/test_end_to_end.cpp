@@ -23,8 +23,8 @@ TEST(EndToEnd, MultiplicationBecomesAdditionInAudioDomain) {
   core::SystemConfig cfg;
   cfg.station.program.genre = ProgramGenre::kSilence;
   cfg.station.program.stereo = false;
-  cfg.scene.tag_power_dbm = -20.0;
-  cfg.scene.tag_rx_distance_feet = 4.0;
+  cfg.scene.tag_power = units::Dbm{-20.0};
+  cfg.scene.tag_rx_distance = units::Feet{4.0};
 
   const double duration = 1.0;
   // Station program: replace silence with a pure 700 Hz tone by rendering a
@@ -37,7 +37,7 @@ TEST(EndToEnd, MultiplicationBecomesAdditionInAudioDomain) {
   const audio::MonoBuffer tone =
       audio::make_tone(2000.0, 1.0, duration, fm::kAudioRate);
   const dsp::rvec bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
-  const core::SimulationResult sim = core::simulate(cfg, bb, duration);
+  const core::SimulationResult sim = core::simulate(cfg, bb, units::Seconds{duration});
 
   const auto& mono = sim.backscatter_rx.mono;
   ASSERT_GT(mono.size(), 4096U);
@@ -53,14 +53,14 @@ TEST(EndToEnd, OverlayPreservesBothProgramAndBackscatter) {
   cfg.station.program.genre = ProgramGenre::kNews;
   cfg.station.program.stereo = false;
   cfg.station.seed = 11;
-  cfg.scene.tag_power_dbm = -20.0;
-  cfg.scene.tag_rx_distance_feet = 4.0;
+  cfg.scene.tag_power = units::Dbm{-20.0};
+  cfg.scene.tag_rx_distance = units::Feet{4.0};
 
   const double duration = 2.0;
   const audio::MonoBuffer tone =
       audio::make_tone(11000.0, 0.8, duration, fm::kAudioRate);
   const dsp::rvec bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
-  const core::SimulationResult sim = core::simulate(cfg, bb, duration);
+  const core::SimulationResult sim = core::simulate(cfg, bb, units::Seconds{duration});
   const auto& mono = sim.backscatter_rx.mono;
 
   // Tone present at 11 kHz (above speech)...
@@ -78,8 +78,8 @@ TEST(EndToEnd, OverlayPreservesBothProgramAndBackscatter) {
 // Data over overlay backscatter decodes at strong power / close range.
 TEST(EndToEnd, Decodes100bpsCleanly) {
   ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   point.genre = ProgramGenre::kNews;
   const rx::BerResult ber = core::run_overlay_ber(point, DataRate::k100bps, 60);
   EXPECT_EQ(ber.bit_errors, 0U) << "BER=" << ber.ber;
@@ -87,8 +87,8 @@ TEST(EndToEnd, Decodes100bpsCleanly) {
 
 TEST(EndToEnd, Decodes3200bpsAtStrongPower) {
   ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-20.0};
+  point.distance = units::Feet{4.0};
   point.genre = ProgramGenre::kNews;
   const rx::BerResult ber = core::run_overlay_ber(point, DataRate::k3200bps, 480);
   EXPECT_LT(ber.ber, 0.02) << "errors=" << ber.bit_errors;
@@ -97,10 +97,10 @@ TEST(EndToEnd, Decodes3200bpsAtStrongPower) {
 // BER grows with distance (Fig. 8 shape).
 TEST(EndToEnd, BerDegradesWithDistance) {
   ExperimentPoint near;
-  near.tag_power_dbm = -60.0;
-  near.distance_feet = 2.0;
+  near.tag_power = units::Dbm{-60.0};
+  near.distance = units::Feet{2.0};
   ExperimentPoint far = near;
-  far.distance_feet = 20.0;
+  far.distance = units::Feet{20.0};
   const auto ber_near = core::run_overlay_ber(near, DataRate::k3200bps, 320);
   const auto ber_far = core::run_overlay_ber(far, DataRate::k3200bps, 320);
   EXPECT_LE(ber_near.ber, ber_far.ber + 0.02);
@@ -111,8 +111,8 @@ TEST(EndToEnd, BerDegradesWithDistance) {
 // into stereo mode and the data rides the clean L-R stream (Fig. 13b).
 TEST(EndToEnd, MonoToStereoConversionCarriesData) {
   ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 2.0;
+  point.tag_power = units::Dbm{-20.0};
+  point.distance = units::Feet{2.0};
   point.genre = ProgramGenre::kNews;
   point.stereo_station = false;  // mono station; tag inserts the pilot
   const auto ber = core::run_stereo_ber(point, DataRate::k1600bps, 320);
@@ -122,11 +122,11 @@ TEST(EndToEnd, MonoToStereoConversionCarriesData) {
 // Cooperative cancellation recovers clean audio (Fig. 12: PESQ ~ 4).
 TEST(EndToEnd, CooperativeCancellationBeatsOverlay) {
   ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   point.genre = ProgramGenre::kNews;
-  const double overlay = core::run_overlay_pesq(point, 1.6);
-  const double coop = core::run_cooperative_pesq(point, 1.6);
+  const double overlay = core::run_overlay_pesq(point, units::Seconds{1.6});
+  const double coop = core::run_cooperative_pesq(point, units::Seconds{1.6});
   EXPECT_GT(coop, overlay + 0.5)
       << "overlay=" << overlay << " coop=" << coop;
   EXPECT_GT(coop, 3.0);

@@ -21,8 +21,8 @@ TEST(Extensions, ConvolutionalCodingExtendsRange) {
   // Raw channel BER must sit in the code's working region (a few percent):
   // the 1.6 kbps cliff at -60 dBm / 14 ft.
   ExperimentPoint point;
-  point.tag_power_dbm = -60.0;
-  point.distance_feet = 14.0;
+  point.tag_power = units::Dbm{-60.0};
+  point.distance = units::Feet{14.0};
   point.genre = ProgramGenre::kNews;
   const auto uncoded =
       core::run_overlay_ber(point, DataRate::k1600bps, 512);
@@ -35,8 +35,8 @@ TEST(Extensions, ConvolutionalCodingExtendsRange) {
 
 TEST(Extensions, CodedLinkCleanAtStrongSignal) {
   ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   point.genre = ProgramGenre::kNews;
   for (const auto scheme : {FecScheme::kHamming74, FecScheme::kConvolutionalK7}) {
     const auto r =
@@ -52,8 +52,8 @@ TEST(Extensions, RdsBackscatterCarriesStationText) {
   core::SystemConfig cfg;
   cfg.station.program.genre = ProgramGenre::kNews;
   cfg.station.program.stereo = false;
-  cfg.scene.tag_power_dbm = -25.0;
-  cfg.scene.tag_rx_distance_feet = 3.0;
+  cfg.scene.tag_power = units::Dbm{-25.0};
+  cfg.scene.tag_rx_distance = units::Feet{3.0};
 
   const double duration = 2.5;
   const auto groups = fm::make_ps_groups("POSTER01");
@@ -61,7 +61,7 @@ TEST(Extensions, RdsBackscatterCarriesStationText) {
   const auto num_samples =
       static_cast<std::size_t>(duration * fm::kMpxRate);
   const auto bb = tag::compose_rds_baseband(bits, num_samples, 0.3);
-  const core::SimulationResult sim = core::simulate(cfg, bb, duration);
+  const core::SimulationResult sim = core::simulate(cfg, bb, units::Seconds{duration});
 
   const auto rds = fm::decode_rds(sim.backscatter_rx.fm.mpx, fm::kMpxRate);
   EXPECT_EQ(rds.ps_name, "POSTER01");
@@ -71,8 +71,8 @@ TEST(Extensions, RdsBackscatterCarriesStationText) {
 // the band-limited square wave — it only suppresses the mirror copy.
 TEST(Extensions, SingleSidebandEquivalentInChannel) {
   ExperimentPoint point;
-  point.tag_power_dbm = -30.0;
-  point.distance_feet = 4.0;
+  point.tag_power = units::Dbm{-30.0};
+  point.distance = units::Feet{4.0};
   core::SystemConfig base = core::make_system(point);
   base.station.program.genre = ProgramGenre::kSilence;
   base.station.program.stereo = false;
@@ -83,7 +83,7 @@ TEST(Extensions, SingleSidebandEquivalentInChannel) {
   auto snr_for = [&](tag::SubcarrierMode mode) {
     core::SystemConfig cfg = base;
     cfg.tag.subcarrier.mode = mode;
-    const auto sim = core::simulate(cfg, bb, 1.0);
+    const auto sim = core::simulate(cfg, bb, units::Seconds{1.0});
     const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
     return dsp::tone_snr_db(
         std::span<const float>(sim.backscatter_rx.mono.samples)
@@ -102,13 +102,13 @@ TEST(Extensions, NegativeShiftBackscatterWorks) {
   core::SystemConfig cfg;
   cfg.station.program.genre = ProgramGenre::kSilence;
   cfg.station.program.stereo = false;
-  cfg.scene.tag_power_dbm = -25.0;
-  cfg.scene.tag_rx_distance_feet = 4.0;
-  cfg.tag.subcarrier.shift_hz = -600000.0;
+  cfg.scene.tag_power = units::Dbm{-25.0};
+  cfg.scene.tag_rx_distance = units::Feet{4.0};
+  cfg.tag.subcarrier.shift = units::Hertz{-600000.0};
 
   const auto tone = audio::make_tone(1500.0, 1.0, 1.0, fm::kAudioRate);
   const auto bb = tag::compose_overlay_baseband(tone, core::kOverlayLevel);
-  const auto sim = core::simulate(cfg, bb, 1.0);
+  const auto sim = core::simulate(cfg, bb, units::Seconds{1.0});
   const auto skip = static_cast<std::size_t>(0.1 * fm::kAudioRate);
   const double snr = dsp::tone_snr_db(
       std::span<const float>(sim.backscatter_rx.mono.samples)
@@ -123,8 +123,8 @@ TEST(Extensions, NegativeShiftBackscatterWorks) {
 TEST(Extensions, FrameCrcNeverLies) {
   for (const double power : {-30.0, -55.0, -62.0}) {
     ExperimentPoint point;
-    point.tag_power_dbm = power;
-    point.distance_feet = 14.0;
+    point.tag_power = units::Dbm{power};
+    point.distance = units::Feet{14.0};
     point.genre = ProgramGenre::kNews;
     core::SystemConfig cfg = core::make_system(point);
 
@@ -132,7 +132,7 @@ TEST(Extensions, FrameCrcNeverLies) {
     const auto bits = tag::encode_frame(payload);
     const auto wave = tag::modulate_fsk(bits, DataRate::k1600bps, fm::kAudioRate);
     const auto bb = tag::compose_overlay_baseband(wave, core::kOverlayLevel);
-    const auto sim = core::simulate(cfg, bb, wave.duration_seconds() + 0.2);
+    const auto sim = core::simulate(cfg, bb, units::Seconds{wave.duration_seconds() + 0.2});
     const auto demod = rx::demodulate_fsk(sim.backscatter_rx.mono,
                                           DataRate::k1600bps, bits.size());
     const auto frame = tag::decode_frame(demod.bits);
@@ -146,8 +146,8 @@ TEST(Extensions, FrameCrcNeverLies) {
 // content; the stereo path must not leak into mono and vice versa.
 TEST(Extensions, StereoAndMonoPathsAreOrthogonal) {
   ExperimentPoint point;
-  point.tag_power_dbm = -20.0;
-  point.distance_feet = 3.0;
+  point.tag_power = units::Dbm{-20.0};
+  point.distance = units::Feet{3.0};
   point.genre = ProgramGenre::kSilence;
   point.stereo_station = false;
   core::SystemConfig cfg = core::make_system(point);
@@ -157,7 +157,7 @@ TEST(Extensions, StereoAndMonoPathsAreOrthogonal) {
   // Tag sends a 2 kHz tone in the stereo stream (with pilot).
   const auto tone = audio::make_tone(2000.0, 1.0, 1.2, fm::kAudioRate);
   const auto bb = tag::compose_stereo_baseband(tone, /*insert_pilot=*/true);
-  const auto sim = core::simulate(cfg, bb, 1.2);
+  const auto sim = core::simulate(cfg, bb, units::Seconds{1.2});
   ASSERT_TRUE(sim.backscatter_rx.fm.stereo_mode);
 
   const auto side = sim.backscatter_rx.stereo.side();

@@ -1,0 +1,12 @@
+// A gain (dB) is not a power level (dBm). Passing a relative quantity where
+// an absolute one is required silently breaks a link budget if the type
+// system lets it through.
+// expect-error: (cannot|could not) convert .*units::Db.*to .*units::Dbm
+#include "channel/link_budget.h"
+
+int main() {
+  const fmbs::units::Db gain{6.0};
+  const auto b = fmbs::channel::compute_link_budget(
+      gain, fmbs::units::Dbm{-30.0}, fmbs::units::Meters{1.2});
+  return b.direct_amplitude > 0.0;
+}

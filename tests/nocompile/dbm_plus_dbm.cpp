@@ -1,0 +1,11 @@
+// Adding two absolute power levels in log space is dimensionally
+// meaningless (what would -30 dBm + -30 dBm be?); link budgets compose a
+// level with a *gain* (Dbm + Db). The types must refuse.
+// expect-error: no match for .operator\+.*Dbm.*Dbm
+#include "core/units.h"
+
+int main() {
+  const fmbs::units::Dbm tag{-30.0};
+  const fmbs::units::Dbm rx{-52.0};
+  return (tag + rx).raw() > 0.0;
+}

@@ -1,0 +1,12 @@
+// The paper reports feet; the physics runs in meters. Handing feet to a
+// meters parameter is the classic unit bug (Mars Climate Orbiter class) —
+// the conversion must be spelled .to_meters().
+// expect-error: (cannot|could not) convert .*units::Feet.*to .*units::Meters
+#include "channel/link_budget.h"
+
+int main() {
+  const fmbs::units::Feet range{4.0};
+  const auto b = fmbs::channel::compute_link_budget(
+      fmbs::units::Dbm{-30.0}, fmbs::units::Dbm{-30.0}, range);
+  return b.direct_amplitude > 0.0;
+}

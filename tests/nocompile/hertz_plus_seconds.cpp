@@ -1,0 +1,10 @@
+// Quantities of different dimensions do not add. (Hz + s has no unit; the
+// only cross-dimension product defined is Seconds * SampleRate -> samples.)
+// expect-error: no match for .operator\+.*Hertz.*Seconds
+#include "core/units.h"
+
+int main() {
+  const fmbs::units::Hertz shift{600e3};
+  const fmbs::units::Seconds slot{0.08};
+  return (shift + slot).raw() > 0.0;
+}

@@ -1,0 +1,10 @@
+// Construction is explicit: a bare double carries no unit, so it must not
+// silently become one. (94.9e6 what? Hz? kHz? The literal suffixes exist
+// for exactly this.)
+// expect-error: conversion from .double. to non-scalar type .*Hertz
+#include "core/units.h"
+
+int main() {
+  const fmbs::units::Hertz carrier = 94.9e6;
+  return carrier.raw() > 0.0;
+}

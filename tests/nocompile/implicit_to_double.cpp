@@ -1,0 +1,11 @@
+// No implicit conversion *out* either: untyped math must go through the
+// .raw() escape hatch, so every exit from the typed domain is greppable.
+// expect-error: cannot convert .*units::Seconds.*to .double.
+#include "core/units.h"
+
+double half_of(double x) { return 0.5 * x; }
+
+int main() {
+  const fmbs::units::Seconds window{0.1};
+  return half_of(window) > 0.0;
+}

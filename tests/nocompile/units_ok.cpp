@@ -1,0 +1,36 @@
+// Control fixture (no expect-error lines): the legal dimensional algebra
+// must keep compiling, proving the harness distinguishes "rejected for the
+// right reason" from "everything fails". Exercises every sanctioned
+// cross-type operation in one translation unit.
+#include "channel/link_budget.h"
+#include "core/units.h"
+#include "fm/transmitter.h"
+
+using namespace fmbs::units::literals;
+namespace units = fmbs::units;
+
+int main() {
+  // Log-domain link-budget algebra.
+  const units::Dbm tag = -30.0_dbm;
+  const units::Dbm at_rx = tag + units::Db{-18.5};
+  const units::Db margin = at_rx - (-93.0_dbm);
+
+  // Linear domain and the blessed conversions.
+  const units::Watts w = at_rx.to_watts();
+  const units::Meters d = (4.0_ft).to_meters();
+  const units::Meters lambda = (94.9_mhz).wavelength();
+
+  // Time <-> samples via the project rounding rule.
+  const units::SampleCount n = 0.1_s * units::SampleRate{240000.0};
+  const units::Seconds back = n.at(units::SampleRate{240000.0});
+
+  // A migrated API accepts the typed call shape.
+  fmbs::fm::StationConfig config;
+  config.deviation = 75.0_khz;
+  const auto budget = fmbs::channel::compute_link_budget(tag, tag, d);
+
+  return (margin.raw() > 0.0 && w.raw() > 0.0 && lambda.raw() > 0.0 &&
+          back.raw() > 0.0 && budget.direct_amplitude > 0.0)
+             ? 0
+             : 1;
+}

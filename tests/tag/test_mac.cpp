@@ -19,58 +19,60 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// A sense oracle for a channel that is never busy.
-double silent_channel(std::size_t, double, double,
-                      std::span<const OnAirInterval>) {
-  return -kInf;
+units::Dbm silent_channel(std::size_t, units::Seconds, units::Seconds,
+                          std::span<const OnAirInterval>) {
+  return units::Dbm{-kInf};
 }
 
+units::Seconds S(double v) { return units::Seconds{v}; }
+
 TEST(Mac, SlottedStartQuantizesUpToTheNextBoundary) {
-  EXPECT_DOUBLE_EQ(slotted_start(0.0, 0.08), 0.0);
-  EXPECT_DOUBLE_EQ(slotted_start(0.001, 0.08), 0.08);
-  EXPECT_DOUBLE_EQ(slotted_start(0.0799, 0.08), 0.08);
+  EXPECT_DOUBLE_EQ(slotted_start(S(0.0), S(0.08)).raw(), 0.0);
+  EXPECT_DOUBLE_EQ(slotted_start(S(0.001), S(0.08)).raw(), 0.08);
+  EXPECT_DOUBLE_EQ(slotted_start(S(0.0799), S(0.08)).raw(), 0.08);
   // A nominal start already on a boundary keeps it.
-  EXPECT_DOUBLE_EQ(slotted_start(0.16, 0.08), 0.16);
-  EXPECT_DOUBLE_EQ(slotted_start(0.1600000001, 0.08), 0.24);
-  EXPECT_THROW(slotted_start(0.1, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(slotted_start(S(0.16), S(0.08)).raw(), 0.16);
+  EXPECT_DOUBLE_EQ(slotted_start(S(0.1600000001), S(0.08)).raw(), 0.24);
+  EXPECT_THROW(slotted_start(S(0.1), S(0.0)), std::invalid_argument);
 }
 
 TEST(Mac, PureAlohaPassesNominalStartsThrough) {
   std::vector<MacAttempt> attempts(2);
-  attempts[0].nominal_start_seconds = 0.013;
-  attempts[0].burst_seconds = 0.06;
-  attempts[1].nominal_start_seconds = 0.07;
-  attempts[1].burst_seconds = 0.06;
-  const auto d = resolve_mac_schedule(attempts, 1.0, 0.0, silent_channel);
+  attempts[0].nominal_start = units::Seconds{0.013};
+  attempts[0].burst = units::Seconds{0.06};
+  attempts[1].nominal_start = units::Seconds{0.07};
+  attempts[1].burst = units::Seconds{0.06};
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{1.0}, units::Seconds{0.0}, silent_channel);
   ASSERT_EQ(d.size(), 2U);
-  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.013);
-  EXPECT_DOUBLE_EQ(d[1].start_seconds, 0.07);
+  EXPECT_DOUBLE_EQ(d[0].start.raw(), 0.013);
+  EXPECT_DOUBLE_EQ(d[1].start.raw(), 0.07);
   EXPECT_TRUE(d[0].transmitted);
   EXPECT_EQ(d[0].deferrals, 0U);
-  EXPECT_EQ(d[0].last_sensed_dbm, -kInf);
+  EXPECT_EQ(d[0].last_sensed.raw(), -kInf);
 }
 
 TEST(Mac, SlottedAlohaDerivesThePitchFromTheBurst) {
   MacAttempt a;
   a.config.kind = MacKind::kSlottedAloha;
-  a.nominal_start_seconds = 0.05;
-  a.burst_seconds = 0.06;
-  a.guard_seconds = 0.01;  // derived pitch: 0.06 + 2 * 0.01 = 0.08
+  a.nominal_start = units::Seconds{0.05};
+  a.burst = units::Seconds{0.06};
+  a.guard = units::Seconds{0.01};  // derived pitch: 0.06 + 2 * 0.01 = 0.08
   const auto d =
-      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel);
-  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.08);
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, units::Seconds{1.0}, units::Seconds{0.0}, silent_channel);
+  EXPECT_DOUBLE_EQ(d[0].start.raw(), 0.08);
 
-  a.config.slot_seconds = 0.2;  // explicit pitch wins
+  a.config.slot = units::Seconds{0.2};  // explicit pitch wins
   const auto d2 =
-      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel);
-  EXPECT_DOUBLE_EQ(d2[0].start_seconds, 0.2);
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, units::Seconds{1.0}, units::Seconds{0.0}, silent_channel);
+  EXPECT_DOUBLE_EQ(d2[0].start.raw(), 0.2);
 }
 
 TEST(Mac, CarrierSenseNeedsATimeline) {
   MacAttempt a;
   a.config.kind = MacKind::kCarrierSense;
-  a.burst_seconds = 0.06;
+  a.burst = units::Seconds{0.06};
   EXPECT_THROW(
-      resolve_mac_schedule(std::vector<MacAttempt>{a}, 1.0, 0.0, silent_channel),
+      resolve_mac_schedule(std::vector<MacAttempt>{a}, units::Seconds{1.0}, units::Seconds{0.0}, silent_channel),
       std::invalid_argument);
 }
 
@@ -78,38 +80,39 @@ TEST(Mac, CarrierSenseDefersWhileBusyThenTransmits) {
   // Tag 0: pure ALOHA on the air over [0.07, 0.15] (payload + guards).
   // Tag 1: carrier sense, nominal 0.11 (segment 1 of a 0.1 s timeline).
   std::vector<MacAttempt> attempts(2);
-  attempts[0].nominal_start_seconds = 0.08;
-  attempts[0].burst_seconds = 0.06;
-  attempts[0].guard_seconds = 0.01;
+  attempts[0].nominal_start = units::Seconds{0.08};
+  attempts[0].burst = units::Seconds{0.06};
+  attempts[0].guard = units::Seconds{0.01};
   attempts[1].config.kind = MacKind::kCarrierSense;
-  attempts[1].config.cs_threshold_dbm = -70.0;
-  attempts[1].nominal_start_seconds = 0.11;
-  attempts[1].burst_seconds = 0.06;
-  attempts[1].guard_seconds = 0.01;
+  attempts[1].config.cs_threshold = units::Dbm{-70.0};
+  attempts[1].nominal_start = units::Seconds{0.11};
+  attempts[1].burst = units::Seconds{0.06};
+  attempts[1].guard = units::Seconds{0.01};
 
   // The oracle reports the neighbor hot (-40 dBm) whenever its committed
   // window overlaps the sensed one.
-  auto sense = [](std::size_t attempt, double t0, double t1,
+  auto sense = [](std::size_t attempt, units::Seconds w0, units::Seconds w1,
                   std::span<const OnAirInterval> on_air) {
     double dbm = -kInf;
     for (const OnAirInterval& iv : on_air) {
       if (iv.attempt == attempt) continue;
-      if (std::min(t1, iv.end_seconds) - std::max(t0, iv.begin_seconds) > 0.0) {
+      if (std::min(w1.raw(), iv.end.raw()) - std::max(w0.raw(), iv.begin.raw()) >
+          0.0) {
         dbm = std::max(dbm, -40.0);
       }
     }
-    return dbm;
+    return units::Dbm{dbm};
   };
-  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, sense);
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{0.6}, units::Seconds{0.1}, sense);
   // Candidate 0.11 senses segment 0 ([0, 0.1): neighbor on air from 0.07)
   // -> defer to 0.2; 0.2 senses [0.1, 0.2) (neighbor on air until 0.15) ->
   // defer to 0.3; 0.3 senses [0.2, 0.3): clear -> transmit.
   EXPECT_TRUE(d[1].transmitted);
   EXPECT_EQ(d[1].deferrals, 2U);
-  EXPECT_DOUBLE_EQ(d[1].start_seconds, 0.3);
-  EXPECT_EQ(d[1].last_sensed_dbm, -kInf);
+  EXPECT_DOUBLE_EQ(d[1].start.raw(), 0.3);
+  EXPECT_EQ(d[1].last_sensed.raw(), -kInf);
   // The pure neighbor was untouched.
-  EXPECT_DOUBLE_EQ(d[0].start_seconds, 0.08);
+  EXPECT_DOUBLE_EQ(d[0].start.raw(), 0.08);
 }
 
 TEST(Mac, SameBoundaryListenersCannotHearEachOther) {
@@ -119,34 +122,34 @@ TEST(Mac, SameBoundaryListenersCannotHearEachOther) {
   std::vector<MacAttempt> attempts(2);
   for (MacAttempt& a : attempts) {
     a.config.kind = MacKind::kCarrierSense;
-    a.nominal_start_seconds = 0.21;
-    a.burst_seconds = 0.06;
-    a.guard_seconds = 0.01;
+    a.nominal_start = units::Seconds{0.21};
+    a.burst = units::Seconds{0.06};
+    a.guard = units::Seconds{0.01};
   }
-  auto sense = [](std::size_t, double, double,
+  auto sense = [](std::size_t, units::Seconds, units::Seconds,
                   std::span<const OnAirInterval> on_air) {
-    return on_air.empty() ? -kInf : -40.0;
+    return units::Dbm{on_air.empty() ? -kInf : -40.0};
   };
-  const auto d = resolve_mac_schedule(attempts, 1.0, 0.1, sense);
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{1.0}, units::Seconds{0.1}, sense);
   EXPECT_TRUE(d[0].transmitted);
   EXPECT_TRUE(d[1].transmitted);
-  EXPECT_DOUBLE_EQ(d[0].start_seconds, d[1].start_seconds);
+  EXPECT_DOUBLE_EQ(d[0].start.raw(), d[1].start.raw());
 }
 
 TEST(Mac, CarrierSenseGivesUpWhenTheBurstNoLongerFits) {
   std::vector<MacAttempt> attempts(2);
-  attempts[0].nominal_start_seconds = 0.0;
-  attempts[0].burst_seconds = 0.5;  // hogs the whole window
-  attempts[0].guard_seconds = 0.01;
+  attempts[0].nominal_start = units::Seconds{0.0};
+  attempts[0].burst = units::Seconds{0.5};  // hogs the whole window
+  attempts[0].guard = units::Seconds{0.01};
   attempts[1].config.kind = MacKind::kCarrierSense;
-  attempts[1].nominal_start_seconds = 0.15;
-  attempts[1].burst_seconds = 0.06;
-  attempts[1].guard_seconds = 0.01;
-  auto sense = [](std::size_t, double, double,
+  attempts[1].nominal_start = units::Seconds{0.15};
+  attempts[1].burst = units::Seconds{0.06};
+  attempts[1].guard = units::Seconds{0.01};
+  auto sense = [](std::size_t, units::Seconds, units::Seconds,
                   std::span<const OnAirInterval> on_air) {
-    return on_air.empty() ? -kInf : -40.0;
+    return units::Dbm{on_air.empty() ? -kInf : -40.0};
   };
-  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, sense);
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{0.6}, units::Seconds{0.1}, sense);
   EXPECT_FALSE(d[1].transmitted);
   EXPECT_GT(d[1].deferrals, 0U);
 }
@@ -157,9 +160,9 @@ TEST(Mac, CarrierSenseNeverThrowsOnAnUnfittableBurst) {
   // at the nominal start on an idle channel, before any deferral.
   std::vector<MacAttempt> attempts(1);
   attempts[0].config.kind = MacKind::kCarrierSense;
-  attempts[0].nominal_start_seconds = 0.55;
-  attempts[0].burst_seconds = 0.2;  // 0.55 + 0.2 > 0.6: never fits
-  const auto d = resolve_mac_schedule(attempts, 0.6, 0.1, silent_channel);
+  attempts[0].nominal_start = units::Seconds{0.55};
+  attempts[0].burst = units::Seconds{0.2};  // 0.55 + 0.2 > 0.6: never fits
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{0.6}, units::Seconds{0.1}, silent_channel);
   EXPECT_FALSE(d[0].transmitted);
   EXPECT_EQ(d[0].deferrals, 0U);
 }
@@ -168,13 +171,13 @@ TEST(Mac, CarrierSenseRespectsMaxDeferrals) {
   std::vector<MacAttempt> attempts(1);
   attempts[0].config.kind = MacKind::kCarrierSense;
   attempts[0].config.max_deferrals = 3;
-  attempts[0].nominal_start_seconds = 0.15;
-  attempts[0].burst_seconds = 0.06;
-  attempts[0].guard_seconds = 0.01;
+  attempts[0].nominal_start = units::Seconds{0.15};
+  attempts[0].burst = units::Seconds{0.06};
+  attempts[0].guard = units::Seconds{0.01};
   // A jammed channel: always busy.
-  auto jammed = [](std::size_t, double, double,
-                   std::span<const OnAirInterval>) { return -30.0; };
-  const auto d = resolve_mac_schedule(attempts, 100.0, 0.1, jammed);
+  auto jammed = [](std::size_t, units::Seconds, units::Seconds,
+                   std::span<const OnAirInterval>) { return units::Dbm{-30.0}; };
+  const auto d = resolve_mac_schedule(attempts, units::Seconds{100.0}, units::Seconds{0.1}, jammed);
   EXPECT_FALSE(d[0].transmitted);
   EXPECT_EQ(d[0].deferrals, 4U);  // the give-up attempt is counted
 }
@@ -199,20 +202,19 @@ SlottedRun run_slotted(std::size_t num_attempts, std::size_t num_slots,
   std::vector<MacAttempt> attempts(num_attempts);
   for (MacAttempt& a : attempts) {
     a.config.kind = MacKind::kSlottedAloha;
-    a.config.slot_seconds = pitch;
-    a.nominal_start_seconds = at(rng);
-    a.burst_seconds = 0.8 * pitch;
+    a.config.slot = units::Seconds{pitch};
+    a.nominal_start = units::Seconds{at(rng)};
+    a.burst = units::Seconds{0.8 * pitch};
   }
-  const auto decisions = resolve_mac_schedule(
-      attempts, static_cast<double>(num_slots + 2) * pitch, 0.0, silent_channel);
+  const auto decisions = resolve_mac_schedule(attempts, units::Seconds{static_cast<double>(num_slots + 2) * pitch}, units::Seconds{0.0}, silent_channel);
 
   std::unordered_map<long long, std::size_t> occupancy;
   for (const MacDecision& d : decisions) {
-    occupancy[std::llround(d.start_seconds / pitch)]++;
+    occupancy[std::llround(d.start.raw() / pitch)]++;
   }
   std::size_t successes = 0;
   for (const MacDecision& d : decisions) {
-    if (occupancy[std::llround(d.start_seconds / pitch)] == 1) ++successes;
+    if (occupancy[std::llround(d.start.raw() / pitch)] == 1) ++successes;
   }
   SlottedRun out;
   out.attempts = num_attempts;
@@ -244,10 +246,10 @@ TEST(MacSlottedAloha, FullLoadMatchesAnalyticAndMonteCarlo) {
   core::AlohaConfig mc;
   mc.slotted = true;
   mc.num_tags = 30;
-  mc.frame_seconds = 0.08;
-  mc.duration_seconds = 3600.0;
-  mc.per_tag_rate_hz =
-      run.offered_load / (mc.frame_seconds * static_cast<double>(mc.num_tags));
+  mc.frame = units::Seconds{0.08};
+  mc.duration = units::Seconds{3600.0};
+  mc.per_tag_rate = units::Hertz{
+      run.offered_load / (mc.frame.raw() * static_cast<double>(mc.num_tags))};
   const core::AlohaResult ref = core::simulate_aloha(mc);
   EXPECT_NEAR(run.success_probability, ref.success_probability,
               tolerance(ref.success_probability, run.attempts));
@@ -272,23 +274,23 @@ TEST(MacSlottedAloha, ThroughputPeaksNearGOfOne) {
 
 TEST(MacVulnerability, ClassifiesTheThreeRegimes) {
   const double sym = 0.005;
-  const BurstWindow mine{1.0, 0.06, 0.01};
+  const BurstWindow mine{S(1.0), S(0.06), S(0.01)};
   // Other's on-air window ends exactly at my payload start: clear.
-  EXPECT_EQ(classify_vulnerability(mine, {0.93, 0.06, 0.01}, sym),
+  EXPECT_EQ(classify_vulnerability(mine, {S(0.93), S(0.06), S(0.01)}, S(sym)),
             Vulnerability::kClear);
   // Guard-only contact (payload gap smaller than the guard): graze.
-  EXPECT_EQ(classify_vulnerability(mine, {0.935, 0.06, 0.01}, sym),
+  EXPECT_EQ(classify_vulnerability(mine, {S(0.935), S(0.06), S(0.01)}, S(sym)),
             Vulnerability::kGraze);
   // Sub-symbol payload overlap: still a graze.
-  EXPECT_EQ(classify_vulnerability(mine, {1.0 - 0.06 + 0.002, 0.06, 0.01}, sym),
+  EXPECT_EQ(classify_vulnerability(mine, {S(1.0 - 0.06 + 0.002), S(0.06), S(0.01)}, S(sym)),
             Vulnerability::kGraze);
   // Two full symbols of payload overlap (comfortably past the one-symbol
   // threshold, away from float round-off): collision.
   EXPECT_EQ(
-      classify_vulnerability(mine, {1.0 - 0.06 + 2.0 * sym, 0.06, 0.01}, sym),
+      classify_vulnerability(mine, {S(1.0 - 0.06 + 2.0 * sym), S(0.06), S(0.01)}, S(sym)),
       Vulnerability::kCollision);
   // Total overlap: collision.
-  EXPECT_EQ(classify_vulnerability(mine, mine, sym), Vulnerability::kCollision);
+  EXPECT_EQ(classify_vulnerability(mine, mine, S(sym)), Vulnerability::kCollision);
 }
 
 TEST(MacVulnerability, IsSymmetricInTheCollisionRegime) {
@@ -296,10 +298,10 @@ TEST(MacVulnerability, IsSymmetricInTheCollisionRegime) {
   // always agree on kCollision; the graze band need not be symmetric (the
   // guard contact is mine-payload vs other-window).
   const double sym = 0.005;
-  const BurstWindow a{0.0, 0.08, 0.01};
-  const BurstWindow b{0.05, 0.08, 0.01};
-  EXPECT_EQ(classify_vulnerability(a, b, sym), Vulnerability::kCollision);
-  EXPECT_EQ(classify_vulnerability(b, a, sym), Vulnerability::kCollision);
+  const BurstWindow a{S(0.0), S(0.08), S(0.01)};
+  const BurstWindow b{S(0.05), S(0.08), S(0.01)};
+  EXPECT_EQ(classify_vulnerability(a, b, S(sym)), Vulnerability::kCollision);
+  EXPECT_EQ(classify_vulnerability(b, a, S(sym)), Vulnerability::kCollision);
 }
 
 TEST(MacVulnerability, OrderingSupportsWorstOfReduction) {

@@ -17,7 +17,7 @@ TEST(PowerModel, PaperTotalAt600k) {
 
 TEST(PowerModel, DynamicPowerScalesWithFrequency) {
   PowerModelConfig cfg;
-  cfg.subcarrier_hz = 300e3;
+  cfg.subcarrier = units::Hertz{300e3};
   const PowerBreakdown p = tag_power(cfg);
   EXPECT_NEAR(p.modulator_uw, 9.94 / 2.0, 1e-9);
   EXPECT_NEAR(p.switch_uw, 0.13 / 2.0, 1e-9);
@@ -26,15 +26,15 @@ TEST(PowerModel, DynamicPowerScalesWithFrequency) {
 
 TEST(PowerModel, LargerShiftCostsMore) {
   PowerModelConfig near_cfg;
-  near_cfg.subcarrier_hz = 200e3;
+  near_cfg.subcarrier = units::Hertz{200e3};
   PowerModelConfig far_cfg;
-  far_cfg.subcarrier_hz = 800e3;
+  far_cfg.subcarrier = units::Hertz{800e3};
   EXPECT_LT(tag_power(near_cfg).total_uw, tag_power(far_cfg).total_uw);
 }
 
 TEST(PowerModel, Validation) {
   PowerModelConfig bad;
-  bad.subcarrier_hz = 0.0;
+  bad.subcarrier = units::Hertz{0.0};
   EXPECT_THROW(tag_power(bad), std::invalid_argument);
 }
 

@@ -151,10 +151,10 @@ TEST(Subcarrier, StreamingPhaseContinuity) {
 
 TEST(Subcarrier, Validation) {
   SubcarrierConfig bad;
-  bad.shift_hz = 0.0;
+  bad.shift = units::Hertz{0.0};
   EXPECT_THROW(SubcarrierGenerator{bad}, std::invalid_argument);
   SubcarrierConfig too_fast;
-  too_fast.shift_hz = 1.3e6;  // 1.3 MHz + 75 kHz >= 1.2 MHz Nyquist
+  too_fast.shift = units::Hertz{1.3e6};  // 1.3 MHz + 75 kHz >= 1.2 MHz Nyquist
   EXPECT_THROW(SubcarrierGenerator{too_fast}, std::invalid_argument);
   SubcarrierConfig bad_rate;
   bad_rate.baseband_rate = 100000.0;  // 2.4 MHz / 100 kHz = 24 OK; use odd rate

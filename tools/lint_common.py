@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Conventions shared by the repo's source lints (determinism, units).
+
+Every lint in tools/ speaks the same three-part protocol so contributors
+learn it once:
+
+  * escape hatch — an inline trailing comment on the flagged line:
+        ... // fmbs-lint: allow(<rule-id>) <justification>
+    The justification is mandatory; an allow() without one is itself a
+    violation.
+
+  * self-test fixtures — files under tools/lint_fixtures/ annotated with
+        // expect: <rule-id>
+    comments. `--self-test` runs the lint over its fixtures and verifies
+    each produces exactly the violations it declares: every violation class
+    still fails, and clean code still passes.
+
+  * exit status — 0 clean, 1 violations found (or self-test mismatch).
+
+This module owns the comment grammar and the fixture runner; the rule logic
+stays in each lint.
+"""
+
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*fmbs-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+
+def strip_line_comment(line):
+    """Drops a trailing // comment (naive: fine for this codebase's style)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed(raw_line, rule):
+    """Returns (is_allowed, problem_message_or_None) for a flagged line.
+
+    A matching allow() with a justification suppresses the violation; a
+    matching allow() *without* one converts it into a missing-justification
+    violation instead of suppressing anything.
+    """
+    m = ALLOW_RE.search(raw_line)
+    if not m or m.group(1) != rule:
+        return False, None
+    if not m.group(2):
+        return False, "allow() requires a justification after the rule id"
+    return True, None
+
+
+def expected_rules(text):
+    """The sorted `// expect:` rule ids a fixture declares."""
+    return sorted(EXPECT_RE.findall(text))
+
+
+def run_fixture_self_test(fixtures, lint_fixture, label):
+    """Generic `--self-test`: each fixture must yield exactly its declared rules.
+
+    `fixtures` is an iterable of pathlib.Paths; `lint_fixture(path, text)`
+    returns the list of rule ids the lint produces for that fixture.
+    Returns a process exit status (0 ok, 1 mismatch / no fixtures).
+    """
+    fixtures = sorted(fixtures)
+    if not fixtures:
+        print(f"self-test: no {label} fixtures found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8")
+        expected = expected_rules(text)
+        got = sorted(lint_fixture(path, text))
+        if expected != got:
+            failures += 1
+            print(f"self-test FAIL {path.name}: expected {expected}, got {got}",
+                  file=sys.stderr)
+    if failures == 0:
+        print(f"self-test OK: {len(fixtures)} fixtures behave as declared")
+    return 1 if failures else 0

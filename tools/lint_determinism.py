@@ -44,6 +44,12 @@ import re
 import sys
 from pathlib import Path
 
+# The allow()/expect: comment grammar and the fixture runner are shared with
+# every other lint in tools/ (see lint_common.py) so the escape-hatch and
+# self-test conventions stay identical across lints.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_common
+
 # Directories scanned relative to the repo root, and which get the
 # underived-seed rule (tests are exempt: a pinned literal seed is the whole
 # point of a regression test, and test literals never reach library results).
@@ -61,8 +67,8 @@ SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 # Add entries as ("relative/path", "rule-id"): "justification".
 WHITELISTED_FILES = {}
 
-ALLOW_RE = re.compile(r"//\s*fmbs-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?$")
-EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+ALLOW_RE = lint_common.ALLOW_RE
+EXPECT_RE = lint_common.EXPECT_RE
 
 # ---- Rule implementations ---------------------------------------------------
 
@@ -89,10 +95,7 @@ NUMERIC_LITERAL_RE = re.compile(r"^(0[xX][0-9a-fA-F']+|[0-9][0-9']*)([uUlL]*)$")
 UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+)")
 
 
-def strip_line_comment(line):
-    """Drops a trailing // comment (naive: fine for this codebase's style)."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
+strip_line_comment = lint_common.strip_line_comment
 
 
 def lint_file(path, rel, text):
@@ -186,26 +189,16 @@ def scan_tree(root):
 
 def self_test(root):
     """Checks each fixture yields exactly its declared `// expect:` rules."""
-    fixture_dir = root / "tools" / "lint_fixtures"
-    fixtures = sorted(fixture_dir.glob("*.cpp"))
-    if not fixtures:
-        print(f"self-test: no fixtures found under {fixture_dir}", file=sys.stderr)
-        return 1
-    failures = 0
-    for path in fixtures:
-        text = path.read_text(encoding="utf-8")
+
+    def lint_fixture(path, text):
         # Fixtures emulate library code: scan them as if they lived in src/
         # so every rule (including underived-seed) is active.
         rel = Path("src") / path.name
-        expected = sorted(EXPECT_RE.findall(text))
-        got = sorted(rule for (_, rule, _) in lint_file(path, rel, text))
-        if expected != got:
-            failures += 1
-            print(f"self-test FAIL {path.name}: expected {expected}, got {got}",
-                  file=sys.stderr)
-    if failures == 0:
-        print(f"self-test OK: {len(fixtures)} fixtures behave as declared")
-    return 1 if failures else 0
+        return [rule for (_, rule, _) in lint_file(path, rel, text)]
+
+    fixture_dir = root / "tools" / "lint_fixtures"
+    return lint_common.run_fixture_self_test(
+        fixture_dir.glob("*.cpp"), lint_fixture, "determinism-lint")
 
 
 def main():

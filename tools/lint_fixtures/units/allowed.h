@@ -1,0 +1,14 @@
+// Fixture: the escape hatch. A justified allow() suppresses the violation; a
+// bare allow() without a justification is itself flagged.
+#pragma once
+
+namespace fmbs::fixture {
+
+// Sanctioned: the DSP layer's untyped math keeps a raw cutoff.
+void design_fir(double cutoff_hz);  // fmbs-lint: allow(raw-unit) dsp kernel boundary is untyped by design
+
+// Not sanctioned: allow() with no reason is a violation, not an escape.
+void lazy(double span_seconds);  // fmbs-lint: allow(raw-unit)
+// expect: raw-unit
+
+}  // namespace fmbs::fixture

@@ -1,0 +1,18 @@
+// Fixture: every unit-suffixed raw-double parameter shape the lint must
+// catch — single param, multi-param lists, defaulted params, and a
+// continuation line ending in a comma.
+#pragma once
+
+namespace fmbs::fixture {
+
+void tune(double carrier_hz);                       // expect: raw-unit
+void budget(double tag_power_dbm, double gain_db);  // expect: raw-unit
+// expect: raw-unit
+// (the two params on the line above are two distinct violations)
+
+double snr_at(double distance_m = 1.0,   // expect: raw-unit
+              double duration_seconds,   // expect: raw-unit
+              double range_ft,           // expect: raw-unit
+              int bits);
+
+}  // namespace fmbs::fixture

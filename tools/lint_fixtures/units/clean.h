@@ -1,0 +1,27 @@
+// Fixture: everything here is legal — strong-typed parameters, unit-suffixed
+// struct members and locals (the ratchet tracks parameters only; members are
+// migrated struct by struct), function names, and non-unit suffixes.
+#pragma once
+
+#include "core/units.h"
+
+namespace fmbs::fixture {
+
+void tune(units::Hertz carrier);
+void budget(units::Dbm tag_power, units::Db gain);
+
+struct Report {
+  double start_seconds = 0.0;  // member, not a parameter
+  double shift_hz = 0.0;       // member, not a parameter
+};
+
+double fsk_burst_seconds(int num_bits);  // function name, not a parameter
+
+inline void helper() {
+  double local_hz = 0.0;  // local, not a parameter
+  (void)local_hz;
+}
+
+void unrelated(double gamma, double histogram);  // no unit suffix
+
+}  // namespace fmbs::fixture

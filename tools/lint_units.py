@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Units ratchet lint: drive raw-double unit parameters out of public APIs.
+
+The strong types in src/core/units.h make a dBm-where-dB or feet-where-meters
+swap a compile error — but only on the surfaces that use them. This lint
+finds the surfaces that don't: function parameters declared as plain `double`
+whose names carry a unit suffix
+
+    *_hz  *_dbm  *_db  *_seconds  *_m  *_ft
+
+in headers under src/. Each such parameter is a place where the type system
+has been told nothing and the unit lives only in a naming convention.
+
+rule id    what it rejects
+--------   -------------------------------------------------------------
+raw-unit   a `double` function parameter with a unit-suffixed name in a
+           src/ header — declare it units::Hertz / units::Dbm / units::Db /
+           units::Seconds / units::Meters / units::Feet instead
+
+The count is *ratcheted*, not zeroed: tools/units_ratchet.txt pins the
+allowed count per top-level src/ directory. Fully migrated directories
+(src/channel, src/fm, src/tag, src/core) are pinned at 0 and must stay
+there; the rest may only go down. When your change lowers a count, lower
+the ratchet in the same commit (`--update-ratchet` rewrites the file).
+
+Escape hatch (counts against nothing, requires a written justification):
+    double cutoff_hz,  // fmbs-lint: allow(raw-unit) <why this stays raw>
+
+`--self-test` runs the lint over tools/lint_fixtures/units/ and verifies
+every fixture produces exactly the violations its `// expect: raw-unit`
+comments declare (same convention as lint_determinism.py, shared via
+lint_common.py).
+
+Exit status: 0 clean, 1 ratchet regression / stale ratchet / self-test fail.
+"""
+
+import argparse
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_common
+
+RULE = "raw-unit"
+SCAN_GLOB = "*.h"
+RATCHET_FILE = Path("tools") / "units_ratchet.txt"
+
+UNIT_SUFFIXES = ("hz", "dbm", "db", "seconds", "m", "ft")
+SUGGESTED = {
+    "hz": "units::Hertz",
+    "dbm": "units::Dbm",
+    "db": "units::Db",
+    "seconds": "units::Seconds",
+    "m": "units::Meters",
+    "ft": "units::Feet",
+}
+
+# A `double` token introducing a unit-suffixed name. Whether it is a
+# *parameter* (vs a struct member or local) is decided by what follows the
+# declarator: parameters are terminated by `,` or `)` — possibly after a
+# default argument — while members and locals end in `;`.
+DOUBLE_DECL_RE = re.compile(
+    r"\bdouble\s+(\w+?_(" + "|".join(UNIT_SUFFIXES) + r"))\b")
+
+
+def parameter_suffix_kind(code, m):
+    """Returns the unit suffix if this declaration is a function parameter."""
+    rest = code[m.end():]
+    # `double foo_seconds(...)` is a function *returning* double, not a
+    # parameter.
+    if rest.lstrip().startswith("("):
+        return None
+    # Skip a default argument: everything up to the next top-level , or ) or ;
+    depth = 0
+    for ch in rest:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            if depth == 0:
+                return m.group(2)  # closes the parameter list
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return m.group(2)
+        elif ch == ";" and depth == 0:
+            return None  # member or local declaration
+    # Declaration continues on the next line; parameter lists in this
+    # codebase break *after* the comma, so an open-ended line is a parameter
+    # only if the line ends inside a paren context we cannot see. Treat a
+    # trailing comma as parameter, anything else as not-a-parameter.
+    return m.group(2) if rest.rstrip().endswith(",") else None
+
+
+def lint_lines(lines):
+    """Returns (lineno, rule, message) violations for one header's lines."""
+    violations = []
+    for lineno, raw in enumerate(lines, start=1):
+        code = lint_common.strip_line_comment(raw)
+        for m in DOUBLE_DECL_RE.finditer(code):
+            suffix = parameter_suffix_kind(code, m)
+            if suffix is None:
+                continue
+            ok, problem = lint_common.allowed(raw, RULE)
+            if ok:
+                continue
+            message = problem or (
+                f"raw double parameter '{m.group(1)}' carries its unit in the "
+                f"name only; declare it {SUGGESTED[suffix]} (src/core/units.h)")
+            violations.append((lineno, RULE, message))
+    return violations
+
+
+def scan_tree(root):
+    """Returns {top_dir: [(rel, lineno, rule, message), ...]} over src/ headers."""
+    by_dir = defaultdict(list)
+    src = root / "src"
+    for path in sorted(src.rglob(SCAN_GLOB)):
+        rel = path.relative_to(root)
+        top = str(Path(rel.parts[0]) / rel.parts[1]) if len(rel.parts) > 2 else str(rel.parent)
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for lineno, rule, message in lint_lines(text.splitlines()):
+            by_dir[top].append((rel, lineno, rule, message))
+    return by_dir
+
+
+def read_ratchet(root):
+    ratchet = {}
+    path = root / RATCHET_FILE
+    if not path.is_file():
+        return None
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        name, count = line.rsplit(None, 1)
+        ratchet[name] = int(count)
+    return ratchet
+
+
+def write_ratchet(root, counts):
+    lines = [
+        "# Units ratchet: allowed raw-unit parameter counts per src/ directory.",
+        "# Maintained by tools/lint_units.py (--update-ratchet). Counts only go",
+        "# down; 0 means the directory's headers are fully migrated to the",
+        "# strong types in src/core/units.h and must stay that way.",
+        "",
+    ]
+    for name in sorted(counts):
+        lines.append(f"{name} {counts[name]}")
+    (root / RATCHET_FILE).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def self_test(root):
+    def lint_fixture(path, text):
+        del path
+        return [rule for (_, rule, _) in lint_lines(text.splitlines())]
+
+    fixture_dir = root / "tools" / "lint_fixtures" / "units"
+    return lint_common.run_fixture_self_test(
+        fixture_dir.glob("*.h"), lint_fixture, "units-lint")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the lint rejects each fixture violation class")
+    parser.add_argument("--update-ratchet", action="store_true",
+                        help="rewrite tools/units_ratchet.txt with current counts")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    by_dir = scan_tree(args.root)
+    counts = {d: len(v) for d, v in by_dir.items()}
+
+    if args.update_ratchet:
+        # Keep explicit zeros for already-pinned directories so a future
+        # regression in a clean directory is a ratchet violation, not a new
+        # (unpinned) entry.
+        ratchet = read_ratchet(args.root) or {}
+        merged = {d: 0 for d in ratchet}
+        merged.update(counts)
+        write_ratchet(args.root, merged)
+        print(f"units ratchet updated: {merged}")
+        return 0
+
+    ratchet = read_ratchet(args.root)
+    if ratchet is None:
+        print(f"missing {RATCHET_FILE}; run --update-ratchet once", file=sys.stderr)
+        return 1
+
+    status = 0
+    for d in sorted(set(counts) | set(ratchet)):
+        have = counts.get(d, 0)
+        allowed = ratchet.get(d)
+        if allowed is None:
+            print(f"{d}: {have} raw-unit parameter(s) but no ratchet entry; "
+                  f"add one via --update-ratchet", file=sys.stderr)
+            status = 1
+        elif have > allowed:
+            print(f"{d}: {have} raw-unit parameter(s), ratchet allows {allowed} "
+                  f"— new raw-double unit parameters are not accepted:",
+                  file=sys.stderr)
+            for rel, lineno, rule, message in by_dir[d]:
+                print(f"  {rel}:{lineno}: [{rule}] {message}", file=sys.stderr)
+            status = 1
+        elif have < allowed:
+            print(f"{d}: {have} raw-unit parameter(s), ratchet allows {allowed} "
+                  f"— progress! tighten the ratchet in this commit "
+                  f"(tools/lint_units.py --update-ratchet)", file=sys.stderr)
+            status = 1
+    if status == 0:
+        total = sum(counts.values())
+        print(f"units lint: clean ({total} raw-unit parameter(s) within ratchet)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Negative-compilation driver: a fixture must FAIL to compile, correctly.
+
+The strong types in src/core/units.h promise that dimensional mistakes are
+*compile errors*. A unit test cannot state that promise — code that does not
+compile cannot be linked into a test binary — so each forbidden operation
+lives in its own fixture under tests/nocompile/, and this driver proves the
+compiler rejects it.
+
+"Rejects" alone is not enough: a typo'd include also fails to compile. So a
+fixture declares the error it is supposed to trigger:
+
+    // expect-error: no match for .operator\+.
+
+(one or more lines; each is a Python regex matched against the compiler's
+stderr). The fixture passes iff compilation fails AND every declared pattern
+matches. A fixture with no expect-error lines is a *control*: it must
+compile cleanly, proving the harness can tell success from failure and that
+the legal operations stay legal.
+
+Usage: run_nocompile.py <compiler> <include_dir> <fixture.cpp> [extra flags…]
+Exit status: 0 = fixture behaved as declared, 1 = it did not.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_ERROR_RE = re.compile(r"//\s*expect-error:\s*(\S.*)$", re.MULTILINE)
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 1
+    compiler, include_dir, fixture = argv[1], argv[2], Path(argv[3])
+    extra = argv[4:]
+
+    text = fixture.read_text(encoding="utf-8")
+    patterns = [m.group(1).strip() for m in EXPECT_ERROR_RE.finditer(text)]
+
+    cmd = [compiler, "-std=c++20", "-fsyntax-only", "-I", include_dir,
+           *extra, str(fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    stderr = proc.stderr
+
+    if not patterns:  # control fixture: must compile
+        if proc.returncode == 0:
+            print(f"OK (control): {fixture.name} compiles cleanly")
+            return 0
+        print(f"FAIL: control fixture {fixture.name} must compile but did not:\n"
+              f"{stderr}", file=sys.stderr)
+        return 1
+
+    if proc.returncode == 0:
+        print(f"FAIL: {fixture.name} compiled, but the operation it exercises "
+              f"must be a type error", file=sys.stderr)
+        return 1
+    missing = [p for p in patterns if not re.search(p, stderr)]
+    if missing:
+        print(f"FAIL: {fixture.name} failed to compile, but not for the "
+              f"declared reason(s). Unmatched pattern(s): {missing}\n"
+              f"--- compiler stderr ---\n{stderr}", file=sys.stderr)
+        return 1
+    print(f"OK: {fixture.name} rejected for the declared reason "
+          f"({len(patterns)} pattern(s) matched)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
